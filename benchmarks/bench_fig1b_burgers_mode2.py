@@ -1,0 +1,57 @@
+"""Figure 1(b): serial vs parallel+randomized SVD — Burgers mode 2.
+
+Same experiment as Figure 1(a) but validating the *second* singular vector;
+see bench_fig1a_burgers_mode1.py for setup notes.  Expected shape: mode-2
+error small but (being less energetic) typically above the mode-1 error.
+"""
+
+import numpy as np
+
+from bench_fig1a_burgers_mode1 import (
+    BATCH,
+    K,
+    NT,
+    NX,
+    compute_parallel,
+    compute_serial,
+)
+from conftest import emit
+from repro.core.metrics import mode_error_curve, mode_errors
+from repro.data.burgers import BurgersProblem
+from repro.postprocessing.plots import plot_mode_comparison, save_series_csv
+from repro.utils.linalg import align_signs
+
+MODE = 1  # figure 1(b): mode 2
+
+
+def test_fig1b_mode2_serial_vs_parallel(benchmark, artifacts_dir):
+    data = BurgersProblem(nx=NX, nt=NT).snapshot_matrix()
+    serial_modes, serial_values = compute_serial(data)
+
+    parallel_modes, parallel_values = benchmark(compute_parallel, data)
+
+    errors = mode_errors(serial_modes, parallel_modes)
+    curve = mode_error_curve(serial_modes, parallel_modes, MODE)
+    aligned = align_signs(serial_modes, parallel_modes)
+
+    save_series_csv(
+        artifacts_dir / "fig1b_mode2.csv",
+        {
+            "x": np.linspace(0, 1, NX),
+            "serial_mode2": serial_modes[:, MODE],
+            "parallel_mode2": aligned[:, MODE],
+            "error": curve,
+        },
+    )
+    lines = [
+        "Figure 1(b) reproduction: Burgers mode 2, serial vs parallel(4 ranks, randomized)",
+        f"  grid={NX}, snapshots={NT}, K={K}, ff=0.95, r1=50",
+        f"  mode-2 relative L2 error : {errors[MODE]:.3e}",
+        f"  max pointwise |error|    : {np.max(np.abs(curve)):.3e}",
+        f"  sigma2 serial/parallel   : {serial_values[MODE]:.6e} / {parallel_values[MODE]:.6e}",
+        "",
+        plot_mode_comparison(serial_modes, parallel_modes, MODE),
+    ]
+    emit(artifacts_dir, "fig1b_mode2.txt", "\n".join(lines))
+
+    assert errors[MODE] < 1e-2

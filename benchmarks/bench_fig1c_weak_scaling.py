@@ -1,0 +1,97 @@
+"""Figure 1(c): weak scaling of the parallel+randomized SVD up to 256 nodes.
+
+Paper setup: 1024 grid points per rank on Theta (Intel KNL, 64 ranks/node),
+one APMOS factorization per measurement ("this experiment solely assessed
+the parallelized and randomized SVD without the utilization of the
+streaming operation"), rank counts up to 256 nodes = 16384 ranks.  The
+figure shows time-vs-ranks following the flat ideal weak-scaling trend.
+
+Reproduction: the Theta machine is unavailable, so per DESIGN.md the curve
+combines (a) the *measured* per-rank local kernel time on this machine,
+(b) the rank-0 SVD term from flop counts at a *measured* effective flop
+rate, and (c) the α-β communication model fed by the exact APMOS traffic
+formulas, which are validated here against byte counts recorded by the
+CommTracer at runnable rank counts.  Expected shape: near-ideal (flat)
+scaling with a slow efficiency decay driven by the growth of the gathered
+``W`` matrix.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.perf.machine import THETA_KNL
+from repro.perf.scaling import WeakScalingStudy
+from repro.postprocessing.plots import save_series_csv
+from repro.postprocessing.report import format_table, scaling_report
+
+POINTS_PER_RANK = 1024  # paper value
+N_SNAPSHOTS = 800       # paper's Burgers snapshot count
+K, R1 = 10, 50
+
+
+def build_study():
+    return WeakScalingStudy(
+        points_per_rank=POINTS_PER_RANK,
+        n_snapshots=N_SNAPSHOTS,
+        k=K,
+        r1=R1,
+        machine=THETA_KNL,
+        calibrate=True,
+        seed=0,
+    )
+
+
+def test_fig1c_weak_scaling(benchmark, artifacts_dir):
+    study = benchmark(build_study)  # times the calibration measurements
+
+    counts = study.paper_rank_counts(max_nodes=256)
+    result = study.run(counts)
+
+    # exact-traffic validation at runnable rank counts
+    validations = [study.validate_traffic(p) for p in (1, 2, 4)]
+    for v in validations:
+        assert v["measured_gather_root"] == v["model_gather_root"]
+        assert v["measured_bcast"] == v["model_bcast"]
+
+    nodes = [p.nodes for p in result.points]
+    save_series_csv(
+        artifacts_dir / "fig1c_weak_scaling.csv",
+        {
+            "ranks": result.ranks.astype(float),
+            "nodes": np.array(nodes),
+            "time_s": result.times,
+            "ideal_s": result.ideal,
+            "efficiency": result.efficiency,
+        },
+    )
+
+    breakdown_rows = [
+        [p.ranks, f"{p.nodes:g}", p.compute_s, p.root_svd_s, p.gather_s, p.bcast_s, p.total_s]
+        for p in result.points
+    ]
+    lines = [
+        "Figure 1(c) reproduction: weak scaling, 1024 points/rank, APMOS+randomized",
+        f"  machine model: {study.machine.name} "
+        f"(alpha={study.machine.latency_s:.1e}s, "
+        f"beta={study.machine.bandwidth_bytes_per_s:.1e}B/s, "
+        f"{study.machine.ranks_per_node} ranks/node)",
+        "  traffic formulas validated exactly against CommTracer at p=1,2,4",
+        "",
+        scaling_report(list(result.ranks), list(result.times)),
+        "",
+        "cost breakdown (seconds):",
+        format_table(
+            ["ranks", "nodes", "compute", "root_svd", "gather", "bcast", "total"],
+            breakdown_rows,
+        ),
+    ]
+    emit(artifacts_dir, "fig1c_weak_scaling.txt", "\n".join(lines))
+
+    # paper shape: "scaling is seen to follow the ideal trend appropriately"
+    # — near-ideal through one full node, graceful decay beyond
+    one_node = np.searchsorted(result.ranks, 64)
+    assert result.efficiency[one_node] > 0.7
+    # efficiency decays monotonically (communication grows with p)
+    assert np.all(np.diff(result.efficiency) <= 1e-12)
+    # the curve must remain within an order of magnitude of ideal at 256 nodes
+    assert result.times[-1] < 10 * result.times[0]

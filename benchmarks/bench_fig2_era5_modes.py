@@ -1,0 +1,97 @@
+"""Figure 2: coherent structures of the ERA5 surface-pressure record.
+
+Paper setup: ERA5 global surface pressure, 2013-2020 at 6-hourly cadence,
+read through parallel NetCDF4-IO, parallel streaming SVD, first two modes
+plotted on the globe.
+
+Reproduction (per DESIGN.md): a synthetic pressure field with *planted*
+coherent structures — an annual hemispheric see-saw plus a travelling
+planetary wave — written to the repo's snapshot container and read back
+with per-rank windowed reads.  Because the generating structures are known,
+this bench asserts what the paper's figure could only show visually: the
+leading modes recover the planted structures, energy-ordered.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro import ParSVDParallel
+from repro.analysis.coherent import extract_coherent_structures
+from repro.data.era5_like import Era5LikeField
+from repro.data.io import SnapshotDataset, write_snapshot_dataset
+from repro.postprocessing.plots import ascii_field, save_series_csv
+from repro.smpi import run_spmd
+
+NLAT, NLON, NT, BATCH, NRANKS, K = 24, 48, 360, 60, 4, 6
+
+
+def build_field():
+    # 6-hourly cadence like the paper; record length reduced for bench time
+    return Era5LikeField(
+        nlat=NLAT, nlon=NLON, nt=NT, dt_hours=6.0, noise_amp=0.4, seed=11
+    )
+
+
+def run_pipeline(dataset_path):
+    def job(comm):
+        dataset = SnapshotDataset.open(dataset_path)
+        block = dataset.read_rows_for_rank(comm.rank, comm.size)
+        svd = ParSVDParallel(
+            comm, K=K, ff=1.0, r1=50,
+            low_rank=True, oversampling=10, power_iters=2, seed=0,
+        )
+        svd.initialize(block[:, :BATCH])
+        for start in range(BATCH, dataset.n_snapshots, BATCH):
+            svd.incorporate_data(block[:, start : start + BATCH])
+        return svd.modes, svd.singular_values
+
+    return run_spmd(NRANKS, job)[0]
+
+
+def test_fig2_era5_coherent_structures(benchmark, artifacts_dir, tmp_path_factory):
+    field = build_field()
+    path = tmp_path_factory.mktemp("fig2") / "pressure.rsnap"
+    write_snapshot_dataset(
+        path,
+        field.anomaly_snapshots(),
+        meta={"field": "surface_pressure_anomaly", "cadence_hours": 6.0},
+    )
+
+    modes, values = benchmark(run_pipeline, path)
+
+    cos_map, sin_map = field.wave_patterns()[0]
+    truth = {
+        "seasonal": field.seasonal_pattern().ravel(),
+        "wave4": np.column_stack([cos_map.ravel(), sin_map.ravel()]),
+    }
+    report = extract_coherent_structures(
+        modes, values, ground_truth=truth, n_modes=3
+    )
+
+    mode1 = modes[:, 0].reshape(NLAT, NLON)
+    mode2 = modes[:, 1].reshape(NLAT, NLON)
+    save_series_csv(
+        artifacts_dir / "fig2_era5_spectrum.csv",
+        {
+            "mode": np.arange(1, K + 1, dtype=float),
+            "sigma": values[:K],
+        },
+    )
+    lines = [
+        "Figure 2 reproduction: ERA5-like pressure modes (parallel IO + streaming SVD)",
+        f"  grid={NLAT}x{NLON}, snapshots={NT} @6h, ranks={NRANKS}, K={K}",
+        "",
+        *report.summary_lines(),
+        "",
+        ascii_field(mode1, title="(a) Mode 1", height=16, width=64),
+        "",
+        ascii_field(mode2, title="(b) Mode 2", height=16, width=64),
+    ]
+    emit(artifacts_dir, "fig2_era5_modes.txt", "\n".join(lines))
+
+    # paper shape: the leading modes are the physically coherent structures
+    assert report.dominant_structure(0)[0] == "seasonal"
+    assert report.dominant_structure(0)[1] > 0.9
+    assert report.dominant_structure(1)[0] == "wave4"
+    assert report.dominant_structure(1)[1] > 0.9
+    assert np.all(np.diff(values) <= 0)

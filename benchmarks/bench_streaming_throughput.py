@@ -1,0 +1,92 @@
+"""Ablation A4: streaming ingestion throughput vs batch size.
+
+The streaming SVD's per-snapshot cost follows ``M (K + B)^2 / B`` (each
+update QR-factors an ``M x (K + B)`` block covering B new snapshots), which
+is minimised near ``B ~ K``: tiny batches pay the K-column carry-over on
+every snapshot, huge batches make the factored block needlessly wide.
+Expected shape: throughput peaks near B = K and declines for B >> K; the
+serial and parallel drivers show the same trend.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro import ParSVDParallel, ParSVDSerial
+from repro.data.burgers import BurgersProblem
+from repro.postprocessing.plots import save_series_csv
+from repro.postprocessing.report import format_table
+from repro.smpi import run_spmd
+from repro.utils.partition import block_partition
+
+NX, NT, K = 2048, 240, 8
+BATCHES = [10, 20, 40, 80]
+NRANKS = 2
+
+
+def stream_serial(data, batch):
+    svd = ParSVDSerial(K=K, ff=0.95)
+    svd.initialize(data[:, :batch])
+    for start in range(batch, NT, batch):
+        svd.incorporate_data(data[:, start : start + batch])
+    return svd
+
+
+def stream_parallel(data, batch):
+    def job(comm):
+        part = block_partition(NX, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        svd = ParSVDParallel(comm, K=K, ff=0.95, gather="none")
+        svd.initialize(block[:, :batch])
+        for start in range(batch, NT, batch):
+            svd.incorporate_data(block[:, start : start + batch])
+        return svd.singular_values
+
+    return run_spmd(NRANKS, job)
+
+
+def test_streaming_throughput(benchmark, artifacts_dir):
+    data = BurgersProblem(nx=NX, nt=NT).snapshot_matrix()
+
+    benchmark(stream_serial, data, 40)
+
+    rows, serial_rates, parallel_rates = [], [], []
+    for batch in BATCHES:
+        start = time.perf_counter()
+        stream_serial(data, batch)
+        serial_rate = NT / (time.perf_counter() - start)
+
+        start = time.perf_counter()
+        stream_parallel(data, batch)
+        parallel_rate = NT / (time.perf_counter() - start)
+
+        rows.append([batch, serial_rate, parallel_rate])
+        serial_rates.append(serial_rate)
+        parallel_rates.append(parallel_rate)
+
+    save_series_csv(
+        artifacts_dir / "streaming_throughput.csv",
+        {
+            "batch": np.array(BATCHES, dtype=float),
+            "serial_snapshots_per_s": np.array(serial_rates),
+            "parallel_snapshots_per_s": np.array(parallel_rates),
+        },
+    )
+    emit(
+        artifacts_dir,
+        "streaming_throughput.txt",
+        f"Ablation A4: streaming throughput (Burgers {NX}x{NT}, K={K})\n"
+        + format_table(
+            ["batch", "serial_snap_per_s", f"parallel{NRANKS}_snap_per_s"],
+            rows,
+        ),
+    )
+
+    # shape: per-snapshot compute ~ M (K+B)^2 / B is minimised near B ~ K,
+    # so for the serial driver the smallest batch (10 ~ K=8) must beat the
+    # widest (80 = 10K).  The parallel driver adds a fixed communication
+    # cost *per update*, which pushes its optimum toward larger batches —
+    # so only positivity is asserted there and the table shows the shift.
+    assert serial_rates[0] > serial_rates[-1]
+    assert all(rate > 0 for rate in parallel_rates)

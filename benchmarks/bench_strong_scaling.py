@@ -1,0 +1,69 @@
+"""Ablation A6: strong scaling (complements the paper's Figure 1c).
+
+The paper reports weak scaling; the natural follow-up question for a
+downstream user is strong scaling: with a *fixed* dataset, how many ranks
+are worth using?  The model predicts near-linear speedup while the local
+``O(M/p · N²)`` work dominates and a turnover once the p-growing terms
+(gather volume, rank-0 SVD of the widening ``W``) take over.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.perf.machine import THETA_KNL
+from repro.perf.scaling import StrongScalingStudy
+from repro.postprocessing.plots import save_series_csv
+from repro.postprocessing.report import format_table
+
+N_DOF = 262144  # fixed global problem (= 256 weak-scaling ranks' worth)
+N_SNAPSHOTS = 800
+
+
+def build_study():
+    return StrongScalingStudy(
+        n_dof=N_DOF,
+        n_snapshots=N_SNAPSHOTS,
+        k=10,
+        r1=50,
+        machine=THETA_KNL,
+        calibrate=True,
+        seed=0,
+    )
+
+
+def test_strong_scaling(benchmark, artifacts_dir):
+    study = benchmark(build_study)
+
+    counts = [1 << i for i in range(15)]  # 1 .. 16384
+    result = study.run(counts)
+    speedups = study.speedups(result)
+    turnover = study.turnover_ranks()
+
+    save_series_csv(
+        artifacts_dir / "strong_scaling.csv",
+        {
+            "ranks": result.ranks.astype(float),
+            "time_s": result.times,
+            "speedup": speedups,
+        },
+    )
+    rows = [
+        [p.ranks, p.total_s, s, p.compute_s, p.gather_s + p.bcast_s + p.root_svd_s]
+        for p, s in zip(result.points, speedups)
+    ]
+    emit(
+        artifacts_dir,
+        "strong_scaling.txt",
+        f"Ablation A6: strong scaling ({N_DOF} dofs, {N_SNAPSHOTS} snapshots)\n"
+        f"turnover (adding ranks stops helping) at ~{turnover} ranks\n"
+        + format_table(
+            ["ranks", "time_s", "speedup", "compute_s", "overhead_s"], rows
+        ),
+    )
+
+    # shape: near-linear at small p ...
+    assert speedups[1] > 1.8 and speedups[3] > 6.0
+    # ... a wall exists ...
+    assert 8 <= turnover <= 16384
+    # ... and the curve comes back down past it
+    assert result.times[-1] > min(result.times)

@@ -1,0 +1,33 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one figure/table of the paper (see DESIGN.md's
+experiment index).  Benches both:
+
+* time their core operation through ``pytest-benchmark`` (run with
+  ``pytest benchmarks/ --benchmark-only``), and
+* emit the series/tables the paper's figure plots into
+  ``benchmarks/artifacts/`` (CSV + text), so the "paper vs measured"
+  comparison in EXPERIMENTS.md can be regenerated from scratch.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def emit(artifacts_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a text artifact and echo it to stdout (visible with -s)."""
+    path = artifacts_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[artifact: {path}]")
+    print(text)

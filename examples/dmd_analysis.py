@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Dynamic mode decomposition of an oscillating flow-like field.
+
+The paper (§2) lists DMD among the SVD-based data-driven methods its SVD
+core enables.  This example builds a field with two superposed travelling
+oscillations plus noise, runs exact DMD (with the library's randomized SVD
+inside), and shows that DMD separates the two frequencies and predicts the
+future evolution — something POD/SVD energy ranking alone cannot do.
+
+Run:  python examples/dmd_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.dmd import dmd
+
+
+def make_field(m=800, n=120, dt=0.1, seed=0):
+    """Two *travelling* waves at distinct frequencies + noise.
+
+    Each wave is a quadrature pair ``cos-pattern x cos(wt) + sin-pattern x
+    sin(wt)`` — a genuinely 2-dimensional linear oscillation, which is what
+    DMD models.  (A *standing* oscillation ``pattern x cos(wt)`` spans only
+    one spatial direction and no linear map on that 1-D subspace can
+    rotate it, so DMD cannot represent it — a classic DMD pitfall.)
+    """
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, m)
+    f1, f2 = 0.5, 1.3  # cycles per time unit
+    decay1, decay2 = -0.05, -0.2
+    times = np.arange(n) * dt
+
+    def travelling(k, freq, decay, amp):
+        envelope = amp * np.exp(decay * times)
+        return np.outer(np.cos(k * np.pi * x), envelope * np.cos(2 * np.pi * freq * times)) + np.outer(
+            np.sin(k * np.pi * x), envelope * np.sin(2 * np.pi * freq * times)
+        )
+
+    field = (
+        travelling(3, f1, decay1, 1.0)
+        + travelling(7, f2, decay2, 0.5)
+        + 0.005 * rng.standard_normal((m, n))
+    )
+    return field, times, (f1, f2), (decay1, decay2)
+
+
+def main() -> None:
+    field, times, true_freqs, true_decays = make_field()
+    dt = times[1] - times[0]
+    print(
+        f"field: {field.shape[0]} dofs x {field.shape[1]} snapshots, dt={dt}"
+        f"\nplanted: f={true_freqs} cycles/time, decay rates={true_decays}"
+    )
+
+    result = dmd(field, rank=6, dt=dt, low_rank=True, rng=0)
+
+    print("\ndominant DMD modes (energy-ranked):")
+    print("  idx   frequency (cyc/t)   growth rate    |amplitude|")
+    for idx in result.dominant_indices(6):
+        print(
+            f"  {idx:3d}   {abs(result.frequencies[idx]):17.4f}"
+            f"   {result.growth_rates[idx]:11.4f}"
+            f"   {abs(result.amplitudes[idx]):11.4f}"
+        )
+
+    # physical modes = oscillating and not absurdly damped; the heavily
+    # damped leftovers are noise fit by the extra rank
+    recovered = sorted(
+        {
+            float(round(abs(f), 2))
+            for f, g in zip(result.frequencies, result.growth_rates)
+            if abs(f) > 0.05 and g > -5.0
+        }
+    )
+    print(f"\nrecovered frequencies : {recovered}")
+    print(f"planted frequencies   : {sorted(true_freqs)}")
+
+    # in-sample reconstruction + true out-of-sample prediction
+    recon = result.reconstruct(field.shape[1])
+    in_err = np.linalg.norm(recon - field) / np.linalg.norm(field)
+    future_t = times[-1] + np.arange(1, 21) * dt
+    prediction = result.predict(future_t)
+    truth, *_ = make_field(n=field.shape[1] + 20)
+    future_truth = truth[:, field.shape[1] :]
+    out_err = np.linalg.norm(prediction - future_truth) / np.linalg.norm(
+        future_truth
+    )
+    print(f"\nreconstruction error (train)    : {in_err:.3e}")
+    print(f"prediction error (20 steps out) : {out_err:.3e}")
+
+
+if __name__ == "__main__":
+    main()

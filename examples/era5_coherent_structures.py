@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Coherent structures in a global pressure record (paper Figure 2 workflow).
+
+Full science pipeline:
+
+1. synthesise an ERA5-like global surface-pressure record (6-hourly cadence,
+   planted seasonal + travelling-wave structures) and write it to the
+   snapshot container (the repo's parallel-IO substrate);
+2. run the distributed streaming SVD on 4 ranks, each reading only its own
+   rows from disk;
+3. extract and report the coherent structures, checking the recovered modes
+   against the planted ground truth.
+
+Run:  python examples/era5_coherent_structures.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ParSVDParallel, run_spmd
+from repro.analysis.coherent import extract_coherent_structures
+from repro.data.era5_like import Era5LikeField
+from repro.data.io import SnapshotDataset, write_snapshot_dataset
+from repro.postprocessing.plots import ascii_field
+
+NLAT, NLON, NT, BATCH, NRANKS, K = 24, 48, 480, 80, 4, 6
+
+
+def main() -> None:
+    field = Era5LikeField(
+        nlat=NLAT, nlon=NLON, nt=NT, dt_hours=6.0, noise_amp=0.4, seed=11
+    )
+    print(
+        f"synthetic pressure record: {NLAT}x{NLON} grid, {NT} snapshots "
+        f"@ {field.dt_hours:g}h (planted: seasonal see-saw + wavenumber-"
+        f"{field.wave_numbers[0]} travelling wave)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "pressure.rsnap"
+        write_snapshot_dataset(
+            path,
+            field.anomaly_snapshots(),
+            meta={"field": "surface_pressure_anomaly", "cadence_hours": 6.0},
+        )
+        print(f"wrote container: {path.stat().st_size / 1e6:.1f} MB")
+
+        def job(comm):
+            dataset = SnapshotDataset.open(path)
+            block = dataset.read_rows_for_rank(comm.rank, comm.size)
+            svd = ParSVDParallel(
+                comm, K=K, ff=1.0, r1=50,
+                low_rank=True, oversampling=10, power_iters=2, seed=0,
+            )
+            svd.initialize(block[:, :BATCH])
+            for start in range(BATCH, dataset.n_snapshots, BATCH):
+                svd.incorporate_data(block[:, start : start + BATCH])
+            return svd.modes, svd.singular_values
+
+        modes, values = run_spmd(NRANKS, job)[0]
+
+    cos_map, sin_map = field.wave_patterns()[0]
+    truth = {
+        "seasonal": field.seasonal_pattern().ravel(),
+        "travelling wave": np.column_stack(
+            [cos_map.ravel(), sin_map.ravel()]
+        ),
+    }
+    report = extract_coherent_structures(
+        modes, values, ground_truth=truth, n_modes=4
+    )
+
+    print("\ncoherent structures found:")
+    for line in report.summary_lines():
+        print(" ", line)
+
+    for mode in (0, 1):
+        print()
+        print(
+            ascii_field(
+                modes[:, mode].reshape(NLAT, NLON),
+                title=f"Mode {mode + 1} (lat x lon)",
+                height=14,
+                width=64,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

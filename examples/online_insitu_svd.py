@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""In-situ/online SVD: tracking a drifting system with the forget factor.
+
+The paper motivates the streaming SVD for "applications where there is the
+need to compute the SVD on the fly or online".  This example simulates a
+system whose dominant coherent structure *changes* halfway through the run
+and shows how the forget factor controls the trade between remembering the
+full history (ff = 1) and tracking the current regime (ff < 1).
+
+Run:  python examples/online_insitu_svd.py
+"""
+
+import numpy as np
+
+from repro import ParSVDSerial
+from repro.data.streams import function_stream
+
+
+def make_regime_source(m: int, batch: int, n_batches: int, switch: int):
+    """Simulated solver: emits batches whose dominant direction flips at
+    ``switch`` — e.g. a flow instability changing character mid-run."""
+    rng = np.random.default_rng(0)
+    dir_a = rng.standard_normal(m)
+    dir_a /= np.linalg.norm(dir_a)
+    dir_b = rng.standard_normal(m)
+    dir_b -= (dir_b @ dir_a) * dir_a  # orthogonal regime
+    dir_b /= np.linalg.norm(dir_b)
+
+    def produce(index: int):
+        if index >= n_batches:
+            return None
+        direction = dir_a if index < switch else dir_b
+        amplitudes = 10.0 * rng.standard_normal(batch)
+        noise = 0.1 * rng.standard_normal((m, batch))
+        return direction[:, None] * amplitudes[None, :] + noise
+
+    return produce, dir_a, dir_b
+
+
+def tracked_alignment(ff: float, produce, dir_a, dir_b, n_batches: int):
+    """Stream the whole record; report the final mode-1 alignment with each
+    regime direction."""
+    svd = ParSVDSerial(K=3, ff=ff)
+    svd.fit_stream(function_stream(produce, n_batches=n_batches))
+    mode = svd.modes[:, 0]
+    return abs(mode @ dir_a), abs(mode @ dir_b)
+
+
+def main() -> None:
+    m, batch, n_batches, switch = 1000, 20, 20, 10
+    print(
+        f"drifting system: {n_batches} batches of {batch} snapshots; "
+        f"dominant direction flips after batch {switch}"
+    )
+    print("\n  ff     |mode1 . old regime|   |mode1 . new regime|")
+    for ff in (1.0, 0.99, 0.95, 0.9, 0.7, 0.5):
+        produce, dir_a, dir_b = make_regime_source(m, batch, n_batches, switch)
+        align_a, align_b = tracked_alignment(
+            ff, produce, dir_a, dir_b, n_batches
+        )
+        marker = "<- tracks current regime" if align_b > 0.99 else ""
+        print(f"  {ff:4.2f}   {align_a:18.4f}   {align_b:19.4f}  {marker}")
+
+    print(
+        "\nff = 1.0 weighs all history equally (both regimes share the "
+        "energy);\nsmaller ff forgets the pre-switch regime and locks onto "
+        "the current one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""SPOD spectral analysis of the synthetic pressure record.
+
+The ERA5-like field plants a travelling wave with a 30-day period.  Plain
+POD (Figure 2's analysis) finds the wave's spatial shape; SPOD additionally
+pins down *at what frequency* the coherence lives — this example runs both
+and cross-checks them.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.pod import pod
+from repro.analysis.spod import spod
+from repro.data.era5_like import Era5LikeField
+from repro.postprocessing.plots import ascii_lineplot
+
+
+def main() -> None:
+    field = Era5LikeField(
+        nlat=16,
+        nlon=32,
+        nt=1440,          # 360 days at 6-hourly cadence
+        dt_hours=6.0,
+        noise_amp=0.3,
+        seed=5,
+    )
+    dt_days = field.dt_hours / 24.0
+    wave_freq = 1.0 / field.wave_period_days
+    print(
+        f"record: {field.nlat}x{field.nlon} grid, {field.nt} snapshots "
+        f"@ {field.dt_hours:g}h;\nplanted travelling wave: period "
+        f"{field.wave_period_days:g} days -> {wave_freq:.4f} cycles/day"
+    )
+
+    anomalies = field.anomaly_snapshots()
+
+    # POD: energy ranking (what Figure 2 shows)
+    pod_result = pod(anomalies, n_modes=4)
+    print("\nPOD energy fractions:", np.round(pod_result.energy_fractions, 3))
+
+    # SPOD: where in frequency the coherence lives
+    result = spod(
+        anomalies, dt=dt_days, n_per_block=240, overlap=0.5, n_modes=2
+    )
+    df = result.frequencies[1]
+    # The annual cycle (period 365 d) is unresolvable by 60-day blocks and
+    # leaks into the lowest bins, so mask the seasonal band before looking
+    # for the wave peak — standard practice for records with a slow cycle.
+    spectrum = result.energies[:, 0].copy()
+    seasonal_band = result.frequencies < 1.5 * df
+    spectrum[seasonal_band] = 0.0
+    peak = float(result.frequencies[int(np.argmax(spectrum))])
+    print(
+        f"\nSPOD: {result.n_blocks} blocks, df = {df:.4f} cycles/day\n"
+        f"wave-band peak at {peak:.4f} cycles/day "
+        f"(planted {wave_freq:.4f}, bin width {df:.4f})"
+    )
+    assert abs(peak - wave_freq) <= df
+
+    spectrum = result.energies[:, 0].copy()
+    spectrum[0] = spectrum[1]  # drop the mean bin for display
+    print()
+    print(
+        ascii_lineplot(
+            {"SPOD mode-1 energy": spectrum[:40]},
+            title="energy vs frequency bin (first 40 bins)",
+            height=12,
+            logy=True,
+        )
+    )
+
+    # cross-check: the SPOD mode at the peak spans the same subspace as the
+    # POD wave pair
+    spod_mode = result.modes_at(peak)[:, 0]
+    cos_map, sin_map = field.wave_patterns()[0]
+    basis = np.column_stack(
+        [
+            cos_map.ravel() / np.linalg.norm(cos_map),
+            sin_map.ravel() / np.linalg.norm(sin_map),
+        ]
+    )
+    basis_q, _ = np.linalg.qr(basis)
+    coeffs = basis_q.T @ spod_mode  # complex projection onto the wave plane
+    alignment = float(np.linalg.norm(coeffs) / np.linalg.norm(spod_mode))
+    print(f"\nSPOD peak mode alignment with planted wave pair: {alignment:.3f}")
+    assert alignment > 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Weak-scaling study of the parallel randomized SVD (paper Figure 1c).
+
+Builds the calibrated scaling model (measured local-kernel time + exact
+APMOS traffic through an alpha-beta machine model), validates the traffic
+formulas against the real runtime at small rank counts, and prints the
+time-vs-ranks series up to 256 Theta-like nodes.
+
+Run:  python examples/weak_scaling_study.py
+"""
+
+from repro.perf.machine import THETA_KNL
+from repro.perf.scaling import WeakScalingStudy
+from repro.postprocessing.plots import ascii_lineplot
+from repro.postprocessing.report import format_table, scaling_report
+
+
+def main() -> None:
+    study = WeakScalingStudy(
+        points_per_rank=1024,   # paper value
+        n_snapshots=800,        # paper's Burgers snapshot count
+        k=10,
+        r1=50,
+        machine=THETA_KNL,
+        calibrate=True,
+        seed=0,
+    )
+    print(
+        "calibrated on this machine: "
+        f"local compute = {study._compute_s * 1e3:.1f} ms/step"
+    )
+
+    print("\nvalidating traffic formulas against the live runtime:")
+    rows = []
+    for p in (1, 2, 4, 8):
+        v = study.validate_traffic(p)
+        ok = (
+            v["measured_gather_root"] == v["model_gather_root"]
+            and v["measured_bcast"] == v["model_bcast"]
+        )
+        rows.append(
+            [p, v["model_gather_root"], v["measured_gather_root"],
+             "exact" if ok else "MISMATCH"]
+        )
+    print(format_table(["ranks", "model_gather_B", "measured_gather_B", "check"], rows))
+
+    counts = study.paper_rank_counts(max_nodes=256)
+    result = study.run(counts)
+
+    print()
+    print(scaling_report(list(result.ranks), list(result.times)))
+
+    print()
+    print(
+        ascii_lineplot(
+            {"modelled": result.times, "ideal": result.ideal},
+            title="weak scaling: time per APMOS step vs log2(ranks)",
+            height=12,
+        )
+    )
+    print(
+        f"\nefficiency at 1 node (64 ranks)  : "
+        f"{result.efficiency[counts.index(64)]:.3f}"
+    )
+    print(
+        f"efficiency at 256 nodes (16384 r): {result.efficiency[-1]:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

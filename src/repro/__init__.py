@@ -1,0 +1,81 @@
+"""repro — reproduction of *PyParSVD: a streaming, distributed and
+randomized singular-value-decomposition library* (Maulik & Mengaldo,
+SC 2021, arXiv:2108.08845).
+
+Public API
+----------
+Streaming SVD classes (the paper's contribution):
+
+* :class:`ParSVDSerial` — single-process streaming SVD (Listing 1).
+* :class:`ParSVDParallel` — distributed streaming randomized SVD
+  (Listings 2-4); pair it with :func:`repro.smpi.run_spmd`.
+
+Building blocks:
+
+* :func:`repro.core.apmos_svd` — one-shot distributed SVD (Algorithm 2).
+* :func:`repro.core.randomized_svd` / :func:`repro.core.low_rank_svd` —
+  randomized linear algebra (section 3.3).
+* :func:`repro.core.tsqr_gather` / :func:`repro.core.tsqr_tree` —
+  distributed tall-skinny QR.
+
+Substrates built for this reproduction:
+
+* :mod:`repro.smpi` — in-process MPI-like SPMD runtime (mpi4py stand-in).
+* :mod:`repro.data` — workload generators (Burgers, ERA5-like) and
+  snapshot IO.
+* :mod:`repro.perf` — calibrated machine model + scaling studies
+  (stand-in for the Theta weak-scaling runs).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import ParSVDSerial
+>>> data = np.random.default_rng(0).standard_normal((500, 60))
+>>> svd = ParSVDSerial(K=5, ff=1.0).initialize(data[:, :20])
+>>> svd = svd.incorporate_data(data[:, 20:40]).incorporate_data(data[:, 40:])
+>>> svd.modes.shape, svd.singular_values.shape
+((500, 5), (5,))
+"""
+
+from .config import SVDConfig
+from .core import (
+    ParSVDBase,
+    ParSVDParallel,
+    ParSVDSerial,
+    apmos_svd,
+    compare_modes,
+    low_rank_svd,
+    randomized_svd,
+    tsqr_gather,
+    tsqr_tree,
+)
+from .exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    NotInitializedError,
+    ReproError,
+    ShapeError,
+)
+from .smpi import run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SVDConfig",
+    "ParSVDBase",
+    "ParSVDSerial",
+    "ParSVDParallel",
+    "apmos_svd",
+    "randomized_svd",
+    "low_rank_svd",
+    "tsqr_gather",
+    "tsqr_tree",
+    "compare_modes",
+    "run_spmd",
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "NotInitializedError",
+    "DataFormatError",
+    "__version__",
+]

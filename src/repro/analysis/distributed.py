@@ -1,0 +1,140 @@
+"""Distributed analysis helpers for domain-decomposed data.
+
+APMOS gives each rank its slice of the global modes; everything downstream
+of the SVD (mean removal, projections, reconstruction errors, energy
+accounting) must then also work on row blocks without ever assembling the
+global matrix.  These helpers implement those reductions with a single
+``allreduce`` each, so the analysis layer scales like the factorization.
+
+All functions are SPMD-collective: every rank of ``comm`` must call them
+with its own block, and every rank receives the global result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..smpi.reduction import SUM
+from .pod import PODResult
+
+__all__ = [
+    "distributed_mean",
+    "distributed_inner_products",
+    "distributed_norm",
+    "distributed_project",
+    "distributed_reconstruction_error",
+    "distributed_pod",
+]
+
+
+def _check_block(a: np.ndarray, name: str) -> np.ndarray:
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={a.ndim}")
+    return a
+
+
+def distributed_mean(comm, a_local: np.ndarray) -> np.ndarray:
+    """Row-wise temporal mean of the *local* block (no communication) —
+    provided for symmetry; the temporal mean is row-local under a row
+    decomposition, so no reduction is needed."""
+    a_local = _check_block(a_local, "a_local")
+    return a_local.mean(axis=1)
+
+
+def distributed_inner_products(
+    comm, u_local: np.ndarray, v_local: np.ndarray
+) -> np.ndarray:
+    """Global Gram block ``U^T V`` of two row-distributed matrices.
+
+    Each rank contributes ``U_i^T V_i``; the sum over ranks is the global
+    product (rows partition the contraction index).
+    """
+    u_local = _check_block(u_local, "u_local")
+    v_local = _check_block(v_local, "v_local")
+    if u_local.shape[0] != v_local.shape[0]:
+        raise ShapeError(
+            f"local blocks disagree on rows: {u_local.shape[0]} vs "
+            f"{v_local.shape[0]}"
+        )
+    return comm.allreduce(u_local.T @ v_local, SUM)
+
+
+def distributed_norm(comm, a_local: np.ndarray) -> float:
+    """Global Frobenius norm of a row-distributed matrix."""
+    a_local = _check_block(a_local, "a_local")
+    total = comm.allreduce(float(np.sum(a_local * a_local)), SUM)
+    return float(np.sqrt(total))
+
+
+def distributed_project(
+    comm, modes_local: np.ndarray, a_local: np.ndarray
+) -> np.ndarray:
+    """Temporal coefficients ``U^T A`` of row-distributed snapshots in a
+    row-distributed orthonormal basis (global ``(k, N)``, replicated)."""
+    return distributed_inner_products(comm, modes_local, a_local)
+
+
+def distributed_reconstruction_error(
+    comm,
+    a_local: np.ndarray,
+    modes_local: np.ndarray,
+    relative: bool = True,
+) -> float:
+    """Global error ``||A - U U^T A||_F`` of a rank-distributed projection.
+
+    Uses the Pythagorean identity ``||A - U U^T A||² = ||A||² - ||U^T A||²``
+    (valid for globally orthonormal ``U``), so the only traffic is two
+    scalar/small-matrix reductions.
+    """
+    a_local = _check_block(a_local, "a_local")
+    modes_local = _check_block(modes_local, "modes_local")
+    coeffs = distributed_project(comm, modes_local, a_local)
+    total_sq = comm.allreduce(float(np.sum(a_local * a_local)), SUM)
+    captured_sq = float(np.sum(coeffs * coeffs))
+    residual = float(np.sqrt(max(total_sq - captured_sq, 0.0)))
+    if not relative:
+        return residual
+    return residual / np.sqrt(total_sq) if total_sq > 0 else 0.0
+
+
+def distributed_pod(
+    comm,
+    a_local: np.ndarray,
+    n_modes: int,
+    r1: Optional[int] = None,
+    subtract_mean: bool = True,
+) -> Tuple[PODResult, np.ndarray]:
+    """POD of a row-distributed snapshot matrix via APMOS.
+
+    Returns ``(result, modes_local)``: ``result`` carries the global
+    singular values and temporal coefficients (identical on every rank)
+    with this rank's *local* mode block also provided separately — the
+    ``PODResult.modes`` field holds the local block, matching how the data
+    are distributed.
+    """
+    from ..core.apmos import apmos_svd
+
+    a_local = _check_block(a_local, "a_local")
+    if n_modes <= 0:
+        raise ShapeError(f"n_modes must be positive, got {n_modes}")
+    if subtract_mean:
+        mean_local = a_local.mean(axis=1)
+        fluct = a_local - mean_local[:, None]
+    else:
+        mean_local = np.zeros(a_local.shape[0])
+        fluct = a_local
+
+    r1_eff = r1 if r1 is not None else max(50, n_modes)
+    u_local, s = apmos_svd(comm, fluct, r1=r1_eff, r2=n_modes)
+    coeffs = distributed_project(comm, u_local, fluct)
+    result = PODResult(
+        modes=u_local,
+        singular_values=s,
+        coefficients=coeffs,
+        mean=mean_local,
+    )
+    return result, u_local

@@ -1,0 +1,98 @@
+"""Low-rank reconstruction and energy analysis (paper section 2: data
+compression / reduced-order representation)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "project_coefficients",
+    "reconstruct",
+    "reconstruction_error_curve",
+    "cumulative_energy",
+    "rank_for_energy",
+]
+
+
+def project_coefficients(modes: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Galerkin projection ``modes^T data`` — temporal coefficients of the
+    snapshots in the mode basis (modes assumed orthonormal)."""
+    modes = np.asarray(modes)
+    data = np.asarray(data)
+    if modes.ndim != 2 or data.ndim != 2:
+        raise ShapeError("modes and data must be 2-D")
+    if modes.shape[0] != data.shape[0]:
+        raise ShapeError(
+            f"modes have {modes.shape[0]} rows, data has {data.shape[0]}"
+        )
+    return modes.T @ data
+
+
+def reconstruct(modes: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Lift coefficients back to physical space: ``modes @ coefficients``."""
+    modes = np.asarray(modes)
+    coefficients = np.asarray(coefficients)
+    if modes.shape[1] != coefficients.shape[0]:
+        raise ShapeError(
+            f"got {modes.shape[1]} modes but {coefficients.shape[0]} "
+            "coefficient rows"
+        )
+    return modes @ coefficients
+
+
+def reconstruction_error_curve(
+    data: np.ndarray, modes: np.ndarray, max_rank: Optional[int] = None
+) -> np.ndarray:
+    """Relative Frobenius reconstruction error as a function of rank.
+
+    ``curve[r-1] = ||A - U_r U_r^T A||_F / ||A||_F`` for ``r = 1..max_rank``.
+    Monotonically non-increasing in ``r`` (tests assert this invariant).
+    """
+    data = np.asarray(data, dtype=float)
+    modes = np.asarray(modes, dtype=float)
+    if modes.shape[0] != data.shape[0]:
+        raise ShapeError(
+            f"modes have {modes.shape[0]} rows, data has {data.shape[0]}"
+        )
+    k = modes.shape[1] if max_rank is None else min(max_rank, modes.shape[1])
+    if k <= 0:
+        raise ShapeError(f"max_rank must be positive, got {max_rank}")
+    denom = float(np.linalg.norm(data))
+    if denom == 0.0:
+        return np.zeros(k)
+    coeffs = modes[:, :k].T @ data  # (k, N), computed once
+    total_sq = denom**2
+    # ||A - U_r U_r^T A||_F^2 = ||A||_F^2 - sum_{j<=r} ||coeffs_j||^2
+    # (orthonormal modes), so the whole curve costs one projection.
+    captured = np.cumsum(np.sum(coeffs**2, axis=1))
+    residual_sq = np.clip(total_sq - captured, 0.0, None)
+    return np.sqrt(residual_sq) / denom
+
+
+def cumulative_energy(singular_values: np.ndarray) -> np.ndarray:
+    """Cumulative energy fractions ``sum_{j<=r} sigma_j^2 / sum_j sigma_j^2``."""
+    s = np.asarray(singular_values, dtype=float)
+    if s.ndim != 1:
+        raise ShapeError("singular_values must be 1-D")
+    energies = s**2
+    total = float(np.sum(energies))
+    if total == 0.0:
+        return np.zeros_like(energies)
+    return np.cumsum(energies) / total
+
+
+def rank_for_energy(singular_values: np.ndarray, target: float) -> int:
+    """Smallest rank capturing at least ``target`` of the energy.
+
+    ``target`` in ``(0, 1]``; returns ``len(singular_values)`` when even the
+    full set falls short (possible only through round-off).
+    """
+    if not (0.0 < target <= 1.0):
+        raise ShapeError(f"target must lie in (0, 1], got {target}")
+    cum = cumulative_energy(singular_values)
+    hits = np.nonzero(cum >= target - 1e-15)[0]
+    return int(hits[0]) + 1 if hits.size else int(cum.shape[0])

@@ -1,0 +1,208 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+Usage::
+
+    python -m repro burgers  [--nx 2048 --nt 400 --ranks 4 --modes 10]
+    python -m repro era5     [--nlat 24 --nlon 48 --nt 360 --ranks 4]
+    python -m repro scaling  [--mode weak|strong --max-nodes 256]
+    python -m repro info
+
+Each subcommand prints the same tables/plots as the corresponding bench
+and exits nonzero if the experiment's shape checks fail, so the CLI can be
+used as a smoke test of an installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PyParSVD reproduction — streaming/distributed/randomized SVD",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_burgers = sub.add_parser(
+        "burgers", help="serial-vs-parallel validation on viscous Burgers"
+    )
+    p_burgers.add_argument("--nx", type=int, default=2048)
+    p_burgers.add_argument("--nt", type=int, default=400)
+    p_burgers.add_argument("--ranks", type=int, default=4)
+    p_burgers.add_argument("--modes", type=int, default=10)
+    p_burgers.add_argument("--batch", type=int, default=100)
+    p_burgers.add_argument("--ff", type=float, default=0.95)
+
+    p_era5 = sub.add_parser(
+        "era5", help="coherent structures of the synthetic pressure record"
+    )
+    p_era5.add_argument("--nlat", type=int, default=24)
+    p_era5.add_argument("--nlon", type=int, default=48)
+    p_era5.add_argument("--nt", type=int, default=360)
+    p_era5.add_argument("--ranks", type=int, default=4)
+    p_era5.add_argument("--modes", type=int, default=6)
+
+    p_scaling = sub.add_parser("scaling", help="scaling studies (model)")
+    p_scaling.add_argument(
+        "--mode", choices=("weak", "strong"), default="weak"
+    )
+    p_scaling.add_argument("--max-nodes", type=int, default=256)
+    p_scaling.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="use nominal machine rates instead of measuring this machine",
+    )
+    p_scaling.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        help="model the two-level hierarchical APMOS with this group size "
+        "(weak scaling only)",
+    )
+
+    sub.add_parser("info", help="version and configuration summary")
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.config import SVDConfig
+
+    cfg = SVDConfig()
+    print(f"repro {repro.__version__} — PyParSVD reproduction (SC 2021)")
+    print(
+        f"defaults: K={cfg.K} ff={cfg.ff} r1={cfg.r1} r2={cfg.r2} "
+        f"low_rank={cfg.low_rank}"
+    )
+    print("subpackages: core, smpi, data, analysis, postprocessing, perf")
+    return 0
+
+
+def _cmd_burgers(args: argparse.Namespace) -> int:
+    from repro import ParSVDParallel, ParSVDSerial, compare_modes, run_spmd
+    from repro.data.burgers import BurgersProblem
+    from repro.utils.partition import block_partition
+
+    print(
+        f"Burgers validation: {args.nx} points, {args.nt} snapshots, "
+        f"K={args.modes}, {args.ranks} ranks"
+    )
+    data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
+
+    serial = ParSVDSerial(K=args.modes, ff=args.ff)
+    serial.initialize(data[:, : args.batch])
+    for start in range(args.batch, args.nt, args.batch):
+        serial.incorporate_data(data[:, start : start + args.batch])
+
+    def job(comm):
+        part = block_partition(args.nx, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        svd = ParSVDParallel(
+            comm, K=args.modes, ff=args.ff, r1=50,
+            low_rank=True, oversampling=10, power_iters=2, seed=0,
+        )
+        svd.initialize(block[:, : args.batch])
+        for start in range(args.batch, args.nt, args.batch):
+            svd.incorporate_data(block[:, start : start + args.batch])
+        return svd.modes, svd.singular_values
+
+    modes, values = run_spmd(args.ranks, job)[0]
+    comparison = compare_modes(
+        serial.modes, serial.singular_values, modes, values, n_modes=2
+    )
+    print(f"mode errors (leading 2): {comparison.mode_rel_errors}")
+    print(f"spectrum errors        : {comparison.spectrum_rel_errors}")
+    ok = comparison.worst_mode_error < 1e-2
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_era5(args: argparse.Namespace) -> int:
+    from repro import ParSVDParallel, run_spmd
+    from repro.analysis.coherent import extract_coherent_structures
+    from repro.data.era5_like import Era5LikeField
+    from repro.utils.partition import block_partition
+
+    field = Era5LikeField(
+        nlat=args.nlat, nlon=args.nlon, nt=args.nt, noise_amp=0.4, seed=11
+    )
+    data = field.anomaly_snapshots()
+    batch = max(args.nt // 6, 1)
+
+    def job(comm):
+        part = block_partition(field.n_dof, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        svd = ParSVDParallel(comm, K=args.modes, ff=1.0, r1=50)
+        svd.initialize(block[:, :batch])
+        for start in range(batch, args.nt, batch):
+            svd.incorporate_data(block[:, start : start + batch])
+        return svd.modes, svd.singular_values
+
+    modes, values = run_spmd(args.ranks, job)[0]
+    cos_map, sin_map = field.wave_patterns()[0]
+    report = extract_coherent_structures(
+        modes,
+        values,
+        ground_truth={
+            "seasonal": field.seasonal_pattern().ravel(),
+            "wave": np.column_stack([cos_map.ravel(), sin_map.ravel()]),
+        },
+        n_modes=min(3, args.modes),
+    )
+    for line in report.summary_lines():
+        print(line)
+    ok = (
+        report.dominant_structure(0) is not None
+        and report.dominant_structure(0)[1] > 0.9
+    )
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.perf.machine import THETA_KNL
+    from repro.perf.scaling import StrongScalingStudy, WeakScalingStudy
+    from repro.postprocessing.report import scaling_report
+
+    calibrate = not args.no_calibrate
+    if args.mode == "weak":
+        study = WeakScalingStudy(machine=THETA_KNL, calibrate=calibrate)
+        counts = study.paper_rank_counts(max_nodes=args.max_nodes)
+        result = study.run(counts, group_size=args.group_size)
+        label = "weak scaling"
+        if args.group_size:
+            label += f" (two-level, groups of {args.group_size})"
+        print(scaling_report(list(result.ranks), list(result.times), label=label))
+        return 0
+    study = StrongScalingStudy(machine=THETA_KNL, calibrate=calibrate)
+    counts = [1 << i for i in range(15) if (1 << i) <= args.max_nodes * 64]
+    result = study.run(counts)
+    print(scaling_report(list(result.ranks), list(result.times), label="strong scaling"))
+    print(f"speedups: {np.round(study.speedups(result), 2)}")
+    print(f"turnover at ~{study.turnover_ranks()} ranks")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "burgers":
+        return _cmd_burgers(args)
+    if args.command == "era5":
+        return _cmd_era5(args)
+    if args.command == "scaling":
+        return _cmd_scaling(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

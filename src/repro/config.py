@@ -1,0 +1,118 @@
+"""Configuration objects for the streaming/distributed/randomized SVD.
+
+The paper exposes the following knobs (section 3 and 4.3):
+
+``K``
+    Number of retained left singular vectors ("modes").
+``ff``
+    Forget factor of the streaming (Levy--Lindenbaum) update, in ``(0, 1]``.
+    ``ff = 1.0`` makes the streaming result converge to the one-shot SVD of
+    all snapshots; smaller values discount older batches.  The paper uses
+    ``ff = 0.95``.
+``low_rank``
+    Whether dense SVDs inside the pipeline are replaced by the randomized
+    low-rank SVD of section 3.3.
+``r1``
+    APMOS truncation of the locally computed right singular vectors before
+    the MPI gather (paper default: 50 columns).
+``r2``
+    APMOS truncation of the global left factor broadcast back to the ranks
+    (paper default: 5 columns) — only used by the one-shot APMOS driver; the
+    streaming parallel class retains ``K`` columns instead.
+``oversampling`` / ``power_iters``
+    Standard randomized-range-finder parameters (Halko et al.); the paper's
+    listing uses the plain sketch, which corresponds to
+    ``oversampling = 0, power_iters = 0``; we default to a modest
+    oversampling of 10 which strictly improves accuracy at negligible cost.
+``seed``
+    Seed for the randomized sketches.  Parallel ranks derive independent
+    child streams, so results are reproducible for a fixed rank count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+__all__ = ["SVDConfig", "DEFAULT_FORGET_FACTOR", "DEFAULT_R1", "DEFAULT_R2"]
+
+#: Forget factor used throughout the paper's experiments (section 3.1).
+DEFAULT_FORGET_FACTOR = 0.95
+#: APMOS local right-vector truncation used in the paper (section 3.2).
+DEFAULT_R1 = 50
+#: APMOS global left-factor truncation used in the paper (section 3.2).
+DEFAULT_R2 = 5
+
+
+@dataclasses.dataclass(frozen=True)
+class SVDConfig:
+    """Immutable, validated bundle of SVD algorithm parameters.
+
+    Parameters
+    ----------
+    K:
+        Number of modes (truncated left singular vectors) to track.
+    ff:
+        Streaming forget factor in ``(0, 1]``.
+    low_rank:
+        Use the randomized low-rank SVD for the inner dense factorizations.
+    r1, r2:
+        APMOS truncation factors (see module docstring).
+    oversampling:
+        Extra sketch columns beyond the target rank for the randomized SVD.
+    power_iters:
+        Number of power iterations of the randomized range finder.
+    seed:
+        Base seed for randomized sketches; ``None`` draws fresh entropy.
+
+    Examples
+    --------
+    >>> cfg = SVDConfig(K=10)
+    >>> cfg.ff
+    0.95
+    >>> cfg.replace(ff=1.0).ff
+    1.0
+    """
+
+    K: int = 10
+    ff: float = DEFAULT_FORGET_FACTOR
+    low_rank: bool = False
+    r1: int = DEFAULT_R1
+    r2: int = DEFAULT_R2
+    oversampling: int = 10
+    power_iters: int = 0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.K, (int,)) or isinstance(self.K, bool):
+            raise ConfigurationError(f"K must be an int, got {self.K!r}")
+        if self.K <= 0:
+            raise ConfigurationError(f"K must be positive, got {self.K}")
+        if not (0.0 < float(self.ff) <= 1.0):
+            raise ConfigurationError(
+                f"forget factor ff must lie in (0, 1], got {self.ff}"
+            )
+        if self.r1 <= 0:
+            raise ConfigurationError(f"r1 must be positive, got {self.r1}")
+        if self.r2 <= 0:
+            raise ConfigurationError(f"r2 must be positive, got {self.r2}")
+        if self.oversampling < 0:
+            raise ConfigurationError(
+                f"oversampling must be nonnegative, got {self.oversampling}"
+            )
+        if self.power_iters < 0:
+            raise ConfigurationError(
+                f"power_iters must be nonnegative, got {self.power_iters}"
+            )
+        if self.seed is not None and self.seed < 0:
+            raise ConfigurationError(f"seed must be nonnegative, got {self.seed}")
+
+    def replace(self, **changes: object) -> "SVDConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict:
+        """Return the configuration as a plain dictionary."""
+        return dataclasses.asdict(self)

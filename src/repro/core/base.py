@@ -1,0 +1,231 @@
+"""``ParSVDBase`` — shared machinery of the serial and parallel classes.
+
+The paper (section 4): "we define a base class, namely Parsvd_Base that
+implements functions shared across the two derived classes Parsvd_Serial and
+Parsvd_Parallel.  We also provide a convenient post-processing module ...
+linked with the base class", i.e. the plotting/reporting entry points are
+callable from the class object.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from ..config import SVDConfig
+from ..exceptions import NotInitializedError, ShapeError
+from ..utils.linalg import as_floating
+
+__all__ = ["ParSVDBase"]
+
+
+class ParSVDBase:
+    """Common state, validation and convenience API for streaming SVDs.
+
+    Subclasses implement :meth:`initialize` (first batch) and
+    :meth:`incorporate_data` (subsequent batches) and populate
+    ``self._modes`` / ``self._singular_values`` / ``self._iteration``.
+
+    Parameters
+    ----------
+    K:
+        Number of modes to track.
+    ff:
+        Forget factor in ``(0, 1]``.
+    low_rank:
+        Replace inner dense SVDs with the randomized low-rank SVD.
+    config:
+        Alternatively, a fully populated :class:`~repro.config.SVDConfig`;
+        keyword arguments override its fields.
+    """
+
+    def __init__(
+        self,
+        K: Optional[int] = None,
+        ff: Optional[float] = None,
+        low_rank: Optional[bool] = None,
+        config: Optional[SVDConfig] = None,
+        **extra: object,
+    ) -> None:
+        base = config if config is not None else SVDConfig()
+        overrides = {}
+        if K is not None:
+            overrides["K"] = K
+        if ff is not None:
+            overrides["ff"] = ff
+        if low_rank is not None:
+            overrides["low_rank"] = low_rank
+        overrides.update(extra)
+        self._config = base.replace(**overrides) if overrides else base
+        self._modes: Optional[np.ndarray] = None
+        self._singular_values: Optional[np.ndarray] = None
+        self._iteration: int = 0
+        self._n_seen: int = 0
+        self._n_dof: Optional[int] = None
+
+    # -- configuration accessors ------------------------------------------
+    @property
+    def config(self) -> SVDConfig:
+        """The validated configuration this instance runs with."""
+        return self._config
+
+    @property
+    def K(self) -> int:
+        """Number of tracked modes."""
+        return self._config.K
+
+    @property
+    def ff(self) -> float:
+        """Streaming forget factor."""
+        return self._config.ff
+
+    @property
+    def low_rank(self) -> bool:
+        """Whether randomized inner SVDs are enabled."""
+        return self._config.low_rank
+
+    # -- results ----------------------------------------------------------
+    @property
+    def initialized(self) -> bool:
+        """Has :meth:`initialize` been called?"""
+        return self._singular_values is not None
+
+    def _require_initialized(self) -> None:
+        if not self.initialized:
+            raise NotInitializedError(
+                f"{type(self).__name__}: call initialize(A0) before "
+                "incorporate_data / accessing results"
+            )
+
+    @property
+    def modes(self) -> np.ndarray:
+        """``(M, k)`` left singular vectors (global; gathered if parallel)."""
+        self._require_initialized()
+        assert self._modes is not None
+        return self._modes
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """``(k,)`` singular values, descending."""
+        self._require_initialized()
+        assert self._singular_values is not None
+        return self._singular_values
+
+    @property
+    def iteration(self) -> int:
+        """Number of batches ingested so far."""
+        return self._iteration
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of snapshots ingested so far."""
+        return self._n_seen
+
+    # -- streaming driver ----------------------------------------------------
+    def initialize(self, A: np.ndarray) -> "ParSVDBase":
+        """Factor the first batch; returns ``self`` for chaining."""
+        raise NotImplementedError
+
+    def incorporate_data(self, A: np.ndarray) -> "ParSVDBase":
+        """Ingest one more batch; returns ``self`` for chaining."""
+        raise NotImplementedError
+
+    def fit_stream(self, batches: Iterable[np.ndarray]) -> "ParSVDBase":
+        """Drive the full streaming pipeline over an iterable of batches.
+
+        The first batch goes through :meth:`initialize`, the rest through
+        :meth:`incorporate_data` — the paper's usage pattern as a one-liner.
+        """
+        got_any = False
+        for batch in batches:
+            if not got_any:
+                self.initialize(batch)
+                got_any = True
+            else:
+                self.incorporate_data(batch)
+        if not got_any:
+            raise ShapeError("fit_stream received an empty batch iterable")
+        return self
+
+    # -- batch shape validation shared by subclasses ----------------------
+    def _validate_first_batch(self, A: np.ndarray) -> np.ndarray:
+        A = as_floating(A, "snapshot batch")
+        if A.ndim != 2:
+            raise ShapeError(
+                f"snapshot batch must be 2-D (dofs x snapshots), got "
+                f"ndim={A.ndim}"
+            )
+        if A.shape[1] < 1:
+            raise ShapeError("first batch must contain at least one snapshot")
+        self._n_dof = A.shape[0]
+        return A
+
+    def _validate_next_batch(self, A: np.ndarray) -> np.ndarray:
+        self._require_initialized()
+        A = as_floating(A, "snapshot batch")
+        if A.ndim != 2:
+            raise ShapeError(
+                f"snapshot batch must be 2-D (dofs x snapshots), got "
+                f"ndim={A.ndim}"
+            )
+        if self._n_dof is not None and A.shape[0] != self._n_dof:
+            raise ShapeError(
+                f"batch has {A.shape[0]} degrees of freedom; this instance "
+                f"was initialised with {self._n_dof}"
+            )
+        return A
+
+    # -- persistence --------------------------------------------------------
+    def save_results(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Persist modes/values/metadata to an ``.npz`` archive."""
+        self._require_initialized()
+        path = pathlib.Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        np.savez(
+            path,
+            modes=self.modes,
+            singular_values=self.singular_values,
+            iteration=np.asarray(self._iteration),
+            n_seen=np.asarray(self._n_seen),
+            K=np.asarray(self.K),
+            ff=np.asarray(self.ff),
+        )
+        return path
+
+    @staticmethod
+    def load_results(path: Union[str, pathlib.Path]) -> dict:
+        """Load an archive written by :meth:`save_results`."""
+        with np.load(pathlib.Path(path)) as data:
+            return {
+                "modes": data["modes"],
+                "singular_values": data["singular_values"],
+                "iteration": int(data["iteration"]),
+                "n_seen": int(data["n_seen"]),
+                "K": int(data["K"]),
+                "ff": float(data["ff"]),
+            }
+
+    # -- postprocessing hooks (paper: callable from the class object) --------
+    def plot_singular_values(self, **kwargs: object) -> str:
+        """ASCII spectrum plot via :mod:`repro.postprocessing`."""
+        from ..postprocessing.plots import plot_singular_values
+
+        return plot_singular_values(self.singular_values, **kwargs)
+
+    def plot_1d_modes(self, mode_indices=(0, 1), **kwargs: object) -> str:
+        """ASCII plot of selected 1-D mode shapes."""
+        from ..postprocessing.plots import plot_1d_modes
+
+        return plot_1d_modes(self.modes, mode_indices=mode_indices, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            f"modes={self._modes.shape}" if self._modes is not None else "uninitialised"
+        )
+        return (
+            f"{type(self).__name__}(K={self.K}, ff={self.ff}, "
+            f"low_rank={self.low_rank}, iteration={self._iteration}, {state})"
+        )

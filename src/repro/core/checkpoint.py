@@ -1,0 +1,125 @@
+"""Checkpoint/restart for streaming SVD state.
+
+The paper targets in-situ analysis alongside long-running simulations; in
+that setting the analysis must survive job restarts.  ``save_results``
+(:class:`~repro.core.base.ParSVDBase`) stores only the *outputs*; a
+checkpoint stores the full *resumable state* — modes, values, counters and
+the configuration — so ingestion can continue exactly where it stopped:
+
+>>> svd.save_checkpoint("state.ckpt.npz")         # before the job ends
+>>> svd = ParSVDSerial.from_checkpoint("state.ckpt.npz")
+>>> svd.incorporate_data(next_batch)              # stream continues
+
+For the parallel class each rank checkpoints its own shard
+(``<stem>.rank<i>.npz``); on restart the rank count must match, which is
+validated.
+
+Format: a single ``.npz`` with a format-version field; loading a newer or
+unknown version fails loudly rather than mis-restoring.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..config import SVDConfig
+from ..exceptions import DataFormatError, NotInitializedError
+
+__all__ = ["CHECKPOINT_VERSION", "write_checkpoint", "read_checkpoint"]
+
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+_CONFIG_FIELDS = ("K", "ff", "low_rank", "r1", "r2", "oversampling", "power_iters")
+
+
+def write_checkpoint(
+    path: PathLike,
+    config: SVDConfig,
+    modes: np.ndarray,
+    singular_values: np.ndarray,
+    iteration: int,
+    n_seen: int,
+    kind: str,
+    rank: int = 0,
+    nranks: int = 1,
+) -> pathlib.Path:
+    """Serialise one (rank's) resumable streaming state."""
+    if modes is None or singular_values is None:
+        raise NotInitializedError("cannot checkpoint an uninitialised SVD")
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez(
+        path,
+        format_version=np.asarray(CHECKPOINT_VERSION),
+        kind=np.asarray(kind),
+        modes=modes,
+        singular_values=singular_values,
+        iteration=np.asarray(int(iteration)),
+        n_seen=np.asarray(int(n_seen)),
+        rank=np.asarray(int(rank)),
+        nranks=np.asarray(int(nranks)),
+        config_K=np.asarray(config.K),
+        config_ff=np.asarray(config.ff),
+        config_low_rank=np.asarray(config.low_rank),
+        config_r1=np.asarray(config.r1),
+        config_r2=np.asarray(config.r2),
+        config_oversampling=np.asarray(config.oversampling),
+        config_power_iters=np.asarray(config.power_iters),
+        config_seed=np.asarray(-1 if config.seed is None else config.seed),
+    )
+    return path
+
+
+def read_checkpoint(path: PathLike) -> dict:
+    """Load and validate a checkpoint written by :func:`write_checkpoint`.
+
+    Returns a dict with ``config`` (an :class:`SVDConfig`), the state
+    arrays, counters, and the ``kind``/``rank``/``nranks`` identity fields.
+    """
+    path = pathlib.Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "format_version" not in data:
+                raise DataFormatError(f"{path}: not a streaming checkpoint")
+            version = int(data["format_version"])
+            if version != CHECKPOINT_VERSION:
+                raise DataFormatError(
+                    f"{path}: checkpoint format v{version} is not supported "
+                    f"by this build (expected v{CHECKPOINT_VERSION})"
+                )
+            seed = int(data["config_seed"])
+            config = SVDConfig(
+                K=int(data["config_K"]),
+                ff=float(data["config_ff"]),
+                low_rank=bool(data["config_low_rank"]),
+                r1=int(data["config_r1"]),
+                r2=int(data["config_r2"]),
+                oversampling=int(data["config_oversampling"]),
+                power_iters=int(data["config_power_iters"]),
+                seed=None if seed < 0 else seed,
+            )
+            return {
+                "config": config,
+                "kind": str(data["kind"]),
+                "modes": np.array(data["modes"]),
+                "singular_values": np.array(data["singular_values"]),
+                "iteration": int(data["iteration"]),
+                "n_seen": int(data["n_seen"]),
+                "rank": int(data["rank"]),
+                "nranks": int(data["nranks"]),
+            }
+    except (OSError, ValueError, KeyError) as exc:
+        raise DataFormatError(f"{path}: unreadable checkpoint: {exc}") from exc
+
+
+def rank_checkpoint_path(path: PathLike, rank: int) -> pathlib.Path:
+    """Per-rank shard path: ``state.npz`` -> ``state.rank3.npz``."""
+    path = pathlib.Path(path)
+    stem = path.stem if path.suffix == ".npz" else path.name
+    return path.with_name(f"{stem}.rank{rank}.npz")

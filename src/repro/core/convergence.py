@@ -1,0 +1,136 @@
+"""Convergence monitoring for streaming SVD runs.
+
+For in-situ deployments the interesting operational question is *when the
+retained modes have stabilised* — once they have, a user can stop
+ingesting, checkpoint, or begin downstream analysis.  The monitor tracks
+the per-batch history of the singular values and the subspace drift of the
+modes, and declares convergence when both fall below tolerances for a
+number of consecutive batches.
+
+>>> monitor = ConvergenceMonitor(value_tol=1e-6, angle_tol_deg=1e-3)
+>>> for batch in stream:
+...     svd.incorporate_data(batch)
+...     if monitor.update(svd.modes, svd.singular_values):
+...         break
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.linalg import subspace_angles_deg
+
+__all__ = ["ConvergenceMonitor", "ConvergenceRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvergenceRecord:
+    """Per-update convergence sample."""
+
+    iteration: int
+    max_value_change: float
+    max_angle_deg: float
+    converged: bool
+
+
+class ConvergenceMonitor:
+    """Detects stabilisation of a streaming SVD.
+
+    Parameters
+    ----------
+    value_tol:
+        Maximum allowed relative change of any retained singular value
+        between consecutive updates.
+    angle_tol_deg:
+        Maximum allowed principal angle (degrees) between consecutive mode
+        subspaces.
+    patience:
+        Number of *consecutive* updates that must satisfy both tolerances
+        before :attr:`converged` flips to True.
+    """
+
+    def __init__(
+        self,
+        value_tol: float = 1e-6,
+        angle_tol_deg: float = 1e-3,
+        patience: int = 2,
+    ) -> None:
+        if value_tol <= 0 or angle_tol_deg <= 0:
+            raise ConfigurationError("tolerances must be positive")
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self.value_tol = value_tol
+        self.angle_tol_deg = angle_tol_deg
+        self.patience = patience
+        self.history: List[ConvergenceRecord] = []
+        self._prev_values: Optional[np.ndarray] = None
+        self._prev_modes: Optional[np.ndarray] = None
+        self._streak = 0
+
+    @property
+    def converged(self) -> bool:
+        """Has the stream satisfied the tolerances for ``patience`` updates?"""
+        return self._streak >= self.patience
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def update(self, modes: np.ndarray, singular_values: np.ndarray) -> bool:
+        """Record one update; returns the current converged flag.
+
+        The first call only establishes the baseline (never converged).
+        A change in the number of retained values resets the comparison
+        (common early in a stream while fewer than K snapshots are seen).
+        """
+        modes = np.asarray(modes, dtype=float)
+        values = np.asarray(singular_values, dtype=float)
+
+        if (
+            self._prev_values is None
+            or self._prev_values.shape != values.shape
+            or self._prev_modes.shape != modes.shape  # type: ignore[union-attr]
+        ):
+            value_change = np.inf
+            angle = np.inf
+            self._streak = 0
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rel = np.where(
+                    self._prev_values > 0,
+                    np.abs(values - self._prev_values) / self._prev_values,
+                    np.abs(values),
+                )
+            value_change = float(np.max(rel)) if rel.size else 0.0
+            angle = float(np.max(subspace_angles_deg(self._prev_modes, modes)))
+            if value_change <= self.value_tol and angle <= self.angle_tol_deg:
+                self._streak += 1
+            else:
+                self._streak = 0
+
+        self._prev_values = values.copy()
+        self._prev_modes = modes.copy()
+        self.history.append(
+            ConvergenceRecord(
+                iteration=len(self.history) + 1,
+                max_value_change=value_change,
+                max_angle_deg=angle,
+                converged=self.converged,
+            )
+        )
+        return self.converged
+
+    def value_change_history(self) -> np.ndarray:
+        """Per-update max relative singular-value change (inf = baseline)."""
+        return np.array([r.max_value_change for r in self.history])
+
+    def reset(self) -> None:
+        """Forget all state (e.g. after a regime change is detected)."""
+        self.history.clear()
+        self._prev_values = None
+        self._prev_modes = None
+        self._streak = 0

@@ -1,0 +1,155 @@
+"""Accuracy metrics for comparing SVD results (paper Figure 1a/1b).
+
+The paper validates the parallel+randomized computation against a serial
+evaluation by plotting mode shapes and their pointwise error.  These helpers
+make the comparison quantitative and sign-ambiguity-safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..utils.linalg import align_signs, subspace_angles_deg
+
+__all__ = [
+    "mode_errors",
+    "mode_error_curve",
+    "spectrum_relative_error",
+    "ModeComparison",
+    "compare_modes",
+]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"comparison requires equal shapes, got {a.shape} vs {b.shape}"
+        )
+
+
+def mode_errors(reference: np.ndarray, candidate: np.ndarray) -> np.ndarray:
+    """Per-mode relative L2 error after sign alignment.
+
+    ``errors[j] = ||ref_j - cand_j|| / ||ref_j||`` with ``cand`` sign-flipped
+    per column to best match ``ref``.
+    """
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    _check_pair(reference, candidate)
+    aligned = align_signs(reference, candidate)
+    num = np.linalg.norm(reference - aligned, axis=0)
+    den = np.linalg.norm(reference, axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(den > 0, num / den, num)
+
+
+def mode_error_curve(
+    reference: np.ndarray, candidate: np.ndarray, mode: int
+) -> np.ndarray:
+    """Pointwise error of one mode — the quantity Figure 1(a,b) plots.
+
+    Returns ``ref[:, mode] - aligned_cand[:, mode]`` so callers can inspect
+    (or plot) where on the grid the discrepancy lives.
+    """
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    _check_pair(reference, candidate)
+    if not (0 <= mode < reference.shape[1]):
+        raise ShapeError(
+            f"mode {mode} outside [0, {reference.shape[1]})"
+        )
+    aligned = align_signs(reference, candidate)
+    return reference[:, mode] - aligned[:, mode]
+
+
+def spectrum_relative_error(
+    reference: np.ndarray, candidate: np.ndarray
+) -> np.ndarray:
+    """Per-value relative error of two singular-value arrays (equal length)."""
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        raise ShapeError(
+            f"spectra must have equal length, got {reference.shape} vs "
+            f"{candidate.shape}"
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            reference != 0,
+            np.abs(reference - candidate) / np.abs(reference),
+            np.abs(candidate),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeComparison:
+    """Bundle of serial-vs-parallel agreement metrics.
+
+    Attributes
+    ----------
+    mode_rel_errors:
+        Per-mode relative L2 error (sign aligned).
+    spectrum_rel_errors:
+        Per-singular-value relative error.
+    max_subspace_angle_deg:
+        Largest principal angle between the two mode subspaces.
+    """
+
+    mode_rel_errors: np.ndarray
+    spectrum_rel_errors: np.ndarray
+    max_subspace_angle_deg: float
+
+    @property
+    def worst_mode_error(self) -> float:
+        return float(np.max(self.mode_rel_errors))
+
+    @property
+    def worst_spectrum_error(self) -> float:
+        return float(np.max(self.spectrum_rel_errors))
+
+    def agrees(self, mode_tol: float = 1e-6, angle_tol_deg: float = 1e-3) -> bool:
+        """True when both mode errors and subspace angle are below tolerance."""
+        return (
+            self.worst_mode_error <= mode_tol
+            and self.max_subspace_angle_deg <= angle_tol_deg
+        )
+
+
+def compare_modes(
+    ref_modes: np.ndarray,
+    ref_values: np.ndarray,
+    cand_modes: np.ndarray,
+    cand_values: np.ndarray,
+    n_modes: Optional[int] = None,
+) -> ModeComparison:
+    """Full comparison of two truncated SVD results.
+
+    ``n_modes`` limits the comparison to the leading modes (the trailing
+    modes of a truncated factorization are the least converged and the
+    paper's validation focuses on the leading pair).
+    """
+    k = min(
+        ref_modes.shape[1],
+        cand_modes.shape[1],
+        ref_values.shape[0],
+        cand_values.shape[0],
+    )
+    if n_modes is not None:
+        if n_modes <= 0:
+            raise ShapeError(f"n_modes must be positive, got {n_modes}")
+        k = min(k, n_modes)
+    ref_m = ref_modes[:, :k]
+    cand_m = cand_modes[:, :k]
+    return ModeComparison(
+        mode_rel_errors=mode_errors(ref_m, cand_m),
+        spectrum_rel_errors=spectrum_relative_error(
+            ref_values[:k], cand_values[:k]
+        ),
+        max_subspace_angle_deg=float(
+            np.max(subspace_angles_deg(ref_m, cand_m))
+        ),
+    )

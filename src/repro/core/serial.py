@@ -1,0 +1,117 @@
+"""``ParSVDSerial`` — the serial streaming SVD (paper Listing 1).
+
+Single-process reference implementation of Algorithm 1.  It is both a usable
+tool for moderate problem sizes and the ground truth that the parallel class
+is validated against (Figure 1a/1b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataFormatError
+from ..utils.rng import resolve_rng
+from .base import ParSVDBase
+from .checkpoint import read_checkpoint, write_checkpoint
+from .streaming import StreamingState, incorporate_batch, initialize_streaming
+
+__all__ = ["ParSVDSerial"]
+
+
+class ParSVDSerial(ParSVDBase):
+    """Streaming truncated SVD of a snapshot matrix on one process.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.standard_normal((200, 40))
+    >>> svd = ParSVDSerial(K=5, ff=1.0)
+    >>> svd = svd.initialize(data[:, :10])
+    >>> for j in range(10, 40, 10):
+    ...     svd = svd.incorporate_data(data[:, j:j+10])
+    >>> svd.modes.shape
+    (200, 5)
+    >>> svd.singular_values.shape
+    (5,)
+    """
+
+    def __init__(self, K=None, ff=None, low_rank=None, config=None, **extra):
+        super().__init__(K=K, ff=ff, low_rank=low_rank, config=config, **extra)
+        self._rng = resolve_rng(self._config.seed)
+        self._state = None
+
+    def initialize(self, A: np.ndarray) -> "ParSVDSerial":
+        """Factor the first batch (Algorithm 1, steps I1-I2)."""
+        A = self._validate_first_batch(A)
+        cfg = self._config
+        self._state = initialize_streaming(
+            A,
+            cfg.K,
+            low_rank=cfg.low_rank,
+            oversampling=cfg.oversampling,
+            power_iters=cfg.power_iters,
+            rng=self._rng,
+        )
+        self._publish()
+        return self
+
+    def incorporate_data(self, A: np.ndarray) -> "ParSVDSerial":
+        """Ingest one more batch (Algorithm 1, while-loop body)."""
+        A = self._validate_next_batch(A)
+        cfg = self._config
+        assert self._state is not None
+        self._state = incorporate_batch(
+            self._state,
+            A,
+            cfg.K,
+            cfg.ff,
+            low_rank=cfg.low_rank,
+            oversampling=cfg.oversampling,
+            power_iters=cfg.power_iters,
+            rng=self._rng,
+        )
+        self._publish()
+        return self
+
+    def _publish(self) -> None:
+        assert self._state is not None
+        self._modes = self._state.modes
+        self._singular_values = self._state.singular_values
+        self._iteration = self._state.batches
+        self._n_seen = self._state.n_seen
+
+    # -- checkpoint / restart --------------------------------------------
+    def save_checkpoint(self, path) -> "str":
+        """Persist the full resumable state (see :mod:`repro.core.checkpoint`)."""
+        self._require_initialized()
+        out = write_checkpoint(
+            path,
+            self._config,
+            self.modes,
+            self.singular_values,
+            self._iteration,
+            self._n_seen,
+            kind="serial",
+        )
+        return str(out)
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "ParSVDSerial":
+        """Rebuild a serial streaming SVD from a checkpoint; ingestion can
+        continue with :meth:`incorporate_data` immediately."""
+        state = read_checkpoint(path)
+        if state["kind"] != "serial":
+            raise DataFormatError(
+                f"{path}: checkpoint kind {state['kind']!r} is not 'serial'"
+            )
+        svd = cls(config=state["config"])
+        svd._state = StreamingState(
+            modes=state["modes"],
+            singular_values=state["singular_values"],
+            n_seen=state["n_seen"],
+            batches=state["iteration"],
+        )
+        svd._n_dof = state["modes"].shape[0]
+        svd._publish()
+        return svd

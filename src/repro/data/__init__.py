@@ -1,0 +1,32 @@
+"""Workload generators and snapshot IO (the paper's data substrates)."""
+
+from .burgers import BurgersProblem, burgers_snapshots
+from .era5_like import Era5LikeField, era5_like_snapshots
+from .io import SnapshotDataset, read_local_block, write_snapshot_dataset
+from .streams import SnapshotStream, array_stream, dataset_stream, function_stream
+from .synthetic import (
+    low_rank_plus_noise,
+    matrix_with_spectrum,
+    spectrum_exponential,
+    spectrum_polynomial,
+    spectrum_step,
+)
+
+__all__ = [
+    "BurgersProblem",
+    "burgers_snapshots",
+    "Era5LikeField",
+    "era5_like_snapshots",
+    "SnapshotDataset",
+    "write_snapshot_dataset",
+    "read_local_block",
+    "SnapshotStream",
+    "array_stream",
+    "dataset_stream",
+    "function_stream",
+    "matrix_with_spectrum",
+    "low_rank_plus_noise",
+    "spectrum_exponential",
+    "spectrum_polynomial",
+    "spectrum_step",
+]

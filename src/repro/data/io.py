@@ -1,0 +1,247 @@
+"""Snapshot container with parallel (per-rank memmap) reads.
+
+The paper's science run reads ERA5 through "parallel-IO using NetCDF4":
+every rank reads only its own row block of each snapshot.  NetCDF4 is not
+available offline, so this module implements a minimal self-describing
+binary container with the same *access pattern*:
+
+* a magic + JSON header (shape, dtype, user metadata),
+* the snapshot matrix as one C-ordered ``(M, N)`` block,
+* zero-copy windowed reads through :func:`numpy.memmap` — rank ``i`` maps
+  the file and touches only its rows, which is exactly what a
+  NetCDF4/HDF5 hyperslab read does underneath.
+
+Format (little-endian)::
+
+    bytes 0:8    magic  b"RSNAP001"
+    bytes 8:16   header length H (uint64)
+    bytes 16:16+H  JSON header {"shape", "dtype", "meta"}
+    padding to a 64-byte boundary
+    data         M*N items, C order
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DataFormatError, ShapeError
+from ..utils.partition import block_partition
+
+__all__ = ["SnapshotDataset", "write_snapshot_dataset", "read_local_block"]
+
+_MAGIC = b"RSNAP001"
+_ALIGN = 64
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _data_offset(header_bytes: bytes) -> int:
+    raw = len(_MAGIC) + 8 + len(header_bytes)
+    return ((raw + _ALIGN - 1) // _ALIGN) * _ALIGN
+
+
+def write_snapshot_dataset(
+    path: PathLike,
+    array: np.ndarray,
+    meta: Optional[dict] = None,
+) -> pathlib.Path:
+    """Write a full ``(M, N)`` snapshot matrix to a container file."""
+    array = np.asarray(array)
+    if array.ndim != 2:
+        raise ShapeError(f"snapshot matrix must be 2-D, got ndim={array.ndim}")
+    path = pathlib.Path(path)
+    dataset = SnapshotDataset.create(
+        path, array.shape, dtype=array.dtype, meta=meta
+    )
+    dataset.write_columns(0, array)
+    return path
+
+
+def read_local_block(
+    path: PathLike, rank: int, nranks: int
+) -> Tuple[np.ndarray, "SnapshotDataset"]:
+    """Read the row block of ``rank`` out of ``nranks`` (the parallel-IO
+    pattern: every rank calls this with its own id)."""
+    dataset = SnapshotDataset.open(path)
+    return dataset.read_rows_for_rank(rank, nranks), dataset
+
+
+class SnapshotDataset:
+    """Handle to one container file; supports windowed reads and writes.
+
+    Use :meth:`create` to allocate a new file (then stream columns into it
+    with :meth:`write_columns`) or :meth:`open` for an existing one.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        shape: Tuple[int, int],
+        dtype: np.dtype,
+        meta: dict,
+        offset: int,
+    ) -> None:
+        self.path = path
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.meta = meta
+        self._offset = offset
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: PathLike,
+        shape: Tuple[int, int],
+        dtype: Union[str, np.dtype] = np.float64,
+        meta: Optional[dict] = None,
+    ) -> "SnapshotDataset":
+        """Allocate a container of the given shape, filled lazily.
+
+        The file is pre-sized (sparse where the filesystem allows) so
+        streaming writers can deposit column batches in any order.
+        """
+        path = pathlib.Path(path)
+        m, n = int(shape[0]), int(shape[1])
+        if m <= 0 or n <= 0:
+            raise ShapeError(f"shape must be positive, got {(m, n)}")
+        dtype = np.dtype(dtype)
+        meta = dict(meta or {})
+        header = json.dumps(
+            {"shape": [m, n], "dtype": dtype.str, "meta": meta}
+        ).encode("utf-8")
+        offset = _data_offset(header)
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(np.uint64(len(header)).tobytes())
+            fh.write(header)
+            fh.write(b"\x00" * (offset - len(_MAGIC) - 8 - len(header)))
+            fh.seek(offset + m * n * dtype.itemsize - 1)
+            fh.write(b"\x00")
+        return cls(path, (m, n), dtype, meta, offset)
+
+    @classmethod
+    def open(cls, path: PathLike) -> "SnapshotDataset":
+        """Open an existing container, validating magic and header."""
+        path = pathlib.Path(path)
+        with open(path, "rb") as fh:
+            magic = fh.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise DataFormatError(
+                    f"{path}: bad magic {magic!r} (not a snapshot container)"
+                )
+            (header_len,) = np.frombuffer(fh.read(8), dtype=np.uint64)
+            header_bytes = fh.read(int(header_len))
+            if len(header_bytes) != int(header_len):
+                raise DataFormatError(f"{path}: truncated header")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise DataFormatError(f"{path}: corrupt header: {exc}") from exc
+        for key in ("shape", "dtype"):
+            if key not in header:
+                raise DataFormatError(f"{path}: header missing {key!r}")
+        shape = tuple(int(x) for x in header["shape"])
+        if len(shape) != 2:
+            raise DataFormatError(f"{path}: shape must be 2-D, got {shape}")
+        dtype = np.dtype(header["dtype"])
+        offset = _data_offset(header_bytes)
+        expected = offset + shape[0] * shape[1] * dtype.itemsize
+        actual = path.stat().st_size
+        if actual < expected:
+            raise DataFormatError(
+                f"{path}: file has {actual} bytes, header promises {expected}"
+            )
+        return cls(path, shape, dtype, header.get("meta", {}), offset)
+
+    # -- geometry helpers -----------------------------------------------------
+    @property
+    def n_dof(self) -> int:
+        """Rows (grid degrees of freedom)."""
+        return self.shape[0]
+
+    @property
+    def n_snapshots(self) -> int:
+        """Columns (time snapshots)."""
+        return self.shape[1]
+
+    def _memmap(self, mode: str) -> np.memmap:
+        return np.memmap(
+            self.path,
+            dtype=self.dtype,
+            mode=mode,
+            offset=self._offset,
+            shape=self.shape,
+            order="C",
+        )
+
+    # -- writes ---------------------------------------------------------------
+    def write_columns(self, start: int, block: np.ndarray) -> None:
+        """Deposit a ``(M, b)`` column batch at column ``start``."""
+        block = np.asarray(block, dtype=self.dtype)
+        if block.ndim != 2 or block.shape[0] != self.n_dof:
+            raise ShapeError(
+                f"column batch must be ({self.n_dof}, b), got {block.shape}"
+            )
+        stop = start + block.shape[1]
+        if start < 0 or stop > self.n_snapshots:
+            raise ShapeError(
+                f"column window [{start}, {stop}) outside "
+                f"[0, {self.n_snapshots})"
+            )
+        mm = self._memmap("r+")
+        try:
+            mm[:, start:stop] = block
+            mm.flush()
+        finally:
+            del mm
+
+    # -- reads -------------------------------------------------------------
+    def read(self) -> np.ndarray:
+        """Materialise the full matrix (small datasets / tests only)."""
+        return np.array(self._memmap("r"))
+
+    def read_window(
+        self,
+        row_start: int,
+        row_stop: int,
+        col_start: int = 0,
+        col_stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Copy out an arbitrary ``[rows) x [cols)`` window."""
+        if col_stop is None:
+            col_stop = self.n_snapshots
+        if not (0 <= row_start <= row_stop <= self.n_dof):
+            raise ShapeError(
+                f"row window [{row_start}, {row_stop}) outside "
+                f"[0, {self.n_dof}]"
+            )
+        if not (0 <= col_start <= col_stop <= self.n_snapshots):
+            raise ShapeError(
+                f"column window [{col_start}, {col_stop}) outside "
+                f"[0, {self.n_snapshots}]"
+            )
+        mm = self._memmap("r")
+        try:
+            return np.array(mm[row_start:row_stop, col_start:col_stop])
+        finally:
+            del mm
+
+    def read_rows_for_rank(self, rank: int, nranks: int) -> np.ndarray:
+        """This rank's row block under the canonical partition — the
+        "every rank reads its own hyperslab" parallel-IO pattern."""
+        part = block_partition(self.n_dof, nranks)
+        start, stop = part.range_of(rank)
+        return self.read_window(start, stop)
+
+    def column_batches(self, batch_size: int):
+        """Iterate column batches (streaming ingestion from disk)."""
+        if batch_size <= 0:
+            raise ShapeError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, self.n_snapshots, batch_size):
+            stop = min(start + batch_size, self.n_snapshots)
+            yield self.read_window(0, self.n_dof, start, stop)

@@ -1,0 +1,134 @@
+"""Streaming batch abstraction.
+
+The streaming SVD consumes snapshot *batches*.  A :class:`SnapshotStream`
+normalises the three ways batches arise in practice — an in-memory matrix,
+a snapshot container on disk, or an on-the-fly generator (the in-situ case
+the paper targets, where snapshots come from a running simulation) — behind
+one re-iterable interface with validated, uniform batch shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .io import SnapshotDataset
+
+__all__ = ["SnapshotStream", "array_stream", "dataset_stream", "function_stream"]
+
+
+class SnapshotStream:
+    """Re-iterable source of ``(n_dof, batch)`` snapshot batches.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh iterator of batches.
+        Wrapping a *factory* (not an iterator) makes the stream re-iterable,
+        so one stream object can drive several SVD runs (e.g. a serial
+        reference and a parallel candidate).
+    n_dof:
+        Expected row count; every yielded batch is validated against it.
+    n_snapshots:
+        Total column count if known (informational).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[np.ndarray]],
+        n_dof: Optional[int] = None,
+        n_snapshots: Optional[int] = None,
+    ) -> None:
+        self._factory = factory
+        self.n_dof = n_dof
+        self.n_snapshots = n_snapshots
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        expected_rows = self.n_dof
+        for batch in self._factory():
+            batch = np.asarray(batch, dtype=float)
+            if batch.ndim != 2:
+                raise ShapeError(
+                    f"stream yielded a {batch.ndim}-D batch; expected 2-D"
+                )
+            if expected_rows is None:
+                expected_rows = batch.shape[0]
+            elif batch.shape[0] != expected_rows:
+                raise ShapeError(
+                    f"stream yielded a batch with {batch.shape[0]} rows; "
+                    f"expected {expected_rows}"
+                )
+            yield batch
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "SnapshotStream":
+        """Derived stream with ``fn`` applied to every batch (e.g. mean
+        removal, rank-local row slicing)."""
+
+        def factory() -> Iterator[np.ndarray]:
+            return (fn(batch) for batch in self)
+
+        return SnapshotStream(factory, n_dof=None, n_snapshots=self.n_snapshots)
+
+    def restrict_rows(self, row_slice: slice) -> "SnapshotStream":
+        """Derived stream carrying only ``row_slice`` of every batch — how a
+        rank adapts a global stream to its domain-decomposed block."""
+        stream = self.map(lambda batch: batch[row_slice, :])
+        if self.n_dof is not None:
+            stream.n_dof = len(range(*row_slice.indices(self.n_dof)))
+        return stream
+
+
+def array_stream(matrix: np.ndarray, batch_size: int) -> SnapshotStream:
+    """Stream an in-memory ``(M, N)`` matrix in column batches."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ShapeError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    if batch_size <= 0:
+        raise ShapeError(f"batch_size must be positive, got {batch_size}")
+
+    def factory() -> Iterator[np.ndarray]:
+        for start in range(0, matrix.shape[1], batch_size):
+            yield matrix[:, start : start + batch_size]
+
+    return SnapshotStream(
+        factory, n_dof=matrix.shape[0], n_snapshots=matrix.shape[1]
+    )
+
+
+def dataset_stream(dataset: SnapshotDataset, batch_size: int) -> SnapshotStream:
+    """Stream a disk container in column batches (out-of-core ingestion)."""
+    if batch_size <= 0:
+        raise ShapeError(f"batch_size must be positive, got {batch_size}")
+
+    def factory() -> Iterator[np.ndarray]:
+        return dataset.column_batches(batch_size)
+
+    return SnapshotStream(
+        factory, n_dof=dataset.n_dof, n_snapshots=dataset.n_snapshots
+    )
+
+
+def function_stream(
+    fn: Callable[[int], Optional[np.ndarray]],
+    n_batches: Optional[int] = None,
+) -> SnapshotStream:
+    """Stream batches produced by ``fn(batch_index)``.
+
+    ``fn`` returns the next batch or ``None`` to end the stream — the
+    in-situ pattern where a simulation produces data until it finishes.
+    When ``n_batches`` is given the stream ends after that many batches
+    regardless.
+    """
+
+    def factory() -> Iterator[np.ndarray]:
+        index = 0
+        while n_batches is None or index < n_batches:
+            batch = fn(index)
+            if batch is None:
+                return
+            yield batch
+            index += 1
+
+    return SnapshotStream(factory)

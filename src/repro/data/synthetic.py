@@ -1,0 +1,108 @@
+"""Synthetic matrices with prescribed singular spectra.
+
+Randomized-SVD accuracy depends on the *decay* of the singular spectrum, so
+the test suite and the A3 ablation bench need matrices whose spectrum is
+exactly known and shaped on demand: exponential decay (easy), polynomial
+decay (harder), and a step spectrum (rank detection).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..utils.linalg import qr_positive
+from ..utils.rng import RngLike, resolve_rng
+
+__all__ = [
+    "spectrum_exponential",
+    "spectrum_polynomial",
+    "spectrum_step",
+    "matrix_with_spectrum",
+    "low_rank_plus_noise",
+]
+
+
+def spectrum_exponential(n: int, decay: float = 0.5) -> np.ndarray:
+    """``sigma_j = decay**j`` — rapidly decaying spectrum, ``j = 0..n-1``."""
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if not (0.0 < decay < 1.0):
+        raise ConfigurationError(f"decay must lie in (0, 1), got {decay}")
+    return decay ** np.arange(n)
+
+
+def spectrum_polynomial(n: int, power: float = 1.0) -> np.ndarray:
+    """``sigma_j = (j + 1)**(-power)`` — slowly decaying spectrum."""
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if power <= 0:
+        raise ConfigurationError(f"power must be positive, got {power}")
+    return (np.arange(n) + 1.0) ** (-power)
+
+
+def spectrum_step(n: int, rank: int, gap: float = 1e-6) -> np.ndarray:
+    """Flat spectrum of 1s up to ``rank``, then a drop to ``gap``."""
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if not (0 < rank <= n):
+        raise ConfigurationError(f"rank must lie in (0, {n}], got {rank}")
+    if not (0.0 <= gap < 1.0):
+        raise ConfigurationError(f"gap must lie in [0, 1), got {gap}")
+    out = np.full(n, gap)
+    out[:rank] = 1.0
+    return out
+
+
+def matrix_with_spectrum(
+    m: int,
+    n: int,
+    spectrum: np.ndarray,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``A = U diag(sigma) V^T`` with random orthonormal factors.
+
+    Returns ``(A, U, sigma, Vt)`` so tests can compare recovered factors to
+    the exact ones.  ``len(spectrum)`` must not exceed ``min(m, n)``.
+    """
+    spectrum = np.asarray(spectrum, dtype=float)
+    if spectrum.ndim != 1:
+        raise ShapeError("spectrum must be 1-D")
+    k = spectrum.shape[0]
+    if k > min(m, n):
+        raise ShapeError(
+            f"spectrum length {k} exceeds min(m, n) = {min(m, n)}"
+        )
+    if np.any(np.diff(spectrum) > 0):
+        raise ShapeError("spectrum must be non-increasing")
+    gen = resolve_rng(rng)
+    u, _ = qr_positive(gen.standard_normal((m, k)))
+    v, _ = qr_positive(gen.standard_normal((n, k)))
+    a = (u * spectrum[np.newaxis, :]) @ v.T
+    return a, u, spectrum, v.T
+
+
+def low_rank_plus_noise(
+    m: int,
+    n: int,
+    rank: int,
+    noise: float = 1e-8,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Random rank-``rank`` matrix plus dense Gaussian noise of scale
+    ``noise`` — the generic "coherent structure + measurement noise" model."""
+    if rank <= 0 or rank > min(m, n):
+        raise ConfigurationError(
+            f"rank must lie in (0, {min(m, n)}], got {rank}"
+        )
+    if noise < 0:
+        raise ConfigurationError(f"noise must be nonnegative, got {noise}")
+    gen = resolve_rng(rng)
+    left = gen.standard_normal((m, rank))
+    right = gen.standard_normal((rank, n))
+    a = left @ right / np.sqrt(rank)
+    if noise > 0:
+        a = a + noise * gen.standard_normal((m, n))
+    return a

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still being able to discriminate finer-grained failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "NotInitializedError",
+    "DataFormatError",
+    "CommunicatorError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied (e.g. ``K <= 0``)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape.
+
+    Raised, for instance, when a streamed batch does not have the same number
+    of rows as the batch used for initialization, or when a snapshot matrix is
+    not two-dimensional.
+    """
+
+
+class NotInitializedError(ReproError, RuntimeError):
+    """An operation requiring prior initialization was called too early.
+
+    ``incorporate_data`` and the results properties (``modes``,
+    ``singular_values``) require :meth:`initialize` to have been called first.
+    """
+
+
+class DataFormatError(ReproError, ValueError):
+    """A snapshot container file is malformed or version-incompatible."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """An invalid communicator operation (bad rank, mismatched collective...)."""

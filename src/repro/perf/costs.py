@@ -1,0 +1,144 @@
+"""Analytic flop and traffic formulas for the distributed SVD kernels.
+
+These formulas are the backbone of the weak-scaling reproduction: the
+traffic side is *exact* (and validated against
+:class:`repro.smpi.CommTracer` byte counts in the tests), the flop side uses
+the standard dense-kernel counts (Golub & Van Loan).
+
+Notation: one APMOS step at ``p`` ranks, each owning ``m_local x n`` data,
+local truncation ``r1``, ``k`` global modes, ``itemsize``-byte reals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "flops_qr",
+    "flops_svd",
+    "flops_gemm",
+    "flops_eigh",
+    "ApmosTraffic",
+    "apmos_traffic",
+    "apmos_local_flops",
+    "apmos_root_svd_flops",
+]
+
+
+def _positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def flops_qr(m: int, n: int) -> float:
+    """Householder economy QR of an ``m x n`` matrix (``m >= n``):
+    ``2 m n^2 - (2/3) n^3``."""
+    _positive(m=m, n=n)
+    return 2.0 * m * n * n - (2.0 / 3.0) * n**3
+
+
+def flops_svd(m: int, n: int) -> float:
+    """Economy SVD (Golub-Reinsch style) of ``m x n``, ``m >= n``:
+    ``~ 6 m n^2 + 20 n^3`` (constant factors vary by driver; the model only
+    needs the scaling)."""
+    _positive(m=m, n=n)
+    if m < n:
+        m, n = n, m
+    return 6.0 * m * n * n + 20.0 * n**3
+
+
+def flops_gemm(m: int, n: int, k: int) -> float:
+    """Dense ``(m x k) @ (k x n)`` multiply: ``2 m n k``."""
+    _positive(m=m, n=n, k=k)
+    return 2.0 * m * n * k
+
+
+def flops_eigh(n: int) -> float:
+    """Symmetric eigendecomposition of ``n x n``: ``~ 9 n^3``."""
+    _positive(n=n)
+    return 9.0 * n**3
+
+
+@dataclasses.dataclass(frozen=True)
+class ApmosTraffic:
+    """Per-step APMOS message sizes (bytes).
+
+    Attributes
+    ----------
+    gather_bytes_per_rank:
+        ``W_i`` contribution each non-root rank sends: ``n * r1 * itemsize``.
+    gather_bytes_root_total:
+        Total received at rank 0: ``(p - 1) * n * r1 * itemsize``.
+    bcast_bytes:
+        Broadcast payload: ``X`` (``n * k``) plus ``Lambda`` (``k``) values.
+    """
+
+    gather_bytes_per_rank: int
+    gather_bytes_root_total: int
+    bcast_bytes: int
+
+
+def apmos_traffic(
+    p: int, n: int, r1: int, k: int, itemsize: int = 8
+) -> ApmosTraffic:
+    """Exact APMOS traffic for one factorization at ``p`` ranks.
+
+    ``r1`` (and ``k``) are clipped to ``n`` — a rank can never contribute
+    more right vectors than there are snapshots — mirroring the clipping the
+    implementation applies.
+    """
+    _positive(p=p, n=n, r1=r1, k=k, itemsize=itemsize)
+    r1_eff = min(r1, n)
+    k_eff = min(k, n)
+    per_rank = n * r1_eff * itemsize
+    return ApmosTraffic(
+        gather_bytes_per_rank=per_rank,
+        gather_bytes_root_total=(p - 1) * per_rank,
+        bcast_bytes=(n * k_eff + k_eff) * itemsize,
+    )
+
+
+def apmos_local_flops(
+    m_local: int, n: int, r1: int, k: int, method: str = "mos"
+) -> float:
+    """Per-rank local work of one APMOS step.
+
+    ``method='mos'``: Gram matrix (``2 m n^2``) + ``n x n`` eigh + mode
+    assembly GEMM (``2 m n k``).
+    ``method='svd'``: economy SVD of the local block + assembly GEMM.
+    """
+    _positive(m_local=m_local, n=n, r1=r1, k=k)
+    if method == "mos":
+        local = flops_gemm(n, n, m_local) + flops_eigh(n)
+    elif method == "svd":
+        local = flops_svd(m_local, n)
+    else:
+        raise ConfigurationError(f"unknown method {method!r}")
+    assembly = flops_gemm(m_local, min(k, n), n)
+    return local + assembly
+
+
+def apmos_root_svd_flops(
+    p: int, n: int, r1: int, k: int, randomized: bool = True
+) -> float:
+    """Rank-0 factorization of the gathered ``W`` (``n x (r1 p)``).
+
+    This is the term that breaks ideal weak scaling: the width of ``W``
+    grows linearly with the rank count.  Randomized: sketch + projection +
+    small SVD, ``O(n * r1 p * k)``; dense: economy SVD, ``O(n * (r1 p)^2)``
+    — the model shows why the paper pairs APMOS with randomization at
+    scale.
+    """
+    _positive(p=p, n=n, r1=r1, k=k)
+    width = min(r1, n) * p
+    if randomized:
+        sketch = flops_gemm(n, min(k, n), width)  # A @ Omega
+        qr = flops_qr(n, min(k, n))
+        project = flops_gemm(min(k, n), width, n)  # Q^T A
+        small = flops_svd(width, min(k, n))
+        lift = flops_gemm(n, min(k, n), min(k, n))
+        return sketch + qr + project + small + lift
+    return flops_svd(max(n, width), min(n, width))

@@ -1,0 +1,125 @@
+"""Machine models for the α-β communication / flop-rate cost model.
+
+A :class:`MachineModel` provides the three numbers the scaling model needs
+(per-rank effective flop rate, network latency α, network bandwidth β) plus
+collective cost formulas.  Two presets ship:
+
+* :data:`THETA_KNL` — parameters representative of the paper's machine
+  (Argonne Theta: Intel KNL 7230 nodes, Cray Aries dragonfly).  Per-rank
+  flop rate assumes one MPI rank per core with modest vectorised BLAS;
+  α and β are published Aries figures.
+* :data:`LAPTOP` — a generic single-node machine for local studies; the
+  flop rate should be overridden by measurement
+  (:func:`repro.perf.scaling.measure_effective_flops`).
+
+Collective models (``p`` = ranks, ``m`` = bytes per contribution):
+
+* ``gather``: rank-0-rooted linear fan-in (what the paper's plain
+  ``comm.gather`` does for large unequal payloads): ``(p-1) (α + m β⁻¹)``.
+* ``bcast``: binomial tree: ``ceil(log2 p) (α + m β⁻¹)``.
+* ``p2p``: single message: ``α + m β⁻¹``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["MachineModel", "THETA_KNL", "LAPTOP"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineModel:
+    """α-β machine description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    flops_per_second:
+        Sustained per-rank flop rate for dense kernels (calibratable).
+    latency_s:
+        Point-to-point message latency α in seconds.
+    bandwidth_bytes_per_s:
+        Point-to-point bandwidth β in bytes/second.
+    ranks_per_node:
+        Used to convert rank counts to node counts in reports.
+    """
+
+    name: str
+    flops_per_second: float
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    ranks_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops_per_second <= 0:
+            raise ConfigurationError("flops_per_second must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be nonnegative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.ranks_per_node <= 0:
+            raise ConfigurationError("ranks_per_node must be positive")
+
+    # -- primitive costs ------------------------------------------------------
+    def compute_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ConfigurationError(f"flops must be nonnegative, got {flops}")
+        return flops / self.flops_per_second
+
+    def p2p_seconds(self, nbytes: float) -> float:
+        """One point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be nonnegative")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    # -- collective costs -----------------------------------------------------
+    def gather_seconds(self, nranks: int, nbytes_per_rank: float) -> float:
+        """Rooted linear gather of ``nbytes_per_rank`` from each non-root."""
+        self._check_ranks(nranks)
+        return (nranks - 1) * self.p2p_seconds(nbytes_per_rank)
+
+    def bcast_seconds(self, nranks: int, nbytes: float) -> float:
+        """Binomial-tree broadcast of ``nbytes`` to all ranks."""
+        self._check_ranks(nranks)
+        if nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return rounds * self.p2p_seconds(nbytes)
+
+    def nodes_for(self, nranks: int) -> float:
+        """Node count corresponding to ``nranks`` at this machine's
+        ranks-per-node density."""
+        self._check_ranks(nranks)
+        return nranks / self.ranks_per_node
+
+    @staticmethod
+    def _check_ranks(nranks: int) -> None:
+        if nranks <= 0:
+            raise ConfigurationError(f"nranks must be positive, got {nranks}")
+
+
+#: Paper machine: Theta (Intel Xeon Phi 7230 "Knights Landing", 64 cores,
+#: Cray Aries).  Per-rank rate assumes 1 rank/core at ~8 GFLOP/s sustained
+#: dense-kernel throughput; Aries: ~1.2 us latency, ~8 GB/s effective
+#: per-rank bandwidth.
+THETA_KNL = MachineModel(
+    name="theta-knl",
+    flops_per_second=8.0e9,
+    latency_s=1.2e-6,
+    bandwidth_bytes_per_s=8.0e9,
+    ranks_per_node=64,
+)
+
+#: Generic single node; calibrate the flop rate by measurement.
+LAPTOP = MachineModel(
+    name="laptop",
+    flops_per_second=2.0e9,
+    latency_s=5.0e-7,
+    bandwidth_bytes_per_s=1.0e10,
+    ranks_per_node=8,
+)

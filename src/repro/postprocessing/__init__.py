@@ -1,0 +1,29 @@
+"""Postprocessing: plotting and reporting (paper section 4).
+
+The paper ships a ``postprocessing`` module for visualising singular values
+and SVD modes, linked to the base class.  Matplotlib is unavailable in this
+environment, so plots render as ASCII (terminal-friendly, diffable in
+tests) and every plotting call can also dump its series to CSV for external
+tooling.
+"""
+
+from .plots import (
+    ascii_field,
+    ascii_lineplot,
+    plot_1d_modes,
+    plot_mode_comparison,
+    plot_singular_values,
+    save_series_csv,
+)
+from .report import format_table, scaling_report
+
+__all__ = [
+    "ascii_lineplot",
+    "ascii_field",
+    "plot_singular_values",
+    "plot_1d_modes",
+    "plot_mode_comparison",
+    "save_series_csv",
+    "format_table",
+    "scaling_report",
+]

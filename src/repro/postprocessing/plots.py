@@ -1,0 +1,201 @@
+"""ASCII plotting and CSV export.
+
+Every figure of the paper maps onto one of three primitives:
+
+* :func:`ascii_lineplot` — 1-D series (mode shapes, spectra, scaling curves);
+* :func:`ascii_field` — 2-D scalar fields (the ERA5 pressure modes);
+* :func:`save_series_csv` — the underlying numbers, for external plotting.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "ascii_lineplot",
+    "ascii_field",
+    "plot_singular_values",
+    "plot_1d_modes",
+    "plot_mode_comparison",
+    "save_series_csv",
+]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_lineplot(
+    series: Dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Render one or more 1-D series as an ASCII chart.
+
+    Series are resampled to ``width`` columns; each gets a distinct marker.
+    ``logy`` plots ``log10`` of the (positive) values — nonpositive entries
+    are dropped from the scaling and drawn at the bottom row.
+    """
+    if not series:
+        raise ShapeError("ascii_lineplot needs at least one series")
+    if width < 8 or height < 4:
+        raise ShapeError("plot must be at least 8x4 characters")
+    markers = "*o+x@#$%"
+    grid = [[" "] * width for _ in range(height)]
+
+    prepared = {}
+    finite_vals = []
+    for name, values in series.items():
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            raise ShapeError(f"series {name!r} is empty")
+        if logy:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                values = np.where(values > 0, np.log10(values), np.nan)
+        prepared[name] = values
+        finite_vals.append(values[np.isfinite(values)])
+    all_vals = (
+        np.concatenate([v for v in finite_vals if v.size])
+        if any(v.size for v in finite_vals)
+        else np.array([0.0])
+    )
+    lo = float(np.min(all_vals)) if all_vals.size else 0.0
+    hi = float(np.max(all_vals)) if all_vals.size else 1.0
+    if hi == lo:
+        hi = lo + 1.0
+
+    for idx, (name, values) in enumerate(prepared.items()):
+        marker = markers[idx % len(markers)]
+        xs = np.linspace(0, values.size - 1, width)
+        resampled = np.interp(xs, np.arange(values.size), values)
+        for col, val in enumerate(resampled):
+            if not np.isfinite(val):
+                row = height - 1
+            else:
+                frac = (val - lo) / (hi - lo)
+                row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3e}" + (" (log10)" if logy else "")
+    lines.append(top_label)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"{lo:.3e}" + (" (log10)" if logy else ""))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(prepared)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_field(
+    field: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Render a 2-D scalar field as shaded ASCII (the Figure 2 view)."""
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ShapeError(f"field must be 2-D, got ndim={field.ndim}")
+    rows = np.linspace(0, field.shape[0] - 1, height).astype(int)
+    cols = np.linspace(0, field.shape[1] - 1, width).astype(int)
+    sampled = field[np.ix_(rows, cols)]
+    lo, hi = float(np.min(sampled)), float(np.max(sampled))
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:+.3e}")
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            frac = (sampled[r, c] - lo) / span
+            chars.append(_SHADES[min(int(frac * len(_SHADES)), len(_SHADES) - 1)])
+        lines.append("".join(chars))
+    lines.append(f"min={lo:+.3e}")
+    return "\n".join(lines)
+
+
+def plot_singular_values(
+    singular_values: np.ndarray, title: str = "singular values", **kwargs
+) -> str:
+    """Log-scale spectrum plot (the postprocessing call of the paper)."""
+    return ascii_lineplot(
+        {"sigma": np.asarray(singular_values)}, title=title, logy=True, **kwargs
+    )
+
+
+def plot_1d_modes(
+    modes: np.ndarray,
+    mode_indices: Sequence[int] = (0, 1),
+    title: str = "modes",
+    **kwargs,
+) -> str:
+    """Plot selected 1-D mode shapes on one chart."""
+    modes = np.asarray(modes)
+    if modes.ndim != 2:
+        raise ShapeError("modes must be 2-D")
+    series = {}
+    for index in mode_indices:
+        if not (0 <= index < modes.shape[1]):
+            raise ShapeError(
+                f"mode index {index} outside [0, {modes.shape[1]})"
+            )
+        series[f"mode{index + 1}"] = modes[:, index]
+    return ascii_lineplot(series, title=title, **kwargs)
+
+
+def plot_mode_comparison(
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    mode: int,
+    labels: Sequence[str] = ("serial", "parallel"),
+    **kwargs,
+) -> str:
+    """Overlay one mode from two computations (the Figure 1a/1b view)."""
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    if reference.shape != candidate.shape:
+        raise ShapeError(
+            f"mode arrays must share shape, got {reference.shape} vs "
+            f"{candidate.shape}"
+        )
+    from ..utils.linalg import align_signs
+
+    aligned = align_signs(reference, candidate)
+    return ascii_lineplot(
+        {
+            labels[0]: reference[:, mode],
+            labels[1]: aligned[:, mode],
+        },
+        title=f"mode {mode + 1}: {labels[0]} vs {labels[1]}",
+        **kwargs,
+    )
+
+
+def save_series_csv(
+    path: Union[str, pathlib.Path],
+    columns: Dict[str, np.ndarray],
+) -> pathlib.Path:
+    """Dump named, equal-length 1-D series as a CSV file."""
+    if not columns:
+        raise ShapeError("save_series_csv needs at least one column")
+    arrays = {k: np.asarray(v).ravel() for k, v in columns.items()}
+    lengths = {v.shape[0] for v in arrays.values()}
+    if len(lengths) != 1:
+        raise ShapeError(f"columns have differing lengths: {sorted(lengths)}")
+    path = pathlib.Path(path)
+    header = ",".join(arrays)
+    stacked = np.column_stack(list(arrays.values()))
+    np.savetxt(path, stacked, delimiter=",", header=header, comments="")
+    return path

@@ -1,0 +1,85 @@
+"""Text tables and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["format_table", "scaling_report"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, (int, np.integer)):
+        return str(int(cell))
+    if isinstance(cell, (float, np.floating)):
+        value = float(cell)
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["p", "t"], [[1, 0.5], [2, 0.51]]))
+    p  t
+    -  ----
+    1  0.5
+    2  0.51
+    """
+    if not headers:
+        raise ShapeError("format_table needs at least one column")
+    rendered = [[_fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ShapeError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[j]) for r in rendered)) if rendered else len(h)
+        for j, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths).rstrip(),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def scaling_report(
+    ranks: Sequence[int],
+    times: Sequence[float],
+    label: str = "weak scaling",
+) -> str:
+    """Format a scaling study with ideal-trend and efficiency columns.
+
+    For weak scaling the ideal time is flat (the time at the smallest rank
+    count); efficiency is ``t_ideal / t_p``.
+    """
+    ranks = list(ranks)
+    times = [float(t) for t in times]
+    if len(ranks) != len(times) or not ranks:
+        raise ShapeError("ranks and times must be equal-length, non-empty")
+    base = times[0]
+    rows: List[List[Cell]] = []
+    for p, t in zip(ranks, times):
+        efficiency = base / t if t > 0 else float("nan")
+        rows.append([p, t, base, efficiency])
+    table = format_table(
+        ["ranks", "time_s", "ideal_s", "efficiency"], rows
+    )
+    return f"{label}\n{table}"

@@ -1,0 +1,53 @@
+"""``repro.smpi`` — an in-process, thread-based MPI substitute.
+
+The paper's parallel algorithms are written against ``mpi4py``.  That package
+(and an MPI launcher) is unavailable in this environment, so this subpackage
+provides the subset of MPI semantics the algorithms need, executed by one
+thread per rank inside a single Python process:
+
+* SPMD execution: :func:`run_spmd` runs ``fn(comm, ...)`` on ``n`` ranks and
+  returns the per-rank results (exceptions propagate with rank context).
+* Point-to-point: ``send/recv/isend/irecv`` with tags, ``ANY_SOURCE`` and
+  ``ANY_TAG`` matching, and MPI-like value (copy) semantics.
+* Collectives: ``bcast, gather, gatherv, allgather, scatter, scatterv,
+  reduce, allreduce, alltoall, barrier`` — implemented on top of
+  point-to-point so their traffic is faithfully accounted by the tracer.
+* Communicator management: ``split`` and ``dup``.
+* Traffic accounting: :class:`CommTracer` wraps any communicator and records
+  per-operation byte counts, which feed the analytic scaling model used to
+  reproduce the paper's weak-scaling figure.
+
+The API intentionally mirrors mpi4py's lowercase ("pickle") methods, which is
+what the paper's listings use (``comm.gather``, ``comm.bcast``,
+``comm.send``/``comm.recv``), so the core algorithms read like the paper.
+"""
+
+from .communicator import ANY_SOURCE, ANY_TAG, Communicator, SelfComm
+from .exceptions import SmpiError, RankError, TagError
+from .executor import ParallelFailure, run_spmd
+from .reduction import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from .tracer import CommRecord, CommTracer, TrafficSummary
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "SelfComm",
+    "SmpiError",
+    "RankError",
+    "TagError",
+    "ParallelFailure",
+    "run_spmd",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "MAXLOC",
+    "MINLOC",
+    "CommTracer",
+    "CommRecord",
+    "TrafficSummary",
+]

@@ -1,0 +1,172 @@
+"""mpi4py-style uppercase (buffer) operations.
+
+mpi4py distinguishes lowercase pickle-based methods (``comm.send``) from
+uppercase buffer methods (``comm.Send``) that transfer NumPy arrays
+in-place, without pickling, into a caller-provided receive buffer.  The
+hpc-parallel guide calls the latter "the fast way"; real codes use them for
+all bulk numeric traffic.
+
+This module adds the uppercase subset as a mixin used by
+:class:`~repro.smpi.communicator.Communicator`:
+
+``Send/Recv/Bcast/Gather/Scatter/Allreduce/Allgather``
+
+Semantics mirrored from MPI:
+
+* receive buffers must be C-contiguous NumPy arrays, pre-sized by the
+  caller; dtype and element count are checked at delivery;
+* ``Recv`` fills the buffer in place and returns ``None``;
+* root buffers for ``Gather`` have shape ``(size, *sendbuf.shape)``
+  (mpi4py's convention for equal contributions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .exceptions import SmpiError
+from .reduction import ReduceOp
+
+__all__ = ["BufferedOpsMixin"]
+
+
+def _require_buffer(buf: np.ndarray, name: str) -> np.ndarray:
+    if not isinstance(buf, np.ndarray):
+        raise SmpiError(f"{name} must be a numpy array, got {type(buf).__name__}")
+    if not buf.flags.c_contiguous:
+        raise SmpiError(f"{name} must be C-contiguous")
+    return buf
+
+
+def _check_match(recvbuf: np.ndarray, payload: np.ndarray, what: str) -> None:
+    if recvbuf.dtype != payload.dtype:
+        raise SmpiError(
+            f"{what}: buffer dtype {recvbuf.dtype} != message dtype "
+            f"{payload.dtype}"
+        )
+    if recvbuf.size != payload.size:
+        raise SmpiError(
+            f"{what}: buffer has {recvbuf.size} elements, message has "
+            f"{payload.size}"
+        )
+
+
+class BufferedOpsMixin:
+    """Uppercase buffer-mode operations, layered on the object transport.
+
+    The in-process transport already moves array payloads with a single
+    copy, so buffer mode here is about *API compatibility and in-place
+    delivery semantics*, not a separate wire format.
+    """
+
+    # the mixin relies on the host class's lowercase primitives
+    rank: int
+    size: int
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Send a contiguous array (buffer mode)."""
+        buf = _require_buffer(buf, "sendbuf")
+        self.send(buf, dest, tag)  # type: ignore[attr-defined]
+
+    def Recv(
+        self, buf: np.ndarray, source: int = -1, tag: int = -1
+    ) -> None:
+        """Receive into ``buf`` in place; shape/dtype are validated."""
+        buf = _require_buffer(buf, "recvbuf")
+        payload = self.recv(source, tag)  # type: ignore[attr-defined]
+        payload = np.asarray(payload)
+        _check_match(buf, payload, "Recv")
+        buf.reshape(-1)[:] = payload.reshape(-1)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        """Broadcast ``buf`` from ``root`` into every rank's ``buf``."""
+        buf = _require_buffer(buf, "buf")
+        if self.rank == root:
+            self.bcast(buf, root)  # type: ignore[attr-defined]
+        else:
+            payload = np.asarray(self.bcast(None, root))  # type: ignore[attr-defined]
+            _check_match(buf, payload, "Bcast")
+            buf.reshape(-1)[:] = payload.reshape(-1)
+
+    def Gather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        root: int = 0,
+    ) -> None:
+        """Gather equal-size contributions into ``recvbuf`` at ``root``.
+
+        ``recvbuf`` must have shape ``(size, *sendbuf.shape)`` at the root
+        and may be ``None`` elsewhere.
+        """
+        sendbuf = _require_buffer(sendbuf, "sendbuf")
+        gathered = self.gather(sendbuf, root)  # type: ignore[attr-defined]
+        if self.rank != root:
+            return
+        if recvbuf is None:
+            raise SmpiError("Gather root requires a receive buffer")
+        recvbuf = _require_buffer(recvbuf, "recvbuf")
+        expected = (self.size,) + sendbuf.shape
+        if recvbuf.shape != expected:
+            raise SmpiError(
+                f"Gather recvbuf shape {recvbuf.shape} != expected {expected}"
+            )
+        for i, piece in enumerate(gathered):
+            piece = np.asarray(piece)
+            _check_match(recvbuf[i], piece, "Gather")
+            recvbuf[i].reshape(-1)[:] = piece.reshape(-1)
+
+    def Scatter(
+        self,
+        sendbuf: Optional[np.ndarray],
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> None:
+        """Scatter equal slices of ``sendbuf`` (shape ``(size, ...)``) into
+        each rank's ``recvbuf``."""
+        recvbuf = _require_buffer(recvbuf, "recvbuf")
+        if self.rank == root:
+            if sendbuf is None:
+                raise SmpiError("Scatter root requires a send buffer")
+            sendbuf = _require_buffer(sendbuf, "sendbuf")
+            if sendbuf.shape[0] != self.size:
+                raise SmpiError(
+                    f"Scatter sendbuf leading dim {sendbuf.shape[0]} != "
+                    f"size {self.size}"
+                )
+            pieces = [np.ascontiguousarray(sendbuf[i]) for i in range(self.size)]
+        else:
+            pieces = None
+        piece = np.asarray(self.scatter(pieces, root))  # type: ignore[attr-defined]
+        _check_match(recvbuf, piece, "Scatter")
+        recvbuf.reshape(-1)[:] = piece.reshape(-1)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        """Allgather equal contributions into ``recvbuf`` of shape
+        ``(size, *sendbuf.shape)`` on every rank."""
+        sendbuf = _require_buffer(sendbuf, "sendbuf")
+        recvbuf = _require_buffer(recvbuf, "recvbuf")
+        expected = (self.size,) + sendbuf.shape
+        if recvbuf.shape != expected:
+            raise SmpiError(
+                f"Allgather recvbuf shape {recvbuf.shape} != expected "
+                f"{expected}"
+            )
+        gathered = self.allgather(sendbuf)  # type: ignore[attr-defined]
+        for i, piece in enumerate(gathered):
+            piece = np.asarray(piece)
+            _check_match(recvbuf[i], piece, "Allgather")
+            recvbuf[i].reshape(-1)[:] = piece.reshape(-1)
+
+    def Allreduce(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: ReduceOp
+    ) -> None:
+        """Elementwise reduction of ``sendbuf`` across ranks into
+        ``recvbuf`` on every rank."""
+        sendbuf = _require_buffer(sendbuf, "sendbuf")
+        recvbuf = _require_buffer(recvbuf, "recvbuf")
+        reduced = np.asarray(self.allreduce(sendbuf, op))  # type: ignore[attr-defined]
+        _check_match(recvbuf, reduced, "Allreduce")
+        recvbuf.reshape(-1)[:] = reduced.reshape(-1)

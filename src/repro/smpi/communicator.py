@@ -1,0 +1,411 @@
+"""Communicators: point-to-point and collective operations.
+
+The public surface mirrors mpi4py's lowercase ("generic object") methods,
+which is what the paper's listings use::
+
+    wglobal = comm.gather(wlocal, root=0)
+    x = comm.bcast(x, root=0)
+    comm.send(block, dest=rank, tag=rank + 10)
+    qpiece = comm.recv(source=0, tag=comm.rank + 10)
+
+Collectives are deliberately implemented *on top of* point-to-point sends so
+that (a) there is a single, well-tested delivery path and (b) a traffic
+tracer wrapping the communicator sees exactly the bytes the algorithm moves.
+
+Semantics guaranteed (and exercised by the test suite):
+
+* value semantics — payloads are snapshotted at send time; mutating a sent
+  array never affects the receiver;
+* non-overtaking delivery per ``(source, tag)`` pair;
+* deterministic reduction order (rank-ascending left fold);
+* context isolation — ``split``/``dup`` communicators never cross-match
+  traffic with their parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .buffered import BufferedOpsMixin
+from .exceptions import RankError, SmpiError, TagError
+from .message import Envelope
+from .reduction import ReduceOp
+from .request import RecvRequest, SendRequest
+from .world import World
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "SelfComm"]
+
+#: Wildcard source for ``recv`` (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for ``recv`` (matches any tag).
+ANY_TAG = -1
+
+# Internal tag space for collective plumbing.  User tags must be >= 0, so
+# negative tags can never collide with application traffic.
+_TAG_BCAST = -10
+_TAG_GATHER = -11
+_TAG_SCATTER = -12
+_TAG_BARRIER_IN = -13
+_TAG_BARRIER_OUT = -14
+_TAG_ALLTOALL = -15
+_TAG_SPLIT = -16
+_TAG_SENDRECV = -17
+
+
+class Communicator(BufferedOpsMixin):
+    """A group of ranks that can exchange messages within one context.
+
+    Each SPMD thread holds its *own* ``Communicator`` instance; instances of
+    the same group/context share mailboxes through the :class:`World`.
+
+    Attributes
+    ----------
+    rank:
+        This process's rank within the communicator, ``0 <= rank < size``.
+    size:
+        Number of ranks in the communicator.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        context: int,
+        group: Sequence[int],
+        rank: int,
+    ) -> None:
+        group = tuple(int(g) for g in group)
+        if len(set(group)) != len(group):
+            raise SmpiError(f"group contains duplicate world ranks: {group}")
+        if not (0 <= rank < len(group)):
+            raise RankError(f"rank {rank} outside group of size {len(group)}")
+        self._world = world
+        self._context = context
+        self._group = group
+        self.rank = rank
+        self.size = len(group)
+
+    # -- mpi4py-style accessors ------------------------------------------
+    def Get_rank(self) -> int:
+        """mpi4py-compatible alias for :attr:`rank`."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """mpi4py-compatible alias for :attr:`size`."""
+        return self.size
+
+    # -- helpers -----------------------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise RankError(
+                f"{what} rank {peer} outside [0, {self.size}) "
+                f"on communicator of size {self.size}"
+            )
+
+    def _check_tag(self, tag: int) -> None:
+        if tag < 0:
+            raise TagError(
+                f"user tags must be nonnegative (negative tags are reserved "
+                f"for collectives), got {tag}"
+            )
+
+    def _mailbox_of(self, comm_rank: int):
+        return self._world.mailbox(self._context, self._group[comm_rank])
+
+    def _post(self, dest: int, tag: int, payload: Any) -> None:
+        envelope = Envelope.make(source=self.rank, tag=tag, payload=payload)
+        self._mailbox_of(dest).put(envelope)
+
+    def _take(self, source: int, tag: int) -> Any:
+        envelope = self._mailbox_of(self.rank).get(source, tag)
+        return envelope.payload
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send of a generic object (buffered; returns immediately)."""
+        self._check_peer(dest, "dest")
+        self._check_tag(tag)
+        self._post(dest, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; wildcards :data:`ANY_SOURCE` / :data:`ANY_TAG`."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        if tag != ANY_TAG:
+            self._check_tag(tag)
+        return self._take(source, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
+        """Nonblocking send; the returned request is already complete."""
+        self.send(obj, dest, tag)
+        return SendRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Nonblocking receive; complete it with ``wait()`` or ``test()``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        if tag != ANY_TAG:
+            self._check_tag(tag)
+        return RecvRequest(self._mailbox_of(self.rank), source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int) -> Any:
+        """Combined send+receive (deadlock-free by construction here)."""
+        self._check_peer(dest, "dest")
+        self._check_peer(source, "source")
+        self._post(dest, _TAG_SENDRECV, obj)
+        return self._take(source, _TAG_SENDRECV)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe: is a matching message already queued?
+
+        Unlike ``recv`` this does not consume the message.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        if tag != ANY_TAG:
+            self._check_tag(tag)
+        return self._mailbox_of(self.rank).peek(source, tag) is not None
+
+    # -- collectives ---------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value.
+
+        The root returns its own object unchanged (as mpi4py does); other
+        ranks receive an independent copy.
+        """
+        self._check_peer(root, "root")
+        if self.size == 1:
+            return obj
+        if self.rank == root:
+            for peer in range(self.size):
+                if peer != root:
+                    self._post(peer, _TAG_BCAST, obj)
+            return obj
+        return self._take(root, _TAG_BCAST)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank into a rank-ordered list at ``root``.
+
+        Non-root ranks return ``None``, as in mpi4py.
+        """
+        self._check_peer(root, "root")
+        if self.size == 1:
+            return [obj]
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            for peer in range(self.size):
+                if peer != root:
+                    envelope = self._mailbox_of(self.rank).get(peer, _TAG_GATHER)
+                    out[peer] = envelope.payload
+            return out
+        self._post(root, _TAG_GATHER, obj)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather to rank 0 then broadcast: every rank gets the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter ``objs[i]`` from ``root`` to rank ``i``; returns own item."""
+        self._check_peer(root, "root")
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                got = "None" if objs is None else str(len(objs))
+                raise SmpiError(
+                    f"scatter root needs exactly {self.size} items, got {got}"
+                )
+            for peer in range(self.size):
+                if peer != root:
+                    self._post(peer, _TAG_SCATTER, objs[peer])
+            return objs[root]
+        return self._take(root, _TAG_SCATTER)
+
+    def gatherv_rows(
+        self, sendbuf: np.ndarray, root: int = 0
+    ) -> Optional[np.ndarray]:
+        """Gather per-rank row blocks into one vertically stacked array.
+
+        Convenience equivalent of MPI ``Gatherv`` for the common "assemble
+        the distributed modes at rank 0" operation (paper's
+        ``_gather_modes``).  Row counts may differ across ranks.
+        """
+        blocks = self.gather(np.asarray(sendbuf), root=root)
+        if blocks is None:
+            return None
+        return np.concatenate(blocks, axis=0)
+
+    def scatterv_rows(
+        self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
+    ) -> np.ndarray:
+        """Scatter contiguous row blocks of ``sendbuf`` (``counts[i]`` rows
+        to rank ``i``).  Inverse of :meth:`gatherv_rows`."""
+        if len(counts) != self.size:
+            raise SmpiError(
+                f"counts must have one entry per rank, got {len(counts)} "
+                f"for size {self.size}"
+            )
+        if self.rank == root:
+            if sendbuf is None:
+                raise SmpiError("scatterv_rows root requires a send buffer")
+            sendbuf = np.asarray(sendbuf)
+            if sendbuf.shape[0] != int(np.sum(counts)):
+                raise SmpiError(
+                    f"send buffer has {sendbuf.shape[0]} rows, counts sum to "
+                    f"{int(np.sum(counts))}"
+                )
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            blocks = [
+                sendbuf[offsets[i] : offsets[i + 1]] for i in range(self.size)
+            ]
+        else:
+            blocks = None
+        return self.scatter(blocks, root=root)
+
+    def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
+        """Reduce rank contributions with ``op`` at ``root`` (rank-ordered
+        left fold, hence deterministic).  Non-roots return ``None``."""
+        gathered = self.gather(obj, root=root)
+        if gathered is None:
+            return None
+        return op.reduce_sequence(gathered)
+
+    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
+        """Reduce then broadcast; every rank returns the reduced value."""
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalised all-to-all: send ``objs[j]`` to rank ``j``; receive
+        one object from every rank, rank-ordered."""
+        if len(objs) != self.size:
+            raise SmpiError(
+                f"alltoall needs exactly {self.size} items, got {len(objs)}"
+            )
+        for peer in range(self.size):
+            if peer != self.rank:
+                self._post(peer, _TAG_ALLTOALL, objs[peer])
+        out: List[Any] = [None] * self.size
+        out[self.rank] = Envelope.make(self.rank, _TAG_ALLTOALL, objs[self.rank]).payload
+        for peer in range(self.size):
+            if peer != self.rank:
+                envelope = self._mailbox_of(self.rank).get(peer, _TAG_ALLTOALL)
+                out[peer] = envelope.payload
+        return out
+
+    def scan(self, obj: Any, op: ReduceOp) -> Any:
+        """Inclusive prefix reduction: rank ``i`` receives
+        ``op(obj_0, ..., obj_i)`` (deterministic rank-ordered fold)."""
+        gathered = self.gather(obj, root=0)
+        if self.rank == 0:
+            assert gathered is not None
+            prefixes = []
+            acc = None
+            for item in gathered:
+                acc = item if acc is None else op(acc, item)
+                prefixes.append(acc)
+        else:
+            prefixes = None
+        return self.scatter(prefixes, root=0)
+
+    def exscan(self, obj: Any, op: ReduceOp) -> Any:
+        """Exclusive prefix reduction: rank ``i`` receives
+        ``op(obj_0, ..., obj_{i-1})``; rank 0 receives ``None`` (as MPI
+        leaves the rank-0 exscan buffer undefined)."""
+        gathered = self.gather(obj, root=0)
+        if self.rank == 0:
+            assert gathered is not None
+            prefixes: List[Any] = [None]
+            acc = None
+            for item in gathered[:-1]:
+                acc = item if acc is None else op(acc, item)
+                prefixes.append(acc)
+        else:
+            prefixes = None
+        return self.scatter(prefixes, root=0)
+
+    def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp) -> Any:
+        """Reduce ``objs[j]`` across ranks, delivering block ``j`` to rank
+        ``j``: rank ``j`` receives ``op(objs_0[j], ..., objs_{p-1}[j])``."""
+        if len(objs) != self.size:
+            raise SmpiError(
+                f"reduce_scatter needs exactly {self.size} blocks, got "
+                f"{len(objs)}"
+            )
+        received = self.alltoall(objs)
+        return op.reduce_sequence(received)
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (fan-in to rank 0, fan-out back)."""
+        if self.size == 1:
+            return
+        if self.rank == 0:
+            for peer in range(1, self.size):
+                self._mailbox_of(self.rank).get(peer, _TAG_BARRIER_IN)
+            for peer in range(1, self.size):
+                self._post(peer, _TAG_BARRIER_OUT, None)
+        else:
+            self._post(0, _TAG_BARRIER_IN, None)
+            self._take(0, _TAG_BARRIER_OUT)
+
+    # -- communicator management -------------------------------------------
+    def split(self, color: Optional[int], key: int = 0) -> Optional["Communicator"]:
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        Ranks passing ``color=None`` (MPI's ``MPI_UNDEFINED``) receive
+        ``None``.  Within each color, ranks are ordered by ``(key, old
+        rank)``.  Collective over the parent communicator.
+        """
+        contributions = self.gather((color, key, self.rank), root=0)
+        if self.rank == 0:
+            assert contributions is not None
+            colors = sorted(
+                {c for (c, _, _) in contributions if c is not None}
+            )
+            contexts = self._world.allocate_contexts(max(len(colors), 1))
+            plan = {}
+            for context_id, c in zip(contexts, colors):
+                members = sorted(
+                    (
+                        (k, old_rank)
+                        for (cc, k, old_rank) in contributions
+                        if cc == c
+                    )
+                )
+                group = tuple(self._group[old] for (_, old) in members)
+                for new_rank, (_, old) in enumerate(members):
+                    plan[old] = (context_id, group, new_rank)
+            decided = plan
+        else:
+            decided = None
+        decided = self.bcast(decided, root=0)
+        mine = decided.get(self.rank)
+        if mine is None:
+            return None
+        context_id, group, new_rank = mine
+        return Communicator(self._world, context_id, group, new_rank)
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator into a fresh context (same group)."""
+        new = self.split(color=0, key=self.rank)
+        assert new is not None
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Communicator(rank={self.rank}, size={self.size}, "
+            f"context={self._context})"
+        )
+
+
+class SelfComm(Communicator):
+    """A standalone single-rank communicator (MPI's ``COMM_SELF``).
+
+    Lets the parallel algorithms run unmodified with one rank, without an
+    executor: every collective degenerates to the identity.
+    """
+
+    def __init__(self, timeout: float = 60.0) -> None:
+        super().__init__(World(1, timeout=timeout), World.WORLD_CONTEXT, (0,), 0)

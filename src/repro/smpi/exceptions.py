@@ -1,0 +1,29 @@
+"""Errors raised by the in-process MPI substitute."""
+
+from __future__ import annotations
+
+from ..exceptions import CommunicatorError
+
+__all__ = ["SmpiError", "RankError", "TagError", "DeadlockError"]
+
+
+class SmpiError(CommunicatorError):
+    """Base class for smpi errors."""
+
+
+class RankError(SmpiError):
+    """A rank argument is outside ``[0, size)`` or equals the caller where
+    self-messaging is disallowed."""
+
+
+class TagError(SmpiError):
+    """A message tag is invalid (negative tags are reserved for internal
+    collective plumbing, mirroring MPI's reserved tag space)."""
+
+
+class DeadlockError(SmpiError):
+    """A blocking operation timed out — the communication pattern deadlocked.
+
+    Real MPI would hang; the simulator turns an apparent deadlock into a
+    diagnosable failure after a configurable timeout.
+    """

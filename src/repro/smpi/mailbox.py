@@ -1,0 +1,89 @@
+"""Thread-safe per-rank mailboxes with MPI matching semantics.
+
+Each rank owns one :class:`Mailbox`.  Senders append envelopes; receivers
+block until an envelope matching their ``(source, tag)`` pattern arrives.
+Matching respects MPI's non-overtaking rule: among messages from the same
+source with the same tag, the earliest posted one is delivered first (we
+deliver the earliest *matching* envelope in arrival order, which implies
+non-overtaking for any fixed (source, tag) pair).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from .exceptions import DeadlockError
+from .message import Envelope
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Blocking mailbox for one receiving rank.
+
+    Parameters
+    ----------
+    owner:
+        Rank that owns (receives from) this mailbox; used in diagnostics.
+    timeout:
+        Seconds a blocking receive waits before declaring a deadlock.
+    """
+
+    def __init__(self, owner: int, timeout: float = 60.0) -> None:
+        self.owner = owner
+        self.timeout = timeout
+        self._queue: Deque[Envelope] = deque()
+        self._cond = threading.Condition()
+
+    def put(self, envelope: Envelope) -> None:
+        """Deposit an envelope and wake any waiting receiver."""
+        with self._cond:
+            self._queue.append(envelope)
+            self._cond.notify_all()
+
+    def _find(self, source: int, tag: int) -> Optional[Envelope]:
+        for i, envelope in enumerate(self._queue):
+            if envelope.matches(source, tag):
+                del self._queue[i]
+                return envelope
+        return None
+
+    def get(self, source: int, tag: int) -> Envelope:
+        """Block until an envelope matching ``(source, tag)`` arrives.
+
+        ``-1`` in either position is a wildcard.  Raises
+        :class:`DeadlockError` after ``timeout`` seconds without a match —
+        real MPI would hang forever; the simulator fails loudly instead.
+        """
+        with self._cond:
+            envelope = self._find(source, tag)
+            while envelope is None:
+                if not self._cond.wait(timeout=self.timeout):
+                    raise DeadlockError(
+                        f"rank {self.owner}: recv(source={source}, tag={tag}) "
+                        f"timed out after {self.timeout}s "
+                        f"({len(self._queue)} unmatched messages queued)"
+                    )
+                envelope = self._find(source, tag)
+            return envelope
+
+    def poll(self, source: int, tag: int) -> Optional[Envelope]:
+        """Non-blocking probe-and-take; returns ``None`` when no match."""
+        with self._cond:
+            return self._find(source, tag)
+
+    def peek(self, source: int, tag: int) -> Optional[Envelope]:
+        """Non-destructive probe: the matching envelope stays queued, so
+        delivery order (non-overtaking) is unaffected."""
+        with self._cond:
+            for envelope in self._queue:
+                if envelope.matches(source, tag):
+                    return envelope
+            return None
+
+    def pending(self) -> int:
+        """Number of queued (undelivered) envelopes."""
+        with self._cond:
+            return len(self._queue)

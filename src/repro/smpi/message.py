@@ -1,0 +1,90 @@
+"""Message envelopes and payload copy semantics.
+
+MPI has *value* semantics: the bytes on the wire are a snapshot of the send
+buffer at send time, and mutating the buffer afterwards must not affect the
+receiver.  A naive in-process implementation that passes object references
+would silently violate this, so every payload is deep-copied at send time
+(:func:`copy_payload`), with a fast path for NumPy arrays.
+
+Envelopes carry ``(source, tag, payload, nbytes)``; ``nbytes`` is the
+estimated wire size used by the traffic tracer and the scaling cost model.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Envelope", "copy_payload", "payload_nbytes"]
+
+
+def copy_payload(obj: Any) -> Any:
+    """Deep-copy ``obj`` with a fast path for NumPy arrays.
+
+    Immutable scalars (int, float, complex, bool, str, bytes, None) are
+    returned as-is; arrays are copied with ``np.array(..., copy=True)``;
+    containers holding arrays fall back to :func:`copy.deepcopy`, which
+    handles arrays correctly via their ``__deepcopy__``.
+    """
+    if obj is None or isinstance(obj, (int, float, complex, bool, str, bytes)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    return copy.deepcopy(obj)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of ``obj`` in bytes.
+
+    NumPy arrays report their buffer size (what MPI would transfer for
+    buffer-mode sends); everything else is sized by its pickle, mirroring
+    mpi4py's lowercase pickle-based transport.  Sizing failures degrade to 0
+    rather than breaking communication — the estimate only feeds accounting.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (int, float, complex, bool)):
+        return 8
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclasses.dataclass
+class Envelope:
+    """One in-flight message: source rank, tag, copied payload, wire size."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+    @classmethod
+    def make(cls, source: int, tag: int, payload: Any) -> "Envelope":
+        """Snapshot ``payload`` and size it, producing a sendable envelope."""
+        copied = copy_payload(payload)
+        return cls(
+            source=source, tag=tag, payload=copied, nbytes=payload_nbytes(copied)
+        )
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this envelope satisfy a ``recv(source, tag)`` with wildcard
+        support?  Wildcards are encoded as ``-1`` (ANY_SOURCE / ANY_TAG)."""
+        source_ok = source == -1 or source == self.source
+        tag_ok = tag == -1 or tag == self.tag
+        return source_ok and tag_ok

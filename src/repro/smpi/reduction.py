@@ -1,0 +1,82 @@
+"""Reduction operations for ``reduce``/``allreduce``.
+
+Each :class:`ReduceOp` is a named, associative binary operation.  Operations
+work elementwise on NumPy arrays and on plain Python scalars.  ``MAXLOC`` and
+``MINLOC`` operate on ``(value, location)`` pairs, as in MPI.
+
+Reductions are applied in rank order (``((v0 op v1) op v2) ...``) so that
+floating-point results are deterministic for a fixed rank count — the same
+guarantee most MPI implementations give in practice for a fixed topology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "MAXLOC",
+    "MINLOC",
+]
+
+
+class ReduceOp:
+    """A named associative binary reduction operation.
+
+    Parameters
+    ----------
+    name:
+        Display name (e.g. ``"SUM"``).
+    fn:
+        Binary callable combining two operands.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self._fn(a, b)
+
+    def reduce_sequence(self, values: Sequence[Any]) -> Any:
+        """Left-fold ``values`` in order; requires at least one value."""
+        if len(values) == 0:
+            raise ValueError(f"cannot {self.name}-reduce an empty sequence")
+        acc = values[0]
+        for value in values[1:]:
+            acc = self._fn(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+def _maxloc(a: Tuple[Any, Any], b: Tuple[Any, Any]) -> Tuple[Any, Any]:
+    # Ties resolve to the lower location, matching MPI_MAXLOC.
+    if b[0] > a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b
+    return a
+
+
+def _minloc(a: Tuple[Any, Any], b: Tuple[Any, Any]) -> Tuple[Any, Any]:
+    if b[0] < a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b
+    return a
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b)
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b))
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b))
+LAND = ReduceOp("LAND", lambda a, b: np.logical_and(a, b))
+LOR = ReduceOp("LOR", lambda a, b: np.logical_or(a, b))
+MAXLOC = ReduceOp("MAXLOC", _maxloc)
+MINLOC = ReduceOp("MINLOC", _minloc)

@@ -1,0 +1,75 @@
+"""Nonblocking communication requests (``isend``/``irecv``).
+
+In this in-process runtime a send never blocks (mailboxes are unbounded), so
+an :class:`SendRequest` is complete at creation — matching MPI's *buffered*
+send semantics, which is also what mpi4py's pickle-mode ``isend`` gives for
+small messages.  An :class:`RecvRequest` completes when a matching envelope
+is taken from the mailbox; ``wait`` blocks, ``test`` polls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .exceptions import SmpiError
+from .mailbox import Mailbox
+
+__all__ = ["Request", "SendRequest", "RecvRequest"]
+
+
+class Request:
+    """Abstract handle for an in-flight nonblocking operation."""
+
+    def wait(self) -> Any:
+        """Block until completion; return the received payload (or ``None``
+        for sends)."""
+        raise NotImplementedError
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, payload_or_None)``."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """A buffered send: complete immediately."""
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> Tuple[bool, None]:
+        return True, None
+
+
+class RecvRequest(Request):
+    """A pending receive bound to a mailbox and a ``(source, tag)`` pattern."""
+
+    def __init__(self, mailbox: Mailbox, source: int, tag: int) -> None:
+        self._mailbox = mailbox
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._payload: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            envelope = self._mailbox.get(self._source, self._tag)
+            self._payload = envelope.payload
+            self._done = True
+        return self._payload
+
+    def test(self) -> Tuple[bool, Optional[Any]]:
+        if self._done:
+            return True, self._payload
+        envelope = self._mailbox.poll(self._source, self._tag)
+        if envelope is None:
+            return False, None
+        self._payload = envelope.payload
+        self._done = True
+        return True, self._payload
+
+    def cancel(self) -> None:
+        """Mark the request as abandoned; waiting afterwards is an error."""
+        if self._done:
+            raise SmpiError("cannot cancel a completed receive request")
+        self._done = True
+        self._payload = None

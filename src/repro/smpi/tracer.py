@@ -1,0 +1,307 @@
+"""Traffic accounting for communicators.
+
+A :class:`CommTracer` is a transparent proxy for a
+:class:`~repro.smpi.communicator.Communicator` that records, per operation,
+the payload bytes the *algorithm* handed to the communication layer.  These
+records feed the α–β communication cost model in :mod:`repro.perf` that
+reproduces the paper's weak-scaling study: the model needs "how many bytes
+does one APMOS step gather/broadcast at p ranks", and the tracer measures
+exactly that on small, runnable rank counts so the analytic extrapolation
+can be validated against it.
+
+Accounting conventions (bytes are payload sizes from
+:func:`repro.smpi.message.payload_nbytes`):
+
+* ``send``/``recv``: size of the object sent/received.
+* ``bcast``: root records ``(size-1) * nbytes``; receivers record ``nbytes``.
+* ``gather``: senders record ``nbytes``; root records the sum of received
+  contributions (its own, memory-local copy is not traffic).
+* ``reduce``/``allreduce``/``allgather``/``alltoall``/``scatter``: analogous.
+* ``barrier``: zero bytes, one record (latency-only event).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .communicator import Communicator
+from .message import payload_nbytes
+from .reduction import ReduceOp
+
+__all__ = ["CommRecord", "CommTracer", "TrafficSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CommRecord:
+    """One recorded communication event on one rank."""
+
+    op: str
+    nbytes: int
+    peer: Optional[int] = None
+
+
+@dataclasses.dataclass
+class TrafficSummary:
+    """Aggregate view of a rank's traffic."""
+
+    events: int
+    total_bytes: int
+    by_op: Dict[str, int]
+
+    @classmethod
+    def from_records(cls, records: Sequence[CommRecord]) -> "TrafficSummary":
+        by_op: Dict[str, int] = {}
+        for record in records:
+            by_op[record.op] = by_op.get(record.op, 0) + record.nbytes
+        return cls(
+            events=len(records),
+            total_bytes=sum(r.nbytes for r in records),
+            by_op=by_op,
+        )
+
+
+class CommTracer:
+    """Recording proxy around a communicator (same call surface)."""
+
+    def __init__(self, comm: Communicator) -> None:
+        self._comm = comm
+        self.records: List[CommRecord] = []
+
+    # -- proxied attributes --------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    def Get_rank(self) -> int:
+        return self._comm.rank
+
+    def Get_size(self) -> int:
+        return self._comm.size
+
+    def _record(self, op: str, nbytes: int, peer: Optional[int] = None) -> None:
+        self.records.append(CommRecord(op=op, nbytes=int(nbytes), peer=peer))
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._record("send", payload_nbytes(obj), peer=dest)
+        self._comm.send(obj, dest, tag)
+
+    def recv(self, source: int = -1, tag: int = -1) -> Any:
+        obj = self._comm.recv(source, tag)
+        self._record("recv", payload_nbytes(obj), peer=source)
+        return obj
+
+    def isend(self, obj: Any, dest: int, tag: int = 0):
+        self._record("send", payload_nbytes(obj), peer=dest)
+        return self._comm.isend(obj, dest, tag)
+
+    def irecv(self, source: int = -1, tag: int = -1):
+        # Received size is unknown until completion; record the event only.
+        self._record("recv", 0, peer=source)
+        return self._comm.irecv(source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int) -> Any:
+        self._record("send", payload_nbytes(obj), peer=dest)
+        out = self._comm.sendrecv(obj, dest, source)
+        self._record("recv", payload_nbytes(out), peer=source)
+        return out
+
+    # -- collectives ------------------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self._comm.rank == root:
+            self._record("bcast", payload_nbytes(obj) * (self._comm.size - 1))
+            return self._comm.bcast(obj, root)
+        out = self._comm.bcast(obj, root)
+        self._record("bcast", payload_nbytes(out))
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        if self._comm.rank == root:
+            out = self._comm.gather(obj, root)
+            assert out is not None
+            received = sum(
+                payload_nbytes(item)
+                for peer, item in enumerate(out)
+                if peer != root
+            )
+            self._record("gather", received)
+            return out
+        self._record("gather", payload_nbytes(obj))
+        return self._comm.gather(obj, root)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        out = self._comm.allgather(obj)
+        others = sum(
+            payload_nbytes(item)
+            for peer, item in enumerate(out)
+            if peer != self._comm.rank
+        )
+        self._record("allgather", payload_nbytes(obj) + others)
+        return out
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self._comm.rank == root:
+            sent = 0
+            if objs is not None:
+                sent = sum(
+                    payload_nbytes(item)
+                    for peer, item in enumerate(objs)
+                    if peer != root
+                )
+            self._record("scatter", sent)
+            return self._comm.scatter(objs, root)
+        out = self._comm.scatter(objs, root)
+        self._record("scatter", payload_nbytes(out))
+        return out
+
+    def gatherv_rows(self, sendbuf: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
+        if self._comm.rank == root:
+            out = self._comm.gatherv_rows(sendbuf, root)
+            assert out is not None
+            self._record(
+                "gatherv", max(payload_nbytes(out) - payload_nbytes(sendbuf), 0)
+            )
+            return out
+        self._record("gatherv", payload_nbytes(sendbuf))
+        return self._comm.gatherv_rows(sendbuf, root)
+
+    def scatterv_rows(
+        self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
+    ) -> np.ndarray:
+        out = self._comm.scatterv_rows(sendbuf, counts, root)
+        if self._comm.rank == root:
+            sent = payload_nbytes(sendbuf) - payload_nbytes(out) if sendbuf is not None else 0
+            self._record("scatterv", max(sent, 0))
+        else:
+            self._record("scatterv", payload_nbytes(out))
+        return out
+
+    def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
+        if self._comm.rank == root:
+            out = self._comm.reduce(obj, op, root)
+            self._record("reduce", payload_nbytes(obj) * (self._comm.size - 1))
+            return out
+        self._record("reduce", payload_nbytes(obj))
+        return self._comm.reduce(obj, op, root)
+
+    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
+        out = self._comm.allreduce(obj, op)
+        self._record("allreduce", payload_nbytes(obj) * 2)
+        return out
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        sent = sum(
+            payload_nbytes(item)
+            for peer, item in enumerate(objs)
+            if peer != self._comm.rank
+        )
+        out = self._comm.alltoall(objs)
+        received = sum(
+            payload_nbytes(item)
+            for peer, item in enumerate(out)
+            if peer != self._comm.rank
+        )
+        self._record("alltoall", sent + received)
+        return out
+
+    def scan(self, obj: Any, op: ReduceOp) -> Any:
+        out = self._comm.scan(obj, op)
+        # up: own contribution; down: the received prefix
+        self._record("scan", payload_nbytes(obj) + payload_nbytes(out))
+        return out
+
+    def exscan(self, obj: Any, op: ReduceOp) -> Any:
+        out = self._comm.exscan(obj, op)
+        self._record("exscan", payload_nbytes(obj) + payload_nbytes(out))
+        return out
+
+    def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp) -> Any:
+        sent = sum(
+            payload_nbytes(item)
+            for peer, item in enumerate(objs)
+            if peer != self._comm.rank
+        )
+        out = self._comm.reduce_scatter(objs, op)
+        self._record("reduce_scatter", sent + payload_nbytes(out))
+        return out
+
+    def iprobe(self, source: int = -1, tag: int = -1) -> bool:
+        # probing moves no data; not recorded
+        return self._comm.iprobe(source, tag)
+
+    def barrier(self) -> None:
+        self._record("barrier", 0)
+        self._comm.barrier()
+
+    # -- uppercase buffer ops (delegate; account like their lowercase kin) --
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        self._record("send", payload_nbytes(buf), peer=dest)
+        self._comm.Send(buf, dest, tag)
+
+    def Recv(self, buf: np.ndarray, source: int = -1, tag: int = -1) -> None:
+        self._comm.Recv(buf, source, tag)
+        self._record("recv", payload_nbytes(buf), peer=source)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        if self._comm.rank == root:
+            self._record("bcast", payload_nbytes(buf) * (self._comm.size - 1))
+        else:
+            self._record("bcast", payload_nbytes(buf))
+        self._comm.Bcast(buf, root)
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        if self._comm.rank == root:
+            self._record(
+                "gather", payload_nbytes(sendbuf) * (self._comm.size - 1)
+            )
+        else:
+            self._record("gather", payload_nbytes(sendbuf))
+        self._comm.Gather(sendbuf, recvbuf, root)
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        if self._comm.rank == root:
+            self._record(
+                "scatter", payload_nbytes(recvbuf) * (self._comm.size - 1)
+            )
+        else:
+            self._record("scatter", payload_nbytes(recvbuf))
+        self._comm.Scatter(sendbuf, recvbuf, root)
+
+    def Allgather(self, sendbuf, recvbuf) -> None:
+        self._comm.Allgather(sendbuf, recvbuf)
+        own = payload_nbytes(sendbuf)
+        self._record("allgather", payload_nbytes(recvbuf) - own + own)
+
+    def Allreduce(self, sendbuf, recvbuf, op: ReduceOp) -> None:
+        self._comm.Allreduce(sendbuf, recvbuf, op)
+        self._record("allreduce", payload_nbytes(sendbuf) * 2)
+
+    # -- management -----------------------------------------------------------
+    def split(self, color: Optional[int], key: int = 0):
+        sub = self._comm.split(color, key)
+        if sub is None:
+            return None
+        return CommTracer(sub)
+
+    def dup(self) -> "CommTracer":
+        return CommTracer(self._comm.dup())
+
+    # -- reporting --------------------------------------------------------------
+    def summary(self) -> TrafficSummary:
+        """Aggregate events/bytes recorded so far on this rank."""
+        return TrafficSummary.from_records(self.records)
+
+    def reset(self) -> None:
+        """Discard all records (e.g. between benchmark phases)."""
+        self.records.clear()
+
+    def bytes_for(self, op: str) -> int:
+        """Total bytes recorded under operation name ``op``."""
+        return sum(r.nbytes for r in self.records if r.op == op)

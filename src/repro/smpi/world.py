@@ -1,0 +1,73 @@
+"""Shared state backing all communicators of one SPMD run.
+
+A :class:`World` owns the mailboxes of every ``(context, rank)`` pair and
+hands out fresh *context ids*.  Contexts are the standard MPI mechanism that
+keeps traffic of different communicators (e.g. after a ``split``) from
+cross-matching: a message sent on communicator A can never be received on
+communicator B even if ranks and tags coincide, because their context ids
+differ.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from .exceptions import SmpiError
+from .mailbox import Mailbox
+
+__all__ = ["World"]
+
+
+class World:
+    """Mailbox registry and context-id allocator for one SPMD execution.
+
+    Parameters
+    ----------
+    size:
+        Number of world ranks (threads).
+    timeout:
+        Blocking-receive timeout propagated to every mailbox; apparent
+        deadlocks surface as :class:`~repro.smpi.exceptions.DeadlockError`
+        after this many seconds.
+    """
+
+    #: Context id of the initial world communicator.
+    WORLD_CONTEXT = 0
+
+    def __init__(self, size: int, timeout: float = 60.0) -> None:
+        if size <= 0:
+            raise SmpiError(f"world size must be positive, got {size}")
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes: Dict[Tuple[int, int], Mailbox] = {}
+        self._lock = threading.Lock()
+        self._next_context = World.WORLD_CONTEXT + 1
+
+    def mailbox(self, context: int, world_rank: int) -> Mailbox:
+        """Mailbox of ``world_rank`` within ``context`` (created lazily)."""
+        if not (0 <= world_rank < self.size):
+            raise SmpiError(
+                f"world rank {world_rank} outside [0, {self.size})"
+            )
+        key = (context, world_rank)
+        with self._lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = Mailbox(owner=world_rank, timeout=self.timeout)
+                self._mailboxes[key] = box
+            return box
+
+    def allocate_contexts(self, count: int) -> List[int]:
+        """Reserve ``count`` fresh context ids (used by ``split``/``dup``).
+
+        Called by a single rank on behalf of the whole communicator, which
+        then broadcasts the ids — mirroring how real MPI agrees on a context
+        id collectively.
+        """
+        if count <= 0:
+            raise SmpiError(f"context count must be positive, got {count}")
+        with self._lock:
+            start = self._next_context
+            self._next_context += count
+            return list(range(start, start + count))

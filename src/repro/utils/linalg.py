@@ -1,0 +1,163 @@
+"""Dense linear-algebra helpers used throughout the library.
+
+Conventions
+-----------
+* Economy-size factorizations everywhere (``full_matrices=False`` /
+  ``mode="reduced"``) — the snapshot matrices of the paper are tall-skinny
+  (``M >> N``) and the full factors would be catastrophically large.
+* QR sign canonicalisation: ``numpy.linalg.qr`` returns a factorization that
+  is unique only up to the signs of the columns of ``Q`` (and the rows of
+  ``R``).  The paper works around the resulting serial/parallel mismatch with
+  an ad-hoc global sign flip (``qglobal = -qglobal  # Trick for consistency``
+  in Listing 4).  We instead canonicalise every QR so that ``diag(R) >= 0``
+  (:func:`qr_positive`), which makes local and global factors deterministic
+  and removes the need for hand-placed flips.
+* Singular vectors are defined up to a global sign per mode; comparisons use
+  :func:`align_signs` first.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "as_floating",
+    "economy_qr",
+    "economy_svd",
+    "qr_positive",
+    "align_signs",
+    "orthogonality_defect",
+    "subspace_angles_deg",
+    "truncate_svd",
+]
+
+
+def as_floating(a, name: str = "array") -> np.ndarray:
+    """Coerce ``a`` to a floating NumPy array, *preserving* float32/float64.
+
+    Integer and bool inputs promote to float64; float32 stays float32 so
+    memory-constrained pipelines keep their precision choice end to end.
+    Complex input is rejected — the library implements the real-matrix
+    algorithms of the paper.
+    """
+    arr = np.asarray(a)
+    if np.issubdtype(arr.dtype, np.complexfloating):
+        raise ShapeError(f"{name} must be real, got dtype {arr.dtype}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def _require_2d(a: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be a 2-D array, got ndim={arr.ndim}")
+    return arr
+
+
+def economy_svd(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Economy-size SVD ``a = U @ diag(s) @ Vt``.
+
+    Thin wrapper over :func:`numpy.linalg.svd` with ``full_matrices=False``;
+    kept as a function so callers never accidentally request full factors of
+    a tall-skinny matrix (guide: "ask for an incomplete version of the SVD").
+    """
+    a = _require_2d(a, "a")
+    return np.linalg.svd(a, full_matrices=False)
+
+
+def economy_qr(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Economy-size (reduced) QR factorization ``a = Q @ R``."""
+    a = _require_2d(a, "a")
+    return np.linalg.qr(a, mode="reduced")
+
+
+def qr_positive(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduced QR with the sign convention ``diag(R) >= 0``.
+
+    Flips the sign of each column ``j`` of ``Q`` (and row ``j`` of ``R``)
+    whose diagonal entry ``R[j, j]`` is negative.  With this convention the
+    factorization of a full-column-rank matrix is unique, which is what makes
+    the distributed TSQR reduction deterministic across rank counts.
+
+    Returns
+    -------
+    (Q, R):
+        ``Q`` has orthonormal columns, ``R`` is upper triangular with a
+        nonnegative diagonal and ``a == Q @ R`` to round-off.
+    """
+    q, r = economy_qr(a)
+    k = min(r.shape)
+    signs = np.sign(np.diagonal(r)[:k])
+    # sign(0) == 0 would zero out columns of a rank-deficient factor; keep
+    # those columns untouched instead.
+    signs = np.where(signs == 0.0, 1.0, signs)
+    q = q[:, :k] * signs[np.newaxis, :]
+    r = r[:k, :] * signs[:, np.newaxis]
+    return q, r
+
+
+def truncate_svd(
+    u: np.ndarray, s: np.ndarray, vt: np.ndarray, rank: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Retain the leading ``rank`` triplets of an SVD, preserving order.
+
+    ``rank`` larger than the available number of triplets is clipped rather
+    than raised: streaming callers routinely ask for ``K`` modes before ``K``
+    snapshots have been seen.
+    """
+    if rank <= 0:
+        raise ShapeError(f"rank must be positive, got {rank}")
+    k = min(rank, s.shape[0])
+    return u[:, :k], s[:k], vt[:k, :]
+
+
+def align_signs(reference: np.ndarray, candidate: np.ndarray) -> np.ndarray:
+    """Flip columns of ``candidate`` to best match the signs of ``reference``.
+
+    Singular vectors are defined up to a per-mode factor of ``-1``; any
+    serial-vs-parallel comparison must be performed modulo that ambiguity.
+    The returned array is a sign-flipped *copy* of ``candidate``.
+    """
+    reference = _require_2d(reference, "reference")
+    candidate = _require_2d(candidate, "candidate")
+    if reference.shape != candidate.shape:
+        raise ShapeError(
+            "align_signs requires equal shapes, got "
+            f"{reference.shape} vs {candidate.shape}"
+        )
+    dots = np.einsum("ij,ij->j", reference, candidate)
+    signs = np.where(dots < 0.0, -1.0, 1.0)
+    return candidate * signs[np.newaxis, :]
+
+
+def orthogonality_defect(q: np.ndarray) -> float:
+    """``max |Q^T Q - I|`` — how far the columns of ``Q`` are from orthonormal."""
+    q = _require_2d(q, "q")
+    gram = q.T @ q
+    return float(np.max(np.abs(gram - np.eye(gram.shape[0]))))
+
+
+def subspace_angles_deg(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Principal angles (degrees) between the column spaces of ``a`` and ``b``.
+
+    Both inputs are orthonormalised internally, so raw (non-orthonormal)
+    bases are accepted.  The result is sorted ascending; a perfect subspace
+    match yields all-zero angles.
+    """
+    a = _require_2d(a, "a")
+    b = _require_2d(b, "b")
+    if a.shape[0] != b.shape[0]:
+        raise ShapeError(
+            f"subspace bases must share the ambient dimension, got "
+            f"{a.shape[0]} vs {b.shape[0]}"
+        )
+    qa, _ = economy_qr(a)
+    qb, _ = economy_qr(b)
+    sigma = np.linalg.svd(qa.T @ qb, compute_uv=False)
+    sigma = np.clip(sigma, -1.0, 1.0)
+    return np.degrees(np.arccos(sigma))[::-1]

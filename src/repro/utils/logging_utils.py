@@ -1,0 +1,77 @@
+"""Per-rank logging.
+
+SPMD programs need log lines that identify their rank and only one rank
+(usually 0) chattering by default.  :func:`get_rank_logger` returns a
+standard :class:`logging.Logger` whose records carry a ``[rank i/n]``
+prefix; :func:`root_only` wraps any logger so that non-root ranks drop
+messages below WARNING (errors always get through).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_rank_logger", "root_only", "RankFilter"]
+
+_FORMAT = "%(asctime)s [rank %(rank)s/%(nranks)s] %(levelname)s %(message)s"
+
+
+class RankFilter(logging.Filter):
+    """Injects rank/nranks fields into every record (for the formatter)."""
+
+    def __init__(self, rank: int, nranks: int) -> None:
+        super().__init__()
+        self.rank = rank
+        self.nranks = nranks
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.rank = self.rank
+        record.nranks = self.nranks
+        return True
+
+
+class _RootOnlyFilter(logging.Filter):
+    """Drops sub-WARNING records on non-root ranks."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__()
+        self.rank = rank
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return self.rank == 0 or record.levelno >= logging.WARNING
+
+
+def get_rank_logger(
+    name: str,
+    rank: int,
+    nranks: int,
+    level: int = logging.INFO,
+    handler: Optional[logging.Handler] = None,
+) -> logging.Logger:
+    """Logger whose records are tagged ``[rank i/n]``.
+
+    Each ``(name, rank)`` pair gets its own logger object so ranks do not
+    share handler state.  Passing an explicit ``handler`` (e.g. a
+    ``logging.FileHandler`` per rank) replaces the default stream handler.
+    """
+    if not (0 <= rank < nranks):
+        raise ValueError(f"rank {rank} outside [0, {nranks})")
+    logger = logging.getLogger(f"{name}.rank{rank}")
+    logger.setLevel(level)
+    logger.propagate = False
+    # idempotent: reconfigure rather than stack handlers on repeat calls
+    logger.handlers.clear()
+    logger.filters.clear()
+    if handler is None:
+        handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    logger.addFilter(RankFilter(rank, nranks))
+    return logger
+
+
+def root_only(logger: logging.Logger, rank: int) -> logging.Logger:
+    """Silence INFO/DEBUG on non-root ranks (WARNING+ always passes)."""
+    logger.addFilter(_RootOnlyFilter(rank))
+    return logger

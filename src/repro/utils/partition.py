@@ -1,0 +1,124 @@
+"""1-D block domain decomposition.
+
+APMOS assumes a row-block ("domain") decomposition of the snapshot matrix:
+rank ``i`` owns ``M_i`` contiguous grid points.  This module centralises the
+arithmetic so every component (data generators, IO readers, the parallel SVD,
+the cost model) agrees on who owns what.
+
+The decomposition follows the standard MPI convention: with ``n`` items and
+``p`` parts, the first ``n % p`` parts receive ``n // p + 1`` items and the
+remainder receive ``n // p``, keeping all parts contiguous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["BlockPartition", "block_partition"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockPartition:
+    """A contiguous 1-D block decomposition of ``total`` items over ``parts``.
+
+    Attributes
+    ----------
+    total:
+        Number of items being decomposed (e.g. global grid points ``M``).
+    parts:
+        Number of parts (e.g. MPI ranks).
+    counts:
+        ``counts[i]`` is the number of items owned by part ``i``.
+    displs:
+        ``displs[i]`` is the global index of the first item of part ``i``.
+    """
+
+    total: int
+    parts: int
+    counts: Tuple[int, ...]
+    displs: Tuple[int, ...]
+
+    def range_of(self, part: int) -> Tuple[int, int]:
+        """Half-open global index range ``[start, stop)`` owned by ``part``."""
+        self._check_part(part)
+        start = self.displs[part]
+        return start, start + self.counts[part]
+
+    def slice_of(self, part: int) -> slice:
+        """Global :class:`slice` owned by ``part``."""
+        start, stop = self.range_of(part)
+        return slice(start, stop)
+
+    def owner_of(self, index: int) -> int:
+        """Part owning global item ``index``."""
+        if not (0 <= index < self.total):
+            raise ConfigurationError(
+                f"index {index} outside [0, {self.total})"
+            )
+        # displs is sorted; find the rightmost displacement <= index.
+        return int(np.searchsorted(np.asarray(self.displs), index, side="right")) - 1
+
+    def local_index(self, index: int) -> Tuple[int, int]:
+        """Map a global index to ``(owner, local_index_within_owner)``."""
+        owner = self.owner_of(index)
+        return owner, index - self.displs[owner]
+
+    def scatter(self, array: np.ndarray, axis: int = 0) -> List[np.ndarray]:
+        """Split ``array`` along ``axis`` into the per-part blocks (views)."""
+        if array.shape[axis] != self.total:
+            raise ConfigurationError(
+                f"array has {array.shape[axis]} items along axis {axis}, "
+                f"partition expects {self.total}"
+            )
+        out = []
+        for part in range(self.parts):
+            index = [slice(None)] * array.ndim
+            index[axis] = self.slice_of(part)
+            out.append(array[tuple(index)])
+        return out
+
+    def gather(self, blocks: List[np.ndarray], axis: int = 0) -> np.ndarray:
+        """Concatenate per-part blocks back into the global array."""
+        if len(blocks) != self.parts:
+            raise ConfigurationError(
+                f"expected {self.parts} blocks, got {len(blocks)}"
+            )
+        for part, block in enumerate(blocks):
+            if block.shape[axis] != self.counts[part]:
+                raise ConfigurationError(
+                    f"block {part} has {block.shape[axis]} items along axis "
+                    f"{axis}, expected {self.counts[part]}"
+                )
+        return np.concatenate(blocks, axis=axis)
+
+    def _check_part(self, part: int) -> None:
+        if not (0 <= part < self.parts):
+            raise ConfigurationError(f"part {part} outside [0, {self.parts})")
+
+    def __iter__(self):
+        """Iterate over the per-part ``(start, stop)`` ranges."""
+        return (self.range_of(part) for part in range(self.parts))
+
+
+def block_partition(total: int, parts: int) -> BlockPartition:
+    """Build the canonical contiguous block partition.
+
+    >>> p = block_partition(10, 3)
+    >>> p.counts
+    (4, 3, 3)
+    >>> p.displs
+    (0, 4, 7)
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be nonnegative, got {total}")
+    if parts <= 0:
+        raise ConfigurationError(f"parts must be positive, got {parts}")
+    base, extra = divmod(total, parts)
+    counts = tuple(base + (1 if part < extra else 0) for part in range(parts))
+    displs = tuple(int(x) for x in np.concatenate(([0], np.cumsum(counts)[:-1])))
+    return BlockPartition(total=total, parts=parts, counts=counts, displs=displs)

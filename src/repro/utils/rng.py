@@ -1,0 +1,58 @@
+"""Seeded random-number-generator plumbing.
+
+Randomized sketches must be reproducible (tests, benchmarks) yet independent
+across SPMD ranks.  NumPy's ``SeedSequence.spawn`` gives statistically
+independent child streams from one base seed, which is the recommended way to
+seed parallel workers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng", "spawn_rank_rngs", "rank_rng"]
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def resolve_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, a
+    :class:`~numpy.random.SeedSequence`, or an existing generator (returned
+    unchanged, so callers can thread one generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rank_rngs(
+    seed: Optional[int], nranks: int
+) -> List[np.random.Generator]:
+    """Create ``nranks`` independent generators from one base seed.
+
+    With ``seed=None`` the streams are seeded from OS entropy (still
+    independent, just not reproducible).
+    """
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    base = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in base.spawn(nranks)]
+
+
+def rank_rng(seed: Optional[int], rank: int, nranks: int) -> np.random.Generator:
+    """Generator for one rank, consistent with :func:`spawn_rank_rngs`.
+
+    ``rank_rng(s, i, n)`` produces the same stream as
+    ``spawn_rank_rngs(s, n)[i]`` without materialising the other streams,
+    which lets each SPMD rank seed itself locally.
+    """
+    if not (0 <= rank < nranks):
+        raise ValueError(f"rank {rank} outside [0, {nranks})")
+    base = np.random.SeedSequence(seed)
+    return np.random.default_rng(base.spawn(nranks)[rank])

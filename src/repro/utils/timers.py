@@ -1,0 +1,107 @@
+"""Lightweight wall-clock timing utilities.
+
+Used by the benchmark harness and the scaling studies to measure the local
+compute kernels that calibrate the machine model.  ``perf_counter`` is the
+highest-resolution monotonic clock Python exposes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["WallTimer", "TimerRegistry"]
+
+
+class WallTimer:
+    """A start/stop wall timer usable as a context manager.
+
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("WallTimer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class TimerRegistry:
+    """Accumulates named timing samples (e.g. per-phase costs of a pipeline).
+
+    >>> reg = TimerRegistry()
+    >>> with reg.measure("qr"):
+    ...     pass
+    >>> reg.count("qr")
+    1
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    class _Measure:
+        def __init__(self, registry: "TimerRegistry", name: str) -> None:
+            self._registry = registry
+            self._name = name
+            self._timer = WallTimer()
+
+        def __enter__(self) -> "WallTimer":
+            return self._timer.start()
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._timer.stop()
+            self._registry.add(self._name, self._timer.elapsed)
+
+    def measure(self, name: str) -> "_Measure":
+        """Context manager recording one sample under ``name``."""
+        return TimerRegistry._Measure(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._samples.setdefault(name, []).append(float(seconds))
+
+    def samples(self, name: str) -> List[float]:
+        return list(self._samples.get(name, []))
+
+    def total(self, name: str) -> float:
+        return float(sum(self._samples.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        samples = self._samples.get(name)
+        if not samples:
+            raise KeyError(f"no samples recorded under {name!r}")
+        return float(sum(samples) / len(samples))
+
+    def count(self, name: str) -> int:
+        return len(self._samples.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name ``{count, total, mean}`` summary dictionary."""
+        return {
+            name: {
+                "count": float(len(samples)),
+                "total": float(sum(samples)),
+                "mean": float(sum(samples) / len(samples)),
+            }
+            for name, samples in self._samples.items()
+        }

@@ -1,0 +1,128 @@
+"""Unit tests for low-rank snapshot compression."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compression import CompressedSnapshots, compress
+from repro.data.burgers import BurgersProblem
+from repro.exceptions import ConfigurationError, DataFormatError, ShapeError
+
+
+class TestCompressByRank:
+    def test_exact_for_full_rank(self, rng):
+        a = rng.standard_normal((40, 10))
+        c = compress(a, rank=10)
+        assert c.relative_error(a) < 1e-12
+
+    def test_truncation_error_is_optimal(self, decaying_matrix):
+        c = compress(decaying_matrix, rank=5)
+        s = np.linalg.svd(decaying_matrix, compute_uv=False)
+        optimal = np.linalg.norm(s[5:]) / np.linalg.norm(s)
+        assert c.relative_error(decaying_matrix) == pytest.approx(
+            optimal, rel=1e-8
+        )
+
+    def test_rank_clipped(self, rng):
+        a = rng.standard_normal((20, 6))
+        c = compress(a, rank=100)
+        assert c.rank == 6
+
+    def test_randomized_close_to_dense(self, decaying_matrix):
+        dense = compress(decaying_matrix, rank=5)
+        randomized = compress(
+            decaying_matrix, rank=5, low_rank=True, rng=0
+        )
+        assert abs(
+            randomized.relative_error(decaying_matrix)
+            - dense.relative_error(decaying_matrix)
+        ) < 1e-6
+
+
+class TestCompressByEnergy:
+    def test_energy_target_met(self, decaying_matrix):
+        c = compress(decaying_matrix, energy=0.999)
+        s = np.linalg.svd(decaying_matrix, compute_uv=False)
+        captured = np.sum(s[: c.rank] ** 2) / np.sum(s**2)
+        assert captured >= 0.999 - 1e-12
+
+    def test_energy_picks_minimal_rank(self, decaying_matrix):
+        c = compress(decaying_matrix, energy=0.999)
+        s = np.linalg.svd(decaying_matrix, compute_uv=False)
+        if c.rank > 1:
+            below = np.sum(s[: c.rank - 1] ** 2) / np.sum(s**2)
+            assert below < 0.999
+
+    def test_full_energy_full_rank(self, rng):
+        a = rng.standard_normal((20, 5))
+        c = compress(a, energy=1.0)
+        assert c.relative_error(a) < 1e-10
+
+
+class TestAccounting:
+    def test_compression_ratio_formula(self, decaying_matrix):
+        c = compress(decaying_matrix, rank=4)
+        m, n = decaying_matrix.shape
+        expected = (m * n) / (4 * (m + n + 1))
+        assert c.compression_ratio == pytest.approx(expected, rel=1e-12)
+
+    def test_burgers_compresses_well(self):
+        data = BurgersProblem(nx=512, nt=100).snapshot_matrix()
+        c = compress(data, energy=0.9999)
+        assert c.compression_ratio > 2.0
+        assert c.relative_error(data) < 0.02
+
+
+class TestPersistence:
+    def test_roundtrip(self, decaying_matrix, tmp_path):
+        c = compress(decaying_matrix, rank=4)
+        path = c.save(tmp_path / "snap")
+        loaded = CompressedSnapshots.load(path)
+        assert np.array_equal(loaded.modes, c.modes)
+        assert np.array_equal(loaded.right, c.right)
+        assert loaded.original_shape == c.original_shape
+        assert np.allclose(loaded.decompress(), c.decompress())
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, other=np.ones(2))
+        with pytest.raises(DataFormatError):
+            CompressedSnapshots.load(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"junk")
+        with pytest.raises(DataFormatError):
+            CompressedSnapshots.load(path)
+
+
+class TestValidation:
+    def test_exactly_one_policy(self, rng):
+        a = rng.standard_normal((10, 4))
+        with pytest.raises(ConfigurationError):
+            compress(a)
+        with pytest.raises(ConfigurationError):
+            compress(a, rank=2, energy=0.9)
+
+    def test_bad_energy(self, rng):
+        a = rng.standard_normal((10, 4))
+        with pytest.raises(ConfigurationError):
+            compress(a, energy=0.0)
+        with pytest.raises(ConfigurationError):
+            compress(a, energy=1.5)
+
+    def test_bad_rank(self, rng):
+        with pytest.raises(ConfigurationError):
+            compress(rng.standard_normal((10, 4)), rank=0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            compress(np.ones(5), rank=1)
+
+    def test_inconsistent_factors_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            CompressedSnapshots(
+                modes=rng.standard_normal((10, 3)),
+                singular_values=np.ones(3),
+                right=rng.standard_normal((2, 5)),  # wrong rank
+                original_shape=(10, 5),
+            )

@@ -1,0 +1,148 @@
+"""Unit tests for exact DMD."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dmd import DMDResult, dmd
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def linear_system_snapshots(eigenvalues, m=60, n=40, seed=0, dt=1.0):
+    """Snapshots of x_{k+1} = A x_k with prescribed (possibly complex)
+    eigenvalues, embedded in an m-dimensional space."""
+    rng = np.random.default_rng(seed)
+    # real block-diagonal dynamics realised from the eigenvalue list
+    blocks = []
+    used = []
+    for lam in eigenvalues:
+        if np.iscomplex(lam) and np.conj(lam) not in used:
+            r, theta = np.abs(lam), np.angle(lam)
+            blocks.append(
+                r * np.array(
+                    [[np.cos(theta), -np.sin(theta)],
+                     [np.sin(theta), np.cos(theta)]]
+                )
+            )
+            used.extend([lam, np.conj(lam)])
+        elif not np.iscomplex(lam):
+            blocks.append(np.array([[float(np.real(lam))]]))
+            used.append(lam)
+    dim = sum(b.shape[0] for b in blocks)
+    a_small = np.zeros((dim, dim))
+    at = 0
+    for b in blocks:
+        a_small[at : at + b.shape[0], at : at + b.shape[0]] = b
+        at += b.shape[0]
+    lift, _ = np.linalg.qr(rng.standard_normal((m, dim)))
+    x = rng.standard_normal(dim)
+    snaps = np.empty((m, n))
+    for k in range(n):
+        snaps[:, k] = lift @ x
+        x = a_small @ x
+    return snaps
+
+
+class TestEigenvalueRecovery:
+    def test_real_decay_rates(self):
+        snaps = linear_system_snapshots([0.9, 0.7, 0.5], n=30)
+        result = dmd(snaps, rank=3)
+        recovered = np.sort(result.eigenvalues.real)[::-1]
+        assert np.allclose(recovered, [0.9, 0.7, 0.5], atol=1e-8)
+        assert np.max(np.abs(result.eigenvalues.imag)) < 1e-8
+
+    def test_oscillatory_pair(self):
+        lam = 0.98 * np.exp(1j * 0.3)
+        snaps = linear_system_snapshots([lam, np.conj(lam)], n=50)
+        result = dmd(snaps, rank=2)
+        angles = np.sort(np.abs(np.angle(result.eigenvalues)))
+        assert np.allclose(angles, [0.3, 0.3], atol=1e-6)
+        assert np.allclose(np.abs(result.eigenvalues), 0.98, atol=1e-6)
+
+    def test_frequency_conversion(self):
+        lam = np.exp(1j * np.pi / 4)  # period 8 samples
+        snaps = linear_system_snapshots([lam, np.conj(lam)], n=40)
+        result = dmd(snaps, rank=2, dt=0.5)
+        freq = np.max(result.frequencies)
+        # pi/4 per 0.5 time units -> (pi/4)/(2*pi*0.5) = 0.25 cycles/time
+        assert freq == pytest.approx(0.25, rel=1e-6)
+
+    def test_growth_rates_sign(self):
+        snaps = linear_system_snapshots([1.05, 0.8], n=25)
+        result = dmd(snaps, rank=2)
+        rates = np.sort(result.growth_rates)
+        assert rates[0] < 0 < rates[1]
+
+
+class TestReconstructionPrediction:
+    def test_reconstructs_training_data(self):
+        snaps = linear_system_snapshots([0.95, 0.9 * np.exp(0.2j), 0.9 * np.exp(-0.2j)], n=30)
+        result = dmd(snaps, rank=3)
+        recon = result.reconstruct(30)
+        err = np.linalg.norm(recon - snaps) / np.linalg.norm(snaps)
+        assert err < 1e-6
+
+    def test_prediction_extends_beyond_training(self):
+        lam = 0.97
+        snaps = linear_system_snapshots([lam], n=20)
+        result = dmd(snaps, rank=1)
+        future = result.predict(np.array([25.0]))
+        # analytic decay from the first snapshot's mode content
+        expected_norm = np.linalg.norm(snaps[:, 0]) * lam**25
+        assert np.linalg.norm(future) == pytest.approx(expected_norm, rel=1e-6)
+
+    def test_predict_requires_1d_times(self):
+        snaps = linear_system_snapshots([0.9], n=10)
+        result = dmd(snaps, rank=1)
+        with pytest.raises(ShapeError):
+            result.predict(np.zeros((2, 2)))
+
+    def test_reconstruct_positive(self):
+        snaps = linear_system_snapshots([0.9], n=10)
+        result = dmd(snaps, rank=1)
+        with pytest.raises(ShapeError):
+            result.reconstruct(0)
+
+
+class TestRandomizedVariant:
+    def test_low_rank_matches_dense(self):
+        snaps = linear_system_snapshots([0.95, 0.85, 0.75], n=40)
+        dense = dmd(snaps, rank=3)
+        randomized = dmd(snaps, rank=3, low_rank=True, rng=0)
+        assert np.allclose(
+            np.sort(dense.eigenvalues.real),
+            np.sort(randomized.eigenvalues.real),
+            atol=1e-6,
+        )
+
+
+class TestValidationAndRanking:
+    def test_input_validation(self):
+        with pytest.raises(ShapeError):
+            dmd(np.ones(5), 2)
+        with pytest.raises(ShapeError):
+            dmd(np.ones((5, 1)), 2)
+        with pytest.raises(ConfigurationError):
+            dmd(np.ones((5, 4)), 0)
+        with pytest.raises(ConfigurationError):
+            dmd(np.ones((5, 4)), 2, dt=0.0)
+
+    def test_rank_clipped_to_data(self):
+        snaps = linear_system_snapshots([0.9, 0.8], n=10)
+        result = dmd(snaps, rank=50)
+        assert result.rank <= 9
+
+    def test_dominant_indices_ranked(self):
+        snaps = linear_system_snapshots([0.99, 0.5], n=30, seed=1)
+        result = dmd(snaps, rank=2)
+        order = result.dominant_indices()
+        weights = np.abs(result.amplitudes) * np.linalg.norm(
+            result.modes, axis=0
+        )
+        assert weights[order[0]] >= weights[order[1]]
+        assert result.dominant_indices(1).shape == (1,)
+
+    def test_result_frozen(self):
+        snaps = linear_system_snapshots([0.9], n=8)
+        result = dmd(snaps, rank=1)
+        with pytest.raises(Exception):
+            result.dt = 2.0

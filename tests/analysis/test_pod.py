@@ -1,0 +1,84 @@
+"""Unit tests for POD."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pod import pod, pod_method_of_snapshots
+from repro.exceptions import ShapeError
+from repro.utils.linalg import orthogonality_defect
+
+
+class TestPodSvdRoute:
+    def test_modes_orthonormal(self, decaying_matrix):
+        result = pod(decaying_matrix, n_modes=8)
+        assert orthogonality_defect(result.modes) < 1e-10
+
+    def test_reconstruction_full_rank_exact(self, rng):
+        a = rng.standard_normal((30, 10))
+        result = pod(a, subtract_mean=False)
+        assert np.allclose(result.reconstruct(), a, atol=1e-10)
+
+    def test_mean_subtraction_roundtrip(self, rng):
+        a = rng.standard_normal((30, 10)) + 5.0
+        result = pod(a, subtract_mean=True)
+        assert np.allclose(result.reconstruct(), a, atol=1e-10)
+        assert np.allclose(result.mean, a.mean(axis=1))
+
+    def test_no_mean_subtraction_zero_mean_field(self, rng):
+        a = rng.standard_normal((30, 10))
+        result = pod(a, subtract_mean=False)
+        assert np.allclose(result.mean, 0.0)
+
+    def test_energy_fractions_sum_to_one(self, decaying_matrix):
+        result = pod(decaying_matrix)
+        assert result.energy_fractions.sum() == pytest.approx(1.0)
+
+    def test_energies_are_squared_values(self, decaying_matrix):
+        result = pod(decaying_matrix, n_modes=5)
+        assert np.allclose(result.energies, result.singular_values**2)
+
+    def test_truncated_reconstruction_error_decreases(self, decaying_matrix):
+        result = pod(decaying_matrix)
+        errors = [
+            np.linalg.norm(decaying_matrix - result.reconstruct(k))
+            for k in (1, 3, 6, 10)
+        ]
+        assert all(e1 >= e2 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_invalid_n_modes(self, decaying_matrix):
+        with pytest.raises(ShapeError):
+            pod(decaying_matrix, n_modes=0)
+        result = pod(decaying_matrix, n_modes=3)
+        with pytest.raises(ShapeError):
+            result.reconstruct(10)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            pod(np.ones(5))
+
+
+class TestMethodOfSnapshots:
+    def test_agrees_with_svd_route(self, decaying_matrix):
+        a = pod(decaying_matrix, n_modes=6)
+        b = pod_method_of_snapshots(decaying_matrix, n_modes=6)
+        assert np.allclose(a.singular_values, b.singular_values, rtol=1e-7)
+        dots = np.abs(np.einsum("ij,ij->j", a.modes, b.modes))
+        assert np.allclose(dots, 1.0, atol=1e-6)
+
+    def test_modes_orthonormal(self, decaying_matrix):
+        result = pod_method_of_snapshots(decaying_matrix, n_modes=6)
+        assert orthogonality_defect(result.modes) < 1e-7
+
+    def test_rank_deficient_drops_null_modes(self, rng):
+        a = rng.standard_normal((50, 3)) @ rng.standard_normal((3, 12))
+        result = pod_method_of_snapshots(a, subtract_mean=False)
+        assert result.modes.shape[1] <= 3
+
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((40, 8))
+        result = pod_method_of_snapshots(a, subtract_mean=False)
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)
+
+    def test_coefficients_shape(self, decaying_matrix):
+        result = pod_method_of_snapshots(decaying_matrix, n_modes=4)
+        assert result.coefficients.shape == (4, 40)

@@ -1,0 +1,105 @@
+"""Unit tests for reconstruction/energy analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reconstruction import (
+    cumulative_energy,
+    project_coefficients,
+    rank_for_energy,
+    reconstruct,
+    reconstruction_error_curve,
+)
+from repro.exceptions import ShapeError
+
+
+class TestProjection:
+    def test_roundtrip_in_span(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((40, 5)))
+        data = q @ rng.standard_normal((5, 12))
+        coeffs = project_coefficients(q, data)
+        assert np.allclose(reconstruct(q, coeffs), data, atol=1e-12)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ShapeError):
+            project_coefficients(
+                rng.standard_normal((10, 2)), rng.standard_normal((11, 3))
+            )
+        with pytest.raises(ShapeError):
+            reconstruct(rng.standard_normal((10, 2)), rng.standard_normal((3, 4)))
+
+
+class TestErrorCurve:
+    def test_monotone_nonincreasing(self, decaying_matrix):
+        u, _, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        curve = reconstruction_error_curve(decaying_matrix, u[:, :15])
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_full_rank_reaches_zero(self, rng):
+        a = rng.standard_normal((30, 8))
+        u, _, _ = np.linalg.svd(a, full_matrices=False)
+        curve = reconstruction_error_curve(a, u)
+        assert curve[-1] < 1e-10
+
+    def test_matches_direct_computation(self, decaying_matrix):
+        u, _, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        curve = reconstruction_error_curve(decaying_matrix, u[:, :5])
+        for r in (1, 3, 5):
+            direct = np.linalg.norm(
+                decaying_matrix - u[:, :r] @ (u[:, :r].T @ decaying_matrix)
+            ) / np.linalg.norm(decaying_matrix)
+            assert curve[r - 1] == pytest.approx(direct, rel=1e-8, abs=1e-12)
+
+    def test_matches_optimal_truncation_error(self, decaying_matrix):
+        """Eckart--Young: with exact singular vectors the curve equals the
+        tail norm of the spectrum."""
+        u, s, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        curve = reconstruction_error_curve(decaying_matrix, u[:, :6])
+        denom = np.linalg.norm(s)
+        for r in range(1, 7):
+            tail = np.linalg.norm(s[r:]) / denom
+            assert curve[r - 1] == pytest.approx(tail, rel=1e-8)
+
+    def test_zero_matrix(self):
+        curve = reconstruction_error_curve(np.zeros((10, 4)), np.eye(10)[:, :2])
+        assert np.allclose(curve, 0.0)
+
+    def test_bad_max_rank(self, decaying_matrix, rng):
+        u = rng.standard_normal((200, 3))
+        with pytest.raises(ShapeError):
+            reconstruction_error_curve(decaying_matrix, u, max_rank=0)
+
+
+class TestEnergy:
+    def test_cumulative_monotone_to_one(self):
+        s = np.array([3.0, 2.0, 1.0])
+        cum = cumulative_energy(s)
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_values(self):
+        cum = cumulative_energy(np.array([2.0, 1.0]))
+        assert cum[0] == pytest.approx(0.8)
+        assert cum[1] == pytest.approx(1.0)
+
+    def test_zero_spectrum(self):
+        assert np.allclose(cumulative_energy(np.zeros(3)), 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            cumulative_energy(np.ones((2, 2)))
+
+
+class TestRankForEnergy:
+    def test_thresholds(self):
+        s = np.array([2.0, 1.0])  # energies 4, 1 -> fractions 0.8, 1.0
+        assert rank_for_energy(s, 0.5) == 1
+        assert rank_for_energy(s, 0.8) == 1
+        assert rank_for_energy(s, 0.9) == 2
+        assert rank_for_energy(s, 1.0) == 2
+
+    def test_invalid_target(self):
+        with pytest.raises(ShapeError):
+            rank_for_energy(np.ones(3), 0.0)
+        with pytest.raises(ShapeError):
+            rank_for_energy(np.ones(3), 1.5)

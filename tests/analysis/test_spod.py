@@ -1,0 +1,121 @@
+"""Unit tests for batch Welch SPOD."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spod import spod
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def travelling_wave_record(
+    m=64, n=1024, dt=0.1, freq=0.8, amp=1.0, noise=0.05, seed=0
+):
+    """A coherent travelling wave at a known frequency + white noise."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, m)
+    t = np.arange(n) * dt
+    phase = 2 * np.pi * (freq * t[np.newaxis, :] - 3 * x[:, np.newaxis])
+    return amp * np.cos(phase) + noise * rng.standard_normal((m, n))
+
+
+class TestSpectrumRecovery:
+    def test_peak_at_planted_frequency(self):
+        freq = 0.8
+        record = travelling_wave_record(freq=freq)
+        result = spod(record, dt=0.1, n_per_block=128, overlap=0.5)
+        # nearest bin to the planted frequency
+        assert abs(result.peak_frequency() - freq) <= result.frequencies[1]
+
+    def test_energy_concentrated_at_peak(self):
+        record = travelling_wave_record(freq=0.8, noise=0.02)
+        result = spod(record, dt=0.1, n_per_block=128)
+        spectrum = result.energies[:, 0]
+        peak = int(np.argmax(spectrum))
+        off_peak = np.delete(spectrum, [peak - 1, peak, peak + 1])
+        assert spectrum[peak] > 20 * np.max(off_peak)
+
+    def test_mode_at_peak_is_travelling_wave(self):
+        freq = 0.8
+        record = travelling_wave_record(freq=freq, noise=0.01)
+        result = spod(record, dt=0.1, n_per_block=128)
+        mode = result.modes_at(freq)[:, 0]
+        # a travelling wave's SPOD mode has ~uniform magnitude in space
+        mag = np.abs(mode)
+        assert mag.std() / mag.mean() < 0.15
+
+    def test_two_waves_two_peaks(self):
+        a = travelling_wave_record(freq=0.6, amp=1.0, noise=0.0)
+        b = travelling_wave_record(freq=1.8, amp=0.5, noise=0.0, seed=1)
+        result = spod(a + b, dt=0.1, n_per_block=256, overlap=0.5)
+        spectrum = result.energies[:, 0].copy()
+        spectrum[0] = 0.0
+        df = result.frequencies[1]
+        # first peak; mask its leakage neighbourhood, then find the second
+        first = int(np.argmax(spectrum))
+        lo, hi = max(first - 3, 0), min(first + 4, len(spectrum))
+        masked = spectrum.copy()
+        masked[lo:hi] = 0.0
+        second = int(np.argmax(masked))
+        peak_freqs = sorted(
+            [result.frequencies[first], result.frequencies[second]]
+        )
+        assert abs(peak_freqs[0] - 0.6) <= df
+        assert abs(peak_freqs[1] - 1.8) <= df
+
+
+class TestStructure:
+    def test_shapes(self):
+        record = travelling_wave_record(m=32, n=512)
+        result = spod(record, dt=0.1, n_per_block=64, n_modes=3)
+        assert result.frequencies.shape == (33,)
+        assert result.energies.shape == (33, 3)
+        assert result.modes.shape == (33, 32, 3)
+
+    def test_modes_orthonormal_per_frequency(self):
+        record = travelling_wave_record(m=32, n=512)
+        result = spod(record, dt=0.1, n_per_block=64, n_modes=3)
+        for k in (1, 5, 10):
+            gram = result.modes[k].conj().T @ result.modes[k]
+            assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_energies_descending_per_frequency(self):
+        record = travelling_wave_record(m=32, n=512)
+        result = spod(record, dt=0.1, n_per_block=64)
+        assert np.all(np.diff(result.energies, axis=1) <= 1e-12)
+
+    def test_block_count(self):
+        record = travelling_wave_record(m=16, n=256)
+        result = spod(record, dt=1.0, n_per_block=64, overlap=0.5)
+        # starts at 0,32,...,192 -> 7 blocks
+        assert result.n_blocks == 7
+
+    def test_frequencies_one_sided(self):
+        record = travelling_wave_record(m=16, n=256)
+        result = spod(record, dt=0.5, n_per_block=32)
+        assert result.frequencies[0] == 0.0
+        assert np.all(np.diff(result.frequencies) > 0)
+        assert result.frequencies[-1] == pytest.approx(1.0)  # Nyquist of dt=0.5
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        record = travelling_wave_record(m=8, n=128)
+        with pytest.raises(ShapeError):
+            spod(np.ones(5))
+        with pytest.raises(ConfigurationError):
+            spod(record, dt=0)
+        with pytest.raises(ConfigurationError):
+            spod(record, n_per_block=1)
+        with pytest.raises(ConfigurationError):
+            spod(record, n_per_block=1000)
+        with pytest.raises(ConfigurationError):
+            spod(record, overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            spod(record, window="hann-ish")
+        with pytest.raises(ConfigurationError):
+            spod(record, n_modes=0)
+
+    def test_boxcar_window_supported(self):
+        record = travelling_wave_record(m=16, n=256)
+        result = spod(record, n_per_block=64, window="boxcar")
+        assert result.n_freq == 33

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests that need different draws reseed."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tall_matrix(rng: np.random.Generator) -> np.ndarray:
+    """A generic tall-skinny full-rank matrix (120 x 30)."""
+    return rng.standard_normal((120, 30))
+
+
+@pytest.fixture
+def decaying_matrix(rng: np.random.Generator) -> np.ndarray:
+    """A tall matrix with exponentially decaying spectrum (200 x 40).
+
+    Built as ``U diag(0.5^j) V^T`` plus tiny noise so truncated SVDs are
+    well-conditioned and truncation errors are predictable.
+    """
+    m, n, r = 200, 40, 20
+    u, _ = np.linalg.qr(rng.standard_normal((m, r)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, r)))
+    s = 0.5 ** np.arange(r)
+    return (u * s) @ v.T + 1e-12 * rng.standard_normal((m, n))

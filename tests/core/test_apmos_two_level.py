@@ -1,0 +1,169 @@
+"""Two-level (hierarchical) APMOS."""
+
+import numpy as np
+import pytest
+
+from repro.core.apmos import apmos_svd, apmos_svd_two_level
+from repro.exceptions import ShapeError
+from repro.smpi import ParallelFailure, SelfComm, run_spmd
+from repro.utils.partition import block_partition
+
+
+def run_two_level(data, nranks, group_size, r1, r2):
+    def job(comm):
+        part = block_partition(data.shape[0], comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        return apmos_svd_two_level(
+            comm, block, r1=r1, r2=r2, group_size=group_size
+        )
+
+    results = run_spmd(nranks, job)
+    u = np.concatenate([r[0] for r in results], axis=0)
+    return u, results[0][1]
+
+
+def run_flat(data, nranks, r1, r2):
+    def job(comm):
+        part = block_partition(data.shape[0], comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        return apmos_svd(comm, block, r1=r1, r2=r2)
+
+    results = run_spmd(nranks, job)
+    u = np.concatenate([r[0] for r in results], axis=0)
+    return u, results[0][1]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("group_size", [1, 2, 3, 6, 10])
+    def test_matches_flat_apmos_untruncated(self, decaying_matrix, group_size):
+        """With r1 >= rank of each group stack the hierarchy is exact."""
+        u_flat, s_flat = run_flat(decaying_matrix, 6, r1=40, r2=4)
+        u_two, s_two = run_two_level(
+            decaying_matrix, 6, group_size, r1=40, r2=4
+        )
+        assert np.allclose(s_two, s_flat, rtol=1e-10)
+        assert np.allclose(np.abs(u_two), np.abs(u_flat), atol=1e-8)
+
+    def test_matches_exact_svd(self, decaying_matrix):
+        u, s = run_two_level(decaying_matrix, 6, 2, r1=40, r2=4)
+        s_ref = np.linalg.svd(decaying_matrix, compute_uv=False)
+        assert np.allclose(s, s_ref[: s.shape[0]], rtol=1e-9)
+
+    def test_group_size_does_not_divide_ranks(self, decaying_matrix):
+        """5 ranks in groups of 2 -> groups of sizes 2,2,1."""
+        u, s = run_two_level(decaying_matrix, 5, 2, r1=40, r2=3)
+        s_ref = np.linalg.svd(decaying_matrix, compute_uv=False)
+        assert np.allclose(s, s_ref[: s.shape[0]], rtol=1e-9)
+
+    def test_all_ranks_same_values(self, decaying_matrix):
+        def job(comm):
+            part = block_partition(decaying_matrix.shape[0], comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            _, s = apmos_svd_two_level(comm, block, r1=30, r2=3, group_size=2)
+            return s
+
+        results = run_spmd(4, job)
+        for s in results[1:]:
+            assert np.array_equal(s, results[0])
+
+    def test_modes_globally_orthonormal(self, decaying_matrix):
+        u, s = run_two_level(decaying_matrix, 6, 3, r1=40, r2=4)
+        gram = u.T @ u
+        assert np.allclose(gram, np.eye(s.shape[0]), atol=1e-8)
+
+    def test_single_rank(self, decaying_matrix):
+        u, s = apmos_svd_two_level(
+            SelfComm(), decaying_matrix, r1=40, r2=3, group_size=4
+        )
+        s_ref = np.linalg.svd(decaying_matrix, compute_uv=False)
+        assert np.allclose(s, s_ref[: s.shape[0]], rtol=1e-10)
+
+    def test_invalid_group_size(self, decaying_matrix):
+        def job(comm):
+            apmos_svd_two_level(
+                comm, decaying_matrix, r1=10, r2=2, group_size=0
+            )
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(2, job, timeout=5.0)
+        assert any(
+            isinstance(f.exception, ShapeError) for f in info.value.failures
+        )
+
+
+class TestTrafficAdvantage:
+    def test_root_gather_volume_reduced(self, decaying_matrix):
+        """The whole point: rank 0 receives fewer bytes hierarchically."""
+
+        def flat(comm):
+            part = block_partition(decaying_matrix.shape[0], comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            apmos_svd(comm, block, r1=40, r2=3)
+
+        def two_level(comm):
+            part = block_partition(decaying_matrix.shape[0], comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            apmos_svd_two_level(comm, block, r1=40, r2=3, group_size=3)
+
+        _, tracers_flat = run_spmd(6, flat, trace=True)
+        _, tracers_two = run_spmd(6, two_level, trace=True)
+        # rank 0 in the flat scheme receives W from 5 peers; in the
+        # two-level scheme it receives from its 2 group members plus 1
+        # other leader
+        flat_bytes = tracers_flat[0].bytes_for("gather")
+        two_bytes = tracers_two[0].bytes_for("gather")
+        assert two_bytes < flat_bytes
+
+
+class TestScalingModel:
+    def test_two_level_improves_high_rank_efficiency(self):
+        from repro.perf.scaling import WeakScalingStudy
+
+        study = WeakScalingStudy(calibrate=False)
+        counts = study.paper_rank_counts(max_nodes=256)
+        flat = study.run(counts)
+        hier = study.run(counts, group_size=64)
+        # at 16384 ranks the hierarchy must be substantially better
+        assert hier.efficiency[-1] > flat.efficiency[-1] * 1.5
+        # and never worse than half at small scale
+        assert np.all(hier.efficiency >= flat.efficiency * 0.5)
+
+    def test_degenerate_group_sizes_match_flat(self):
+        from repro.perf.scaling import WeakScalingStudy
+
+        study = WeakScalingStudy(calibrate=False)
+        p_flat = study.point(256)
+        for g in (None, 1, 256, 1000):
+            p = study.point(256, group_size=g)
+            assert p.total_s == pytest.approx(p_flat.total_s)
+
+
+class TestParallelClassIntegration:
+    def test_parallel_class_with_group_size(self, decaying_matrix):
+        """ParSVDParallel(apmos_group_size=...) matches the flat class."""
+
+        def run(group_size):
+            from repro import ParSVDParallel
+
+            def job(comm):
+                part = block_partition(decaying_matrix.shape[0], comm.size)
+                block = decaying_matrix[part.slice_of(comm.rank), :]
+                svd = ParSVDParallel(
+                    comm, K=4, ff=1.0, apmos_group_size=group_size
+                )
+                svd.initialize(block[:, :20])
+                svd.incorporate_data(block[:, 20:])
+                return svd.modes, svd.singular_values
+
+            return run_spmd(4, job)[0]
+
+        flat_modes, flat_values = run(None)
+        two_modes, two_values = run(2)
+        assert np.allclose(two_values, flat_values, rtol=1e-10)
+        assert np.allclose(np.abs(two_modes), np.abs(flat_modes), atol=1e-8)
+
+    def test_invalid_group_size_rejected(self, decaying_matrix):
+        from repro import ParSVDParallel
+
+        with pytest.raises(ShapeError):
+            ParSVDParallel(SelfComm(), K=2, apmos_group_size=0)

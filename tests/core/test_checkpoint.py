@@ -1,0 +1,175 @@
+"""Checkpoint/restart of streaming state."""
+
+import numpy as np
+import pytest
+
+from repro import ParSVDParallel, ParSVDSerial
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    rank_checkpoint_path,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.exceptions import DataFormatError, NotInitializedError
+from repro.smpi import ParallelFailure, run_spmd
+from repro.utils.partition import block_partition
+
+
+class TestSerialCheckpoint:
+    def test_resume_equals_uninterrupted(self, decaying_matrix, tmp_path):
+        """checkpoint -> restart -> continue == one uninterrupted stream."""
+        batches = [(0, 10), (10, 20), (20, 30), (30, 40)]
+
+        straight = ParSVDSerial(K=4, ff=0.95, seed=0)
+        straight.initialize(decaying_matrix[:, 0:10])
+        for start, stop in batches[1:]:
+            straight.incorporate_data(decaying_matrix[:, start:stop])
+
+        first = ParSVDSerial(K=4, ff=0.95, seed=0)
+        first.initialize(decaying_matrix[:, 0:10])
+        first.incorporate_data(decaying_matrix[:, 10:20])
+        ckpt = first.save_checkpoint(tmp_path / "mid")
+
+        resumed = ParSVDSerial.from_checkpoint(ckpt)
+        resumed.incorporate_data(decaying_matrix[:, 20:30])
+        resumed.incorporate_data(decaying_matrix[:, 30:40])
+
+        assert np.allclose(
+            resumed.singular_values, straight.singular_values, rtol=1e-12
+        )
+        assert np.allclose(resumed.modes, straight.modes, atol=1e-12)
+        assert resumed.iteration == straight.iteration == 4
+        assert resumed.n_seen == straight.n_seen == 40
+
+    def test_config_restored(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=3, ff=0.8, low_rank=True, seed=7)
+        svd.initialize(decaying_matrix)
+        ckpt = svd.save_checkpoint(tmp_path / "cfg")
+        resumed = ParSVDSerial.from_checkpoint(ckpt)
+        assert resumed.K == 3
+        assert resumed.ff == 0.8
+        assert resumed.low_rank is True
+        assert resumed.config.seed == 7
+
+    def test_row_count_enforced_after_restore(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=3).initialize(decaying_matrix)
+        ckpt = svd.save_checkpoint(tmp_path / "rows")
+        resumed = ParSVDSerial.from_checkpoint(ckpt)
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            resumed.incorporate_data(np.zeros((7, 3)))
+
+    def test_uninitialised_cannot_checkpoint(self, tmp_path):
+        with pytest.raises(NotInitializedError):
+            ParSVDSerial(K=2).save_checkpoint(tmp_path / "x")
+
+    def test_kind_mismatch_rejected(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=3).initialize(decaying_matrix)
+        path = write_checkpoint(
+            tmp_path / "wrongkind",
+            svd.config,
+            svd.modes,
+            svd.singular_values,
+            1,
+            40,
+            kind="parallel",
+        )
+        with pytest.raises(DataFormatError):
+            ParSVDSerial.from_checkpoint(path)
+
+
+class TestCheckpointFormat:
+    def test_version_stamped(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        ckpt = svd.save_checkpoint(tmp_path / "v")
+        state = read_checkpoint(ckpt)
+        assert state["kind"] == "serial"
+        assert CHECKPOINT_VERSION == 1
+
+    def test_unknown_version_rejected(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(999),
+            kind=np.asarray("serial"),
+        )
+        with pytest.raises(DataFormatError):
+            read_checkpoint(path)
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(DataFormatError):
+            read_checkpoint(path)
+
+    def test_unreadable_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zipfile")
+        with pytest.raises(DataFormatError):
+            read_checkpoint(path)
+
+    def test_rank_path_naming(self, tmp_path):
+        assert rank_checkpoint_path(tmp_path / "s.npz", 3).name == "s.rank3.npz"
+        assert rank_checkpoint_path(tmp_path / "s", 0).name == "s.rank0.npz"
+
+
+class TestParallelCheckpoint:
+    def test_resume_across_spmd_runs(self, decaying_matrix, tmp_path):
+        m = decaying_matrix.shape[0]
+        base = tmp_path / "par"
+
+        def phase1(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(comm, K=4, ff=1.0)
+            svd.initialize(block[:, :20])
+            svd.save_checkpoint(base)
+            return svd.singular_values
+
+        def phase2(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel.from_checkpoint(comm, base)
+            svd.incorporate_data(block[:, 20:40])
+            return svd.modes, svd.singular_values, svd.iteration
+
+        def straight(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(comm, K=4, ff=1.0)
+            svd.initialize(block[:, :20])
+            svd.incorporate_data(block[:, 20:40])
+            return svd.modes, svd.singular_values
+
+        run_spmd(3, phase1)
+        resumed = run_spmd(3, phase2)
+        reference = run_spmd(3, straight)
+
+        modes_r, values_r, iteration = resumed[0]
+        modes_s, values_s = reference[0]
+        assert iteration == 2
+        assert np.allclose(values_r, values_s, rtol=1e-12)
+        assert np.allclose(modes_r, modes_s, atol=1e-12)
+
+    def test_rank_count_mismatch_rejected(self, decaying_matrix, tmp_path):
+        m = decaying_matrix.shape[0]
+        base = tmp_path / "mismatch"
+
+        def save(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            ParSVDParallel(comm, K=3).initialize(block).save_checkpoint(base)
+
+        run_spmd(2, save)
+
+        def load(comm):
+            ParSVDParallel.from_checkpoint(comm, base)
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, load, timeout=5.0)
+        assert any(
+            isinstance(f.exception, DataFormatError)
+            for f in info.value.failures
+        )

@@ -1,0 +1,87 @@
+"""CLI smoke tests (fast parameterisations)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_burgers_defaults(self):
+        args = build_parser().parse_args(["burgers"])
+        assert args.nx == 2048
+        assert args.ranks == 4
+        assert args.ff == 0.95
+
+    def test_scaling_mode_choices(self):
+        args = build_parser().parse_args(["scaling", "--mode", "strong"])
+        assert args.mode == "strong"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scaling", "--mode", "sideways"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PyParSVD reproduction" in out
+        assert "K=10" in out
+
+    def test_burgers_small(self, capsys):
+        code = main(
+            [
+                "burgers",
+                "--nx", "256", "--nt", "60", "--batch", "20",
+                "--ranks", "2", "--modes", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_era5_small(self, capsys):
+        code = main(
+            [
+                "era5",
+                "--nlat", "12", "--nlon", "24", "--nt", "120",
+                "--ranks", "2", "--modes", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "best-match=seasonal" in out
+
+    def test_scaling_weak_uncalibrated(self, capsys):
+        code = main(["scaling", "--mode", "weak", "--max-nodes", "4", "--no-calibrate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "efficiency" in out
+
+    def test_scaling_strong_uncalibrated(self, capsys):
+        code = main(
+            ["scaling", "--mode", "strong", "--max-nodes", "2", "--no-calibrate"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "turnover" in out
+
+
+class TestTwoLevelScalingFlag:
+    def test_group_size_flag(self, capsys):
+        code = main(
+            [
+                "scaling", "--mode", "weak", "--max-nodes", "4",
+                "--no-calibrate", "--group-size", "16",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "two-level, groups of 16" in out

@@ -1,0 +1,123 @@
+"""Unit tests for the streaming convergence monitor."""
+
+import numpy as np
+import pytest
+
+from repro import ParSVDSerial
+from repro.core.convergence import ConvergenceMonitor
+from repro.exceptions import ConfigurationError
+
+
+def _orthonormal(rng, m, k):
+    q, _ = np.linalg.qr(rng.standard_normal((m, k)))
+    return q
+
+
+class TestMechanics:
+    def test_first_update_never_converged(self, rng):
+        monitor = ConvergenceMonitor(patience=1)
+        q = _orthonormal(rng, 30, 3)
+        assert monitor.update(q, np.ones(3)) is False
+        assert monitor.history[0].max_value_change == np.inf
+
+    def test_identical_updates_converge_after_patience(self, rng):
+        monitor = ConvergenceMonitor(patience=2)
+        q = _orthonormal(rng, 30, 3)
+        s = np.array([3.0, 2.0, 1.0])
+        assert monitor.update(q, s) is False  # baseline
+        assert monitor.update(q, s) is False  # streak 1
+        assert monitor.update(q, s) is True   # streak 2 == patience
+
+    def test_value_jump_resets_streak(self, rng):
+        monitor = ConvergenceMonitor(value_tol=1e-6, patience=1)
+        q = _orthonormal(rng, 30, 2)
+        monitor.update(q, np.array([2.0, 1.0]))
+        monitor.update(q, np.array([2.0, 1.0]))
+        assert monitor.converged
+        monitor.update(q, np.array([3.0, 1.0]))  # 50% jump
+        assert not monitor.converged
+
+    def test_subspace_rotation_detected(self, rng):
+        monitor = ConvergenceMonitor(angle_tol_deg=1.0, patience=1)
+        q1 = _orthonormal(rng, 40, 2)
+        q2 = _orthonormal(rng, 40, 2)  # unrelated subspace
+        s = np.ones(2)
+        monitor.update(q1, s)
+        assert monitor.update(q2, s) is False
+        assert monitor.history[-1].max_angle_deg > 10
+
+    def test_shape_change_resets_baseline(self, rng):
+        monitor = ConvergenceMonitor(patience=1)
+        monitor.update(_orthonormal(rng, 30, 2), np.ones(2))
+        # rank grows (stream saw more snapshots): becomes a new baseline
+        assert monitor.update(_orthonormal(rng, 30, 3), np.ones(3)) is False
+        assert monitor.history[-1].max_value_change == np.inf
+
+    def test_reset(self, rng):
+        monitor = ConvergenceMonitor(patience=1)
+        q = _orthonormal(rng, 20, 2)
+        monitor.update(q, np.ones(2))
+        monitor.update(q, np.ones(2))
+        assert monitor.converged
+        monitor.reset()
+        assert not monitor.converged
+        assert monitor.iterations == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConvergenceMonitor(value_tol=0)
+        with pytest.raises(ConfigurationError):
+            ConvergenceMonitor(angle_tol_deg=-1)
+        with pytest.raises(ConfigurationError):
+            ConvergenceMonitor(patience=0)
+
+    def test_history_arrays(self, rng):
+        monitor = ConvergenceMonitor(patience=1)
+        q = _orthonormal(rng, 20, 2)
+        for _ in range(3):
+            monitor.update(q, np.ones(2))
+        changes = monitor.value_change_history()
+        assert changes.shape == (3,)
+        assert changes[0] == np.inf
+        assert np.all(changes[1:] == 0.0)
+
+
+class TestWithStreamingSvd:
+    def test_stationary_stream_converges(self, rng):
+        """Repeated draws from one fixed low-rank process stabilise."""
+        basis = _orthonormal(rng, 200, 3)
+        monitor = ConvergenceMonitor(
+            value_tol=0.2, angle_tol_deg=5.0, patience=2
+        )
+        svd = ParSVDSerial(K=3, ff=1.0)
+        converged_at = None
+        for i in range(30):
+            batch = basis @ (np.diag([5.0, 3.0, 1.0]) @ rng.standard_normal((3, 20)))
+            if i == 0:
+                svd.initialize(batch)
+            else:
+                svd.incorporate_data(batch)
+            if monitor.update(svd.modes, svd.singular_values):
+                converged_at = i
+                break
+        assert converged_at is not None
+        assert converged_at >= 2
+
+    def test_regime_change_breaks_convergence(self, rng):
+        basis_a = _orthonormal(rng, 150, 2)
+        basis_b = _orthonormal(rng, 150, 2)
+        monitor = ConvergenceMonitor(
+            value_tol=0.2, angle_tol_deg=5.0, patience=1
+        )
+        svd = ParSVDSerial(K=2, ff=0.5)
+        for i in range(10):
+            batch = basis_a @ rng.standard_normal((2, 15))
+            if i == 0:
+                svd.initialize(batch)
+            else:
+                svd.incorporate_data(batch)
+            monitor.update(svd.modes, svd.singular_values)
+        assert monitor.converged
+        # switch regimes: low ff tracks the new subspace -> large angle
+        svd.incorporate_data(10.0 * basis_b @ rng.standard_normal((2, 15)))
+        assert monitor.update(svd.modes, svd.singular_values) is False

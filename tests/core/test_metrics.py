@@ -1,0 +1,130 @@
+"""Unit tests for the comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    ModeComparison,
+    compare_modes,
+    mode_error_curve,
+    mode_errors,
+    spectrum_relative_error,
+)
+from repro.exceptions import ShapeError
+
+
+class TestModeErrors:
+    def test_zero_for_identical(self, rng):
+        modes = rng.standard_normal((50, 3))
+        assert np.allclose(mode_errors(modes, modes), 0.0)
+
+    def test_sign_flip_invisible(self, rng):
+        modes = rng.standard_normal((50, 3))
+        flipped = modes * np.array([1, -1, 1])
+        assert np.allclose(mode_errors(modes, flipped), 0.0)
+
+    def test_scaled_column_detected(self, rng):
+        modes = rng.standard_normal((50, 2))
+        bad = modes.copy()
+        bad[:, 1] *= 2.0
+        errors = mode_errors(modes, bad)
+        assert errors[0] < 1e-12
+        assert errors[1] == pytest.approx(1.0, rel=1e-9)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            mode_errors(rng.standard_normal((5, 2)), rng.standard_normal((6, 2)))
+
+    def test_zero_reference_column(self):
+        ref = np.zeros((10, 1))
+        cand = np.ones((10, 1))
+        err = mode_errors(ref, cand)
+        assert err[0] == pytest.approx(np.sqrt(10))
+
+
+class TestModeErrorCurve:
+    def test_pointwise_difference(self, rng):
+        ref = rng.standard_normal((30, 2))
+        cand = ref.copy()
+        cand[5, 0] += 0.5
+        curve = mode_error_curve(ref, cand, 0)
+        assert curve[5] == pytest.approx(-0.5)
+        assert np.allclose(np.delete(curve, 5), 0.0)
+
+    def test_sign_aligned_before_diff(self, rng):
+        ref = rng.standard_normal((30, 2))
+        curve = mode_error_curve(ref, -ref, 1)
+        assert np.allclose(curve, 0.0)
+
+    def test_mode_out_of_range(self, rng):
+        ref = rng.standard_normal((10, 2))
+        with pytest.raises(ShapeError):
+            mode_error_curve(ref, ref, 5)
+
+
+class TestSpectrumError:
+    def test_zero_for_identical(self):
+        s = np.array([3.0, 2.0, 1.0])
+        assert np.allclose(spectrum_relative_error(s, s), 0.0)
+
+    def test_relative(self):
+        s = np.array([2.0, 1.0])
+        c = np.array([2.2, 1.0])
+        err = spectrum_relative_error(s, c)
+        assert err[0] == pytest.approx(0.1)
+        assert err[1] == 0.0
+
+    def test_zero_reference_uses_absolute(self):
+        err = spectrum_relative_error(np.array([0.0]), np.array([0.5]))
+        assert err[0] == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            spectrum_relative_error(np.ones(3), np.ones(4))
+
+
+class TestCompareModes:
+    def test_perfect_agreement(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((40, 5)))
+        s = np.linspace(5, 1, 5)
+        comparison = compare_modes(q, s, q * np.array([1, -1, 1, -1, 1]), s)
+        assert comparison.agrees()
+        assert comparison.worst_mode_error < 1e-12
+        assert comparison.max_subspace_angle_deg < 1e-3
+
+    def test_disagreement_detected(self, rng):
+        q1, _ = np.linalg.qr(rng.standard_normal((40, 3)))
+        q2, _ = np.linalg.qr(rng.standard_normal((40, 3)))
+        s = np.ones(3)
+        comparison = compare_modes(q1, s, q2, s)
+        assert not comparison.agrees()
+        assert comparison.worst_mode_error > 0.1
+
+    def test_n_modes_limits(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((40, 5)))
+        s = np.linspace(5, 1, 5)
+        bad = q.copy()
+        bad[:, 4] = q[:, 0]  # corrupt only the last mode
+        comparison = compare_modes(q, s, bad, s, n_modes=2)
+        assert comparison.agrees()
+        assert comparison.mode_rel_errors.shape == (2,)
+
+    def test_mismatched_widths_use_common(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((40, 5)))
+        s = np.linspace(5, 1, 5)
+        comparison = compare_modes(q, s, q[:, :3], s[:3])
+        assert comparison.mode_rel_errors.shape == (3,)
+
+    def test_invalid_n_modes(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((10, 2)))
+        with pytest.raises(ShapeError):
+            compare_modes(q, np.ones(2), q, np.ones(2), n_modes=0)
+
+    def test_dataclass_properties(self):
+        comparison = ModeComparison(
+            mode_rel_errors=np.array([1e-8, 2e-8]),
+            spectrum_rel_errors=np.array([1e-9]),
+            max_subspace_angle_deg=1e-5,
+        )
+        assert comparison.worst_mode_error == pytest.approx(2e-8)
+        assert comparison.worst_spectrum_error == pytest.approx(1e-9)

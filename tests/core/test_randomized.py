@@ -1,0 +1,160 @@
+"""Unit tests for the randomized linear algebra kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.randomized import (
+    gaussian_sketch,
+    low_rank_svd,
+    randomized_range_finder,
+    randomized_svd,
+    relative_spectral_error,
+)
+from repro.data.synthetic import (
+    matrix_with_spectrum,
+    spectrum_exponential,
+    spectrum_polynomial,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.linalg import orthogonality_defect
+
+
+class TestGaussianSketch:
+    def test_shape(self):
+        assert gaussian_sketch(30, 5, rng=0).shape == (30, 5)
+
+    def test_reproducible(self):
+        assert np.array_equal(gaussian_sketch(10, 3, rng=1), gaussian_sketch(10, 3, rng=1))
+
+    def test_zero_mean_unit_variance(self):
+        omega = gaussian_sketch(2000, 50, rng=0)
+        assert abs(omega.mean()) < 0.01
+        assert abs(omega.std() - 1.0) < 0.01
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_sketch(0, 3)
+        with pytest.raises(ConfigurationError):
+            gaussian_sketch(3, -1)
+
+
+class TestRangeFinder:
+    def test_orthonormal_basis(self, rng):
+        a = rng.standard_normal((100, 40))
+        q = randomized_range_finder(a, 10, rng=0)
+        assert orthogonality_defect(q) < 1e-12
+
+    def test_captures_exact_low_rank(self, rng):
+        a, *_ = matrix_with_spectrum(80, 40, spectrum_exponential(5, 0.5), rng=rng)
+        q = randomized_range_finder(a, 5, oversampling=5, rng=0)
+        # projection residual must vanish for an exactly rank-5 matrix
+        residual = a - q @ (q.T @ a)
+        assert np.linalg.norm(residual) < 1e-10 * np.linalg.norm(a)
+
+    def test_column_count_clipped(self, rng):
+        a = rng.standard_normal((20, 6))
+        q = randomized_range_finder(a, 10, oversampling=10, rng=0)
+        assert q.shape[1] <= 6
+
+    def test_power_iterations_improve_slow_decay(self):
+        a, *_ = matrix_with_spectrum(
+            300, 150, spectrum_polynomial(150, 0.5), rng=3
+        )
+        def err(q):
+            return np.linalg.norm(a - q @ (q.T @ a))
+
+        q0 = randomized_range_finder(a, 10, oversampling=5, power_iters=0, rng=0)
+        q2 = randomized_range_finder(a, 10, oversampling=5, power_iters=2, rng=0)
+        assert err(q2) <= err(q0)
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ConfigurationError):
+            randomized_range_finder(rng.standard_normal((5, 5)), 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            randomized_range_finder(np.ones(5), 2)
+
+
+class TestRandomizedSvd:
+    def test_exact_on_low_rank(self, rng):
+        spectrum = spectrum_exponential(8, 0.6)
+        a, u_true, s_true, _ = matrix_with_spectrum(120, 60, spectrum, rng=rng)
+        u, s, vt = randomized_svd(a, 8, oversampling=8, rng=0)
+        assert np.allclose(s, s_true, rtol=1e-9)
+        assert np.allclose((u * s) @ vt, a, atol=1e-9)
+
+    def test_returns_requested_rank(self, rng):
+        a = rng.standard_normal((50, 30))
+        u, s, vt = randomized_svd(a, 7, rng=0)
+        assert u.shape == (50, 7)
+        assert s.shape == (7,)
+        assert vt.shape == (7, 30)
+
+    def test_descending_values(self, rng):
+        a = rng.standard_normal((60, 25))
+        _, s, _ = randomized_svd(a, 10, rng=0)
+        assert np.all(np.diff(s) <= 0)
+
+    def test_orthonormal_factors(self, rng):
+        a = rng.standard_normal((60, 25))
+        u, _, vt = randomized_svd(a, 10, rng=0)
+        assert orthogonality_defect(u) < 1e-10
+        assert orthogonality_defect(vt.T) < 1e-10
+
+    def test_reproducible_with_seed(self, rng):
+        a = rng.standard_normal((40, 20))
+        u1, s1, _ = randomized_svd(a, 5, rng=42)
+        u2, s2, _ = randomized_svd(a, 5, rng=42)
+        assert np.array_equal(u1, u2)
+        assert np.array_equal(s1, s2)
+
+    def test_error_bounded_by_tail(self, rng):
+        """Randomized error must stay within a small factor of the optimal
+        rank-k error (Halko et al. expectation bound)."""
+        a, _, s_true, _ = matrix_with_spectrum(
+            200, 100, spectrum_exponential(40, 0.8), rng=rng
+        )
+        k = 10
+        u, s, vt = randomized_svd(a, k, oversampling=10, power_iters=1, rng=0)
+        err = np.linalg.norm(a - (u * s) @ vt)
+        optimal = np.linalg.norm(s_true[k:])
+        assert err <= 3.0 * optimal
+
+
+class TestLowRankSvd:
+    def test_matches_paper_signature(self, rng):
+        a = rng.standard_normal((40, 30))
+        u, s = low_rank_svd(a, 6, rng=0)
+        assert u.shape == (40, 6)
+        assert s.shape == (6,)
+
+    def test_paper_defaults_no_oversampling(self, rng):
+        """Defaults (oversampling=0) must still produce exactly K vectors."""
+        a = rng.standard_normal((40, 30))
+        u, s = low_rank_svd(a, 6, rng=0)
+        assert u.shape[1] == 6
+
+
+class TestRelativeSpectralError:
+    def test_zero_for_exact(self, rng):
+        a = rng.standard_normal((30, 12))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        assert relative_spectral_error(a, u, s, vt) < 1e-12
+
+    def test_recovers_vt_by_projection(self, rng):
+        a = rng.standard_normal((30, 12))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        assert relative_spectral_error(a, u, s) < 1e-10
+
+    def test_zero_matrix(self):
+        a = np.zeros((5, 3))
+        u = np.zeros((5, 2))
+        s = np.zeros(2)
+        assert relative_spectral_error(a, u, s) == 0.0
+
+    def test_truncation_error_positive(self, rng):
+        a = rng.standard_normal((30, 12))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        err = relative_spectral_error(a, u[:, :3], s[:3], vt[:3])
+        assert 0 < err < 1

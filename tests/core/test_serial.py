@@ -1,0 +1,159 @@
+"""Unit tests for ParSVDSerial."""
+
+import numpy as np
+import pytest
+
+from repro import ParSVDSerial, SVDConfig
+from repro.exceptions import (
+    ConfigurationError,
+    NotInitializedError,
+    ShapeError,
+)
+from repro.utils.linalg import align_signs
+
+
+class TestConstruction:
+    def test_defaults_from_paper(self):
+        svd = ParSVDSerial(K=10)
+        assert svd.K == 10
+        assert svd.ff == 0.95
+        assert svd.low_rank is False
+
+    def test_config_object(self):
+        cfg = SVDConfig(K=4, ff=0.8, low_rank=True)
+        svd = ParSVDSerial(config=cfg)
+        assert svd.K == 4 and svd.ff == 0.8 and svd.low_rank
+
+    def test_kwargs_override_config(self):
+        svd = ParSVDSerial(K=7, config=SVDConfig(K=3, ff=0.5))
+        assert svd.K == 7
+        assert svd.ff == 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ParSVDSerial(K=0)
+
+    def test_invalid_ff(self):
+        with pytest.raises(ConfigurationError):
+            ParSVDSerial(K=3, ff=1.5)
+
+
+class TestLifecycle:
+    def test_results_before_initialize_raise(self):
+        svd = ParSVDSerial(K=3)
+        with pytest.raises(NotInitializedError):
+            _ = svd.modes
+        with pytest.raises(NotInitializedError):
+            _ = svd.singular_values
+
+    def test_incorporate_before_initialize_raises(self, decaying_matrix):
+        svd = ParSVDSerial(K=3)
+        with pytest.raises(NotInitializedError):
+            svd.incorporate_data(decaying_matrix)
+
+    def test_initialize_returns_self(self, decaying_matrix):
+        svd = ParSVDSerial(K=3)
+        assert svd.initialize(decaying_matrix) is svd
+        assert svd.initialized
+
+    def test_iteration_counts(self, decaying_matrix):
+        svd = ParSVDSerial(K=3)
+        svd.initialize(decaying_matrix[:, :10])
+        svd.incorporate_data(decaying_matrix[:, 10:20])
+        svd.incorporate_data(decaying_matrix[:, 20:30])
+        assert svd.iteration == 3
+        assert svd.n_seen == 30
+
+    def test_row_count_locked_after_initialize(self, decaying_matrix):
+        svd = ParSVDSerial(K=3).initialize(decaying_matrix[:, :10])
+        with pytest.raises(ShapeError):
+            svd.incorporate_data(np.zeros((11, 4)))
+
+    def test_fit_stream(self, decaying_matrix):
+        from repro.data import array_stream
+
+        svd = ParSVDSerial(K=4, ff=1.0)
+        svd.fit_stream(array_stream(decaying_matrix, 8))
+        assert svd.iteration == 5
+        assert svd.modes.shape == (200, 4)
+
+    def test_fit_stream_empty_raises(self):
+        svd = ParSVDSerial(K=3)
+        with pytest.raises(ShapeError):
+            svd.fit_stream([])
+
+
+class TestNumerics:
+    def test_matches_batch_svd_with_ff_one(self, rng):
+        # exact-rank data (rank 4 <= K=5): streaming with ff=1 is exact
+        data = rng.standard_normal((150, 4)) @ rng.standard_normal((4, 40))
+        svd = ParSVDSerial(K=5, ff=1.0)
+        svd.initialize(data[:, :10])
+        for j in range(10, 40, 10):
+            svd.incorporate_data(data[:, j : j + 10])
+        u, s, _ = np.linalg.svd(data, full_matrices=False)
+        assert np.allclose(svd.singular_values[:4], s[:4], rtol=1e-8)
+        aligned = align_signs(u[:, :4], svd.modes[:, :4])
+        assert np.max(np.abs(aligned - u[:, :4])) < 1e-6
+
+    def test_truncated_streaming_close_to_batch(self, decaying_matrix):
+        # K < rank: approximate, but leading values/modes remain accurate
+        svd = ParSVDSerial(K=5, ff=1.0)
+        svd.initialize(decaying_matrix[:, :10])
+        for j in range(10, 40, 10):
+            svd.incorporate_data(decaying_matrix[:, j : j + 10])
+        _, s, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        rel = np.abs(svd.singular_values - s[:5]) / s[:5]
+        assert rel[0] < 1e-8
+        assert np.max(rel) < 5e-3
+
+    def test_shapes(self, decaying_matrix):
+        svd = ParSVDSerial(K=6).initialize(decaying_matrix)
+        assert svd.modes.shape == (200, 6)
+        assert svd.singular_values.shape == (6,)
+
+    def test_randomized_variant_close(self, decaying_matrix):
+        dense = ParSVDSerial(K=5, ff=1.0).initialize(decaying_matrix)
+        rand = ParSVDSerial(
+            K=5, ff=1.0, low_rank=True, oversampling=10, power_iters=2, seed=0
+        ).initialize(decaying_matrix)
+        rel = np.abs(rand.singular_values - dense.singular_values)
+        assert np.max(rel / dense.singular_values) < 1e-8
+
+    def test_seed_reproducibility(self, decaying_matrix):
+        a = ParSVDSerial(K=4, low_rank=True, seed=11).initialize(decaying_matrix)
+        b = ParSVDSerial(K=4, low_rank=True, seed=11).initialize(decaying_matrix)
+        assert np.array_equal(a.modes, b.modes)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=4).initialize(decaying_matrix)
+        path = svd.save_results(tmp_path / "result")
+        loaded = ParSVDSerial.load_results(path)
+        assert np.array_equal(loaded["modes"], svd.modes)
+        assert np.array_equal(loaded["singular_values"], svd.singular_values)
+        assert loaded["K"] == 4
+        assert loaded["iteration"] == 1
+
+    def test_save_appends_npz_suffix(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = svd.save_results(tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_save_before_initialize_raises(self, tmp_path):
+        with pytest.raises(NotInitializedError):
+            ParSVDSerial(K=2).save_results(tmp_path / "x")
+
+
+class TestPostprocessingHooks:
+    def test_plot_singular_values_renders(self, decaying_matrix):
+        svd = ParSVDSerial(K=4).initialize(decaying_matrix)
+        out = svd.plot_singular_values()
+        assert "sigma" in out
+        assert "legend" in out
+
+    def test_plot_modes_renders(self, decaying_matrix):
+        svd = ParSVDSerial(K=4).initialize(decaying_matrix)
+        out = svd.plot_1d_modes(mode_indices=(0, 1))
+        assert "mode1" in out and "mode2" in out

@@ -1,0 +1,88 @@
+"""Unit tests for the sketch families."""
+
+import numpy as np
+import pytest
+
+from repro.core.randomized import (
+    make_sketch,
+    rademacher_sketch,
+    randomized_svd,
+    sparse_sign_sketch,
+)
+from repro.data.synthetic import matrix_with_spectrum, spectrum_exponential
+from repro.exceptions import ConfigurationError
+
+
+class TestRademacher:
+    def test_entries_are_pm_one(self):
+        omega = rademacher_sketch(50, 10, rng=0)
+        assert set(np.unique(omega)) == {-1.0, 1.0}
+
+    def test_unit_variance(self):
+        omega = rademacher_sketch(2000, 20, rng=0)
+        assert abs(omega.var() - 1.0) < 1e-3  # sample mean offsets the variance slightly
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            rademacher_sketch(10, 3, rng=4), rademacher_sketch(10, 3, rng=4)
+        )
+
+
+class TestSparseSign:
+    def test_density_respected(self):
+        omega = sparse_sign_sketch(5000, 10, density=0.2, rng=0)
+        frac = np.mean(omega != 0)
+        assert abs(frac - 0.2) < 0.02
+
+    def test_nonzero_magnitude(self):
+        omega = sparse_sign_sketch(100, 5, density=0.25, rng=0)
+        nz = omega[omega != 0]
+        assert np.allclose(np.abs(nz), 1.0 / np.sqrt(0.25))
+
+    def test_unit_second_moment(self):
+        omega = sparse_sign_sketch(20000, 4, density=0.1, rng=1)
+        assert abs((omega**2).mean() - 1.0) < 0.05
+
+    def test_density_validated(self):
+        with pytest.raises(ConfigurationError):
+            sparse_sign_sketch(10, 2, density=0.0)
+        with pytest.raises(ConfigurationError):
+            sparse_sign_sketch(10, 2, density=1.5)
+
+    def test_full_density_is_sign_matrix(self):
+        omega = sparse_sign_sketch(30, 3, density=1.0, rng=0)
+        assert set(np.unique(omega)) <= {-1.0, 1.0}
+
+
+class TestDispatch:
+    def test_known_kinds(self):
+        for kind in ("gaussian", "rademacher", "sparse"):
+            omega = make_sketch(kind, 20, 4, rng=0)
+            assert omega.shape == (20, 4)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_sketch("butterfly", 10, 2)
+
+
+class TestSketchesInRandomizedSvd:
+    @pytest.mark.parametrize("sketch", ["gaussian", "rademacher", "sparse"])
+    def test_exact_recovery_any_sketch(self, sketch):
+        a, _, s_true, _ = matrix_with_spectrum(
+            120, 60, spectrum_exponential(6, 0.6), rng=3
+        )
+        u, s, vt = randomized_svd(a, 6, oversampling=8, rng=0, sketch=sketch)
+        assert np.allclose(s, s_true, rtol=1e-8)
+        assert np.linalg.norm(a - (u * s) @ vt) < 1e-8 * np.linalg.norm(a)
+
+    @pytest.mark.parametrize("sketch", ["rademacher", "sparse"])
+    def test_error_comparable_to_gaussian(self, sketch, rng):
+        a = rng.standard_normal((200, 80))
+
+        def err(kind):
+            u, s, vt = randomized_svd(
+                a, 8, oversampling=8, power_iters=1, rng=0, sketch=kind
+            )
+            return np.linalg.norm(a - (u * s) @ vt)
+
+        assert err(sketch) < 1.2 * err("gaussian")

@@ -1,0 +1,153 @@
+"""Unit tests for the Levy--Lindenbaum streaming kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import (
+    StreamingState,
+    incorporate_batch,
+    initialize_streaming,
+)
+from repro.exceptions import ShapeError
+from repro.utils.linalg import align_signs, orthogonality_defect
+
+
+def stream_all(data, k, ff, batch, **kw):
+    state = initialize_streaming(data[:, :batch], k, **kw)
+    for start in range(batch, data.shape[1], batch):
+        state = incorporate_batch(
+            state, data[:, start : start + batch], k, ff, **kw
+        )
+    return state
+
+
+class TestInitialize:
+    def test_matches_truncated_svd(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix, 6)
+        u, s, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        assert np.allclose(state.singular_values, s[:6], rtol=1e-10)
+        assert np.allclose(align_signs(u[:, :6], state.modes), u[:, :6], atol=1e-8)
+
+    def test_modes_orthonormal(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix, 6)
+        assert orthogonality_defect(state.modes) < 1e-10
+
+    def test_k_larger_than_batch_clipped(self, rng):
+        a = rng.standard_normal((50, 3))
+        state = initialize_streaming(a, 10)
+        assert state.rank == 3
+
+    def test_counts(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix, 4)
+        assert state.batches == 1
+        assert state.n_seen == decaying_matrix.shape[1]
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ShapeError):
+            initialize_streaming(np.empty((10, 0)), 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            initialize_streaming(np.ones(5), 2)
+
+
+class TestIncorporate:
+    def test_ff_one_exact_when_k_covers_rank(self, rng):
+        """With ff=1 and K >= rank(A), streaming is exact: no information is
+        ever truncated away, so the recursion reproduces the one-shot SVD."""
+        k, rank = 6, 5
+        left = rng.standard_normal((150, rank))
+        right = rng.standard_normal((rank, 40))
+        data = left @ right
+        state = stream_all(data, k, 1.0, batch=10)
+        u, s, _ = np.linalg.svd(data, full_matrices=False)
+        assert np.allclose(state.singular_values[:rank], s[:rank], rtol=1e-9)
+        aligned = align_signs(u[:, :rank], state.modes[:, :rank])
+        assert np.max(np.abs(aligned - u[:, :rank])) < 1e-7
+
+    def test_ff_one_approximates_batch_svd_under_truncation(
+        self, decaying_matrix
+    ):
+        """With K < rank(A) each update discards tail energy, so streaming
+        is only approximate; with a 0.5-ratio spectrum the trailing retained
+        value carries the largest (but still small) error."""
+        k = 6
+        state = stream_all(decaying_matrix, k, 1.0, batch=10)
+        _, s, _ = np.linalg.svd(decaying_matrix, full_matrices=False)
+        rel = np.abs(state.singular_values - s[:k]) / s[:k]
+        assert rel[0] < 1e-8  # leading value essentially exact
+        assert np.max(rel) < 5e-3  # trailing value within truncation error
+
+    def test_modes_stay_orthonormal(self, decaying_matrix):
+        state = stream_all(decaying_matrix, 5, 0.95, batch=8)
+        assert orthogonality_defect(state.modes) < 1e-10
+
+    def test_values_descending(self, decaying_matrix):
+        state = stream_all(decaying_matrix, 5, 0.9, batch=8)
+        assert np.all(np.diff(state.singular_values) <= 0)
+
+    def test_forget_factor_discounts_history(self, rng):
+        """With small ff, the result should track the most recent batch."""
+        m = 100
+        old = rng.standard_normal((m, 1)) @ rng.standard_normal((1, 30))
+        recent_dir = rng.standard_normal((m, 1))
+        recent = recent_dir @ rng.standard_normal((1, 30))
+
+        state = initialize_streaming(old, 1)
+        state = incorporate_batch(state, recent, 1, ff=0.05)
+        mode = state.modes[:, 0]
+        recent_unit = recent_dir[:, 0] / np.linalg.norm(recent_dir)
+        assert abs(abs(mode @ recent_unit)) > 0.99
+
+    def test_ff_one_keeps_history(self, rng):
+        """With ff=1 an energetic old direction must survive a weak batch."""
+        m = 100
+        strong_dir = rng.standard_normal((m, 1))
+        strong = 100.0 * strong_dir @ rng.standard_normal((1, 20))
+        weak = 0.01 * rng.standard_normal((m, 20))
+
+        state = initialize_streaming(strong, 2)
+        state = incorporate_batch(state, weak, 2, ff=1.0)
+        unit = strong_dir[:, 0] / np.linalg.norm(strong_dir)
+        assert abs(state.modes[:, 0] @ unit) > 0.999
+
+    def test_row_mismatch_raises(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix, 3)
+        with pytest.raises(ShapeError):
+            incorporate_batch(state, np.zeros((7, 2)), 3, 1.0)
+
+    def test_invalid_ff_raises(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix[:, :5], 3)
+        with pytest.raises(ShapeError):
+            incorporate_batch(state, decaying_matrix[:, 5:8], 3, ff=0.0)
+        with pytest.raises(ShapeError):
+            incorporate_batch(state, decaying_matrix[:, 5:8], 3, ff=1.5)
+
+    def test_counters_accumulate(self, decaying_matrix):
+        state = stream_all(decaying_matrix, 4, 0.95, batch=10)
+        assert state.batches == 4
+        assert state.n_seen == 40
+
+    def test_single_snapshot_batches(self, rng):
+        # rank-2 data with K=3: one-column batches must still be exact
+        data = rng.standard_normal((80, 2)) @ rng.standard_normal((2, 10))
+        state = stream_all(data, 3, 1.0, batch=1)
+        _, s, _ = np.linalg.svd(data, full_matrices=False)
+        assert np.allclose(state.singular_values[:2], s[:2], rtol=1e-8)
+
+
+class TestRandomizedInner:
+    def test_low_rank_inner_close_to_dense(self, decaying_matrix):
+        dense = stream_all(decaying_matrix, 5, 1.0, batch=10)
+        randomized = stream_all(
+            decaying_matrix, 5, 1.0, batch=10,
+            low_rank=True, oversampling=10, power_iters=2, rng=0,
+        )
+        rel = np.abs(randomized.singular_values - dense.singular_values)
+        rel /= dense.singular_values
+        assert np.max(rel) < 1e-6
+
+    def test_streaming_state_frozen(self, decaying_matrix):
+        state = initialize_streaming(decaying_matrix, 3)
+        with pytest.raises(Exception):
+            state.modes = None  # dataclass frozen

@@ -1,0 +1,114 @@
+"""Unit tests for the distributed TSQR variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.tsqr import (
+    level_of_absorption,
+    stride_of_absorption,
+    tsqr_gather,
+    tsqr_tree,
+)
+from repro.smpi import SelfComm, run_spmd
+from repro.utils.linalg import orthogonality_defect, qr_positive
+from repro.utils.partition import block_partition
+
+
+def run_tsqr(data, nranks, variant):
+    m = data.shape[0]
+    fn = tsqr_gather if variant == "gather" else tsqr_tree
+
+    def job(comm):
+        part = block_partition(m, comm.size)
+        return fn(comm, data[part.slice_of(comm.rank), :])
+
+    results = run_spmd(nranks, job)
+    q = np.concatenate([r[0] for r in results], axis=0)
+    return q, results[0][1], [r[1] for r in results]
+
+
+@pytest.mark.parametrize("variant", ["gather", "tree"])
+class TestTsqrCommon:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 7, 8])
+    def test_matches_serial_qr(self, rng, variant, nranks):
+        a = rng.standard_normal((160, 12))
+        q, r, _ = run_tsqr(a, nranks, variant)
+        q_ref, r_ref = qr_positive(a)
+        assert np.allclose(r, r_ref, atol=1e-9)
+        assert np.allclose(q, q_ref, atol=1e-8)
+
+    def test_reconstruction(self, rng, variant):
+        a = rng.standard_normal((90, 7))
+        q, r, _ = run_tsqr(a, 3, variant)
+        assert np.allclose(q @ r, a, atol=1e-10)
+
+    def test_q_orthonormal(self, rng, variant):
+        a = rng.standard_normal((120, 9))
+        q, _, _ = run_tsqr(a, 4, variant)
+        assert orthogonality_defect(q) < 1e-10
+
+    def test_r_replicated_on_all_ranks(self, rng, variant):
+        a = rng.standard_normal((60, 5))
+        _, _, all_r = run_tsqr(a, 3, variant)
+        for r in all_r[1:]:
+            assert np.array_equal(r, all_r[0])
+
+    def test_r_positive_diag(self, rng, variant):
+        a = rng.standard_normal((80, 6))
+        _, r, _ = run_tsqr(a, 4, variant)
+        assert np.all(np.diagonal(r) >= 0)
+
+    def test_single_rank(self, rng, variant):
+        a = rng.standard_normal((40, 6))
+        fn = tsqr_gather if variant == "gather" else tsqr_tree
+        q, r = fn(SelfComm(), a)
+        q_ref, r_ref = qr_positive(a)
+        assert np.allclose(q, q_ref)
+        assert np.allclose(r, r_ref)
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("nranks", [2, 3, 5, 6, 8])
+    def test_gather_and_tree_identical(self, rng, nranks):
+        a = rng.standard_normal((200, 10))
+        qg, rg, _ = run_tsqr(a, nranks, "gather")
+        qt, rt, _ = run_tsqr(a, nranks, "tree")
+        assert np.allclose(rg, rt, atol=1e-9)
+        assert np.allclose(qg, qt, atol=1e-8)
+
+
+class TestTreeHelpers:
+    def test_level_of_absorption(self):
+        assert level_of_absorption(1) == 0
+        assert level_of_absorption(2) == 1
+        assert level_of_absorption(3) == 0
+        assert level_of_absorption(4) == 2
+        assert level_of_absorption(6) == 1
+
+    def test_stride_of_absorption(self):
+        assert stride_of_absorption(1) == 1
+        assert stride_of_absorption(2) == 2
+        assert stride_of_absorption(6) == 2
+        assert stride_of_absorption(8) == 8
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ValueError):
+            level_of_absorption(0)
+        with pytest.raises(ValueError):
+            stride_of_absorption(0)
+
+
+class TestEdgeShapes:
+    def test_ranks_with_fewer_rows_than_columns(self, rng):
+        """Blocks narrower than the column count still reduce correctly."""
+        a = rng.standard_normal((10, 6))  # 4 ranks -> blocks of 3,3,2,2 rows
+        q, r, _ = run_tsqr(a, 4, "gather")
+        assert np.allclose(q @ r, a, atol=1e-10)
+        assert orthogonality_defect(q) < 1e-10
+
+    def test_streaming_width(self, rng):
+        """The streaming update factors (K + batch)-wide blocks."""
+        a = rng.standard_normal((300, 25))
+        q, r, _ = run_tsqr(a, 6, "gather")
+        assert q.shape == (300, 25)
+        assert np.allclose(q @ r, a, atol=1e-9)

@@ -1,0 +1,133 @@
+"""Unit tests for the viscous Burgers snapshot generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.burgers import (
+    PAPER_GRID_POINTS,
+    PAPER_REYNOLDS,
+    PAPER_SNAPSHOTS,
+    BurgersProblem,
+    burgers_snapshots,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        b = BurgersProblem()
+        assert b.nx == PAPER_GRID_POINTS == 16384
+        assert b.nt == PAPER_SNAPSHOTS == 800
+        assert b.reynolds == PAPER_REYNOLDS == 1000.0
+        assert b.length == 1.0
+        assert b.t_final == 2.0
+
+    def test_t0_definition(self):
+        b = BurgersProblem(nx=16, nt=4, reynolds=8.0)
+        assert b.t0 == pytest.approx(np.e)
+
+
+class TestSolution:
+    def test_boundary_conditions(self):
+        b = BurgersProblem(nx=256, nt=10)
+        for t in (0.0, 0.7, 2.0):
+            u = b.solution(t)
+            assert u[0] == pytest.approx(0.0, abs=1e-12)
+            assert abs(u[-1]) < 1e-9  # right boundary decays to ~0
+
+    def test_nonnegative_bounded(self):
+        b = BurgersProblem(nx=512, nt=10)
+        for t in b.times:
+            u = b.solution(float(t))
+            assert np.all(u >= 0.0)
+            assert np.all(u <= 1.0)
+
+    def test_satisfies_pde_interior(self):
+        """The analytic formula must satisfy u_t + u u_x = nu u_xx."""
+        b = BurgersProblem(nx=2048, nt=10, reynolds=100.0)
+        x = b.x
+        t = 0.5
+        dt, nu = 1e-6, 1.0 / b.reynolds
+        u = b.solution(t, x)
+        u_t = (b.solution(t + dt, x) - b.solution(t - dt, x)) / (2 * dt)
+        dx = x[1] - x[0]
+        u_x = np.gradient(u, dx)
+        u_xx = np.gradient(u_x, dx)
+        interior = slice(100, -100)
+        residual = u_t + u * u_x - nu * u_xx
+        scale = np.max(np.abs(u_t[interior])) + 1e-12
+        assert np.max(np.abs(residual[interior])) / scale < 0.05
+
+    def test_custom_grid(self):
+        b = BurgersProblem(nx=64, nt=4)
+        xs = np.array([0.25, 0.5])
+        u = b.solution(1.0, xs)
+        assert u.shape == (2,)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurgersProblem(nx=16, nt=2).solution(-0.1)
+
+
+class TestSnapshotMatrix:
+    def test_shape(self):
+        b = BurgersProblem(nx=128, nt=30)
+        assert b.snapshot_matrix().shape == (128, 30)
+
+    def test_columns_are_time_slices(self):
+        b = BurgersProblem(nx=64, nt=5)
+        a = b.snapshot_matrix()
+        for j, t in enumerate(b.times):
+            assert np.allclose(a[:, j], b.solution(float(t)))
+
+    def test_convenience_function(self):
+        a = burgers_snapshots(nx=32, nt=7)
+        assert a.shape == (32, 7)
+
+    def test_compressible_spectrum(self):
+        """Burgers snapshots are compressible: the spectrum decays steadily
+        (a travelling front decays slower than a standing pattern, but the
+        tail is still orders of magnitude below the leading value)."""
+        a = BurgersProblem(nx=512, nt=100).snapshot_matrix()
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[20] / s[0] < 1e-2
+        assert s[60] / s[0] < 1e-3
+        assert np.all(np.diff(s) <= 0)
+
+
+class TestLocalBlocks:
+    def test_blocks_tile_global(self):
+        b = BurgersProblem(nx=100, nt=12)
+        global_matrix = b.snapshot_matrix()
+        blocks = []
+        for rank in range(3):
+            block, part = b.local_snapshot_matrix(rank, 3)
+            assert block.shape[0] == part.counts[rank]
+            blocks.append(block)
+        assert np.allclose(np.concatenate(blocks, axis=0), global_matrix)
+
+
+class TestBatches:
+    def test_batches_tile_columns(self):
+        b = BurgersProblem(nx=64, nt=23)
+        batches = list(b.batches(10))
+        assert [x.shape[1] for x in batches] == [10, 10, 3]
+        assert np.allclose(np.concatenate(batches, axis=1), b.snapshot_matrix())
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(BurgersProblem(nx=16, nt=4).batches(0))
+
+
+class TestValidation:
+    def test_bad_nx(self):
+        with pytest.raises(ConfigurationError):
+            BurgersProblem(nx=1, nt=4)
+
+    def test_bad_nt(self):
+        with pytest.raises(ConfigurationError):
+            BurgersProblem(nx=16, nt=0)
+
+    def test_bad_reynolds(self):
+        with pytest.raises(ConfigurationError):
+            BurgersProblem(nx=16, nt=4, reynolds=-1.0)

@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic ERA5-like pressure field."""
+
+import numpy as np
+import pytest
+
+from repro.data.era5_like import Era5LikeField, era5_like_snapshots
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def field() -> Era5LikeField:
+    return Era5LikeField(nlat=12, nlon=24, nt=40, seed=3)
+
+
+class TestGrids:
+    def test_grid_shapes(self, field):
+        assert field.lat.shape == (12,)
+        assert field.lon.shape == (24,)
+        assert field.n_dof == 288
+
+    def test_lat_covers_poles(self, field):
+        assert field.lat[0] == -90.0
+        assert field.lat[-1] == 90.0
+
+    def test_lon_periodic_no_duplicate(self, field):
+        assert field.lon[0] == 0.0
+        assert field.lon[-1] < 360.0
+
+
+class TestSnapshots:
+    def test_shape(self, field):
+        assert field.snapshots().shape == (288, 40)
+
+    def test_pressure_magnitude_realistic(self, field):
+        s = field.snapshots()
+        assert 950 < s.mean() < 1070  # hPa-scale values
+
+    def test_reproducible(self, field):
+        a = field.snapshots()
+        b = Era5LikeField(nlat=12, nlon=24, nt=40, seed=3).snapshots()
+        assert np.array_equal(a, b)
+
+    def test_chunk_independence(self, field):
+        """Any sub-window equals the same columns of the full record."""
+        full = field.snapshots()
+        window = field.snapshots(start=13, count=9)
+        assert np.allclose(full[:, 13:22], window)
+
+    def test_window_bounds_checked(self, field):
+        with pytest.raises(ConfigurationError):
+            field.snapshots(start=38, count=5)
+        with pytest.raises(ConfigurationError):
+            field.snapshots(start=-1)
+
+    def test_different_seeds_differ(self):
+        a = Era5LikeField(nlat=8, nlon=16, nt=10, seed=1).snapshots()
+        b = Era5LikeField(nlat=8, nlon=16, nt=10, seed=2).snapshots()
+        assert not np.allclose(a, b)
+
+    def test_zero_noise_deterministic_structure(self):
+        f = Era5LikeField(nlat=8, nlon=16, nt=10, noise_amp=0.0)
+        s = f.snapshots()
+        # without noise the data are exactly rank <= 1 (seasonal)
+        # + 2 (wave pair) + 1 (base) = 4
+        rank = np.linalg.matrix_rank(s, tol=1e-8)
+        assert rank <= 4
+
+
+class TestGroundTruthStructures:
+    def test_seasonal_pattern_antisymmetric(self, field):
+        pattern = field.seasonal_pattern()
+        assert np.allclose(pattern[0, :], -pattern[-1, :])
+
+    def test_wave_patterns_quadrature(self, field):
+        (cos_map, sin_map), = field.wave_patterns()
+        # cos and sin patterns are orthogonal over the periodic grid
+        assert abs(np.sum(cos_map * sin_map)) < 1e-8
+
+    def test_svd_recovers_planted_modes(self):
+        """The leading anomaly modes must align with the planted structures."""
+        f = Era5LikeField(nlat=16, nlon=32, nt=240, noise_amp=0.2, seed=0)
+        anomalies = f.anomaly_snapshots()
+        u, s, _ = np.linalg.svd(anomalies, full_matrices=False)
+
+        seasonal = f.seasonal_pattern().ravel()
+        seasonal /= np.linalg.norm(seasonal)
+        cos_map, sin_map = f.wave_patterns()[0]
+        wave_basis = np.column_stack(
+            [cos_map.ravel() / np.linalg.norm(cos_map),
+             sin_map.ravel() / np.linalg.norm(sin_map)]
+        )
+        # mode 1 = seasonal see-saw
+        assert abs(u[:, 0] @ seasonal) > 0.95
+        # modes 2-3 = travelling-wave quadrature pair
+        for j in (1, 2):
+            assert np.linalg.norm(wave_basis.T @ u[:, j]) > 0.95
+
+
+class TestLocalAndBatches:
+    def test_local_blocks_tile(self, field):
+        full = field.snapshots()
+        blocks = [field.local_snapshots(r, 3)[0] for r in range(3)]
+        assert np.allclose(np.concatenate(blocks, axis=0), full)
+
+    def test_batches_tile(self, field):
+        batches = list(field.batches(16))
+        assert [b.shape[1] for b in batches] == [16, 16, 8]
+        assert np.allclose(np.concatenate(batches, axis=1), field.snapshots())
+
+    def test_bad_batch_size(self, field):
+        with pytest.raises(ConfigurationError):
+            list(field.batches(-2))
+
+
+class TestValidation:
+    def test_bad_grid(self):
+        with pytest.raises(ConfigurationError):
+            Era5LikeField(nlat=1, nlon=16)
+
+    def test_wave_lists_must_match(self):
+        with pytest.raises(ConfigurationError):
+            Era5LikeField(wave_amps=(1.0, 2.0), wave_numbers=(3,))
+
+    def test_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            Era5LikeField(noise_amp=-0.1)
+
+    def test_convenience_function(self):
+        assert era5_like_snapshots(nlat=6, nlon=12, nt=5).shape == (72, 5)
+
+
+class TestPaperCadence:
+    def test_paper_snapshot_count(self):
+        """2013-01-01..2020-12-31 at 6-hourly cadence (incl. leap days)."""
+        from repro.data.era5_like import PAPER_SNAPSHOT_COUNT
+
+        assert PAPER_SNAPSHOT_COUNT == 11688
+
+    def test_paper_cadence_field_constructible(self):
+        # construct (not generate) a full paper-cadence record descriptor
+        from repro.data.era5_like import PAPER_SNAPSHOT_COUNT
+
+        f = Era5LikeField(nlat=4, nlon=8, nt=PAPER_SNAPSHOT_COUNT)
+        assert f.times_hours[-1] == (PAPER_SNAPSHOT_COUNT - 1) * 6.0
+
+    def test_seasonal_period_annual(self):
+        """The seasonal coefficient has a 1-year period."""
+        f = Era5LikeField(nlat=4, nlon=8, nt=8)
+        year_hours = 365.25 * 24.0
+        c = f._temporal_coefficients(np.array([0.0, year_hours]))
+        assert c["seasonal"][0] == pytest.approx(c["seasonal"][1], abs=1e-9)

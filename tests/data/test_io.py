@@ -1,0 +1,140 @@
+"""Unit tests for the snapshot container (parallel-IO stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import SnapshotDataset, read_local_block, write_snapshot_dataset
+from repro.exceptions import DataFormatError, ShapeError
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.standard_normal((50, 12))
+
+
+@pytest.fixture
+def container(tmp_path, matrix):
+    path = tmp_path / "snaps.rsnap"
+    write_snapshot_dataset(path, matrix, meta={"case": "test", "dt": 0.1})
+    return path
+
+
+class TestRoundtrip:
+    def test_full_read(self, container, matrix):
+        dataset = SnapshotDataset.open(container)
+        assert np.array_equal(dataset.read(), matrix)
+
+    def test_metadata_preserved(self, container):
+        dataset = SnapshotDataset.open(container)
+        assert dataset.meta == {"case": "test", "dt": 0.1}
+
+    def test_shape_properties(self, container):
+        dataset = SnapshotDataset.open(container)
+        assert dataset.n_dof == 50
+        assert dataset.n_snapshots == 12
+
+    def test_float32_dtype(self, tmp_path, rng):
+        a = rng.standard_normal((10, 4)).astype(np.float32)
+        path = write_snapshot_dataset(tmp_path / "f32.rsnap", a)
+        dataset = SnapshotDataset.open(path)
+        assert dataset.dtype == np.float32
+        assert np.array_equal(dataset.read(), a)
+
+    def test_rejects_1d(self, tmp_path):
+        with pytest.raises(ShapeError):
+            write_snapshot_dataset(tmp_path / "bad.rsnap", np.ones(5))
+
+
+class TestWindowedReads:
+    def test_row_window(self, container, matrix):
+        dataset = SnapshotDataset.open(container)
+        assert np.array_equal(dataset.read_window(10, 20), matrix[10:20])
+
+    def test_row_and_column_window(self, container, matrix):
+        dataset = SnapshotDataset.open(container)
+        out = dataset.read_window(5, 15, 3, 9)
+        assert np.array_equal(out, matrix[5:15, 3:9])
+
+    def test_window_bounds(self, container):
+        dataset = SnapshotDataset.open(container)
+        with pytest.raises(ShapeError):
+            dataset.read_window(0, 51)
+        with pytest.raises(ShapeError):
+            dataset.read_window(0, 10, 5, 13)
+
+    def test_rank_blocks_tile(self, container, matrix):
+        blocks = []
+        for rank in range(4):
+            block, _ = read_local_block(container, rank, 4)
+            blocks.append(block)
+        assert np.array_equal(np.concatenate(blocks, axis=0), matrix)
+
+    def test_column_batches(self, container, matrix):
+        dataset = SnapshotDataset.open(container)
+        batches = list(dataset.column_batches(5))
+        assert [b.shape[1] for b in batches] == [5, 5, 2]
+        assert np.array_equal(np.concatenate(batches, axis=1), matrix)
+
+    def test_bad_batch_size(self, container):
+        dataset = SnapshotDataset.open(container)
+        with pytest.raises(ShapeError):
+            list(dataset.column_batches(0))
+
+
+class TestStreamingWrites:
+    def test_create_then_write_columns(self, tmp_path, rng):
+        path = tmp_path / "stream.rsnap"
+        a = rng.standard_normal((20, 9))
+        dataset = SnapshotDataset.create(path, (20, 9))
+        dataset.write_columns(0, a[:, :4])
+        dataset.write_columns(4, a[:, 4:])
+        assert np.array_equal(SnapshotDataset.open(path).read(), a)
+
+    def test_out_of_order_writes(self, tmp_path, rng):
+        path = tmp_path / "ooo.rsnap"
+        a = rng.standard_normal((8, 6))
+        dataset = SnapshotDataset.create(path, (8, 6))
+        dataset.write_columns(3, a[:, 3:])
+        dataset.write_columns(0, a[:, :3])
+        assert np.array_equal(SnapshotDataset.open(path).read(), a)
+
+    def test_write_window_bounds(self, tmp_path):
+        dataset = SnapshotDataset.create(tmp_path / "b.rsnap", (5, 4))
+        with pytest.raises(ShapeError):
+            dataset.write_columns(3, np.ones((5, 2)))
+        with pytest.raises(ShapeError):
+            dataset.write_columns(0, np.ones((6, 2)))
+
+    def test_bad_create_shape(self, tmp_path):
+        with pytest.raises(ShapeError):
+            SnapshotDataset.create(tmp_path / "z.rsnap", (0, 3))
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rsnap"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 100)
+        with pytest.raises(DataFormatError):
+            SnapshotDataset.open(path)
+
+    def test_truncated_file(self, container):
+        data = container.read_bytes()
+        container.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DataFormatError):
+            SnapshotDataset.open(container)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = tmp_path / "corrupt.rsnap"
+        header = b"{not json"
+        blob = b"RSNAP001" + np.uint64(len(header)).tobytes() + header
+        path.write_bytes(blob + b"\x00" * 64)
+        with pytest.raises(DataFormatError):
+            SnapshotDataset.open(path)
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "nokey.rsnap"
+        header = b'{"shape": [2, 2]}'
+        blob = b"RSNAP001" + np.uint64(len(header)).tobytes() + header
+        path.write_bytes(blob + b"\x00" * 64)
+        with pytest.raises(DataFormatError):
+            SnapshotDataset.open(path)

@@ -1,0 +1,109 @@
+"""Unit tests for SnapshotStream."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import write_snapshot_dataset, SnapshotDataset
+from repro.data.streams import (
+    array_stream,
+    dataset_stream,
+    function_stream,
+)
+from repro.exceptions import ShapeError
+
+
+class TestArrayStream:
+    def test_batches_tile(self, rng):
+        a = rng.standard_normal((30, 17))
+        stream = array_stream(a, 5)
+        batches = list(stream)
+        assert [b.shape[1] for b in batches] == [5, 5, 5, 2]
+        assert np.allclose(np.concatenate(batches, axis=1), a)
+
+    def test_reiterable(self, rng):
+        a = rng.standard_normal((10, 6))
+        stream = array_stream(a, 3)
+        first = [b.copy() for b in stream]
+        second = list(stream)
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_metadata(self, rng):
+        stream = array_stream(rng.standard_normal((10, 6)), 2)
+        assert stream.n_dof == 10
+        assert stream.n_snapshots == 6
+
+    def test_bad_batch_size(self, rng):
+        with pytest.raises(ShapeError):
+            array_stream(rng.standard_normal((5, 5)), 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            array_stream(np.ones(4), 2)
+
+
+class TestDatasetStream:
+    def test_streams_from_disk(self, tmp_path, rng):
+        a = rng.standard_normal((12, 9))
+        path = write_snapshot_dataset(tmp_path / "d.rsnap", a)
+        stream = dataset_stream(SnapshotDataset.open(path), 4)
+        assert np.allclose(np.concatenate(list(stream), axis=1), a)
+        assert stream.n_dof == 12
+
+
+class TestFunctionStream:
+    def test_generates_until_none(self, rng):
+        batches = [rng.standard_normal((6, 2)) for _ in range(3)]
+
+        def produce(index):
+            return batches[index] if index < len(batches) else None
+
+        out = list(function_stream(produce))
+        assert len(out) == 3
+        for got, expected in zip(out, batches):
+            assert np.array_equal(got, expected)
+
+    def test_n_batches_limit(self, rng):
+        def produce(index):
+            return np.zeros((4, 1))
+
+        out = list(function_stream(produce, n_batches=5))
+        assert len(out) == 5
+
+    def test_row_consistency_enforced(self):
+        shapes = [(4, 2), (5, 2)]
+
+        def produce(index):
+            return np.zeros(shapes[index]) if index < 2 else None
+
+        with pytest.raises(ShapeError):
+            list(function_stream(produce))
+
+
+class TestTransforms:
+    def test_map(self, rng):
+        a = rng.standard_normal((8, 6))
+        stream = array_stream(a, 3).map(lambda b: 2.0 * b)
+        assert np.allclose(np.concatenate(list(stream), axis=1), 2 * a)
+
+    def test_restrict_rows(self, rng):
+        a = rng.standard_normal((10, 6))
+        stream = array_stream(a, 3).restrict_rows(slice(2, 7))
+        out = np.concatenate(list(stream), axis=1)
+        assert np.allclose(out, a[2:7])
+        assert stream.n_dof == 5
+
+    def test_restrict_rows_feeds_parallel_rank(self, rng):
+        """A rank adapts a global stream to its partition slice."""
+        from repro.utils.partition import block_partition
+
+        a = rng.standard_normal((20, 8))
+        part = block_partition(20, 3)
+        pieces = [
+            np.concatenate(
+                list(array_stream(a, 4).restrict_rows(part.slice_of(r))),
+                axis=1,
+            )
+            for r in range(3)
+        ]
+        assert np.allclose(np.concatenate(pieces, axis=0), a)

@@ -1,0 +1,99 @@
+"""Unit tests for synthetic spectrum-controlled matrices."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    low_rank_plus_noise,
+    matrix_with_spectrum,
+    spectrum_exponential,
+    spectrum_polynomial,
+    spectrum_step,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+class TestSpectra:
+    def test_exponential(self):
+        s = spectrum_exponential(4, 0.5)
+        assert np.allclose(s, [1.0, 0.5, 0.25, 0.125])
+
+    def test_polynomial(self):
+        s = spectrum_polynomial(3, 1.0)
+        assert np.allclose(s, [1.0, 0.5, 1.0 / 3.0])
+
+    def test_step(self):
+        s = spectrum_step(5, 2, gap=0.01)
+        assert np.allclose(s, [1, 1, 0.01, 0.01, 0.01])
+
+    def test_all_non_increasing(self):
+        for s in (
+            spectrum_exponential(20, 0.9),
+            spectrum_polynomial(20, 0.3),
+            spectrum_step(20, 7),
+        ):
+            assert np.all(np.diff(s) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spectrum_exponential(0)
+        with pytest.raises(ConfigurationError):
+            spectrum_exponential(5, 1.5)
+        with pytest.raises(ConfigurationError):
+            spectrum_polynomial(5, -1)
+        with pytest.raises(ConfigurationError):
+            spectrum_step(5, 6)
+        with pytest.raises(ConfigurationError):
+            spectrum_step(5, 2, gap=1.0)
+
+
+class TestMatrixWithSpectrum:
+    def test_singular_values_exact(self, rng):
+        spec = spectrum_exponential(10, 0.7)
+        a, _, _, _ = matrix_with_spectrum(60, 30, spec, rng=rng)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(s[:10], spec, rtol=1e-10)
+        assert np.all(s[10:] < 1e-12)
+
+    def test_returns_factors(self, rng):
+        spec = spectrum_exponential(5, 0.5)
+        a, u, s, vt = matrix_with_spectrum(40, 20, spec, rng=rng)
+        assert np.allclose((u * s) @ vt, a)
+        assert np.allclose(u.T @ u, np.eye(5), atol=1e-12)
+
+    def test_spectrum_too_long(self, rng):
+        with pytest.raises(ShapeError):
+            matrix_with_spectrum(10, 5, np.ones(6), rng=rng)
+
+    def test_increasing_spectrum_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            matrix_with_spectrum(10, 5, np.array([1.0, 2.0]), rng=rng)
+
+    def test_reproducible(self):
+        spec = spectrum_exponential(3, 0.5)
+        a1, *_ = matrix_with_spectrum(20, 10, spec, rng=5)
+        a2, *_ = matrix_with_spectrum(20, 10, spec, rng=5)
+        assert np.array_equal(a1, a2)
+
+
+class TestLowRankPlusNoise:
+    def test_shape(self, rng):
+        assert low_rank_plus_noise(30, 20, 4, rng=rng).shape == (30, 20)
+
+    def test_noiseless_exact_rank(self, rng):
+        a = low_rank_plus_noise(40, 25, 3, noise=0.0, rng=rng)
+        assert np.linalg.matrix_rank(a, tol=1e-10) == 3
+
+    def test_noise_fills_spectrum(self, rng):
+        a = low_rank_plus_noise(40, 25, 3, noise=1e-3, rng=rng)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[3] > 1e-4  # noise floor present
+        assert s[3] < 0.1 * s[2]  # but well separated
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            low_rank_plus_noise(10, 5, 0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            low_rank_plus_noise(10, 5, 6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            low_rank_plus_noise(10, 5, 2, noise=-1, rng=rng)

@@ -1,0 +1,50 @@
+"""Every shipped example must run clean end to end.
+
+The examples are deliverables (they demonstrate the public API on the
+paper's scenarios); this guard runs each as a real subprocess — the same
+way a user would — and checks the exit status plus a distinctive line of
+expected output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> substring its stdout must contain
+EXPECTED = {
+    "quickstart.py": "results saved to",
+    "burgers_modes.py": "serial vs parallel(4 ranks, randomized)",
+    "era5_coherent_structures.py": "coherent structures found:",
+    "weak_scaling_study.py": "efficiency at 1 node",
+    "online_insitu_svd.py": "tracks current regime",
+    "dmd_analysis.py": "recovered frequencies",
+    "checkpoint_restart.py": "bit-faithful",
+    "spectral_analysis.py": "alignment with planted wave pair",
+}
+
+
+def test_every_example_is_covered():
+    """Adding an example without updating this guard is an error."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED), (
+        f"examples on disk {sorted(on_disk)} != guarded {sorted(EXPECTED)}"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert EXPECTED[script] in result.stdout

@@ -1,0 +1,105 @@
+"""Unit tests for the flop/traffic cost formulas."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.costs import (
+    apmos_local_flops,
+    apmos_root_svd_flops,
+    apmos_traffic,
+    flops_eigh,
+    flops_gemm,
+    flops_qr,
+    flops_svd,
+)
+
+
+class TestFlopCounts:
+    def test_gemm(self):
+        assert flops_gemm(2, 3, 4) == 48.0
+
+    def test_qr_scaling(self):
+        # doubling rows doubles the dominant 2mn^2 term
+        small = flops_qr(100, 10)
+        large = flops_qr(200, 10)
+        assert large / small == pytest.approx(2.0, rel=0.05)
+
+    def test_svd_handles_wide(self):
+        assert flops_svd(10, 100) == flops_svd(100, 10)
+
+    def test_eigh_cubic(self):
+        assert flops_eigh(20) / flops_eigh(10) == pytest.approx(8.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            flops_qr(0, 3)
+        with pytest.raises(ConfigurationError):
+            flops_gemm(2, -1, 3)
+
+
+class TestApmosTraffic:
+    def test_exact_bytes(self):
+        t = apmos_traffic(p=4, n=40, r1=10, k=4)
+        assert t.gather_bytes_per_rank == 40 * 10 * 8
+        assert t.gather_bytes_root_total == 3 * 40 * 10 * 8
+        assert t.bcast_bytes == (40 * 4 + 4) * 8
+
+    def test_r1_clipped_to_n(self):
+        t = apmos_traffic(p=2, n=5, r1=100, k=3)
+        assert t.gather_bytes_per_rank == 5 * 5 * 8
+
+    def test_k_clipped_to_n(self):
+        t = apmos_traffic(p=2, n=3, r1=3, k=50)
+        assert t.bcast_bytes == (3 * 3 + 3) * 8
+
+    def test_single_rank_no_gather(self):
+        t = apmos_traffic(p=1, n=10, r1=5, k=2)
+        assert t.gather_bytes_root_total == 0
+
+    def test_itemsize(self):
+        t8 = apmos_traffic(p=2, n=10, r1=5, k=2, itemsize=8)
+        t4 = apmos_traffic(p=2, n=10, r1=5, k=2, itemsize=4)
+        assert t8.gather_bytes_per_rank == 2 * t4.gather_bytes_per_rank
+
+    def test_matches_measured_bytes(self):
+        """The formulas must equal the tracer-recorded traffic exactly."""
+        from repro.perf.scaling import WeakScalingStudy
+
+        study = WeakScalingStudy(
+            points_per_rank=64, n_snapshots=30, k=3, r1=8, calibrate=False
+        )
+        for ranks in (2, 3, 4):
+            report = study.validate_traffic(ranks)
+            assert report["measured_gather_root"] == report["model_gather_root"]
+            assert report["measured_bcast"] == report["model_bcast"]
+
+
+class TestApmosFlops:
+    def test_local_flops_grow_with_m(self):
+        small = apmos_local_flops(100, 40, 10, 4)
+        large = apmos_local_flops(200, 40, 10, 4)
+        assert large > small
+
+    def test_methods_differ(self):
+        mos = apmos_local_flops(1000, 50, 10, 4, method="mos")
+        svd = apmos_local_flops(1000, 50, 10, 4, method="svd")
+        assert mos != svd
+        with pytest.raises(ConfigurationError):
+            apmos_local_flops(10, 5, 2, 2, method="bogus")
+
+    def test_root_svd_grows_linearly_when_randomized(self):
+        f1 = apmos_root_svd_flops(64, 800, 50, 10, randomized=True)
+        f2 = apmos_root_svd_flops(128, 800, 50, 10, randomized=True)
+        assert f2 / f1 == pytest.approx(2.0, rel=0.15)
+
+    def test_root_svd_superlinear_when_dense_and_narrow(self):
+        # while r1 * p < n the dense SVD cost grows superlinearly in p
+        f1 = apmos_root_svd_flops(4, 800, 50, 10, randomized=False)
+        f2 = apmos_root_svd_flops(8, 800, 50, 10, randomized=False)
+        assert f2 / f1 > 2.5
+
+    def test_randomized_cheaper_at_scale(self):
+        dense = apmos_root_svd_flops(1024, 800, 50, 10, randomized=False)
+        rand = apmos_root_svd_flops(1024, 800, 50, 10, randomized=True)
+        assert rand < dense

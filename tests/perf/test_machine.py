@@ -1,0 +1,73 @@
+"""Unit tests for the machine models."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.machine import LAPTOP, THETA_KNL, MachineModel
+
+
+class TestPresets:
+    def test_theta_parameters(self):
+        assert THETA_KNL.ranks_per_node == 64
+        assert THETA_KNL.flops_per_second > 1e9
+        assert THETA_KNL.latency_s > 0
+
+    def test_laptop_exists(self):
+        assert LAPTOP.name == "laptop"
+
+
+class TestCosts:
+    @pytest.fixture
+    def machine(self):
+        return MachineModel(
+            name="unit",
+            flops_per_second=1e9,
+            latency_s=1e-6,
+            bandwidth_bytes_per_s=1e9,
+            ranks_per_node=4,
+        )
+
+    def test_compute_seconds(self, machine):
+        assert machine.compute_seconds(1e9) == pytest.approx(1.0)
+        assert machine.compute_seconds(0) == 0.0
+
+    def test_p2p_alpha_beta(self, machine):
+        assert machine.p2p_seconds(0) == pytest.approx(1e-6)
+        assert machine.p2p_seconds(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_gather_linear_in_ranks(self, machine):
+        t4 = machine.gather_seconds(4, 1000)
+        t8 = machine.gather_seconds(8, 1000)
+        assert t8 == pytest.approx(t4 * 7 / 3)
+
+    def test_gather_single_rank_free(self, machine):
+        assert machine.gather_seconds(1, 1000) == 0.0
+
+    def test_bcast_logarithmic(self, machine):
+        t2 = machine.bcast_seconds(2, 1000)
+        t16 = machine.bcast_seconds(16, 1000)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_bcast_single_rank_free(self, machine):
+        assert machine.bcast_seconds(1, 1e6) == 0.0
+
+    def test_nodes_for(self, machine):
+        assert machine.nodes_for(8) == 2.0
+
+    def test_validation(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.compute_seconds(-1)
+        with pytest.raises(ConfigurationError):
+            machine.gather_seconds(0, 10)
+        with pytest.raises(ConfigurationError):
+            machine.p2p_seconds(-5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel("x", -1, 1e-6, 1e9)
+        with pytest.raises(ConfigurationError):
+            MachineModel("x", 1e9, -1e-6, 1e9)
+        with pytest.raises(ConfigurationError):
+            MachineModel("x", 1e9, 1e-6, 0)
+        with pytest.raises(ConfigurationError):
+            MachineModel("x", 1e9, 1e-6, 1e9, ranks_per_node=0)

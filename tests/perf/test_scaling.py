@@ -1,0 +1,114 @@
+"""Unit tests for the weak-scaling study."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.machine import THETA_KNL
+from repro.perf.scaling import (
+    WeakScalingStudy,
+    measure_effective_flops,
+    measure_local_compute,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # analytic (calibrate=False) keeps the tests deterministic and fast
+    return WeakScalingStudy(
+        points_per_rank=1024, n_snapshots=800, k=10, r1=50,
+        machine=THETA_KNL, calibrate=False,
+    )
+
+
+class TestMeasurement:
+    def test_effective_flops_positive(self):
+        rate = measure_effective_flops(size=64, repeats=2, rng=0)
+        assert rate > 1e6
+
+    def test_local_compute_positive(self):
+        t = measure_local_compute(128, 40, 10, 4, repeats=2, rng=0)
+        assert t > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            measure_effective_flops(size=0)
+        with pytest.raises(ConfigurationError):
+            measure_local_compute(10, 10, 5, 2, repeats=0)
+
+
+class TestModelShape:
+    def test_compute_term_constant(self, study):
+        result = study.run([1, 16, 256, 4096])
+        computes = [p.compute_s for p in result.points]
+        assert len(set(computes)) == 1
+
+    def test_communication_grows(self, study):
+        result = study.run([2, 64, 1024, 16384])
+        gathers = [p.gather_s for p in result.points]
+        assert all(a < b for a, b in zip(gathers, gathers[1:]))
+
+    def test_near_ideal_at_small_scale(self, study):
+        """Weak scaling stays near ideal at modest rank counts (the paper:
+        'scaling is seen to follow the ideal trend appropriately')."""
+        result = study.run([1, 2, 4, 8, 16, 32, 64])
+        assert result.efficiency[-1] > 0.8
+
+    def test_efficiency_degrades_monotonically(self, study):
+        result = study.run(study.paper_rank_counts(max_nodes=256))
+        assert np.all(np.diff(result.efficiency) <= 1e-12)
+
+    def test_total_is_sum_of_parts(self, study):
+        p = study.point(64)
+        assert p.total_s == pytest.approx(
+            p.compute_s + p.root_svd_s + p.gather_s + p.bcast_s
+        )
+
+    def test_nodes_reported(self, study):
+        p = study.point(128)
+        assert p.nodes == pytest.approx(2.0)
+
+    def test_paper_rank_counts(self, study):
+        counts = study.paper_rank_counts(max_nodes=256)
+        assert counts[0] == 1
+        assert counts[-1] == 16384
+        assert all(b == 2 * a for a, b in zip(counts, counts[1:]))
+
+    def test_run_validation(self, study):
+        with pytest.raises(ConfigurationError):
+            study.run([])
+        with pytest.raises(ConfigurationError):
+            study.run([4, 2])
+        with pytest.raises(ConfigurationError):
+            study.run([0, 2])
+
+
+class TestTrafficValidation:
+    def test_model_matches_runtime(self):
+        study = WeakScalingStudy(
+            points_per_rank=64, n_snapshots=24, k=3, r1=6, calibrate=False
+        )
+        report = study.validate_traffic(3)
+        assert report["measured_gather_root"] == report["model_gather_root"]
+        assert report["measured_bcast"] == report["model_bcast"]
+
+    def test_single_rank_traffic_zero(self):
+        study = WeakScalingStudy(
+            points_per_rank=32, n_snapshots=16, k=2, r1=4, calibrate=False
+        )
+        report = study.validate_traffic(1)
+        assert report["measured_gather_root"] == 0
+        assert report["model_gather_root"] == 0
+
+
+class TestConstruction:
+    def test_calibrated_study_runs(self):
+        study = WeakScalingStudy(
+            points_per_rank=64, n_snapshots=24, k=3, r1=6, calibrate=True
+        )
+        result = study.run([1, 2, 4])
+        assert np.all(result.times > 0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            WeakScalingStudy(points_per_rank=0)

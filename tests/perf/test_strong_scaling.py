@@ -1,0 +1,63 @@
+"""Unit tests for the strong-scaling study."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.scaling import StrongScalingStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return StrongScalingStudy(
+        n_dof=262144, n_snapshots=800, k=10, r1=50, calibrate=False
+    )
+
+
+class TestStrongScalingShape:
+    def test_near_linear_speedup_at_small_p(self, study):
+        result = study.run([1, 2, 4, 8])
+        speedups = study.speedups(result)
+        assert speedups[1] > 1.8
+        assert speedups[2] > 3.5
+        assert speedups[3] > 6.5
+
+    def test_compute_term_shrinks(self, study):
+        assert study.point(8).compute_s < study.point(1).compute_s / 6
+
+    def test_communication_grows(self, study):
+        assert study.point(64).gather_s > study.point(2).gather_s
+
+    def test_turnover_exists(self, study):
+        """The strong-scaling wall: beyond some p, more ranks hurt."""
+        turnover = study.turnover_ranks()
+        assert 8 <= turnover < 1 << 20
+        # past the turnover the time actually increases
+        t_turn = study.point(turnover).total_s
+        t_past = study.point(turnover * 4).total_s
+        assert t_past > t_turn
+
+    def test_speedup_not_superlinear(self, study):
+        result = study.run([1, 2, 4, 8, 16])
+        speedups = study.speedups(result)
+        assert np.all(speedups <= result.ranks + 1e-9)
+
+    def test_run_validation(self, study):
+        with pytest.raises(ConfigurationError):
+            study.run([])
+        with pytest.raises(ConfigurationError):
+            study.run([8, 4])
+        with pytest.raises(ConfigurationError):
+            study.point(0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            StrongScalingStudy(n_dof=0, calibrate=False)
+
+    def test_calibrated_runs(self):
+        study = StrongScalingStudy(
+            n_dof=8192, n_snapshots=64, k=4, r1=8, calibrate=True
+        )
+        result = study.run([1, 2, 4])
+        assert np.all(result.times > 0)
+        assert study.speedups(result)[1] > 1.0

@@ -1,0 +1,122 @@
+"""Unit tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.postprocessing.plots import (
+    ascii_field,
+    ascii_lineplot,
+    plot_1d_modes,
+    plot_mode_comparison,
+    plot_singular_values,
+    save_series_csv,
+)
+
+
+class TestLineplot:
+    def test_renders_with_legend(self):
+        out = ascii_lineplot({"a": np.sin(np.linspace(0, 6, 50))})
+        assert "legend: *=a" in out
+        assert out.count("\n") > 10
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_lineplot({"x": np.ones(10), "y": np.zeros(10)})
+        assert "*=x" in out and "o=y" in out
+
+    def test_title(self):
+        out = ascii_lineplot({"s": np.arange(5.0)}, title="my title")
+        assert out.startswith("my title")
+
+    def test_logy(self):
+        out = ascii_lineplot({"s": np.array([1.0, 0.1, 0.01])}, logy=True)
+        assert "(log10)" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_lineplot({"c": np.full(8, 3.0)})
+        assert "legend" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            ascii_lineplot({})
+        with pytest.raises(ShapeError):
+            ascii_lineplot({"e": np.array([])})
+
+    def test_too_small_canvas(self):
+        with pytest.raises(ShapeError):
+            ascii_lineplot({"s": np.ones(4)}, width=4, height=2)
+
+    def test_dimensions(self):
+        out = ascii_lineplot({"s": np.arange(10.0)}, width=40, height=10)
+        body = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(body) == 10
+        assert all(len(l) == 41 for l in body)
+
+
+class TestField:
+    def test_renders(self, rng):
+        out = ascii_field(rng.standard_normal((20, 30)), title="field")
+        assert out.startswith("field")
+        assert "max=" in out and "min=" in out
+
+    def test_constant_field(self):
+        out = ascii_field(np.zeros((5, 5)))
+        assert "max=" in out
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            ascii_field(np.ones(5))
+
+    def test_row_count(self, rng):
+        out = ascii_field(rng.standard_normal((10, 10)), height=12, width=20)
+        rows = out.splitlines()
+        # max line + 12 body rows + min line
+        assert len(rows) == 14
+
+
+class TestConvenienceWrappers:
+    def test_plot_singular_values(self):
+        out = plot_singular_values(np.array([1.0, 0.5, 0.1]))
+        assert "sigma" in out
+
+    def test_plot_1d_modes(self, rng):
+        out = plot_1d_modes(rng.standard_normal((30, 3)), mode_indices=(0, 2))
+        assert "mode1" in out and "mode3" in out
+
+    def test_plot_1d_modes_bad_index(self, rng):
+        with pytest.raises(ShapeError):
+            plot_1d_modes(rng.standard_normal((30, 2)), mode_indices=(5,))
+
+    def test_mode_comparison_aligns_signs(self, rng):
+        ref = rng.standard_normal((30, 2))
+        out = plot_mode_comparison(ref, -ref, mode=0)
+        assert "serial" in out and "parallel" in out
+
+    def test_mode_comparison_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            plot_mode_comparison(
+                rng.standard_normal((30, 2)), rng.standard_normal((31, 2)), 0
+            )
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = save_series_csv(
+            tmp_path / "out.csv",
+            {"x": np.arange(4.0), "y": np.arange(4.0) ** 2},
+        )
+        loaded = np.loadtxt(path, delimiter=",", skiprows=1)
+        assert loaded.shape == (4, 2)
+        assert np.allclose(loaded[:, 1], np.arange(4.0) ** 2)
+        header = path.read_text().splitlines()[0]
+        assert header == "x,y"
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ShapeError):
+            save_series_csv(
+                tmp_path / "bad.csv", {"a": np.ones(3), "b": np.ones(4)}
+            )
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ShapeError):
+            save_series_csv(tmp_path / "e.csv", {})

@@ -1,0 +1,61 @@
+"""Unit tests for table/report formatting."""
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.postprocessing.report import format_table, scaling_report
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.5], [1e-7], [12345.6]])
+        assert "0.5" in out
+        assert "1.000e-07" in out
+        assert "1.235e+04" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_string_cells(self):
+        out = format_table(["name"], [["hello"]])
+        assert "hello" in out
+
+    def test_bool_cells(self):
+        out = format_table(["flag"], [[True]])
+        assert "True" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["h"], [])
+        assert "h" in out
+
+    def test_no_headers_raises(self):
+        with pytest.raises(ShapeError):
+            format_table([], [])
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ShapeError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestScalingReport:
+    def test_ideal_and_efficiency(self):
+        out = scaling_report([1, 2, 4], [1.0, 1.1, 1.25], label="weak")
+        assert out.startswith("weak")
+        assert "efficiency" in out
+        # efficiency of point 0 is 1.0
+        assert "1" in out.splitlines()[3]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ShapeError):
+            scaling_report([1, 2], [1.0])
+
+    def test_empty(self):
+        with pytest.raises(ShapeError):
+            scaling_report([], [])

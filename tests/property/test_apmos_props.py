@@ -1,0 +1,68 @@
+"""Property-based tests for APMOS."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.apmos import apmos_svd
+from repro.smpi import run_spmd
+from repro.utils.partition import block_partition
+
+
+def _run_apmos(data, nranks, r1, r2):
+    def job(comm):
+        part = block_partition(data.shape[0], comm.size)
+        return apmos_svd(comm, data[part.slice_of(comm.rank), :], r1=r1, r2=r2)
+
+    results = run_spmd(nranks, job)
+    u = np.concatenate([r[0] for r in results], axis=0)
+    return u, results[0][1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(30, 80),
+    n=st.integers(6, 16),
+    nranks=st.integers(1, 5),
+    r2=st.integers(1, 4),
+)
+def test_untruncated_apmos_equals_svd(seed, m, n, nranks, r2):
+    """With r1 = n (no local truncation) APMOS is exact."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((m, n))
+    u, s = _run_apmos(data, nranks, r1=n, r2=r2)
+    s_ref = np.linalg.svd(data, compute_uv=False)
+    k = s.shape[0]
+    assert k <= r2
+    assert np.allclose(s, s_ref[:k], rtol=1e-8)
+    # stacked local blocks form globally orthonormal modes
+    gram = u.T @ u
+    assert np.allclose(gram, np.eye(k), atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    nranks=st.integers(1, 5),
+)
+def test_values_independent_of_rank_count(seed, nranks):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((60, 10))
+    _, s_one = _run_apmos(data, 1, r1=10, r2=3)
+    _, s_p = _run_apmos(data, nranks, r1=10, r2=3)
+    assert np.allclose(s_one, s_p, rtol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    r1=st.integers(1, 10),
+)
+def test_truncation_never_inflates_values(seed, r1):
+    """Truncated APMOS singular values can only undershoot the exact ones."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((50, 10))
+    _, s = _run_apmos(data, 3, r1=r1, r2=3)
+    s_ref = np.linalg.svd(data, compute_uv=False)
+    assert np.all(s <= s_ref[: s.shape[0]] * (1 + 1e-9))
+    assert np.all(np.diff(s) <= 1e-12)

@@ -1,0 +1,121 @@
+"""Property-based tests: smpi collectives against their numpy references."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.smpi import MAX, MIN, SUM, run_spmd
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+    length=st.integers(1, 16),
+)
+def test_allreduce_sum_matches_numpy(nprocs, seed, length):
+    rng = np.random.default_rng(seed)
+    contributions = rng.standard_normal((nprocs, length))
+
+    def job(comm):
+        return comm.allreduce(contributions[comm.rank], SUM)
+
+    results = run_spmd(nprocs, job)
+    # deterministic rank-ordered fold
+    expected = contributions[0].copy()
+    for i in range(1, nprocs):
+        expected = expected + contributions[i]
+    for r in results:
+        assert np.array_equal(r, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nprocs=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
+def test_allreduce_max_min(nprocs, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(nprocs)
+
+    def job(comm):
+        return (
+            comm.allreduce(values[comm.rank], MAX),
+            comm.allreduce(values[comm.rank], MIN),
+        )
+
+    for max_v, min_v in run_spmd(nprocs, job):
+        assert max_v == values.max()
+        assert min_v == values.min()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nprocs=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+    root=st.data(),
+)
+def test_gather_then_scatter_roundtrip(nprocs, seed, root):
+    root_rank = root.draw(st.integers(0, nprocs - 1))
+    rng = np.random.default_rng(seed)
+    payloads = [rng.standard_normal(3) for _ in range(nprocs)]
+
+    def job(comm):
+        gathered = comm.gather(payloads[comm.rank], root=root_rank)
+        return comm.scatter(gathered, root=root_rank)
+
+    results = run_spmd(nprocs, job)
+    for rank, r in enumerate(results):
+        assert np.array_equal(r, payloads[rank])
+
+
+@settings(max_examples=20, deadline=None)
+@given(nprocs=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
+def test_allgather_equals_gather_plus_bcast(nprocs, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 100, size=nprocs)
+
+    def job(comm):
+        return comm.allgather(int(values[comm.rank]))
+
+    results = run_spmd(nprocs, job)
+    expected = [int(v) for v in values]
+    for r in results:
+        assert r == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(2, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_alltoall_is_transpose(nprocs, seed):
+    """alltoall implements a matrix transpose of the send pattern."""
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 1000, size=(nprocs, nprocs))
+
+    def job(comm):
+        return comm.alltoall([int(x) for x in table[comm.rank]])
+
+    results = run_spmd(nprocs, job)
+    received = np.array(results)
+    assert np.array_equal(received, table.T)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nprocs=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(1, 5),
+)
+def test_gatherv_scatterv_inverse(nprocs, seed, rows):
+    rng = np.random.default_rng(seed)
+    counts = [int(c) for c in rng.integers(0, rows + 1, size=nprocs)]
+    total = sum(counts)
+    full = rng.standard_normal((total, 2))
+
+    def job(comm):
+        block = comm.scatterv_rows(
+            full if comm.rank == 0 else None, counts, root=0
+        )
+        assert block.shape[0] == counts[comm.rank]
+        return comm.gatherv_rows(block, root=0)
+
+    results = run_spmd(nprocs, job)
+    assert np.array_equal(results[0], full)

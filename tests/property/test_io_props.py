@@ -1,0 +1,103 @@
+"""Property-based tests for the snapshot container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.io import SnapshotDataset, write_snapshot_dataset
+
+_elements = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 40),
+    n=st.integers(1, 20),
+    data=st.data(),
+)
+def test_roundtrip_any_shape(m, n, data, tmp_path_factory):
+    a = data.draw(arrays(np.float64, (m, n), elements=_elements))
+    path = tmp_path_factory.mktemp("io") / "x.rsnap"
+    write_snapshot_dataset(path, a)
+    assert np.array_equal(SnapshotDataset.open(path).read(), a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(2, 50),
+    n=st.integers(1, 12),
+    nranks=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_rank_blocks_always_tile(m, n, nranks, seed, tmp_path_factory):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    path = tmp_path_factory.mktemp("io") / "tile.rsnap"
+    write_snapshot_dataset(path, a)
+    dataset = SnapshotDataset.open(path)
+    blocks = [dataset.read_rows_for_rank(r, nranks) for r in range(nranks)]
+    assert np.array_equal(np.concatenate(blocks, axis=0), a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 30),
+    n=st.integers(2, 16),
+    batch=st.integers(1, 16),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_column_batches_always_tile(m, n, batch, seed, tmp_path_factory):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    path = tmp_path_factory.mktemp("io") / "cols.rsnap"
+    write_snapshot_dataset(path, a)
+    dataset = SnapshotDataset.open(path)
+    batches = list(dataset.column_batches(batch))
+    assert np.array_equal(np.concatenate(batches, axis=1), a)
+    assert all(b.shape[1] <= batch for b in batches)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(2, 30),
+    n=st.integers(2, 12),
+    seed=st.integers(0, 2**31 - 1),
+    data=st.data(),
+)
+def test_arbitrary_windows_consistent(m, n, seed, data, tmp_path_factory):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    path = tmp_path_factory.mktemp("io") / "win.rsnap"
+    write_snapshot_dataset(path, a)
+    dataset = SnapshotDataset.open(path)
+    r0 = data.draw(st.integers(0, m - 1))
+    r1 = data.draw(st.integers(r0, m))
+    c0 = data.draw(st.integers(0, n - 1))
+    c1 = data.draw(st.integers(c0, n))
+    assert np.array_equal(
+        dataset.read_window(r0, r1, c0, c1), a[r0:r1, c0:c1]
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(2, 20),
+    n=st.integers(2, 12),
+    seed=st.integers(0, 2**31 - 1),
+    order=st.permutations(list(range(4))),
+)
+def test_out_of_order_column_writes(m, n, seed, order, tmp_path_factory):
+    """Writing column chunks in any order reproduces the matrix."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    bounds = np.linspace(0, n, 5).astype(int)
+    path = tmp_path_factory.mktemp("io") / "ooo.rsnap"
+    dataset = SnapshotDataset.create(path, (m, n))
+    for idx in order:
+        lo, hi = bounds[idx], bounds[idx + 1]
+        if hi > lo:
+            dataset.write_columns(lo, a[:, lo:hi])
+    assert np.array_equal(SnapshotDataset.open(path).read(), a)

@@ -1,0 +1,57 @@
+"""Property-based tests for the block partition arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.partition import block_partition
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_counts_sum_and_balance(total, parts):
+    p = block_partition(total, parts)
+    assert sum(p.counts) == total
+    # balanced: no two parts differ by more than one item
+    assert max(p.counts) - min(p.counts) <= 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_ranges_are_contiguous_and_ordered(total, parts):
+    p = block_partition(total, parts)
+    cursor = 0
+    for start, stop in p:
+        assert start == cursor
+        assert stop >= start
+        cursor = stop
+    assert cursor == total
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(1, 5_000), st.integers(1, 64), st.data())
+def test_owner_and_local_index_consistent(total, parts, data):
+    p = block_partition(total, parts)
+    index = data.draw(st.integers(0, total - 1))
+    owner, local = p.local_index(index)
+    start, stop = p.range_of(owner)
+    assert start <= index < stop
+    assert local == index - start
+    assert 0 <= local < p.counts[owner]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 500), st.integers(1, 16))
+def test_scatter_gather_identity(total, parts):
+    p = block_partition(total, parts)
+    a = np.arange(total, dtype=float).reshape(total, 1)
+    assert np.array_equal(p.gather(p.scatter(a)), a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 1000), st.integers(1, 32))
+def test_front_loaded_remainder(total, parts):
+    """The first (total % parts) parts carry the extra item."""
+    p = block_partition(total, parts)
+    base, extra = divmod(total, parts)
+    for i, count in enumerate(p.counts):
+        assert count == base + (1 if i < extra else 0)

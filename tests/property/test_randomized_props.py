@@ -1,0 +1,85 @@
+"""Property-based tests for the randomized SVD."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.randomized import randomized_range_finder, randomized_svd
+from repro.data.synthetic import matrix_with_spectrum, spectrum_exponential
+from repro.utils.linalg import orthogonality_defect
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(10, 60),
+    n=st.integers(5, 30),
+    k=st.integers(1, 5),
+    p=st.integers(0, 8),
+)
+def test_factors_always_orthonormal(seed, m, n, k, p):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    u, s, vt = randomized_svd(a, k, oversampling=p, rng=seed)
+    assert orthogonality_defect(u) < 1e-9
+    assert orthogonality_defect(vt.T) < 1e-9
+    assert np.all(np.diff(s) <= 1e-12)
+    assert np.all(s >= 0)
+    assert u.shape[1] == min(k, m, n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rank=st.integers(1, 6),
+)
+def test_exact_recovery_of_low_rank(seed, rank):
+    """On an exactly rank-r matrix, rank-r randomized SVD is exact."""
+    spectrum = spectrum_exponential(rank, 0.6)
+    a, _, s_true, _ = matrix_with_spectrum(50, 30, spectrum, rng=seed)
+    u, s, vt = randomized_svd(a, rank, oversampling=5, rng=seed)
+    assert np.allclose(s, s_true, rtol=1e-8)
+    assert np.linalg.norm(a - (u * s) @ vt) < 1e-8 * np.linalg.norm(a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_error_never_better_than_optimal(seed):
+    """Eckart--Young lower bound: no rank-k factorization can beat the
+    optimal truncation error."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((40, 25))
+    s_exact = np.linalg.svd(a, compute_uv=False)
+    k = 5
+    u, s, vt = randomized_svd(a, k, oversampling=5, rng=seed)
+    err = np.linalg.norm(a - (u * s) @ vt)
+    optimal = np.linalg.norm(s_exact[k:])
+    assert err >= optimal - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_values_never_exceed_exact(seed):
+    """Each approximate singular value is at most the exact one (the sketch
+    projects onto a subspace; Rayleigh quotients only shrink)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((40, 20))
+    s_exact = np.linalg.svd(a, compute_uv=False)
+    _, s, _ = randomized_svd(a, 6, oversampling=4, rng=seed)
+    assert np.all(s <= s_exact[: s.shape[0]] + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    k=st.integers(1, 6),
+)
+def test_range_finder_projection_decreases_residual(seed, k):
+    """Enlarging the sketch never increases the projection residual."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((50, 25))
+
+    def residual(oversampling):
+        q = randomized_range_finder(a, k, oversampling=oversampling, rng=seed)
+        return np.linalg.norm(a - q @ (q.T @ a))
+
+    assert residual(8) <= residual(0) + 1e-9

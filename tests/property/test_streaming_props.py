@@ -1,0 +1,101 @@
+"""Property-based tests for the streaming SVD invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.streaming import incorporate_batch, initialize_streaming
+from repro.utils.linalg import align_signs, orthogonality_defect
+
+
+def _random_matrix(draw_seed, m, n, rank):
+    rng = np.random.default_rng(draw_seed)
+    left = rng.standard_normal((m, rank))
+    right = rng.standard_normal((rank, n))
+    return left @ right
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(20, 80),
+    k=st.integers(1, 6),
+    batch=st.integers(1, 8),
+    nbatches=st.integers(2, 5),
+    ff=st.floats(0.5, 1.0),
+)
+def test_modes_always_orthonormal(seed, m, k, batch, nbatches, ff):
+    """After any number of updates the retained modes are orthonormal."""
+    data = _random_matrix(seed, m, batch * nbatches, min(m, batch * nbatches))
+    state = initialize_streaming(data[:, :batch], k)
+    for i in range(1, nbatches):
+        state = incorporate_batch(
+            state, data[:, i * batch : (i + 1) * batch], k, ff
+        )
+    assert orthogonality_defect(state.modes) < 1e-8
+    assert np.all(np.diff(state.singular_values) <= 1e-12)
+    assert np.all(state.singular_values >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(30, 80),
+    rank=st.integers(1, 4),
+    batch=st.integers(2, 6),
+)
+def test_ff_one_exact_for_low_rank_data(seed, m, rank, batch):
+    """ff=1 with K >= rank(A): streaming equals the one-shot SVD."""
+    n = batch * 4
+    data = _random_matrix(seed, m, n, rank)
+    k = rank + 1
+    state = initialize_streaming(data[:, :batch], k)
+    for i in range(1, 4):
+        state = incorporate_batch(
+            state, data[:, i * batch : (i + 1) * batch], k, 1.0
+        )
+    u, s, _ = np.linalg.svd(data, full_matrices=False)
+    # numerical rank could be < rank for degenerate draws; compare the
+    # well-separated leading values only
+    lead = min(rank, int(np.sum(s > 1e-8 * s[0])))
+    assert np.allclose(state.singular_values[:lead], s[:lead], rtol=1e-6)
+    aligned = align_signs(u[:, :lead], state.modes[:, :lead])
+    assert np.max(np.abs(aligned - u[:, :lead])) < 1e-5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    ff=st.floats(0.3, 1.0),
+)
+def test_singular_values_scale_linearly_with_data(seed, ff):
+    """Scaling the data scales the streamed singular values."""
+    data = _random_matrix(seed, 40, 20, 6)
+    scale = 3.5
+
+    def run(matrix):
+        state = initialize_streaming(matrix[:, :10], 4)
+        return incorporate_batch(state, matrix[:, 10:], 4, ff)
+
+    a = run(data)
+    b = run(scale * data)
+    assert np.allclose(
+        b.singular_values, scale * a.singular_values, rtol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_batch_order_independent_counts(seed):
+    """n_seen/batches bookkeeping is exact regardless of batch sizes."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 7, size=5)
+    data = rng.standard_normal((30, int(np.sum(sizes))))
+    offset = int(sizes[0])
+    state = initialize_streaming(data[:, :offset], 3)
+    for size in sizes[1:]:
+        state = incorporate_batch(
+            state, data[:, offset : offset + int(size)], 3, 0.9
+        )
+        offset += int(size)
+    assert state.n_seen == data.shape[1]
+    assert state.batches == 5

@@ -1,0 +1,67 @@
+"""Property-based tests for the distributed TSQR variants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tsqr import tsqr_gather, tsqr_tree
+from repro.smpi import run_spmd
+from repro.utils.linalg import orthogonality_defect, qr_positive
+from repro.utils.partition import block_partition
+
+
+def _run(data, nranks, fn):
+    def job(comm):
+        part = block_partition(data.shape[0], comm.size)
+        return fn(comm, data[part.slice_of(comm.rank), :])
+
+    results = run_spmd(nranks, job)
+    q = np.concatenate([r[0] for r in results], axis=0)
+    return q, results[0][1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(20, 80),
+    n=st.integers(1, 8),
+    nranks=st.integers(1, 6),
+)
+def test_tsqr_gather_is_a_qr(seed, m, n, nranks):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    q, r = _run(a, nranks, tsqr_gather)
+    assert np.allclose(q @ r, a, atol=1e-8)
+    assert orthogonality_defect(q) < 1e-8
+    assert np.all(np.diagonal(r) >= 0)
+    assert np.allclose(r, np.triu(r), atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    m=st.integers(20, 80),
+    n=st.integers(1, 8),
+    nranks=st.integers(1, 6),
+)
+def test_tree_equals_gather(seed, m, n, nranks):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    qg, rg = _run(a, nranks, tsqr_gather)
+    qt, rt = _run(a, nranks, tsqr_tree)
+    assert np.allclose(rg, rt, atol=1e-8)
+    assert np.allclose(qg, qt, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    nranks=st.integers(1, 6),
+)
+def test_rank_count_invariance(seed, nranks):
+    """The factorization must not depend on how rows are partitioned."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((60, 5))
+    q_ref, r_ref = qr_positive(a)
+    q, r = _run(a, nranks, tsqr_gather)
+    assert np.allclose(r, r_ref, atol=1e-8)
+    assert np.allclose(q, q_ref, atol=1e-7)

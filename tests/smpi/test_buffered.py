@@ -1,0 +1,194 @@
+"""Uppercase (buffer-mode) operations: mpi4py's 'fast way'."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import SUM, ParallelFailure, SelfComm, run_spmd
+from repro.smpi.exceptions import SmpiError
+
+
+class TestSendRecvBuffers:
+    def test_in_place_delivery(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8.0), dest=1, tag=7)
+                return None
+            buf = np.zeros(8)
+            comm.Recv(buf, source=0, tag=7)
+            return buf
+
+        results = run_spmd(2, job)
+        assert np.array_equal(results[1], np.arange(8.0))
+
+    def test_dtype_mismatch_rejected(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(4, dtype=np.float64), dest=1)
+            else:
+                buf = np.zeros(4, dtype=np.float32)
+                comm.Recv(buf, source=0)
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(2, job, timeout=5.0)
+        assert any(
+            isinstance(f.exception, SmpiError) for f in info.value.failures
+        )
+
+    def test_size_mismatch_rejected(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(4), dest=1)
+            else:
+                buf = np.zeros(5)
+                comm.Recv(buf, source=0)
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=5.0)
+
+    def test_non_contiguous_rejected(self):
+        comm = SelfComm()
+        strided = np.zeros((4, 4))[:, ::2]
+        with pytest.raises(SmpiError):
+            comm.Send(strided, dest=0)
+
+    def test_non_array_rejected(self):
+        comm = SelfComm()
+        with pytest.raises(SmpiError):
+            comm.Send([1, 2, 3], dest=0)
+
+    def test_2d_buffers_roundtrip(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6.0).reshape(2, 3), dest=1)
+                return None
+            buf = np.zeros((2, 3))
+            comm.Recv(buf, source=0)
+            return buf
+
+        results = run_spmd(2, job)
+        assert np.array_equal(results[1], np.arange(6.0).reshape(2, 3))
+
+
+class TestBcastBuffer:
+    def test_in_place_everywhere(self):
+        def job(comm):
+            buf = np.arange(5.0) if comm.rank == 0 else np.zeros(5)
+            comm.Bcast(buf, root=0)
+            return buf
+
+        for result in run_spmd(3, job):
+            assert np.array_equal(result, np.arange(5.0))
+
+    def test_int_dtype(self):
+        def job(comm):
+            buf = (
+                np.arange(4, dtype=np.int64)
+                if comm.rank == 0
+                else np.zeros(4, dtype=np.int64)
+            )
+            comm.Bcast(buf, root=0)
+            return buf
+
+        for result in run_spmd(2, job):
+            assert result.dtype == np.int64
+            assert np.array_equal(result, np.arange(4))
+
+
+class TestGatherScatterBuffers:
+    def test_gather_into_stacked_buffer(self):
+        def job(comm):
+            send = np.full(3, float(comm.rank))
+            recv = np.zeros((comm.size, 3)) if comm.rank == 0 else None
+            comm.Gather(send, recv, root=0)
+            return recv
+
+        results = run_spmd(4, job)
+        expected = np.repeat(np.arange(4.0)[:, None], 3, axis=1)
+        assert np.array_equal(results[0], expected)
+        assert results[1] is None
+
+    def test_gather_root_needs_buffer(self):
+        def job(comm):
+            comm.Gather(np.zeros(2), None, root=0)
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=5.0)
+
+    def test_gather_wrong_root_shape(self):
+        def job(comm):
+            recv = np.zeros((comm.size, 99)) if comm.rank == 0 else None
+            comm.Gather(np.zeros(3), recv, root=0)
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=5.0)
+
+    def test_scatter_slices(self):
+        def job(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(float(comm.size * 2)).reshape(comm.size, 2)
+            recv = np.zeros(2)
+            comm.Scatter(send, recv, root=0)
+            return recv
+
+        results = run_spmd(3, job)
+        for rank, result in enumerate(results):
+            assert np.array_equal(result, [2.0 * rank, 2.0 * rank + 1])
+
+    def test_scatter_root_needs_buffer(self):
+        def job(comm):
+            comm.Scatter(None, np.zeros(2), root=0)
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=5.0)
+
+
+class TestAllBuffers:
+    def test_allgather(self):
+        def job(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros((comm.size, 2))
+            comm.Allgather(send, recv)
+            return recv
+
+        for result in run_spmd(3, job):
+            assert np.array_equal(
+                result, np.repeat(np.arange(3.0)[:, None], 2, axis=1)
+            )
+
+    def test_allreduce(self):
+        def job(comm):
+            send = np.array([float(comm.rank), 1.0])
+            recv = np.zeros(2)
+            comm.Allreduce(send, recv, SUM)
+            return recv
+
+        for result in run_spmd(4, job):
+            assert np.array_equal(result, [6.0, 4.0])
+
+    def test_allgather_shape_checked(self):
+        def job(comm):
+            comm.Allgather(np.zeros(2), np.zeros((comm.size, 3)))
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=5.0)
+
+    def test_matvec_pattern_from_guide(self):
+        """The mpi4py tutorial's parallel matrix-vector product pattern."""
+        p, m = 3, 4  # p ranks, m local rows
+        rng = np.random.default_rng(0)
+        a_full = rng.standard_normal((p * m, p * m))
+        x_full = rng.standard_normal(p * m)
+
+        def job(comm):
+            a_local = a_full[comm.rank * m : (comm.rank + 1) * m]
+            x_local = np.ascontiguousarray(
+                x_full[comm.rank * m : (comm.rank + 1) * m]
+            )
+            xg = np.zeros((comm.size, m))
+            comm.Allgather(x_local, xg)
+            return a_local @ xg.reshape(-1)
+
+        results = run_spmd(p, job)
+        y = np.concatenate(results)
+        assert np.allclose(y, a_full @ x_full)

@@ -1,0 +1,100 @@
+"""SPMD executor behaviour: results, failures, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import CommTracer, ParallelFailure, run_spmd
+from repro.smpi.exceptions import SmpiError
+
+
+class TestResults:
+    def test_results_rank_ordered(self):
+        results = run_spmd(6, lambda c: c.rank * 2)
+        assert results == [0, 2, 4, 6, 8, 10]
+
+    def test_args_and_kwargs_forwarded(self):
+        def job(comm, base, scale=1):
+            return base + scale * comm.rank
+
+        assert run_spmd(3, job, 100, scale=10) == [100, 110, 120]
+
+    def test_single_rank_runs_inline(self):
+        import threading
+
+        main = threading.current_thread().name
+
+        def job(comm):
+            return threading.current_thread().name
+
+        assert run_spmd(1, job) == [main]
+
+    def test_size_and_rank_exposed(self):
+        def job(comm):
+            return comm.Get_rank(), comm.Get_size()
+
+        assert run_spmd(3, job) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(SmpiError):
+            run_spmd(0, lambda c: None)
+
+
+class TestFailures:
+    def test_single_rank_failure_collected(self):
+        def job(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on 1")
+            return "ok"
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, job)
+        failures = info.value.failures
+        assert len(failures) == 1
+        assert failures[0].rank == 1
+        assert isinstance(failures[0].exception, ValueError)
+
+    def test_multiple_failures_all_reported(self):
+        def job(comm):
+            raise RuntimeError(f"rank {comm.rank}")
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, job)
+        assert sorted(f.rank for f in info.value.failures) == [0, 1, 2]
+
+    def test_failure_message_includes_traceback(self):
+        def job(comm):
+            raise KeyError("distinctive-marker")
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(2, job)
+        assert "distinctive-marker" in str(info.value)
+
+    def test_inline_single_rank_failure_wrapped(self):
+        def job(comm):
+            raise TypeError("inline failure")
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(1, job)
+
+
+class TestTracing:
+    def test_trace_returns_tracers(self):
+        def job(comm):
+            comm.bcast(np.zeros(10) if comm.rank == 0 else None, root=0)
+            return None
+
+        results, tracers = run_spmd(3, job, trace=True)
+        assert len(tracers) == 3
+        assert all(isinstance(t, CommTracer) for t in tracers)
+        # root sent 2 copies of 80 bytes, each receiver got 80
+        assert tracers[0].bytes_for("bcast") == 160
+        assert tracers[1].bytes_for("bcast") == 80
+
+    def test_trace_single_rank(self):
+        def job(comm):
+            comm.barrier()
+            return comm.rank
+
+        results, tracers = run_spmd(1, job, trace=True)
+        assert results == [0]
+        assert tracers[0].summary().events == 1

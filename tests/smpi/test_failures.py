@@ -1,0 +1,110 @@
+"""Failure-injection tests: how the runtime behaves when ranks die.
+
+Real MPI aborts the whole job when one rank crashes; our runtime must (a)
+never hang forever, (b) attribute failures to the right ranks, and (c)
+surface secondary deadlocks (peers stuck waiting on the dead rank) as
+diagnosable errors rather than silent stalls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.smpi import SUM, ParallelFailure, run_spmd
+from repro.smpi.exceptions import DeadlockError
+
+
+class TestCrashBeforeCollective:
+    def test_peers_deadlock_is_reported(self):
+        """Rank 1 dies before the barrier; the others must time out with a
+        DeadlockError instead of hanging."""
+
+        def job(comm):
+            if comm.rank == 1:
+                raise RuntimeError("simulated crash")
+            comm.barrier()
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, job, timeout=1.5)
+        by_rank = {f.rank: f.exception for f in info.value.failures}
+        assert isinstance(by_rank[1], RuntimeError)
+        # at least rank 0 (barrier root) is stuck waiting on rank 1
+        assert any(
+            isinstance(exc, DeadlockError)
+            for rank, exc in by_rank.items()
+            if rank != 1
+        )
+
+    def test_crash_during_gather_root_stuck(self):
+        def job(comm):
+            if comm.rank == 2:
+                raise ValueError("dead before contributing")
+            comm.gather(comm.rank, root=0)
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, job, timeout=1.5)
+        by_rank = {f.rank: f.exception for f in info.value.failures}
+        assert isinstance(by_rank[2], ValueError)
+        assert isinstance(by_rank.get(0), DeadlockError)
+
+    def test_nonroot_ranks_survive_root_crash_in_bcast(self):
+        def job(comm):
+            if comm.rank == 0:
+                raise RuntimeError("root gone")
+            return comm.bcast(None, root=0)
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(3, job, timeout=1.5)
+        ranks = sorted(f.rank for f in info.value.failures)
+        assert ranks == [0, 1, 2]
+
+
+class TestPartialProgress:
+    def test_completed_work_before_crash_is_reported(self):
+        """Failures carry tracebacks pointing at the crash site."""
+
+        def job(comm):
+            value = comm.allreduce(comm.rank, SUM)
+            if comm.rank == 0:
+                raise KeyError(f"after allreduce got {value}")
+            return value
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(2, job, timeout=2.0)
+        failure = info.value.failures[0]
+        assert failure.rank == 0
+        assert "after allreduce got 1" in str(failure.exception)
+        assert "job" in failure.traceback
+
+    def test_successful_ranks_results_discarded_on_failure(self):
+        """A ParallelFailure means no partial results leak out."""
+
+        def job(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return "value"
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, job, timeout=2.0)
+
+
+class TestIsolationBetweenRuns:
+    def test_fresh_world_per_run(self):
+        """A crashed run must not pollute a subsequent run (fresh World)."""
+
+        def bad(comm):
+            if comm.rank == 0:
+                raise RuntimeError("first run dies")
+            comm.send(np.ones(3), dest=0, tag=5)  # orphaned message
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(2, bad, timeout=1.5)
+
+        def good(comm):
+            # same tag/peer pattern; must not receive the orphan from run 1
+            if comm.rank == 1:
+                comm.send(np.zeros(3), dest=0, tag=5)
+                return None
+            return comm.recv(source=1, tag=5)
+
+        results = run_spmd(2, good)
+        assert np.array_equal(results[0], np.zeros(3))

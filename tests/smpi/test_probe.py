@@ -1,0 +1,91 @@
+"""iprobe / mailbox peek semantics."""
+
+import numpy as np
+
+from repro.smpi import run_spmd
+from repro.smpi.mailbox import Mailbox
+from repro.smpi.message import Envelope
+
+
+class TestIprobe:
+    def test_probe_sees_pending_message(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=3)
+                comm.barrier()
+                return None
+            comm.barrier()  # message guaranteed posted
+            seen = comm.iprobe(source=0, tag=3)
+            payload = comm.recv(source=0, tag=3)
+            return seen, payload
+
+        results = run_spmd(2, job)
+        assert results[1] == (True, "x")
+
+    def test_probe_does_not_consume(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1, tag=0)
+                comm.barrier()
+                return None
+            comm.barrier()
+            first = comm.iprobe(source=0, tag=0)
+            second = comm.iprobe(source=0, tag=0)
+            return first, second, comm.recv(source=0, tag=0)
+
+        results = run_spmd(2, job)
+        assert results[1] == (True, True, 1)
+
+    def test_probe_empty_false(self):
+        def job(comm):
+            return comm.iprobe()
+
+        assert run_spmd(2, job) == [False, False]
+
+    def test_probe_preserves_delivery_order(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=7)
+                comm.send("second", dest=1, tag=7)
+                comm.barrier()
+                return None
+            comm.barrier()
+            comm.iprobe(source=0, tag=7)  # must not reorder
+            a = comm.recv(source=0, tag=7)
+            b = comm.recv(source=0, tag=7)
+            return a, b
+
+        results = run_spmd(2, job)
+        assert results[1] == ("first", "second")
+
+    def test_probe_wildcards(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send(0, dest=1, tag=9)
+                comm.barrier()
+                return None
+            comm.barrier()
+            any_any = comm.iprobe()
+            wrong_tag = comm.iprobe(source=0, tag=8)
+            comm.recv(source=0, tag=9)
+            return any_any, wrong_tag
+
+        results = run_spmd(2, job)
+        assert results[1] == (True, False)
+
+
+class TestMailboxPeek:
+    def test_peek_leaves_queue_intact(self):
+        box = Mailbox(owner=0, timeout=1.0)
+        box.put(Envelope.make(1, 5, "payload"))
+        assert box.peek(1, 5).payload == "payload"
+        assert box.pending() == 1
+        assert box.poll(1, 5).payload == "payload"
+        assert box.pending() == 0
+
+    def test_peek_no_match(self):
+        box = Mailbox(owner=0, timeout=1.0)
+        box.put(Envelope.make(1, 5, "x"))
+        assert box.peek(2, 5) is None
+        assert box.peek(1, 6) is None
+        assert box.pending() == 1

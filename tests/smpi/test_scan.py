@@ -1,0 +1,102 @@
+"""scan / exscan / reduce_scatter collectives."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import MAX, SUM, ParallelFailure, run_spmd
+
+
+class TestScan:
+    def test_inclusive_prefix_sum(self):
+        def job(comm):
+            return comm.scan(comm.rank + 1, SUM)
+
+        assert run_spmd(4, job) == [1, 3, 6, 10]
+
+    def test_scan_max(self):
+        values = [3, 1, 4, 1, 5]
+
+        def job(comm):
+            return comm.scan(values[comm.rank], MAX)
+
+        assert run_spmd(5, job) == [3, 3, 4, 4, 5]
+
+    def test_scan_arrays(self):
+        def job(comm):
+            return comm.scan(np.full(2, float(comm.rank)), SUM)
+
+        results = run_spmd(3, job)
+        assert np.array_equal(results[2], np.array([3.0, 3.0]))
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda c: c.scan(7, SUM)) == [7]
+
+    def test_scan_deterministic_float(self):
+        def job(comm):
+            return comm.scan(0.1 * (comm.rank + 1), SUM)
+
+        assert run_spmd(4, job) == run_spmd(4, job)
+
+
+class TestExscan:
+    def test_exclusive_prefix_sum(self):
+        def job(comm):
+            return comm.exscan(comm.rank + 1, SUM)
+
+        assert run_spmd(4, job) == [None, 1, 3, 6]
+
+    def test_rank0_undefined(self):
+        assert run_spmd(2, lambda c: c.exscan(5, SUM))[0] is None
+
+    def test_offset_computation_pattern(self):
+        """The classic use: each rank computes its write offset from the
+        block sizes of the ranks before it."""
+        sizes = [10, 25, 5, 40]
+
+        def job(comm):
+            offset = comm.exscan(sizes[comm.rank], SUM)
+            return 0 if offset is None else offset
+
+        assert run_spmd(4, job) == [0, 10, 35, 40]
+
+
+class TestReduceScatter:
+    def test_blockwise_reduction(self):
+        def job(comm):
+            blocks = [10 * comm.rank + j for j in range(comm.size)]
+            return comm.reduce_scatter(blocks, SUM)
+
+        # rank j receives sum_i (10*i + j) = 10*(0+1+2) + 3*j
+        assert run_spmd(3, job) == [30, 33, 36]
+
+    def test_array_blocks(self):
+        def job(comm):
+            blocks = [np.full(2, float(comm.rank))] * comm.size
+            return comm.reduce_scatter(blocks, SUM)
+
+        results = run_spmd(3, job)
+        for r in results:
+            assert np.array_equal(r, np.array([3.0, 3.0]))
+
+    def test_wrong_block_count(self):
+        def job(comm):
+            comm.reduce_scatter([1], SUM)
+
+        with pytest.raises(ParallelFailure):
+            run_spmd(3, job, timeout=2.0)
+
+    def test_matches_reduce_then_scatter(self):
+        rows = np.arange(16.0).reshape(4, 4)
+
+        def via_reduce_scatter(comm):
+            return comm.reduce_scatter(list(rows[comm.rank]), SUM)
+
+        def via_reduce_and_scatter(comm):
+            total = comm.reduce(rows[comm.rank], SUM, root=0)
+            return comm.scatter(
+                list(total) if comm.rank == 0 else None, root=0
+            )
+
+        assert run_spmd(4, via_reduce_scatter) == run_spmd(
+            4, via_reduce_and_scatter
+        )

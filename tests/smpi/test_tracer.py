@@ -1,0 +1,120 @@
+"""Traffic accounting of CommTracer."""
+
+import numpy as np
+
+from repro.smpi import SUM, CommTracer, SelfComm, run_spmd
+
+
+def _traced(nprocs, job):
+    return run_spmd(nprocs, job, trace=True)
+
+
+class TestP2pAccounting:
+    def test_send_recv_bytes(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)  # 80 bytes
+            else:
+                comm.recv(source=0)
+            return None
+
+        _, tracers = _traced(2, job)
+        assert tracers[0].bytes_for("send") == 80
+        assert tracers[1].bytes_for("recv") == 80
+
+    def test_record_has_peer(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                comm.recv(source=0)
+            return None
+
+        _, tracers = _traced(2, job)
+        assert tracers[0].records[0].peer == 1
+
+
+class TestCollectiveAccounting:
+    def test_gather_root_counts_received_only(self):
+        def job(comm):
+            comm.gather(np.zeros(4), root=0)  # 32 bytes per rank
+            return None
+
+        _, tracers = _traced(4, job)
+        assert tracers[0].bytes_for("gather") == 3 * 32  # own copy excluded
+        for t in tracers[1:]:
+            assert t.bytes_for("gather") == 32
+
+    def test_bcast_root_counts_fanout(self):
+        def job(comm):
+            comm.bcast(np.zeros(8) if comm.rank == 0 else None, root=0)
+            return None
+
+        _, tracers = _traced(3, job)
+        assert tracers[0].bytes_for("bcast") == 2 * 64
+        assert tracers[1].bytes_for("bcast") == 64
+
+    def test_barrier_zero_bytes_one_event(self):
+        def job(comm):
+            comm.barrier()
+            return None
+
+        _, tracers = _traced(2, job)
+        for t in tracers:
+            assert t.bytes_for("barrier") == 0
+            assert any(r.op == "barrier" for r in t.records)
+
+    def test_allreduce_records(self):
+        def job(comm):
+            comm.allreduce(np.zeros(2), SUM)
+            return None
+
+        _, tracers = _traced(2, job)
+        for t in tracers:
+            assert t.bytes_for("allreduce") == 32  # 16 up + 16 down
+
+    def test_alltoall_excludes_self(self):
+        def job(comm):
+            comm.alltoall([np.zeros(1)] * comm.size)  # 8 bytes each
+            return None
+
+        _, tracers = _traced(3, job)
+        for t in tracers:
+            assert t.bytes_for("alltoall") == 2 * 8 + 2 * 8
+
+
+class TestSummaryAndReset:
+    def test_summary_aggregates(self):
+        def job(comm):
+            comm.bcast(0 if comm.rank == 0 else None, root=0)
+            comm.barrier()
+            return None
+
+        _, tracers = _traced(2, job)
+        summary = tracers[0].summary()
+        assert summary.events == 2
+        assert set(summary.by_op) == {"bcast", "barrier"}
+
+    def test_reset_clears(self):
+        comm = CommTracer(SelfComm())
+        comm.barrier()
+        assert comm.summary().events == 1
+        comm.reset()
+        assert comm.summary().events == 0
+        assert comm.records == []
+
+    def test_proxy_exposes_rank_size(self):
+        comm = CommTracer(SelfComm())
+        assert comm.rank == 0
+        assert comm.size == 1
+        assert comm.Get_rank() == 0
+        assert comm.Get_size() == 1
+
+    def test_split_returns_traced_subcomm(self):
+        def job(comm):
+            sub = comm.split(color=0)
+            sub.barrier()
+            return type(sub).__name__
+
+        results, _ = _traced(2, job)
+        assert results == ["CommTracer", "CommTracer"]

@@ -1,0 +1,117 @@
+"""Tracer coverage for the extended operations (scan family, buffers)."""
+
+import numpy as np
+
+from repro.smpi import SUM, run_spmd
+
+
+class TestScanFamilyTracing:
+    def test_scan_recorded(self):
+        def job(comm):
+            comm.scan(np.zeros(4), SUM)  # 32 bytes up + 32 down
+            return None
+
+        _, tracers = run_spmd(3, job, trace=True)
+        for t in tracers:
+            assert t.bytes_for("scan") == 64
+
+    def test_exscan_recorded(self):
+        def job(comm):
+            comm.exscan(np.zeros(2), SUM)
+            return None
+
+        _, tracers = run_spmd(2, job, trace=True)
+        # rank 0 receives None (0 bytes), rank 1 receives 16 bytes
+        assert tracers[0].bytes_for("exscan") == 16
+        assert tracers[1].bytes_for("exscan") == 32
+
+    def test_reduce_scatter_recorded(self):
+        def job(comm):
+            comm.reduce_scatter([np.zeros(1)] * comm.size, SUM)
+            return None
+
+        _, tracers = run_spmd(3, job, trace=True)
+        for t in tracers:
+            # sends 2 blocks of 8, receives the reduced 8-byte block
+            assert t.bytes_for("reduce_scatter") == 24
+
+    def test_iprobe_not_recorded(self):
+        def job(comm):
+            comm.iprobe()
+            return None
+
+        _, tracers = run_spmd(2, job, trace=True)
+        for t in tracers:
+            assert t.summary().events == 0
+
+    def test_results_correct_through_tracer(self):
+        def job(comm):
+            return comm.scan(comm.rank + 1, SUM)
+
+        results, _ = run_spmd(3, job, trace=True)
+        assert results == [1, 3, 6]
+
+
+class TestBufferedTracing:
+    def test_send_recv_buffers_recorded(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(5), dest=1)
+            else:
+                buf = np.zeros(5)
+                comm.Recv(buf, source=0)
+            return None
+
+        _, tracers = run_spmd(2, job, trace=True)
+        assert tracers[0].bytes_for("send") == 40
+        assert tracers[1].bytes_for("recv") == 40
+
+    def test_bcast_buffer_recorded(self):
+        def job(comm):
+            buf = np.zeros(4)
+            comm.Bcast(buf, root=0)
+            return None
+
+        _, tracers = run_spmd(3, job, trace=True)
+        assert tracers[0].bytes_for("bcast") == 64
+        assert tracers[1].bytes_for("bcast") == 32
+
+    def test_gather_scatter_buffers_recorded(self):
+        def job(comm):
+            send = np.zeros(2)
+            recv = np.zeros((comm.size, 2)) if comm.rank == 0 else None
+            comm.Gather(send, recv, root=0)
+            out = np.zeros(2)
+            comm.Scatter(
+                np.zeros((comm.size, 2)) if comm.rank == 0 else None,
+                out,
+                root=0,
+            )
+            return None
+
+        _, tracers = run_spmd(2, job, trace=True)
+        assert tracers[0].bytes_for("gather") == 16
+        assert tracers[1].bytes_for("gather") == 16
+        assert tracers[0].bytes_for("scatter") == 16
+
+    def test_allreduce_buffer_recorded_and_correct(self):
+        def job(comm):
+            recv = np.zeros(2)
+            comm.Allreduce(np.full(2, float(comm.rank)), recv, SUM)
+            return recv
+
+        results, tracers = run_spmd(3, job, trace=True)
+        for r in results:
+            assert np.array_equal(r, [3.0, 3.0])
+        for t in tracers:
+            assert t.bytes_for("allreduce") == 32
+
+    def test_allgather_buffer_recorded(self):
+        def job(comm):
+            recv = np.zeros((comm.size, 3))
+            comm.Allgather(np.zeros(3), recv)
+            return None
+
+        _, tracers = run_spmd(2, job, trace=True)
+        for t in tracers:
+            assert t.bytes_for("allgather") == 48

@@ -1,0 +1,75 @@
+"""Per-rank logging tests."""
+
+import logging
+
+import pytest
+
+from repro.utils.logging_utils import RankFilter, get_rank_logger, root_only
+
+
+class _Capture(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+class TestRankLogger:
+    def test_records_tagged_with_rank(self):
+        capture = _Capture()
+        logger = get_rank_logger("t1", rank=2, nranks=4, handler=capture)
+        logger.info("hello")
+        assert capture.records[0].rank == 2
+        assert capture.records[0].nranks == 4
+
+    def test_distinct_loggers_per_rank(self):
+        a = get_rank_logger("t2", 0, 2, handler=_Capture())
+        b = get_rank_logger("t2", 1, 2, handler=_Capture())
+        assert a is not b
+
+    def test_idempotent_reconfiguration(self):
+        capture = _Capture()
+        get_rank_logger("t3", 0, 1, handler=_Capture())
+        logger = get_rank_logger("t3", 0, 1, handler=capture)
+        logger.info("once")
+        assert len(capture.records) == 1  # no stacked handlers
+
+    def test_level_respected(self):
+        capture = _Capture()
+        logger = get_rank_logger(
+            "t4", 0, 1, level=logging.WARNING, handler=capture
+        )
+        logger.info("dropped")
+        logger.warning("kept")
+        assert [r.levelname for r in capture.records] == ["WARNING"]
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            get_rank_logger("t5", 3, 3)
+
+
+class TestRootOnly:
+    def test_nonroot_info_dropped(self):
+        capture = _Capture()
+        logger = get_rank_logger("t6", 1, 2, handler=capture)
+        root_only(logger, rank=1)
+        logger.info("quiet")
+        logger.error("loud")
+        assert [r.levelname for r in capture.records] == ["ERROR"]
+
+    def test_root_info_kept(self):
+        capture = _Capture()
+        logger = get_rank_logger("t7", 0, 2, handler=capture)
+        root_only(logger, rank=0)
+        logger.info("kept")
+        assert len(capture.records) == 1
+
+
+class TestRankFilter:
+    def test_always_passes(self):
+        f = RankFilter(0, 1)
+        record = logging.LogRecord("x", logging.INFO, "", 0, "m", (), None)
+        assert f.filter(record) is True
+        assert record.rank == 0

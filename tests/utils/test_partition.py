@@ -1,0 +1,102 @@
+"""Unit tests for repro.utils.partition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.partition import block_partition
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        p = block_partition(12, 4)
+        assert p.counts == (3, 3, 3, 3)
+        assert p.displs == (0, 3, 6, 9)
+
+    def test_uneven_split_front_loaded(self):
+        p = block_partition(10, 3)
+        assert p.counts == (4, 3, 3)
+        assert p.displs == (0, 4, 7)
+
+    def test_counts_sum_to_total(self):
+        p = block_partition(1037, 7)
+        assert sum(p.counts) == 1037
+
+    def test_more_parts_than_items(self):
+        p = block_partition(2, 5)
+        assert p.counts == (1, 1, 0, 0, 0)
+
+    def test_zero_total(self):
+        p = block_partition(0, 3)
+        assert p.counts == (0, 0, 0)
+
+    def test_range_of(self):
+        p = block_partition(10, 3)
+        assert p.range_of(0) == (0, 4)
+        assert p.range_of(2) == (7, 10)
+
+    def test_slice_roundtrip(self):
+        p = block_partition(23, 4)
+        data = np.arange(23)
+        rebuilt = np.concatenate([data[p.slice_of(i)] for i in range(4)])
+        assert np.array_equal(rebuilt, data)
+
+    def test_owner_of(self):
+        p = block_partition(10, 3)
+        owners = [p.owner_of(i) for i in range(10)]
+        assert owners == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_owner_out_of_range(self):
+        p = block_partition(10, 3)
+        with pytest.raises(ConfigurationError):
+            p.owner_of(10)
+
+    def test_local_index(self):
+        p = block_partition(10, 3)
+        assert p.local_index(5) == (1, 1)
+        assert p.local_index(0) == (0, 0)
+        assert p.local_index(9) == (2, 2)
+
+    def test_scatter_gather_roundtrip(self, rng):
+        p = block_partition(17, 5)
+        a = rng.standard_normal((17, 3))
+        blocks = p.scatter(a)
+        assert [b.shape[0] for b in blocks] == list(p.counts)
+        assert np.array_equal(p.gather(blocks), a)
+
+    def test_scatter_axis1(self, rng):
+        p = block_partition(9, 2)
+        a = rng.standard_normal((4, 9))
+        blocks = p.scatter(a, axis=1)
+        assert blocks[0].shape == (4, 5)
+        assert np.array_equal(p.gather(blocks, axis=1), a)
+
+    def test_scatter_wrong_size_raises(self, rng):
+        p = block_partition(10, 2)
+        with pytest.raises(ConfigurationError):
+            p.scatter(rng.standard_normal((11, 2)))
+
+    def test_gather_wrong_block_count_raises(self, rng):
+        p = block_partition(10, 2)
+        with pytest.raises(ConfigurationError):
+            p.gather([np.zeros((10, 1))])
+
+    def test_gather_wrong_block_shape_raises(self):
+        p = block_partition(10, 2)
+        with pytest.raises(ConfigurationError):
+            p.gather([np.zeros((4, 1)), np.zeros((5, 1))])
+
+    def test_iter_yields_ranges(self):
+        p = block_partition(10, 3)
+        assert list(p) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            block_partition(-1, 2)
+        with pytest.raises(ConfigurationError):
+            block_partition(5, 0)
+
+    def test_part_bounds_checked(self):
+        p = block_partition(10, 3)
+        with pytest.raises(ConfigurationError):
+            p.range_of(3)

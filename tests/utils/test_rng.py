@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rank_rng, resolve_rng, spawn_rank_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = resolve_rng(42).standard_normal(5)
+        b = resolve_rng(42).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_seedsequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = resolve_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRankRngs:
+    def test_count(self):
+        assert len(spawn_rank_rngs(0, 4)) == 4
+
+    def test_streams_differ(self):
+        gens = spawn_rank_rngs(0, 3)
+        draws = [g.standard_normal(8) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible(self):
+        a = [g.standard_normal(4) for g in spawn_rank_rngs(9, 3)]
+        b = [g.standard_normal(4) for g in spawn_rank_rngs(9, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rank_rngs(0, 0)
+
+
+class TestRankRng:
+    def test_matches_spawn(self):
+        spawned = [g.standard_normal(6) for g in spawn_rank_rngs(5, 4)]
+        for rank in range(4):
+            local = rank_rng(5, rank, 4).standard_normal(6)
+            assert np.array_equal(local, spawned[rank])
+
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            rank_rng(0, 4, 4)
+        with pytest.raises(ValueError):
+            rank_rng(0, -1, 4)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import TimerRegistry, WallTimer
+
+
+class TestWallTimer:
+    def test_context_manager_measures(self):
+        with WallTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_restartable(self):
+        t = WallTimer()
+        t.start()
+        first = t.stop()
+        t.start()
+        second = t.stop()
+        assert first >= 0 and second >= 0
+
+
+class TestTimerRegistry:
+    def test_measure_records(self):
+        reg = TimerRegistry()
+        with reg.measure("phase"):
+            pass
+        assert reg.count("phase") == 1
+        assert reg.total("phase") >= 0
+
+    def test_multiple_samples(self):
+        reg = TimerRegistry()
+        reg.add("x", 1.0)
+        reg.add("x", 3.0)
+        assert reg.count("x") == 2
+        assert reg.total("x") == pytest.approx(4.0)
+        assert reg.mean("x") == pytest.approx(2.0)
+
+    def test_mean_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TimerRegistry().mean("nope")
+
+    def test_unknown_name_empty(self):
+        reg = TimerRegistry()
+        assert reg.samples("nope") == []
+        assert reg.total("nope") == 0.0
+        assert reg.count("nope") == 0
+
+    def test_names_sorted(self):
+        reg = TimerRegistry()
+        reg.add("b", 1.0)
+        reg.add("a", 1.0)
+        assert reg.names() == ["a", "b"]
+
+    def test_summary(self):
+        reg = TimerRegistry()
+        reg.add("k", 2.0)
+        summary = reg.summary()
+        assert summary["k"]["count"] == 1.0
+        assert summary["k"]["mean"] == pytest.approx(2.0)
