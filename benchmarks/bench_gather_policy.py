@@ -1,0 +1,105 @@
+"""Gather policy: lazy (deferred) vs eager per-step mode assembly.
+
+``ParSVDParallel`` defers the ``gatherv_rows`` + ``bcast`` of the global
+mode matrix until ``.modes`` is first read.  A pure streaming loop with
+``gather="bcast"`` therefore moves *zero* mode-assembly bytes per batch —
+the O(M·K) per-update collective the paper's Listing 2 avoids — while a
+loop that reads ``.modes`` after every step reproduces the old eager cost.
+
+This bench streams the same record both ways and reports per-step gatherv
+collective counts, assembly bytes, and wall-clock throughput.  Expected
+shape: the deferred run performs exactly one gatherv per rank (at the final
+read) regardless of the number of batches, and its byte volume is ~1/n_steps
+of the eager run's.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro import ParSVDParallel
+from repro.data.burgers import BurgersProblem
+from repro.postprocessing.plots import save_series_csv
+from repro.postprocessing.report import format_table
+from repro.smpi import run_backend
+from repro.utils.partition import block_partition
+
+NX, NT, K, BATCH = 4096, 240, 8, 20
+NRANKS = 2
+N_STEPS = NT // BATCH
+
+
+def stream(data, read_every_step):
+    """Stream all batches; read .modes per step (eager) or once (lazy)."""
+
+    def job(comm):
+        part = block_partition(NX, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        svd = ParSVDParallel(comm, K=K, ff=0.95, gather="bcast")
+        svd.initialize(block[:, :BATCH])
+        if read_every_step:
+            _ = svd.modes
+        for start in range(BATCH, NT, BATCH):
+            svd.incorporate_data(block[:, start : start + BATCH])
+            if read_every_step:
+                _ = svd.modes
+        return svd.modes.shape
+
+    return job
+
+
+def timed_run(data, read_every_step):
+    job = stream(data, read_every_step)
+    start = time.perf_counter()
+    _, tracers = run_backend("threads", NRANKS, job, trace=True)
+    elapsed = time.perf_counter() - start
+    gatherv_calls = sum(
+        1 for r in tracers[0].records if r.op == "gatherv"
+    )
+    assembly_bytes = sum(
+        tracer.bytes_for("gatherv") + tracer.bytes_for("bcast")
+        for tracer in tracers
+    )
+    return elapsed, gatherv_calls, assembly_bytes
+
+
+def test_gather_policy(benchmark, artifacts_dir):
+    data = BurgersProblem(nx=NX, nt=NT).snapshot_matrix()
+
+    benchmark(lambda: timed_run(data, read_every_step=False))
+
+    lazy_t, lazy_calls, lazy_bytes = timed_run(data, read_every_step=False)
+    eager_t, eager_calls, eager_bytes = timed_run(data, read_every_step=True)
+
+    rows = [
+        ["deferred (read once)", lazy_calls, lazy_bytes, NT / lazy_t],
+        ["eager (read per step)", eager_calls, eager_bytes, NT / eager_t],
+    ]
+    save_series_csv(
+        artifacts_dir / "gather_policy.csv",
+        {
+            "eager": np.array([0.0, 1.0]),
+            "gatherv_calls_rank0": np.array(
+                [lazy_calls, eager_calls], dtype=float
+            ),
+            "assembly_bytes": np.array([lazy_bytes, eager_bytes], dtype=float),
+            "snapshots_per_s": np.array([NT / lazy_t, NT / eager_t]),
+        },
+    )
+    emit(
+        artifacts_dir,
+        "gather_policy.txt",
+        f"Gather policy: deferred vs eager mode assembly "
+        f"(Burgers {NX}x{NT}, K={K}, {NRANKS} ranks, {N_STEPS} steps)\n"
+        + format_table(
+            ["policy", "gatherv_calls(rank0)", "assembly_bytes", "snap_per_s"],
+            rows,
+        ),
+    )
+
+    # The deferred loop performs exactly one mode assembly (the final
+    # read); the eager loop performs one per step.
+    assert lazy_calls == 1
+    assert eager_calls == N_STEPS
+    assert lazy_bytes < eager_bytes / (N_STEPS / 2)

@@ -20,7 +20,10 @@ Building blocks:
 
 Substrates built for this reproduction:
 
-* :mod:`repro.smpi` — in-process MPI-like SPMD runtime (mpi4py stand-in).
+* :mod:`repro.smpi` — pluggable communicator backends behind one factory
+  (:func:`create_communicator` / :func:`run_backend`): the in-process
+  threaded MPI stand-in, a zero-overhead single-rank communicator, and an
+  optional adapter over real ``mpi4py``.
 * :mod:`repro.data` — workload generators (Burgers, ERA5-like) and
   snapshot IO.
 * :mod:`repro.perf` — calibrated machine model + scaling studies
@@ -56,9 +59,9 @@ from .exceptions import (
     ReproError,
     ShapeError,
 )
-from .smpi import run_spmd
+from .smpi import SelfCommunicator, create_communicator, run_backend, run_spmd
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SVDConfig",
@@ -72,6 +75,9 @@ __all__ = [
     "tsqr_tree",
     "compare_modes",
     "run_spmd",
+    "run_backend",
+    "create_communicator",
+    "SelfCommunicator",
     "ReproError",
     "ConfigurationError",
     "ShapeError",

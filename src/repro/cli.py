@@ -23,6 +23,24 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    from repro.smpi import BACKENDS, DEFAULT_BACKEND
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=DEFAULT_BACKEND,
+        help="communicator backend: 'threads' (in-process SPMD, default), "
+        "'self' (single rank, zero overhead; forces --ranks 1), or "
+        "'mpi4py' (real MPI; launch via mpiexec)",
+    )
+
+
+def _resolve_ranks(args: argparse.Namespace) -> int:
+    """The 'self' backend is single-rank by construction."""
+    return 1 if args.backend == "self" else args.ranks
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -39,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_burgers.add_argument("--modes", type=int, default=10)
     p_burgers.add_argument("--batch", type=int, default=100)
     p_burgers.add_argument("--ff", type=float, default=0.95)
+    _add_backend_option(p_burgers)
 
     p_era5 = sub.add_parser(
         "era5", help="coherent structures of the synthetic pressure record"
@@ -48,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_era5.add_argument("--nt", type=int, default=360)
     p_era5.add_argument("--ranks", type=int, default=4)
     p_era5.add_argument("--modes", type=int, default=6)
+    _add_backend_option(p_era5)
 
     p_scaling = sub.add_parser("scaling", help="scaling studies (model)")
     p_scaling.add_argument(
@@ -86,13 +106,14 @@ def _cmd_info() -> int:
 
 
 def _cmd_burgers(args: argparse.Namespace) -> int:
-    from repro import ParSVDParallel, ParSVDSerial, compare_modes, run_spmd
+    from repro import ParSVDParallel, ParSVDSerial, compare_modes, run_backend
     from repro.data.burgers import BurgersProblem
     from repro.utils.partition import block_partition
 
+    ranks = _resolve_ranks(args)
     print(
         f"Burgers validation: {args.nx} points, {args.nt} snapshots, "
-        f"K={args.modes}, {args.ranks} ranks"
+        f"K={args.modes}, {ranks} ranks, backend={args.backend}"
     )
     data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
 
@@ -113,7 +134,7 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
             svd.incorporate_data(block[:, start : start + args.batch])
         return svd.modes, svd.singular_values
 
-    modes, values = run_spmd(args.ranks, job)[0]
+    modes, values = run_backend(args.backend, ranks, job)[0]
     comparison = compare_modes(
         serial.modes, serial.singular_values, modes, values, n_modes=2
     )
@@ -125,7 +146,7 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
 
 
 def _cmd_era5(args: argparse.Namespace) -> int:
-    from repro import ParSVDParallel, run_spmd
+    from repro import ParSVDParallel, run_backend
     from repro.analysis.coherent import extract_coherent_structures
     from repro.data.era5_like import Era5LikeField
     from repro.utils.partition import block_partition
@@ -145,7 +166,7 @@ def _cmd_era5(args: argparse.Namespace) -> int:
             svd.incorporate_data(block[:, start : start + batch])
         return svd.modes, svd.singular_values
 
-    modes, values = run_spmd(args.ranks, job)[0]
+    modes, values = run_backend(args.backend, _resolve_ranks(args), job)[0]
     cos_map, sin_map = field.wave_patterns()[0]
     report = extract_coherent_structures(
         modes,
@@ -192,15 +213,28 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.exceptions import ConfigurationError
+    from repro.smpi import ParallelFailure, SmpiError
+
     args = build_parser().parse_args(argv)
-    if args.command == "info":
-        return _cmd_info()
-    if args.command == "burgers":
-        return _cmd_burgers(args)
-    if args.command == "era5":
-        return _cmd_era5(args)
-    if args.command == "scaling":
-        return _cmd_scaling(args)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "burgers":
+            return _cmd_burgers(args)
+        if args.command == "era5":
+            return _cmd_era5(args)
+        if args.command == "scaling":
+            return _cmd_scaling(args)
+    except ParallelFailure:
+        # A rank crashed inside the job: that is a bug, not a user error —
+        # let the wrapped per-rank traceback propagate.
+        raise
+    except (ConfigurationError, SmpiError) as exc:
+        # Misconfiguration (e.g. an unusable backend) is a user error, not
+        # a crash: print the message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -36,7 +36,15 @@ from typing import Optional
 
 from .exceptions import ConfigurationError
 
-__all__ = ["SVDConfig", "DEFAULT_FORGET_FACTOR", "DEFAULT_R1", "DEFAULT_R2"]
+__all__ = [
+    "SVDConfig",
+    "DEFAULT_FORGET_FACTOR",
+    "DEFAULT_R1",
+    "DEFAULT_R2",
+    "GATHER_POLICIES",
+    "QR_VARIANTS",
+    "validate_parallel_options",
+]
 
 #: Forget factor used throughout the paper's experiments (section 3.1).
 DEFAULT_FORGET_FACTOR = 0.95
@@ -44,6 +52,44 @@ DEFAULT_FORGET_FACTOR = 0.95
 DEFAULT_R1 = 50
 #: APMOS global left-factor truncation used in the paper (section 3.2).
 DEFAULT_R2 = 5
+
+#: Valid mode-gathering policies of :class:`~repro.core.parallel.ParSVDParallel`.
+GATHER_POLICIES = ("bcast", "root", "none")
+#: Valid distributed-QR variants (paper Listing 4 vs binary-tree TSQR).
+QR_VARIANTS = ("gather", "tree")
+
+
+def validate_parallel_options(
+    qr_variant: str,
+    gather: str,
+    apmos_group_size: Optional[int],
+) -> None:
+    """Validate :class:`~repro.core.parallel.ParSVDParallel` string/int knobs.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` (never
+    ``ShapeError``: these are configuration mistakes, not bad data) so
+    callers can discriminate the failure class.
+    """
+    if qr_variant not in QR_VARIANTS:
+        raise ConfigurationError(
+            f"qr_variant must be one of {QR_VARIANTS}, got {qr_variant!r}"
+        )
+    if gather not in GATHER_POLICIES:
+        raise ConfigurationError(
+            f"gather must be one of {GATHER_POLICIES}, got {gather!r}"
+        )
+    if apmos_group_size is not None:
+        if not isinstance(apmos_group_size, int) or isinstance(
+            apmos_group_size, bool
+        ):
+            raise ConfigurationError(
+                f"apmos_group_size must be an int or None, got "
+                f"{apmos_group_size!r}"
+            )
+        if apmos_group_size < 1:
+            raise ConfigurationError(
+                f"apmos_group_size must be >= 1, got {apmos_group_size}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)

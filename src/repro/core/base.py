@@ -183,7 +183,9 @@ class ParSVDBase:
         self._require_initialized()
         path = pathlib.Path(path)
         if path.suffix != ".npz":
-            path = path.with_suffix(".npz")
+            # Append rather than with_suffix(): "results.v2" must become
+            # "results.v2.npz", not clobber the stem into "results.npz".
+            path = path.with_name(path.name + ".npz")
         np.savez(
             path,
             modes=self.modes,

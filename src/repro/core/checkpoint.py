@@ -21,7 +21,7 @@ unknown version fails loudly rather than mis-restoring.
 from __future__ import annotations
 
 import pathlib
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -47,13 +47,23 @@ def write_checkpoint(
     kind: str,
     rank: int = 0,
     nranks: int = 1,
+    qr_variant: str = "gather",
+    gather: str = "bcast",
+    apmos_group_size: Optional[int] = None,
 ) -> pathlib.Path:
-    """Serialise one (rank's) resumable streaming state."""
+    """Serialise one (rank's) resumable streaming state.
+
+    ``qr_variant``/``gather``/``apmos_group_size`` record the parallel
+    driver's run options so a restart continues with the saved
+    configuration; the serial driver leaves them at their defaults.
+    """
     if modes is None or singular_values is None:
         raise NotInitializedError("cannot checkpoint an uninitialised SVD")
     path = pathlib.Path(path)
     if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+        # Append rather than with_suffix(): "results.v2" must become
+        # "results.v2.npz", not clobber the stem into "results.npz".
+        path = path.with_name(path.name + ".npz")
     np.savez(
         path,
         format_version=np.asarray(CHECKPOINT_VERSION),
@@ -72,6 +82,11 @@ def write_checkpoint(
         config_oversampling=np.asarray(config.oversampling),
         config_power_iters=np.asarray(config.power_iters),
         config_seed=np.asarray(-1 if config.seed is None else config.seed),
+        par_qr_variant=np.asarray(qr_variant),
+        par_gather=np.asarray(gather),
+        par_apmos_group_size=np.asarray(
+            -1 if apmos_group_size is None else int(apmos_group_size)
+        ),
     )
     return path
 
@@ -104,6 +119,13 @@ def read_checkpoint(path: PathLike) -> dict:
                 power_iters=int(data["config_power_iters"]),
                 seed=None if seed < 0 else seed,
             )
+            # Parallel run options were added within format v1; older v1
+            # files fall back to the historical defaults.
+            group = (
+                int(data["par_apmos_group_size"])
+                if "par_apmos_group_size" in data
+                else -1
+            )
             return {
                 "config": config,
                 "kind": str(data["kind"]),
@@ -113,6 +135,15 @@ def read_checkpoint(path: PathLike) -> dict:
                 "n_seen": int(data["n_seen"]),
                 "rank": int(data["rank"]),
                 "nranks": int(data["nranks"]),
+                "qr_variant": (
+                    str(data["par_qr_variant"])
+                    if "par_qr_variant" in data
+                    else "gather"
+                ),
+                "gather": (
+                    str(data["par_gather"]) if "par_gather" in data else "bcast"
+                ),
+                "apmos_group_size": None if group < 0 else group,
             }
     except (OSError, ValueError, KeyError) as exc:
         raise DataFormatError(f"{path}: unreadable checkpoint: {exc}") from exc

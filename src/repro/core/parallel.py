@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..config import validate_parallel_options
 from ..exceptions import DataFormatError, ShapeError
 from ..utils.linalg import economy_svd, truncate_svd
 from ..utils.rng import resolve_rng
@@ -56,10 +57,24 @@ class ParSVDParallel(ParSVDBase):
         ``"gather"`` (the paper's Listing 4 pattern, default) or ``"tree"``
         (binary-reduction TSQR; same numbers, different communication).
     gather:
-        What :attr:`modes` holds after each update —
-        ``"bcast"`` (default): global modes assembled on *every* rank;
-        ``"root"``: global modes on rank 0 only (others keep ``None``);
-        ``"none"``: no gathering; use :attr:`local_modes`.
+        What :attr:`modes` holds once assembled —
+        ``"bcast"`` (default): global modes on *every* rank;
+        ``"root"``: global modes on rank 0 only (others raise; use
+        :attr:`local_modes`);
+        ``"none"``: no gathering; :attr:`modes` is the local block.
+
+    Notes
+    -----
+    Mode assembly is **lazy**: ``initialize``/``incorporate_data`` only
+    invalidate the cached gathered modes, and the gather (+ broadcast)
+    collective runs on the first :attr:`modes` access after an update.  A
+    pure streaming loop that never reads :attr:`modes` therefore performs
+    *zero* mode-assembly communication — the per-batch cost the paper's
+    Listing 2 avoids.  Because assembly is collective (for ``"bcast"`` and
+    ``"root"``), every rank must read :attr:`modes` (or call
+    :meth:`assemble_modes`) the same number of times relative to updates;
+    an internal epoch counter makes repeated reads free and keeps ranks
+    aligned.  :attr:`local_modes` never communicates.
 
     Examples
     --------
@@ -92,23 +107,18 @@ class ParSVDParallel(ParSVDBase):
         **extra,
     ) -> None:
         super().__init__(K=K, ff=ff, low_rank=low_rank, config=config, **extra)
-        if qr_variant not in ("gather", "tree"):
-            raise ShapeError(
-                f"qr_variant must be 'gather' or 'tree', got {qr_variant!r}"
-            )
-        if gather not in ("bcast", "root", "none"):
-            raise ShapeError(
-                f"gather must be 'bcast', 'root' or 'none', got {gather!r}"
-            )
-        if apmos_group_size is not None and apmos_group_size < 1:
-            raise ShapeError(
-                f"apmos_group_size must be >= 1, got {apmos_group_size}"
-            )
+        validate_parallel_options(qr_variant, gather, apmos_group_size)
         self.comm = comm
         self._qr_variant = qr_variant
         self._gather = gather
         self._apmos_group_size = apmos_group_size
         self._ulocal: Optional[np.ndarray] = None
+        # Lazy mode assembly: _modes_epoch counts factorization updates,
+        # _modes_synced_epoch the update the cached gathered modes belong
+        # to.  The collective in assemble_modes() runs only when they
+        # differ, so every rank performs it the same number of times.
+        self._modes_epoch: int = 0
+        self._modes_synced_epoch: int = 0
         # Only rank 0 consumes randomness (sketches are drawn at the root
         # and broadcast); all ranks derive the same stream for determinism
         # regardless of which rank ends up drawing.
@@ -190,7 +200,7 @@ class ParSVDParallel(ParSVDBase):
         self._ulocal, self._singular_values = self.parallel_svd(A)
         self._iteration = 1
         self._n_seen = A.shape[1]
-        self._gather_modes()
+        self._invalidate_modes()
         return self
 
     def incorporate_data(self, A: np.ndarray) -> "ParSVDParallel":
@@ -211,7 +221,7 @@ class ParSVDParallel(ParSVDBase):
         self._singular_values = s_new
         self._iteration += 1
         self._n_seen += A.shape[1]
-        self._gather_modes()
+        self._invalidate_modes()
         return self
 
     # -- results layout ---------------------------------------------------------
@@ -223,21 +233,49 @@ class ParSVDParallel(ParSVDBase):
         assert self._ulocal is not None
         return self._ulocal
 
-    def _gather_modes(self) -> None:
-        """Assemble the distributed modes per the ``gather`` policy."""
+    def _invalidate_modes(self) -> None:
+        """Drop the cached gathered modes; the next :attr:`modes` access
+        (on all ranks) re-assembles them collectively."""
+        self._modes = None
+        self._modes_epoch += 1
+
+    @property
+    def modes_current(self) -> bool:
+        """Whether the cached gathered modes reflect the latest update
+        (i.e. the next :attr:`modes` access needs no communication)."""
+        return self._modes_synced_epoch == self._modes_epoch
+
+    def assemble_modes(self) -> Optional[np.ndarray]:
+        """Assemble the distributed modes per the ``gather`` policy.
+
+        Collective (for ``"bcast"``/``"root"``) on first call after an
+        update; afterwards a cached no-op until the next
+        ``incorporate_data``.  Returns the assembled array, or ``None`` on
+        non-root ranks under the ``"root"`` policy.
+        """
+        self._require_initialized()
+        if self.modes_current:
+            return self._modes
         assert self._ulocal is not None
         if self._gather == "none":
             self._modes = self._ulocal
-            return
-        stacked = self.comm.gatherv_rows(self._ulocal, root=0)
-        if self._gather == "bcast":
-            stacked = self.comm.bcast(stacked, root=0)
-        self._modes = stacked
+        else:
+            stacked = self.comm.gatherv_rows(self._ulocal, root=0)
+            if self._gather == "bcast":
+                stacked = self.comm.bcast(stacked, root=0)
+            self._modes = stacked
+        self._modes_synced_epoch = self._modes_epoch
+        return self._modes
 
     @property
     def modes(self) -> np.ndarray:
-        """Global modes per the gather policy (see class docstring)."""
+        """Global modes per the gather policy (see class docstring).
+
+        Collective when the cache is stale: every rank must read it (or
+        call :meth:`assemble_modes`) to complete the gather.
+        """
         self._require_initialized()
+        self.assemble_modes()
         if self._modes is None:
             raise ShapeError(
                 f"rank {self.comm.rank} does not hold the gathered modes "
@@ -265,15 +303,25 @@ class ParSVDParallel(ParSVDBase):
             kind="parallel",
             rank=self.comm.rank,
             nranks=self.comm.size,
+            qr_variant=self._qr_variant,
+            gather=self._gather,
+            apmos_group_size=self._apmos_group_size,
         )
         return str(out)
 
     @classmethod
     def from_checkpoint(
-        cls, comm, path, qr_variant: str = "gather", gather: str = "bcast"
+        cls,
+        comm,
+        path,
+        qr_variant: Optional[str] = None,
+        gather: Optional[str] = None,
     ) -> "ParSVDParallel":
         """Rebuild this rank's instance from its shard of a checkpoint.
 
+        ``qr_variant``/``gather`` default to the values recorded at save
+        time (so a restart continues with the saved configuration,
+        including ``apmos_group_size``); pass them explicitly to override.
         The restart rank count must equal the checkpoint's (the shards
         partition the global modes); a mismatch raises
         :class:`~repro.exceptions.DataFormatError`.
@@ -297,13 +345,14 @@ class ParSVDParallel(ParSVDBase):
         svd = cls(
             comm,
             config=state["config"],
-            qr_variant=qr_variant,
-            gather=gather,
+            qr_variant=qr_variant or state["qr_variant"],
+            gather=gather or state["gather"],
+            apmos_group_size=state["apmos_group_size"],
         )
         svd._ulocal = state["modes"]
         svd._singular_values = state["singular_values"]
         svd._iteration = state["iteration"]
         svd._n_seen = state["n_seen"]
         svd._n_dof = state["modes"].shape[0]
-        svd._gather_modes()
+        svd._invalidate_modes()
         return svd

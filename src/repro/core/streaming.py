@@ -27,7 +27,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import ConfigurationError, ShapeError
 from ..utils.linalg import as_floating, economy_svd, qr_positive, truncate_svd
 from ..utils.rng import RngLike
 from .randomized import randomized_svd
@@ -138,7 +138,10 @@ def incorporate_batch(
             f"with {state.modes.shape[0]} degrees of freedom"
         )
     if not (0.0 < ff <= 1.0):
-        raise ShapeError(f"forget factor must lie in (0, 1], got {ff}")
+        # A bad forget factor is a configuration mistake, not bad data.
+        raise ConfigurationError(
+            f"forget factor must lie in (0, 1], got {ff}"
+        )
 
     # Column-concatenate the forgotten previous factorization with new data:
     # m_ap = [ff * U_{i-1} D_{i-1} | A_i]

@@ -1,43 +1,62 @@
-"""``repro.smpi`` — an in-process, thread-based MPI substitute.
+"""``repro.smpi`` — pluggable communicator backends for the SVD drivers.
 
-The paper's parallel algorithms are written against ``mpi4py``.  That package
-(and an MPI launcher) is unavailable in this environment, so this subpackage
-provides the subset of MPI semantics the algorithms need, executed by one
-thread per rank inside a single Python process:
+The paper's parallel algorithms are written against ``mpi4py``.  This
+subpackage defines the small **communicator protocol** those algorithms
+actually need and provides three interchangeable backends behind one
+factory (:func:`create_communicator` / :func:`run_backend`):
 
-* SPMD execution: :func:`run_spmd` runs ``fn(comm, ...)`` on ``n`` ranks and
-  returns the per-rank results (exceptions propagate with rank context).
-* Point-to-point: ``send/recv/isend/irecv`` with tags, ``ANY_SOURCE`` and
-  ``ANY_TAG`` matching, and MPI-like value (copy) semantics.
-* Collectives: ``bcast, gather, gatherv, allgather, scatter, scatterv,
-  reduce, allreduce, alltoall, barrier`` — implemented on top of
-  point-to-point so their traffic is faithfully accounted by the tracer.
-* Communicator management: ``split`` and ``dup``.
-* Traffic accounting: :class:`CommTracer` wraps any communicator and records
-  per-operation byte counts, which feed the analytic scaling model used to
-  reproduce the paper's weak-scaling figure.
+* ``"threads"`` — the in-process, thread-based MPI substitute (default):
+  SPMD execution via :func:`run_spmd` (one thread per rank), point-to-point
+  ``send/recv/isend/irecv`` with tags and wildcards, collectives built on
+  point-to-point so their traffic is faithfully accounted, ``split``/``dup``
+  context management, and deadlock detection with per-rank tracebacks.
+* ``"self"`` — :class:`SelfCommunicator`, a zero-overhead single-rank
+  communicator that short-circuits every collective (no mailboxes, no
+  threads); the parallel drivers then run at serial speed.
+* ``"mpi4py"`` — a thin adapter over real MPI for cluster runs; optional,
+  used only when the ``mpi4py`` package is importable (see
+  :data:`repro.smpi.mpi.HAVE_MPI4PY`).
 
-The API intentionally mirrors mpi4py's lowercase ("pickle") methods, which is
-what the paper's listings use (``comm.gather``, ``comm.bcast``,
+Communicator protocol (full table in :mod:`repro.smpi.factory`): ``rank`` /
+``size``, ``send`` / ``recv`` (plus nonblocking variants), ``bcast``,
+``gather`` / ``gatherv_rows``, ``allreduce`` (deterministic rank-ordered
+fold), and ``split`` / ``dup``.  Anything implementing it — including a
+:class:`CommTracer` wrapping any backend — can drive
+:class:`~repro.core.parallel.ParSVDParallel` and the APMOS/TSQR kernels.
+
+The API intentionally mirrors mpi4py's lowercase ("pickle") methods, which
+is what the paper's listings use (``comm.gather``, ``comm.bcast``,
 ``comm.send``/``comm.recv``), so the core algorithms read like the paper.
+Traffic accounting: wrap any communicator in a :class:`CommTracer` to
+record per-operation byte counts, which feed the analytic scaling model
+used to reproduce the paper's weak-scaling figure.
 """
 
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator, SelfComm
 from .exceptions import SmpiError, RankError, TagError
 from .executor import ParallelFailure, run_spmd
+from .factory import BACKENDS, DEFAULT_BACKEND, create_communicator, run_backend
+from .mpi import HAVE_MPI4PY
 from .reduction import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from .selfcomm import SelfCommunicator
 from .tracer import CommRecord, CommTracer, TrafficSummary
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "Communicator",
     "SelfComm",
+    "SelfCommunicator",
+    "HAVE_MPI4PY",
     "SmpiError",
     "RankError",
     "TagError",
     "ParallelFailure",
     "run_spmd",
+    "run_backend",
+    "create_communicator",
     "ReduceOp",
     "SUM",
     "PROD",

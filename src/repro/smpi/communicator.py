@@ -29,6 +29,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .buffered import BufferedOpsMixin
+from .derived import DerivedCollectivesMixin
 from .exceptions import RankError, SmpiError, TagError
 from .message import Envelope
 from .reduction import ReduceOp
@@ -54,7 +55,7 @@ _TAG_SPLIT = -16
 _TAG_SENDRECV = -17
 
 
-class Communicator(BufferedOpsMixin):
+class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
     """A group of ranks that can exchange messages within one context.
 
     Each SPMD thread holds its *own* ``Communicator`` instance; instances of
@@ -223,59 +224,8 @@ class Communicator(BufferedOpsMixin):
             return objs[root]
         return self._take(root, _TAG_SCATTER)
 
-    def gatherv_rows(
-        self, sendbuf: np.ndarray, root: int = 0
-    ) -> Optional[np.ndarray]:
-        """Gather per-rank row blocks into one vertically stacked array.
-
-        Convenience equivalent of MPI ``Gatherv`` for the common "assemble
-        the distributed modes at rank 0" operation (paper's
-        ``_gather_modes``).  Row counts may differ across ranks.
-        """
-        blocks = self.gather(np.asarray(sendbuf), root=root)
-        if blocks is None:
-            return None
-        return np.concatenate(blocks, axis=0)
-
-    def scatterv_rows(
-        self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
-    ) -> np.ndarray:
-        """Scatter contiguous row blocks of ``sendbuf`` (``counts[i]`` rows
-        to rank ``i``).  Inverse of :meth:`gatherv_rows`."""
-        if len(counts) != self.size:
-            raise SmpiError(
-                f"counts must have one entry per rank, got {len(counts)} "
-                f"for size {self.size}"
-            )
-        if self.rank == root:
-            if sendbuf is None:
-                raise SmpiError("scatterv_rows root requires a send buffer")
-            sendbuf = np.asarray(sendbuf)
-            if sendbuf.shape[0] != int(np.sum(counts)):
-                raise SmpiError(
-                    f"send buffer has {sendbuf.shape[0]} rows, counts sum to "
-                    f"{int(np.sum(counts))}"
-                )
-            offsets = np.concatenate(([0], np.cumsum(counts)))
-            blocks = [
-                sendbuf[offsets[i] : offsets[i + 1]] for i in range(self.size)
-            ]
-        else:
-            blocks = None
-        return self.scatter(blocks, root=root)
-
-    def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
-        """Reduce rank contributions with ``op`` at ``root`` (rank-ordered
-        left fold, hence deterministic).  Non-roots return ``None``."""
-        gathered = self.gather(obj, root=root)
-        if gathered is None:
-            return None
-        return op.reduce_sequence(gathered)
-
-    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
-        """Reduce then broadcast; every rank returns the reduced value."""
-        reduced = self.reduce(obj, op, root=0)
-        return self.bcast(reduced, root=0)
+    # (gatherv_rows / scatterv_rows / reduce / allreduce / scan / exscan /
+    # reduce_scatter come from DerivedCollectivesMixin.)
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
         """Personalised all-to-all: send ``objs[j]`` to rank ``j``; receive
@@ -294,48 +244,6 @@ class Communicator(BufferedOpsMixin):
                 envelope = self._mailbox_of(self.rank).get(peer, _TAG_ALLTOALL)
                 out[peer] = envelope.payload
         return out
-
-    def scan(self, obj: Any, op: ReduceOp) -> Any:
-        """Inclusive prefix reduction: rank ``i`` receives
-        ``op(obj_0, ..., obj_i)`` (deterministic rank-ordered fold)."""
-        gathered = self.gather(obj, root=0)
-        if self.rank == 0:
-            assert gathered is not None
-            prefixes = []
-            acc = None
-            for item in gathered:
-                acc = item if acc is None else op(acc, item)
-                prefixes.append(acc)
-        else:
-            prefixes = None
-        return self.scatter(prefixes, root=0)
-
-    def exscan(self, obj: Any, op: ReduceOp) -> Any:
-        """Exclusive prefix reduction: rank ``i`` receives
-        ``op(obj_0, ..., obj_{i-1})``; rank 0 receives ``None`` (as MPI
-        leaves the rank-0 exscan buffer undefined)."""
-        gathered = self.gather(obj, root=0)
-        if self.rank == 0:
-            assert gathered is not None
-            prefixes: List[Any] = [None]
-            acc = None
-            for item in gathered[:-1]:
-                acc = item if acc is None else op(acc, item)
-                prefixes.append(acc)
-        else:
-            prefixes = None
-        return self.scatter(prefixes, root=0)
-
-    def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp) -> Any:
-        """Reduce ``objs[j]`` across ranks, delivering block ``j`` to rank
-        ``j``: rank ``j`` receives ``op(objs_0[j], ..., objs_{p-1}[j])``."""
-        if len(objs) != self.size:
-            raise SmpiError(
-                f"reduce_scatter needs exactly {self.size} blocks, got "
-                f"{len(objs)}"
-            )
-        received = self.alltoall(objs)
-        return op.reduce_sequence(received)
 
     def barrier(self) -> None:
         """Synchronise all ranks (fan-in to rank 0, fan-out back)."""

@@ -1,0 +1,130 @@
+"""Collectives derived purely from the protocol primitives.
+
+``gatherv_rows``/``scatterv_rows``, the deterministic reductions and the
+prefix scans need nothing backend-specific: they are compositions of
+``gather``/``scatter``/``bcast``/``alltoall``.  Keeping them in one mixin
+shared by :class:`~repro.smpi.communicator.Communicator` and
+:class:`~repro.smpi.mpi.Mpi4pyCommunicator` guarantees the backends cannot
+drift (and that reductions stay a deterministic rank-ascending left fold
+everywhere, instead of depending on an MPI library's reduction tree).
+
+:class:`~repro.smpi.selfcomm.SelfCommunicator` intentionally does *not* use
+this mixin: its collectives short-circuit to the identity without the
+gather/scatter round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import SmpiError
+from .reduction import ReduceOp
+
+__all__ = ["DerivedCollectivesMixin"]
+
+
+class DerivedCollectivesMixin:
+    """Row-block convenience collectives, reductions and scans, built on
+    the host class's ``gather``/``scatter``/``bcast``/``alltoall``."""
+
+    # provided by the host class
+    rank: int
+    size: int
+
+    def gatherv_rows(
+        self, sendbuf: np.ndarray, root: int = 0
+    ) -> Optional[np.ndarray]:
+        """Gather per-rank row blocks into one vertically stacked array.
+
+        Convenience equivalent of MPI ``Gatherv`` for the common "assemble
+        the distributed modes at rank 0" operation (paper's
+        ``_gather_modes``).  Row counts may differ across ranks.
+        """
+        blocks = self.gather(np.asarray(sendbuf), root=root)  # type: ignore[attr-defined]
+        if blocks is None:
+            return None
+        return np.concatenate(blocks, axis=0)
+
+    def scatterv_rows(
+        self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
+    ) -> np.ndarray:
+        """Scatter contiguous row blocks of ``sendbuf`` (``counts[i]`` rows
+        to rank ``i``).  Inverse of :meth:`gatherv_rows`."""
+        if len(counts) != self.size:
+            raise SmpiError(
+                f"counts must have one entry per rank, got {len(counts)} "
+                f"for size {self.size}"
+            )
+        if self.rank == root:
+            if sendbuf is None:
+                raise SmpiError("scatterv_rows root requires a send buffer")
+            sendbuf = np.asarray(sendbuf)
+            if sendbuf.shape[0] != int(np.sum(counts)):
+                raise SmpiError(
+                    f"send buffer has {sendbuf.shape[0]} rows, counts sum to "
+                    f"{int(np.sum(counts))}"
+                )
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            blocks = [
+                sendbuf[offsets[i] : offsets[i + 1]] for i in range(self.size)
+            ]
+        else:
+            blocks = None
+        return self.scatter(blocks, root=root)  # type: ignore[attr-defined]
+
+    def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
+        """Reduce rank contributions with ``op`` at ``root`` (rank-ordered
+        left fold, hence deterministic).  Non-roots return ``None``."""
+        gathered = self.gather(obj, root=root)  # type: ignore[attr-defined]
+        if gathered is None:
+            return None
+        return op.reduce_sequence(gathered)
+
+    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
+        """Reduce then broadcast; every rank returns the reduced value."""
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)  # type: ignore[attr-defined]
+
+    def scan(self, obj: Any, op: ReduceOp) -> Any:
+        """Inclusive prefix reduction: rank ``i`` receives
+        ``op(obj_0, ..., obj_i)`` (deterministic rank-ordered fold)."""
+        gathered = self.gather(obj, root=0)  # type: ignore[attr-defined]
+        if self.rank == 0:
+            assert gathered is not None
+            prefixes: List[Any] = []
+            acc = None
+            for item in gathered:
+                acc = item if acc is None else op(acc, item)
+                prefixes.append(acc)
+        else:
+            prefixes = None
+        return self.scatter(prefixes, root=0)  # type: ignore[attr-defined]
+
+    def exscan(self, obj: Any, op: ReduceOp) -> Any:
+        """Exclusive prefix reduction: rank ``i`` receives
+        ``op(obj_0, ..., obj_{i-1})``; rank 0 receives ``None`` (as MPI
+        leaves the rank-0 exscan buffer undefined)."""
+        gathered = self.gather(obj, root=0)  # type: ignore[attr-defined]
+        if self.rank == 0:
+            assert gathered is not None
+            prefixes: List[Any] = [None]
+            acc = None
+            for item in gathered[:-1]:
+                acc = item if acc is None else op(acc, item)
+                prefixes.append(acc)
+        else:
+            prefixes = None
+        return self.scatter(prefixes, root=0)  # type: ignore[attr-defined]
+
+    def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp) -> Any:
+        """Reduce ``objs[j]`` across ranks, delivering block ``j`` to rank
+        ``j``: rank ``j`` receives ``op(objs_0[j], ..., objs_{p-1}[j])``."""
+        if len(objs) != self.size:
+            raise SmpiError(
+                f"reduce_scatter needs exactly {self.size} blocks, got "
+                f"{len(objs)}"
+            )
+        received = self.alltoall(list(objs))  # type: ignore[attr-defined]
+        return op.reduce_sequence(received)

@@ -1,0 +1,194 @@
+"""Communicator backend registry: one name selects the whole substrate.
+
+The parallel algorithms in :mod:`repro.core` are written against a small
+**communicator protocol** rather than a concrete class, so the same driver
+code runs on an in-process simulator, a zero-overhead serial communicator,
+or real MPI.  This module is the single place that protocol and its
+implementations are registered (the shape follows ChainerMN's
+``create_communicator`` factory).
+
+Communicator protocol
+---------------------
+Any object with this surface works with every driver in the library
+(:class:`~repro.core.parallel.ParSVDParallel`, the APMOS and TSQR kernels,
+the tracer):
+
+=================== =====================================================
+``rank``, ``size``   This rank's id and the number of ranks (also
+                     ``Get_rank()`` / ``Get_size()``).
+``send/recv``        Blocking pickle-mode point-to-point with tags and
+                     ``ANY_SOURCE``/``ANY_TAG`` wildcards; value
+                     semantics (payloads snapshotted at send time).
+``isend/irecv``      Nonblocking variants returning request objects with
+                     ``wait()``/``test()``.
+``bcast``            Root's object on every rank.
+``gather``           Rank-ordered list at the root, ``None`` elsewhere.
+``gatherv_rows``     Per-rank row blocks vertically stacked at the root
+                     (row counts may differ) — the modes-assembly op.
+``allreduce``        Deterministic rank-ordered reduction, result on all
+                     ranks (``reduce`` for root-only).
+``split/dup``        Context-isolated sub/duplicate communicators.
+=================== =====================================================
+
+(Backends also provide ``allgather``, ``scatter``, ``scatterv_rows``,
+``alltoall``, ``scan``/``exscan``, ``reduce_scatter``, ``barrier``,
+``iprobe``, ``sendrecv`` and the uppercase buffer ops — see
+:class:`~repro.smpi.communicator.Communicator` for the reference
+semantics.)
+
+Backends
+--------
+============ ========================================================
+``threads``  The default :mod:`repro.smpi` substrate: one thread per
+             rank, mailbox delivery, faithful traffic accounting.
+``self``     :class:`~repro.smpi.selfcomm.SelfCommunicator` — a
+             single rank with every collective short-circuited; zero
+             overhead, no threads.  ``size`` must be 1.
+``mpi4py``   Thin adapter over real MPI (requires the optional
+             ``mpi4py`` package and an MPI launcher).
+============ ========================================================
+
+Use :func:`create_communicator` when you need communicator objects, or
+:func:`run_backend` to run an SPMD function on a named backend::
+
+    from repro.smpi import create_communicator, run_backend
+
+    svd = ParSVDParallel(create_communicator("self"), K=10)
+
+    results = run_backend("threads", 4, job)   # == run_spmd(4, job)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from .communicator import Communicator
+from .exceptions import SmpiError
+from .executor import run_spmd
+from .selfcomm import SelfCommunicator
+from .tracer import CommTracer
+from .world import World
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "create_communicator", "run_backend"]
+
+#: Registered backend names, in preference order.
+BACKENDS = ("threads", "self", "mpi4py")
+
+#: Backend used when none is named.
+DEFAULT_BACKEND = "threads"
+
+
+def _check_name(name: str) -> None:
+    if name not in BACKENDS:
+        raise SmpiError(
+            f"unknown communicator backend {name!r}; "
+            f"available: {', '.join(BACKENDS)}"
+        )
+
+
+def create_communicator(
+    name: str = DEFAULT_BACKEND,
+    size: int = 1,
+    *,
+    timeout: float = 60.0,
+    mpi_comm: Any = None,
+) -> Union[Any, Tuple[Any, ...]]:
+    """Create communicator(s) for the named backend.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BACKENDS`.
+    size:
+        Number of ranks.  ``"self"`` requires ``size == 1``; for
+        ``"mpi4py"`` the size is dictated by the MPI launcher and ``size``
+        (when > 1) is validated against it.
+    timeout:
+        Mailbox deadlock timeout for the ``"threads"`` backend.
+    mpi_comm:
+        Existing ``mpi4py`` communicator to wrap (``"mpi4py"`` only);
+        defaults to ``COMM_WORLD``.
+
+    Returns
+    -------
+    A single communicator — except ``"threads"`` with ``size > 1``, which
+    returns a tuple of per-rank communicators sharing one
+    :class:`~repro.smpi.world.World`; dispatch those to threads yourself or
+    use :func:`run_backend` / :func:`repro.smpi.run_spmd`, which do it for
+    you.
+    """
+    _check_name(name)
+    if size < 1:
+        raise SmpiError(f"communicator size must be positive, got {size}")
+    if name == "self":
+        if size != 1:
+            raise SmpiError(
+                f"the 'self' backend is single-rank; got size {size} "
+                f"(use 'threads' or 'mpi4py' for multi-rank runs)"
+            )
+        return SelfCommunicator()
+    if name == "mpi4py":
+        from .mpi import Mpi4pyCommunicator
+
+        comm = Mpi4pyCommunicator(mpi_comm)
+        if size > 1 and comm.size != size:
+            raise SmpiError(
+                f"requested {size} ranks but the MPI communicator has "
+                f"{comm.size}; launch with 'mpiexec -n {size}'"
+            )
+        return comm
+    world = World(size, timeout=timeout)
+    group = tuple(range(size))
+    comms = tuple(
+        Communicator(world, World.WORLD_CONTEXT, group, rank)
+        for rank in range(size)
+    )
+    return comms[0] if size == 1 else comms
+
+
+def run_backend(
+    backend: str,
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 120.0,
+    trace: bool = False,
+    **kwargs: Any,
+) -> Any:
+    """Run ``fn(comm, *args, **kwargs)`` SPMD-style on a named backend.
+
+    A backend-polymorphic :func:`repro.smpi.run_spmd`: drivers (CLI,
+    examples, benchmarks) select the substrate with a string and keep a
+    single code path.
+
+    Returns the rank-ordered list of per-rank results (``[fn(...)]`` for
+    single-rank backends), or ``(results, tracers)`` when ``trace=True``.
+    For ``"mpi4py"`` every participating process returns the full
+    rank-ordered result list (via ``allgather``); run under an MPI
+    launcher.
+    """
+    _check_name(backend)
+    if backend == "threads":
+        return run_spmd(size, fn, *args, timeout=timeout, trace=trace, **kwargs)
+    if backend == "self":
+        comm = create_communicator("self", size)
+        tracers: Optional[List[CommTracer]] = None
+        if trace:
+            tracers = [CommTracer(comm)]
+            comm = tracers[0]
+        results = [fn(comm, *args, **kwargs)]
+        return (results, tracers) if trace else results
+    comm = create_communicator("mpi4py", size)
+    if comm.size != size:
+        # run_backend's size is an explicit request (unlike
+        # create_communicator's default); a launcher mismatch must not
+        # silently run at a different rank count.
+        raise SmpiError(
+            f"requested {size} ranks but the MPI launcher provides "
+            f"{comm.size}; launch with 'mpiexec -n {size}'"
+        )
+    if trace:
+        tracer = CommTracer(comm)
+        result = fn(tracer, *args, **kwargs)
+        return comm.allgather(result), [tracer]
+    return comm.allgather(fn(comm, *args, **kwargs))

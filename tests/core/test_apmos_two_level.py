@@ -164,6 +164,7 @@ class TestParallelClassIntegration:
 
     def test_invalid_group_size_rejected(self, decaying_matrix):
         from repro import ParSVDParallel
+        from repro.exceptions import ConfigurationError
 
-        with pytest.raises(ShapeError):
+        with pytest.raises(ConfigurationError):
             ParSVDParallel(SelfComm(), K=2, apmos_group_size=0)

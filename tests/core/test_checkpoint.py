@@ -1,5 +1,7 @@
 """Checkpoint/restart of streaming state."""
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -113,6 +115,35 @@ class TestCheckpointFormat:
     def test_rank_path_naming(self, tmp_path):
         assert rank_checkpoint_path(tmp_path / "s.npz", 3).name == "s.rank3.npz"
         assert rank_checkpoint_path(tmp_path / "s", 0).name == "s.rank0.npz"
+
+    def test_dotted_stem_preserved(self, decaying_matrix, tmp_path):
+        """Regression: 'state.v2' must become 'state.v2.npz', not
+        'state.npz'."""
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = svd.save_checkpoint(tmp_path / "state.v2")
+        assert pathlib.Path(path).name == "state.v2.npz"
+        assert not (tmp_path / "state.npz").exists()
+        resumed = ParSVDSerial.from_checkpoint(path)
+        assert resumed.K == 2
+
+    def test_old_checkpoint_without_parallel_fields_readable(
+        self, decaying_matrix, tmp_path
+    ):
+        """Format-v1 files written before the parallel run options were
+        recorded must still load, with the historical defaults."""
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = svd.save_checkpoint(tmp_path / "old")
+        with np.load(path) as data:
+            trimmed = {
+                key: data[key]
+                for key in data.files
+                if not key.startswith("par_")
+            }
+        np.savez(path, **trimmed)
+        state = read_checkpoint(path)
+        assert state["qr_variant"] == "gather"
+        assert state["gather"] == "bcast"
+        assert state["apmos_group_size"] is None
 
 
 class TestParallelCheckpoint:

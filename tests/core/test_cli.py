@@ -26,6 +26,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scaling", "--mode", "sideways"])
 
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["burgers"])
+        assert args.backend == "threads"
+        args = build_parser().parse_args(["era5", "--backend", "self"])
+        assert args.backend == "self"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["burgers", "--backend", "bogus"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -58,6 +66,19 @@ class TestCommands:
         assert code == 0
         assert "PASS" in out
         assert "best-match=seasonal" in out
+
+    def test_burgers_self_backend(self, capsys):
+        code = main(
+            [
+                "burgers",
+                "--nx", "256", "--nt", "60", "--batch", "20",
+                "--modes", "4", "--backend", "self",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 ranks, backend=self" in out
+        assert "PASS" in out
 
     def test_scaling_weak_uncalibrated(self, capsys):
         code = main(["scaling", "--mode", "weak", "--max-nodes", "4", "--no-calibrate"])

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.config import DEFAULT_FORGET_FACTOR, DEFAULT_R1, DEFAULT_R2, SVDConfig
+from repro.config import (
+    DEFAULT_FORGET_FACTOR,
+    DEFAULT_R1,
+    DEFAULT_R2,
+    GATHER_POLICIES,
+    QR_VARIANTS,
+    SVDConfig,
+    validate_parallel_options,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -76,3 +84,25 @@ class TestReplace:
         cfg = SVDConfig()
         with pytest.raises(Exception):
             cfg.K = 9
+
+
+class TestParallelOptions:
+    def test_valid_combinations_pass(self):
+        for qr in QR_VARIANTS:
+            for gather in GATHER_POLICIES:
+                validate_parallel_options(qr, gather, None)
+                validate_parallel_options(qr, gather, 4)
+
+    def test_bad_qr_variant(self):
+        with pytest.raises(ConfigurationError):
+            validate_parallel_options("sideways", "bcast", None)
+
+    def test_bad_gather_policy(self):
+        with pytest.raises(ConfigurationError):
+            validate_parallel_options("gather", "sometimes", None)
+
+    def test_bad_group_size(self):
+        with pytest.raises(ConfigurationError):
+            validate_parallel_options("gather", "bcast", 0)
+        with pytest.raises(ConfigurationError):
+            validate_parallel_options("gather", "bcast", True)

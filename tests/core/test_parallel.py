@@ -5,7 +5,7 @@ import pytest
 
 from repro import ParSVDParallel, ParSVDSerial
 from repro.core.metrics import compare_modes
-from repro.exceptions import ShapeError
+from repro.exceptions import ConfigurationError, ShapeError
 from repro.smpi import SelfComm, run_spmd
 from repro.utils.partition import block_partition
 
@@ -32,12 +32,16 @@ def run_parallel(data, nranks, batches, **svd_kwargs):
 
 class TestConstruction:
     def test_invalid_qr_variant(self):
-        with pytest.raises(ShapeError):
+        with pytest.raises(ConfigurationError):
             ParSVDParallel(SelfComm(), K=3, qr_variant="bogus")
 
     def test_invalid_gather_policy(self):
-        with pytest.raises(ShapeError):
+        with pytest.raises(ConfigurationError):
             ParSVDParallel(SelfComm(), K=3, gather="bogus")
+
+    def test_invalid_apmos_group_size(self):
+        with pytest.raises(ConfigurationError):
+            ParSVDParallel(SelfComm(), K=3, apmos_group_size=0)
 
     def test_config_knobs_forwarded(self):
         svd = ParSVDParallel(SelfComm(), K=4, ff=0.9, r1=20)

@@ -141,6 +141,21 @@ class TestPersistence:
         path = svd.save_results(tmp_path / "noext")
         assert path.suffix == ".npz"
 
+    def test_save_preserves_dotted_stem(self, decaying_matrix, tmp_path):
+        """Regression: 'results.v2' must save as 'results.v2.npz', not
+        clobber the stem into 'results.npz'."""
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = svd.save_results(tmp_path / "results.v2")
+        assert path.name == "results.v2.npz"
+        assert not (tmp_path / "results.npz").exists()
+        loaded = ParSVDSerial.load_results(path)
+        assert loaded["K"] == 2
+
+    def test_save_keeps_existing_npz_suffix(self, decaying_matrix, tmp_path):
+        svd = ParSVDSerial(K=2).initialize(decaying_matrix)
+        path = svd.save_results(tmp_path / "plain.npz")
+        assert path.name == "plain.npz"
+
     def test_save_before_initialize_raises(self, tmp_path):
         with pytest.raises(NotInitializedError):
             ParSVDSerial(K=2).save_results(tmp_path / "x")

@@ -8,7 +8,7 @@ from repro.core.streaming import (
     incorporate_batch,
     initialize_streaming,
 )
-from repro.exceptions import ShapeError
+from repro.exceptions import ConfigurationError, ShapeError
 from repro.utils.linalg import align_signs, orthogonality_defect
 
 
@@ -118,9 +118,9 @@ class TestIncorporate:
 
     def test_invalid_ff_raises(self, decaying_matrix):
         state = initialize_streaming(decaying_matrix[:, :5], 3)
-        with pytest.raises(ShapeError):
+        with pytest.raises(ConfigurationError):
             incorporate_batch(state, decaying_matrix[:, 5:8], 3, ff=0.0)
-        with pytest.raises(ShapeError):
+        with pytest.raises(ConfigurationError):
             incorporate_batch(state, decaying_matrix[:, 5:8], 3, ff=1.5)
 
     def test_counters_accumulate(self, decaying_matrix):

@@ -1,0 +1,117 @@
+"""Communicator backend factory: create_communicator / run_backend."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    HAVE_MPI4PY,
+    SUM,
+    CommTracer,
+    Communicator,
+    ParallelFailure,
+    SelfCommunicator,
+    SmpiError,
+    create_communicator,
+    run_backend,
+)
+
+
+class TestCreateCommunicator:
+    def test_registry(self):
+        assert DEFAULT_BACKEND in BACKENDS
+        assert set(BACKENDS) == {"threads", "self", "mpi4py"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SmpiError, match="unknown communicator backend"):
+            create_communicator("bogus", 1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SmpiError):
+            create_communicator("threads", 0)
+
+    def test_self_backend(self):
+        comm = create_communicator("self", 1)
+        assert isinstance(comm, SelfCommunicator)
+        assert (comm.rank, comm.size) == (0, 1)
+
+    def test_self_backend_is_single_rank_only(self):
+        with pytest.raises(SmpiError, match="single-rank"):
+            create_communicator("self", 2)
+
+    def test_threads_single_rank_returns_one_comm(self):
+        comm = create_communicator("threads", 1)
+        assert isinstance(comm, Communicator)
+        assert (comm.rank, comm.size) == (0, 1)
+
+    def test_threads_multi_rank_returns_per_rank_comms(self):
+        comms = create_communicator("threads", 3)
+        assert isinstance(comms, tuple) and len(comms) == 3
+        assert [c.rank for c in comms] == [0, 1, 2]
+        assert all(c.size == 3 for c in comms)
+
+    @pytest.mark.skipif(HAVE_MPI4PY, reason="mpi4py installed; adapter works")
+    def test_mpi4py_backend_guarded_when_absent(self):
+        with pytest.raises(SmpiError, match="mpi4py"):
+            create_communicator("mpi4py", 1)
+
+    @pytest.mark.skipif(not HAVE_MPI4PY, reason="mpi4py not installed")
+    def test_mpi4py_backend_wraps_comm_world(self):
+        comm = create_communicator("mpi4py")
+        assert comm.size >= 1
+        assert comm.bcast(123, root=0) == 123
+
+
+class TestRunBackend:
+    def test_threads_matches_run_spmd(self):
+        results = run_backend("threads", 4, lambda comm: comm.rank**2)
+        assert results == [0, 1, 4, 9]
+
+    def test_self_returns_single_result_list(self):
+        results = run_backend("self", 1, lambda comm: comm.size)
+        assert results == [1]
+
+    def test_args_and_kwargs_forwarded(self):
+        def job(comm, a, b=0):
+            return a + b + comm.rank
+
+        assert run_backend("self", 1, job, 10, b=5) == [15]
+        assert run_backend("threads", 2, job, 10, b=5) == [15, 16]
+
+    def test_self_trace_wraps_tracer(self):
+        def job(comm):
+            return comm.allreduce(np.ones(4), SUM)
+
+        results, tracers = run_backend("self", 1, job, trace=True)
+        assert np.array_equal(results[0], np.ones(4))
+        assert len(tracers) == 1
+        assert isinstance(tracers[0], CommTracer)
+        assert tracers[0].summary().events == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SmpiError):
+            run_backend("bogus", 1, lambda comm: None)
+
+    def test_collectives_agree_across_backends(self):
+        """The same SPMD function gives the same answer on every backend
+        it can run on — the point of the protocol."""
+
+        def job(comm):
+            total = comm.allreduce(float(comm.rank + 1), SUM)
+            stacked = comm.gatherv_rows(
+                np.full((2, 2), float(comm.rank)), root=0
+            )
+            stacked = comm.bcast(stacked, root=0)
+            return total, stacked.shape[0]
+
+        self_result = run_backend("self", 1, job)[0]
+        threads_result = run_backend("threads", 1, job)[0]
+        assert self_result == threads_result == (1.0, 2)
+
+    def test_parallel_failure_propagates_from_threads(self):
+        def bad(comm):
+            raise ValueError("boom")
+
+        with pytest.raises(ParallelFailure):
+            run_backend("threads", 2, bad, timeout=5.0)
