@@ -1,0 +1,127 @@
+"""Serving throughput: queries/sec vs micro-batch window and shard count.
+
+The :class:`~repro.serving.QueryEngine` coalesces pending queries into one
+distributed GEMM per ``(basis, kind)`` group at flush.  This bench streams
+the same query log through engines with different flush windows (1 = no
+batching, every query pays its own GEMM + collective) and shard counts,
+and reports queries/sec, GEMM counts and collective counts.
+
+Expected shape: for a fixed shard count, the GEMM count falls as
+``ceil(n_queries / window)`` — micro-batching trades per-query latency for
+throughput — and every configuration returns answers identical (1e-10) to
+the serial ``analysis.reconstruction`` reference.
+
+Artifacts: ``serving_throughput.json`` (machine-readable sweep) and
+``serving_throughput.txt`` (table).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.reconstruction import project_coefficients
+from repro.data.burgers import BurgersProblem
+from repro.postprocessing.report import format_table
+from repro.serving import ModeBaseStore, QueryEngine
+from repro.smpi import run_backend
+
+NX, NT, K = 2048, 120, 8
+N_QUERIES, QUERY_WIDTH = 48, 4
+WINDOWS = (1, 8, 48)
+SHARDS = (1, 2, 4)
+
+
+def publish_basis(tmpdir, data):
+    """One-shot SVD of the record published as the served basis."""
+    u, s, _ = np.linalg.svd(data, full_matrices=False)
+    store = ModeBaseStore(tmpdir)
+    store.publish("burgers", u[:, :K], s[:K])
+    return store
+
+
+def serve_log(store, queries, nranks, window):
+    """Run the query log through a fresh engine; returns (elapsed, stats,
+    answers) from rank 0."""
+
+    def job(comm):
+        engine = QueryEngine(comm, store, flush_threshold=window)
+        start = time.perf_counter()
+        tickets = [engine.submit_project("burgers", q) for q in queries]
+        engine.flush()
+        elapsed = time.perf_counter() - start
+        return elapsed, engine.stats, [t.result() for t in tickets]
+
+    return run_backend("threads", nranks, job)[0]
+
+
+def test_serving_throughput(benchmark, artifacts_dir, tmp_path):
+    data = BurgersProblem(nx=NX, nt=NT).snapshot_matrix()
+    store = publish_basis(tmp_path / "store", data)
+    base = store.get("burgers")
+    rng = np.random.default_rng(3)
+    queries = [
+        data[:, rng.integers(0, NT, size=QUERY_WIDTH)]
+        for _ in range(N_QUERIES)
+    ]
+    reference = [project_coefficients(base.modes, q) for q in queries]
+
+    benchmark(lambda: serve_log(store, queries, 2, max(WINDOWS)))
+
+    records, rows = [], []
+    for nranks in SHARDS:
+        for window in WINDOWS:
+            elapsed, stats, answers = serve_log(store, queries, nranks, window)
+            worst = max(
+                float(np.max(np.abs(got - ref)))
+                for got, ref in zip(answers, reference)
+            )
+            assert worst < 1e-10, (
+                f"{nranks} shards / window {window}: deviation {worst}"
+            )
+            qps = N_QUERIES / max(elapsed, 1e-9)
+            records.append(
+                {
+                    "shards": nranks,
+                    "window": window,
+                    "queries": N_QUERIES,
+                    "query_width": QUERY_WIDTH,
+                    "gemms": stats["gemms"],
+                    "collectives": stats["collectives"],
+                    "flushes": stats["flushes"],
+                    "queries_per_s": qps,
+                    "worst_abs_deviation": worst,
+                }
+            )
+            rows.append(
+                [nranks, window, stats["gemms"], stats["flushes"], f"{qps:.0f}"]
+            )
+            # Coalescing contract: one GEMM per full window (+1 partial).
+            expected_gemms = -(-N_QUERIES // window)
+            assert stats["gemms"] == expected_gemms
+
+    payload = {
+        "bench": "serving_throughput",
+        "nx": NX,
+        "nt": NT,
+        "modes": K,
+        "backend": "threads",
+        "records": records,
+    }
+    (artifacts_dir / "serving_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit(
+        artifacts_dir,
+        "serving_throughput.txt",
+        f"Serving throughput (Burgers {NX}x{NT}, K={K}, {N_QUERIES} "
+        f"projection queries of width {QUERY_WIDTH})\n"
+        + format_table(
+            ["shards", "window", "gemms", "flushes", "queries_per_s"], rows
+        ),
+    )
+
+    # Micro-batching must strictly reduce distributed GEMM count.
+    by_window = {r["window"]: r for r in records if r["shards"] == 2}
+    assert by_window[max(WINDOWS)]["gemms"] < by_window[1]["gemms"]

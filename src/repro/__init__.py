@@ -26,6 +26,10 @@ Substrates built for this reproduction:
   optional adapter over real ``mpi4py``.
 * :mod:`repro.data` — workload generators (Burgers, ERA5-like) and
   snapshot IO.
+* :mod:`repro.serving` — sharded mode-base serving: a versioned
+  :class:`ModeBaseStore` of gathered checkpoints, row-sharded bases, and a
+  micro-batching :class:`QueryEngine` (project / reconstruct /
+  reconstruction-error).
 * :mod:`repro.perf` — calibrated machine model + scaling studies
   (stand-in for the Theta weak-scaling runs).
 
@@ -53,15 +57,18 @@ from .core import (
     tsqr_tree,
 )
 from .exceptions import (
+    BasisNotFoundError,
     ConfigurationError,
     DataFormatError,
     NotInitializedError,
     ReproError,
+    ServingError,
     ShapeError,
 )
+from .serving import ModeBase, ModeBaseStore, QueryEngine, ShardedBasis
 from .smpi import SelfCommunicator, create_communicator, run_backend, run_spmd
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SVDConfig",
@@ -78,10 +85,16 @@ __all__ = [
     "run_backend",
     "create_communicator",
     "SelfCommunicator",
+    "ModeBase",
+    "ModeBaseStore",
+    "ShardedBasis",
+    "QueryEngine",
     "ReproError",
     "ConfigurationError",
     "ShapeError",
     "NotInitializedError",
     "DataFormatError",
+    "ServingError",
+    "BasisNotFoundError",
     "__version__",
 ]

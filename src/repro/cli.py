@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro burgers  [--nx 2048 --nt 400 --ranks 4 --modes 10]
-    python -m repro era5     [--nlat 24 --nlon 48 --nt 360 --ranks 4]
-    python -m repro scaling  [--mode weak|strong --max-nodes 256]
+    python -m repro burgers     [--nx 2048 --nt 400 --ranks 4 --modes 10]
+    python -m repro era5        [--nlat 24 --nlon 48 --nt 360 --ranks 4]
+    python -m repro scaling     [--mode weak|strong --max-nodes 256]
+    python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
     python -m repro info
 
 Each subcommand prints the same tables/plots as the corresponding bench
@@ -86,6 +87,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="model the two-level hierarchical APMOS with this group size "
         "(weak scaling only)",
     )
+
+    p_serve = sub.add_parser(
+        "serve-query",
+        help="sharded mode-base serving: build a basis, publish it to a "
+        "store, answer micro-batched queries, verify against the serial "
+        "reference",
+    )
+    p_serve.add_argument("--nx", type=int, default=512)
+    p_serve.add_argument("--nt", type=int, default=120)
+    p_serve.add_argument("--modes", type=int, default=8)
+    p_serve.add_argument("--batch", type=int, default=30)
+    p_serve.add_argument("--ranks", type=int, default=2)
+    p_serve.add_argument("--queries", type=int, default=24)
+    p_serve.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="micro-batch window: queries coalesced per flush",
+    )
+    p_serve.add_argument(
+        "--store",
+        default=None,
+        help="store directory to publish into (default: a temporary one)",
+    )
+    _add_backend_option(p_serve)
 
     sub.add_parser("info", help="version and configuration summary")
     return parser
@@ -187,6 +213,113 @@ def _cmd_era5(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.data.burgers import BurgersProblem
+    from repro.serving import ModeBaseStore
+
+    ranks = _resolve_ranks(args)
+    with contextlib.ExitStack() as stack:
+        if args.store is None:
+            # Ephemeral demo store, removed on exit; pass --store to keep.
+            store_root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-store-")
+            )
+        else:
+            store_root = args.store
+        print(
+            f"Serving demo: Burgers {args.nx}x{args.nt}, K={args.modes}, "
+            f"{ranks} shards, backend={args.backend}, "
+            f"{args.queries} queries, window={args.window}"
+        )
+        print(
+            f"store: {store_root}"
+            + (" (temporary, removed on exit)" if args.store is None else "")
+        )
+        data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
+        store = ModeBaseStore(store_root)
+        return _run_serve_query(args, ranks, data, store)
+
+
+def _run_serve_query(args, ranks, data, store) -> int:
+    import time
+
+    from repro import ParSVDParallel, run_backend
+    from repro.analysis.reconstruction import (
+        project_coefficients,
+        reconstruction_error_curve,
+    )
+    from repro.postprocessing.report import format_table
+    from repro.serving import QueryEngine
+    from repro.utils.partition import block_partition
+
+    def build(comm):
+        part = block_partition(args.nx, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        svd = ParSVDParallel(comm, K=args.modes, ff=1.0, r1=50)
+        svd.initialize(block[:, : args.batch])
+        for start in range(args.batch, args.nt, args.batch):
+            svd.incorporate_data(block[:, start : start + args.batch])
+        return svd.export_to_store(store, "burgers")
+
+    version = run_backend(args.backend, ranks, build)[0]
+    base = store.get("burgers", version)
+    print(f"published 'burgers' v{version} ({base.n_dof} dof, {base.n_modes} modes)")
+
+    rng = np.random.default_rng(0)
+    queries = [
+        data[:, rng.integers(0, args.nt, size=3)] for _ in range(args.queries)
+    ]
+
+    def serve(comm):
+        engine = QueryEngine(
+            comm, store, flush_threshold=max(args.window, 1)
+        )
+        t0 = time.perf_counter()
+        tickets = [
+            (
+                engine.submit_project("burgers", q),
+                engine.submit_error("burgers", q),
+            )
+            for q in queries
+        ]
+        engine.flush()
+        elapsed = time.perf_counter() - t0
+        answers = [(tp.result(), te.result()) for tp, te in tickets]
+        return answers, engine.stats, elapsed
+
+    answers, stats, elapsed = run_backend(args.backend, ranks, serve)[0]
+
+    worst = 0.0
+    for q, (coeffs, err) in zip(queries, answers):
+        ref_c = project_coefficients(base.modes, q)
+        ref_e = reconstruction_error_curve(q, base.modes)[-1]
+        worst = max(
+            worst,
+            float(np.max(np.abs(coeffs - ref_c))),
+            abs(err - ref_e),
+        )
+    n_queries = stats["queries"]
+    print(
+        format_table(
+            ["queries", "flushes", "gemms", "collectives", "queries_per_s"],
+            [[
+                n_queries,
+                stats["flushes"],
+                stats["gemms"],
+                stats["collectives"],
+                f"{n_queries / max(elapsed, 1e-9):.0f}",
+            ]],
+        )
+    )
+    print(f"worst deviation vs serial reference: {worst:.3e}")
+    ok = worst < 1e-8
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.perf.machine import THETA_KNL
     from repro.perf.scaling import StrongScalingStudy, WeakScalingStudy
@@ -226,6 +359,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_era5(args)
         if args.command == "scaling":
             return _cmd_scaling(args)
+        if args.command == "serve-query":
+            return _cmd_serve_query(args)
     except ParallelFailure:
         # A rank crashed inside the job: that is a bug, not a user error —
         # let the wrapped per-rank traceback propagate.

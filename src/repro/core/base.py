@@ -181,11 +181,9 @@ class ParSVDBase:
     def save_results(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Persist modes/values/metadata to an ``.npz`` archive."""
         self._require_initialized()
-        path = pathlib.Path(path)
-        if path.suffix != ".npz":
-            # Append rather than with_suffix(): "results.v2" must become
-            # "results.v2.npz", not clobber the stem into "results.npz".
-            path = path.with_name(path.name + ".npz")
+        from .checkpoint import normalize_checkpoint_path
+
+        path = normalize_checkpoint_path(path)
         np.savez(
             path,
             modes=self.modes,

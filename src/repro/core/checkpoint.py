@@ -12,7 +12,11 @@ the configuration — so ingestion can continue exactly where it stopped:
 
 For the parallel class each rank checkpoints its own shard
 (``<stem>.rank<i>.npz``); on restart the rank count must match, which is
-validated.
+validated.  Alternatively ``save_checkpoint(..., gathered=True)`` writes one
+single file at rank 0 holding the *assembled* global modes
+(``kind="gathered"``); such a checkpoint can be restarted at **any** rank
+count — each restarting rank re-partitions the global rows with the
+canonical :func:`~repro.utils.partition.block_partition`.
 
 Format: a single ``.npz`` with a format-version field; loading a newer or
 unknown version fails loudly rather than mis-restoring.
@@ -28,13 +32,38 @@ import numpy as np
 from ..config import SVDConfig
 from ..exceptions import DataFormatError, NotInitializedError
 
-__all__ = ["CHECKPOINT_VERSION", "write_checkpoint", "read_checkpoint"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CHECKPOINT_KINDS",
+    "normalize_checkpoint_path",
+    "write_checkpoint",
+    "read_checkpoint",
+]
 
 CHECKPOINT_VERSION = 1
+
+#: Valid values of the ``kind`` identity field.  ``"serial"`` and
+#: ``"parallel"`` hold one (rank's) state; ``"gathered"`` holds the fully
+#: assembled global modes in a single rank-0 file.
+CHECKPOINT_KINDS = ("serial", "parallel", "gathered")
 
 PathLike = Union[str, pathlib.Path]
 
 _CONFIG_FIELDS = ("K", "ff", "low_rank", "r1", "r2", "oversampling", "power_iters")
+
+
+def normalize_checkpoint_path(path: PathLike) -> pathlib.Path:
+    """The on-disk path a checkpoint lands at for a user-supplied ``path``.
+
+    Appends ``.npz`` rather than substituting it: ``"results.v2"`` must
+    become ``"results.v2.npz"``, not clobber the stem into
+    ``"results.npz"``.  Exposed so collective writers (only rank 0 touches
+    the file) can agree on the destination without writing.
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 def write_checkpoint(
@@ -59,11 +88,11 @@ def write_checkpoint(
     """
     if modes is None or singular_values is None:
         raise NotInitializedError("cannot checkpoint an uninitialised SVD")
-    path = pathlib.Path(path)
-    if path.suffix != ".npz":
-        # Append rather than with_suffix(): "results.v2" must become
-        # "results.v2.npz", not clobber the stem into "results.npz".
-        path = path.with_name(path.name + ".npz")
+    if kind not in CHECKPOINT_KINDS:
+        raise DataFormatError(
+            f"checkpoint kind must be one of {CHECKPOINT_KINDS}, got {kind!r}"
+        )
+    path = normalize_checkpoint_path(path)
     np.savez(
         path,
         format_version=np.asarray(CHECKPOINT_VERSION),

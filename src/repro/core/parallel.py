@@ -35,9 +35,15 @@ from ..config import validate_parallel_options
 from ..exceptions import DataFormatError, ShapeError
 from ..utils.linalg import economy_svd, truncate_svd
 from ..utils.rng import resolve_rng
+from ..utils.partition import block_partition
 from .apmos import apmos_svd, apmos_svd_two_level
 from .base import ParSVDBase
-from .checkpoint import rank_checkpoint_path, read_checkpoint, write_checkpoint
+from .checkpoint import (
+    normalize_checkpoint_path,
+    rank_checkpoint_path,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .randomized import low_rank_svd
 from .tsqr import tsqr_gather, tsqr_tree
 
@@ -284,14 +290,46 @@ class ParSVDParallel(ParSVDBase):
         return self._modes
 
     # -- checkpoint / restart ---------------------------------------------
-    def save_checkpoint(self, path) -> str:
-        """Checkpoint this rank's shard (``<stem>.rank<i>.npz``).
+    def save_checkpoint(self, path, gathered: bool = False) -> str:
+        """Checkpoint the streaming state; returns the path written.
 
-        Every rank calls this with the *same* base path; each writes its
-        own shard holding the local mode block.
+        With ``gathered=False`` (default) every rank calls this with the
+        *same* base path and writes its own shard
+        (``<stem>.rank<i>.npz``) holding the local mode block; a restart
+        must then use the same rank count.
+
+        With ``gathered=True`` the call is **collective**: the global mode
+        matrix is assembled at rank 0 (via ``gatherv_rows``, independent of
+        the ``gather`` policy) and written as one single file
+        (``kind="gathered"``).  Such a checkpoint restarts at *any* rank
+        count — see :meth:`from_checkpoint` — and is what
+        :class:`~repro.serving.ModeBaseStore` ingests.
         """
         self._require_initialized()
         assert self._ulocal is not None
+        if gathered:
+            stacked = self.comm.gatherv_rows(self._ulocal, root=0)
+            out = normalize_checkpoint_path(path)
+            if self.comm.rank == 0:
+                write_checkpoint(
+                    out,
+                    self._config,
+                    stacked,
+                    self.singular_values,
+                    self._iteration,
+                    self._n_seen,
+                    kind="gathered",
+                    rank=0,
+                    nranks=self.comm.size,
+                    qr_variant=self._qr_variant,
+                    gather=self._gather,
+                    apmos_group_size=self._apmos_group_size,
+                )
+            # Exit barrier: gatherv_rows returns immediately on non-root
+            # ranks (buffered sends), so without this a rank could observe
+            # a missing/partial file that rank 0 is still writing.
+            self.comm.barrier()
+            return str(out)
         shard = rank_checkpoint_path(path, self.comm.rank)
         out = write_checkpoint(
             shard,
@@ -309,6 +347,33 @@ class ParSVDParallel(ParSVDBase):
         )
         return str(out)
 
+    def export_to_store(self, store, name: str) -> int:
+        """Publish the current basis into a serving store (collective).
+
+        Assembles the global modes at rank 0, publishes them as a new
+        version of ``name`` in ``store`` (a
+        :class:`~repro.serving.ModeBaseStore` or a path to one), and
+        broadcasts the assigned version so every rank returns it.
+        """
+        self._require_initialized()
+        assert self._ulocal is not None
+        stacked = self.comm.gatherv_rows(self._ulocal, root=0)
+        version: Optional[int] = None
+        if self.comm.rank == 0:
+            from ..serving.store import ModeBaseStore
+
+            if not isinstance(store, ModeBaseStore):
+                store = ModeBaseStore(store)
+            version = store.publish(
+                name,
+                stacked,
+                self.singular_values,
+                config=self._config,
+                iteration=self._iteration,
+                n_seen=self._n_seen,
+            )
+        return self.comm.bcast(version, root=0)
+
     @classmethod
     def from_checkpoint(
         cls,
@@ -322,11 +387,62 @@ class ParSVDParallel(ParSVDBase):
         ``qr_variant``/``gather`` default to the values recorded at save
         time (so a restart continues with the saved configuration,
         including ``apmos_group_size``); pass them explicitly to override.
-        The restart rank count must equal the checkpoint's (the shards
-        partition the global modes); a mismatch raises
-        :class:`~repro.exceptions.DataFormatError`.
+
+        Two layouts restart:
+
+        * a **gathered** single file (``save_checkpoint(...,
+          gathered=True)``): if ``path`` itself names a ``kind="gathered"``
+          checkpoint, each rank takes its canonical
+          :func:`~repro.utils.partition.block_partition` row block of the
+          stored global modes — any rank count works;
+        * otherwise the per-rank **shards**: the restart rank count must
+          equal the checkpoint's (the shards partition the global modes);
+          a mismatch raises :class:`~repro.exceptions.DataFormatError`.
         """
+        gathered_file = normalize_checkpoint_path(path)
         shard = rank_checkpoint_path(path, comm.rank)
+        gathered_state: Optional[dict] = None
+        if gathered_file.exists():
+            # The base path may legitimately hold something else (e.g. a
+            # save_results archive sharing the stem with per-rank shards);
+            # only a readable kind="gathered" checkpoint selects the
+            # single-file restart, otherwise fall back to the shards.
+            try:
+                candidate = read_checkpoint(gathered_file)
+            except DataFormatError:
+                candidate = None
+            if candidate is not None and candidate["kind"] == "gathered":
+                gathered_state = candidate
+            elif not shard.exists():
+                if candidate is None:
+                    raise DataFormatError(
+                        f"{gathered_file}: not a restartable checkpoint and "
+                        f"no per-rank shard {shard} exists"
+                    )
+                raise DataFormatError(
+                    f"{gathered_file}: checkpoint kind "
+                    f"{candidate['kind']!r} is not 'gathered'; per-rank "
+                    f"restarts load '<stem>.rank<i>.npz' shards"
+                )
+        if gathered_state is not None:
+            state = gathered_state
+            global_modes = state["modes"]
+            part = block_partition(global_modes.shape[0], comm.size)
+            svd = cls(
+                comm,
+                config=state["config"],
+                qr_variant=qr_variant or state["qr_variant"],
+                gather=gather or state["gather"],
+                apmos_group_size=state["apmos_group_size"],
+            )
+            local = np.array(global_modes[part.slice_of(comm.rank), :])
+            svd._ulocal = local
+            svd._singular_values = state["singular_values"]
+            svd._iteration = state["iteration"]
+            svd._n_seen = state["n_seen"]
+            svd._n_dof = local.shape[0]
+            svd._invalidate_modes()
+            return svd
         state = read_checkpoint(shard)
         if state["kind"] != "parallel":
             raise DataFormatError(

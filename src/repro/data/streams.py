@@ -73,7 +73,15 @@ class SnapshotStream:
 
     def restrict_rows(self, row_slice: slice) -> "SnapshotStream":
         """Derived stream carrying only ``row_slice`` of every batch — how a
-        rank adapts a global stream to its domain-decomposed block."""
+        rank adapts a global stream to its domain-decomposed block.
+
+        ``n_dof`` propagates through ``slice.indices``, so stepped and
+        negative slices (e.g. ``slice(None, None, 2)``, ``slice(-5, None)``)
+        report the true restricted row count and the derived stream
+        validates every batch against it.  When the parent's ``n_dof`` is
+        unknown the derived stream infers its row count from the first
+        restricted batch.
+        """
         stream = self.map(lambda batch: batch[row_slice, :])
         if self.n_dof is not None:
             stream.n_dof = len(range(*row_slice.indices(self.n_dof)))
@@ -113,14 +121,19 @@ def dataset_stream(dataset: SnapshotDataset, batch_size: int) -> SnapshotStream:
 def function_stream(
     fn: Callable[[int], Optional[np.ndarray]],
     n_batches: Optional[int] = None,
+    n_dof: Optional[int] = None,
 ) -> SnapshotStream:
     """Stream batches produced by ``fn(batch_index)``.
 
     ``fn`` returns the next batch or ``None`` to end the stream — the
     in-situ pattern where a simulation produces data until it finishes.
     When ``n_batches`` is given the stream ends after that many batches
-    regardless.
+    regardless.  Passing ``n_dof`` declares the expected row count up
+    front, so shape validation rejects a wrong-sized batch from the very
+    first one (otherwise the first batch silently defines the row count).
     """
+    if n_dof is not None and n_dof <= 0:
+        raise ShapeError(f"n_dof must be positive, got {n_dof}")
 
     def factory() -> Iterator[np.ndarray]:
         index = 0
@@ -131,4 +144,4 @@ def function_stream(
             yield batch
             index += 1
 
-    return SnapshotStream(factory)
+    return SnapshotStream(factory, n_dof=n_dof)

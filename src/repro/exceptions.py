@@ -14,6 +14,8 @@ __all__ = [
     "NotInitializedError",
     "DataFormatError",
     "CommunicatorError",
+    "ServingError",
+    "BasisNotFoundError",
 ]
 
 
@@ -48,3 +50,13 @@ class DataFormatError(ReproError, ValueError):
 
 class CommunicatorError(ReproError, RuntimeError):
     """An invalid communicator operation (bad rank, mismatched collective...)."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """A mode-base serving operation was misused (e.g. reading a query
+    ticket before the engine flushed it)."""
+
+
+class BasisNotFoundError(ServingError):
+    """A :class:`~repro.serving.ModeBaseStore` lookup named a basis or
+    version that the store does not hold."""

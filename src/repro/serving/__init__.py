@@ -1,0 +1,46 @@
+"""``repro.serving`` — sharded serving of computed mode bases.
+
+The compute engine (:mod:`repro.core`) *produces* bases; this subsystem
+*serves* them.  Three layers:
+
+* :class:`ModeBaseStore` — a versioned on-disk registry of named bases,
+  persisted as single-file gathered checkpoints
+  (``save_checkpoint(..., gathered=True)`` /
+  :meth:`~repro.core.parallel.ParSVDParallel.export_to_store`).
+* :class:`ShardedBasis` — one basis row-partitioned across ranks
+  (:func:`~repro.utils.partition.block_partition` + the communicator
+  protocol), answering project / reconstruct / reconstruction-error
+  queries with distributed GEMMs.
+* :class:`QueryEngine` — request micro-batching (pending queries coalesce
+  into one GEMM per ``(basis, kind)`` group at flush) and an LRU cache of
+  hot bases.
+
+Quickstart::
+
+    from repro.serving import ModeBaseStore, QueryEngine
+
+    store = ModeBaseStore("bases/")
+    store.publish("burgers", modes, singular_values)
+
+    def serve(comm):
+        engine = QueryEngine(comm, store)
+        tickets = [engine.submit_project("burgers", q) for q in queries]
+        engine.flush()                     # one distributed GEMM
+        return [t.result() for t in tickets]
+
+    run_backend("threads", 4, serve)
+"""
+
+from .engine import QUERY_KINDS, QueryEngine, QueryTicket
+from .sharded import ShardedBasis
+from .store import MANIFEST_NAME, ModeBase, ModeBaseStore
+
+__all__ = [
+    "ModeBase",
+    "ModeBaseStore",
+    "MANIFEST_NAME",
+    "ShardedBasis",
+    "QueryEngine",
+    "QueryTicket",
+    "QUERY_KINDS",
+]

@@ -1,0 +1,408 @@
+"""``QueryEngine`` — micro-batched query serving over sharded mode bases.
+
+Under heavy traffic the unit of work must not be the *query* (one skinny
+GEMM plus one collective each) but the *flush*: the engine queues pending
+queries and, per ``(basis, kind)`` group, coalesces their payloads
+column-wise into **one** distributed GEMM and (at most) one extra reduction
+— arithmetic intensity and collective count both improve by the batching
+factor.  The answer columns are then scattered back to per-query tickets.
+
+The engine also keeps an LRU cache of loaded :class:`ShardedBasis` objects
+so hot bases are sharded once and served many times, while cold bases are
+evicted instead of accumulating.
+
+SPMD contract: the engine is a *per-rank* object and flushing is
+collective.  Every rank must submit the same queries in the same order and
+flush together (the natural situation when a frontend broadcasts the
+request log to all serving ranks); results are replicated on every rank.
+
+>>> engine = QueryEngine(comm, store)
+>>> t1 = engine.submit_project("burgers", snapshots)
+>>> t2 = engine.submit_error("burgers", snapshots)
+>>> engine.flush()
+2
+>>> coeffs = t1.result()
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import BasisNotFoundError, ServingError, ShapeError
+from ..smpi.reduction import SUM
+from ..utils.partition import block_partition
+from .sharded import ShardedBasis
+
+__all__ = ["QueryEngine", "QueryTicket", "QUERY_KINDS"]
+
+#: Query kinds the engine answers.
+QUERY_KINDS = ("project", "reconstruct", "reconstruction_error")
+
+#: In-memory bases registered via :meth:`QueryEngine.add_basis` get this
+#: pseudo-version in cache keys (store versions are positive ints).
+_MEM_VERSION = 0
+
+
+class QueryTicket:
+    """Handle to one submitted query; redeem with :meth:`result` after the
+    engine flushed."""
+
+    __slots__ = ("kind", "basis", "version", "_value", "_done")
+
+    def __init__(self, kind: str, basis: str, version: int) -> None:
+        self.kind = kind
+        self.basis = basis
+        self.version = version
+        self._value = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the answer has been computed."""
+        return self._done
+
+    def result(self):
+        """The query answer; raises :class:`ServingError` before flush."""
+        if not self._done:
+            raise ServingError(
+                f"{self.kind} query on {self.basis!r} is still pending — "
+                f"call QueryEngine.flush() first"
+            )
+        return self._value
+
+    def _fulfil(self, value) -> None:
+        self._value = value
+        self._done = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self._done else "pending"
+        return f"QueryTicket({self.kind}, {self.basis!r}, {state})"
+
+
+class QueryEngine:
+    """Serve project / reconstruct / reconstruction-error queries over
+    sharded bases, with request coalescing and an LRU basis cache.
+
+    Parameters
+    ----------
+    comm:
+        Communicator for this rank (any :mod:`repro.smpi` backend).
+    store:
+        Optional :class:`~repro.serving.ModeBaseStore` that basis names
+        resolve through.  Without a store, register bases with
+        :meth:`add_basis`.
+    max_cached_bases:
+        LRU capacity; least recently used sharded bases are evicted (store
+        bases reload transparently on next use).
+    flush_threshold:
+        Auto-flush once this many queries are pending — bounds the batch
+        latency without the caller managing flushes.
+    """
+
+    def __init__(
+        self,
+        comm,
+        store=None,
+        *,
+        max_cached_bases: int = 8,
+        flush_threshold: int = 64,
+    ) -> None:
+        if max_cached_bases < 1:
+            raise ServingError(
+                f"max_cached_bases must be >= 1, got {max_cached_bases}"
+            )
+        if flush_threshold < 1:
+            raise ServingError(
+                f"flush_threshold must be >= 1, got {flush_threshold}"
+            )
+        self.comm = comm
+        self.store = store
+        self.max_cached_bases = max_cached_bases
+        self.flush_threshold = flush_threshold
+        self._cache: "collections.OrderedDict[Tuple[str, int], ShardedBasis]" = (
+            collections.OrderedDict()
+        )
+        self._pinned: set = set()  # in-memory bases are not evictable
+        self._pending: List[Tuple[QueryTicket, np.ndarray, bool]] = []
+        self._stats = {
+            "queries": 0,
+            "flushes": 0,
+            "gemms": 0,
+            "collectives": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "evictions": 0,
+        }
+
+    # -- basis resolution --------------------------------------------------
+    def add_basis(
+        self,
+        name: str,
+        modes_or_basis,
+        singular_values: Optional[np.ndarray] = None,
+    ) -> ShardedBasis:
+        """Register an in-memory basis under ``name`` (pseudo-version 0).
+
+        Accepts a ready :class:`ShardedBasis` or a globally replicated
+        modes matrix (sharded via :meth:`ShardedBasis.from_global`).
+        In-memory bases are pinned: the LRU never evicts them, since there
+        is no store to reload them from.
+        """
+        if isinstance(modes_or_basis, ShardedBasis):
+            basis = modes_or_basis
+        else:
+            basis = ShardedBasis.from_global(
+                self.comm, modes_or_basis, singular_values
+            )
+        key = (name, _MEM_VERSION)
+        self._cache[key] = basis
+        self._cache.move_to_end(key)
+        self._pinned.add(key)
+        return basis
+
+    def _resolve_info(
+        self, name: str, version: Optional[int]
+    ) -> Tuple[int, int, int]:
+        """``(version, n_dof, n_modes)`` for ``name``/``version`` (``None``
+        = latest), with one manifest read; raises
+        :class:`BasisNotFoundError` for names/versions that do not exist —
+        at *submit* time, so a bad query can never poison a flush."""
+        if self.store is not None:
+            try:
+                return self.store.version_info(name, version)
+            except BasisNotFoundError:
+                # Store versions are positive; only the in-memory
+                # pseudo-version may still resolve below.
+                if version is not None and version != _MEM_VERSION:
+                    raise
+        mem = self._cache.get((name, _MEM_VERSION))
+        if mem is not None and version in (None, _MEM_VERSION):
+            return _MEM_VERSION, mem.n_dof, mem.n_modes
+        raise BasisNotFoundError(
+            f"no basis named {name!r} "
+            + (
+                f"in store {self.store.root}"
+                if self.store is not None
+                else "(no store attached; use add_basis)"
+            )
+        )
+
+    def _resolve_version(self, name: str, version: Optional[int]) -> int:
+        return self._resolve_info(name, version)[0]
+
+    def load(self, name: str, version: Optional[int] = None) -> ShardedBasis:
+        """The sharded basis for ``name``/``version`` (default: latest),
+        through the LRU cache."""
+        version = self._resolve_version(name, version)
+        key = (name, version)
+        basis = self._cache.get(key)
+        if basis is not None:
+            self._cache.move_to_end(key)
+            self._stats["cache_hits"] += 1
+            return basis
+        if version == _MEM_VERSION or self.store is None:
+            raise BasisNotFoundError(
+                f"no basis named {name!r} version {version} is loadable"
+            )
+        basis = ShardedBasis.from_store(self.comm, self.store, name, version)
+        self._stats["cache_misses"] += 1
+        self._cache[key] = basis
+        self._evict()
+        return basis
+
+    def _evict(self) -> None:
+        # Capacity governs the *evictable* population only: pinned
+        # in-memory bases must not starve store bases out of the cache.
+        evictable = [k for k in self._cache if k not in self._pinned]
+        while len(evictable) > self.max_cached_bases:
+            oldest = evictable.pop(0)
+            del self._cache[oldest]
+            self._stats["evictions"] += 1
+
+    @property
+    def cached_bases(self) -> List[Tuple[str, int]]:
+        """Cache keys, least recently used first."""
+        return list(self._cache)
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        name: str,
+        payload: np.ndarray,
+        version: Optional[int] = None,
+        local: bool = False,
+    ) -> QueryTicket:
+        """Queue one query; returns its ticket.
+
+        ``payload`` is a 2-D column block: snapshots for ``project`` /
+        ``reconstruction_error`` (global rows, or this rank's block with
+        ``local=True``), coefficients for ``reconstruct``.  Auto-flushes at
+        ``flush_threshold`` pending queries.
+        """
+        if kind not in QUERY_KINDS:
+            raise ServingError(
+                f"query kind must be one of {QUERY_KINDS}, got {kind!r}"
+            )
+        payload = np.asarray(payload)
+        if payload.ndim == 1:
+            payload = payload[:, np.newaxis]
+        if payload.ndim != 2:
+            raise ShapeError(
+                f"query payload must be 1-D or 2-D, got ndim={payload.ndim}"
+            )
+        version, n_dof, n_modes = self._resolve_info(name, version)
+        # Validate rows NOW: a malformed query must fail at submission,
+        # not poison the whole flush it would have batched into.
+        if kind == "reconstruct":
+            expected = n_modes
+        elif local:
+            cached = self._cache.get((name, version))
+            expected = (
+                cached.partition.counts[self.comm.rank]
+                if cached is not None
+                # Store bases shard canonically (from_store -> from_global).
+                else block_partition(n_dof, self.comm.size).counts[
+                    self.comm.rank
+                ]
+            )
+        else:
+            expected = n_dof
+        if payload.shape[0] != expected:
+            raise ShapeError(
+                f"{kind} payload for basis {name!r} must have {expected} "
+                f"rows{' (local block)' if local else ''}, got "
+                f"{payload.shape[0]}"
+            )
+        ticket = QueryTicket(kind, name, version)
+        self._pending.append((ticket, payload, local))
+        self._stats["queries"] += 1
+        if len(self._pending) >= self.flush_threshold:
+            self.flush()
+        return ticket
+
+    def submit_project(self, name, data, version=None, local=False):
+        """Queue a projection (``U^T A``) query."""
+        return self.submit("project", name, data, version, local)
+
+    def submit_reconstruct(self, name, coefficients, version=None):
+        """Queue a reconstruction (``U c``) query."""
+        return self.submit("reconstruct", name, coefficients, version)
+
+    def submit_error(self, name, data, version=None, local=False):
+        """Queue a relative reconstruction-error query."""
+        return self.submit("reconstruction_error", name, data, version, local)
+
+    # -- immediate convenience wrappers ------------------------------------
+    def project(self, name, data, version=None, local=False) -> np.ndarray:
+        """Submit + flush + return: projection coefficients."""
+        ticket = self.submit_project(name, data, version, local)
+        self.flush()
+        return ticket.result()
+
+    def reconstruct(self, name, coefficients, version=None) -> np.ndarray:
+        """Submit + flush + return: reconstructed global field."""
+        ticket = self.submit_reconstruct(name, coefficients, version)
+        self.flush()
+        return ticket.result()
+
+    def reconstruction_error(self, name, data, version=None, local=False) -> float:
+        """Submit + flush + return: relative reconstruction error."""
+        ticket = self.submit_error(name, data, version, local)
+        self.flush()
+        return ticket.result()
+
+    # -- the batched flush -------------------------------------------------
+    def flush(self) -> int:
+        """Answer every pending query; returns how many were served.
+
+        Collective: every rank must flush with identical pending queues.
+        Queries are grouped by ``(basis, version, kind, local)``; each
+        group's payloads are concatenated column-wise and answered by a
+        single distributed GEMM (plus one scalar-vector reduction for the
+        error kind), then split back onto the tickets.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        self._stats["flushes"] += 1
+        groups: Dict[
+            Tuple[str, int, str, bool],
+            List[Tuple[QueryTicket, np.ndarray]],
+        ] = collections.OrderedDict()
+        for ticket, payload, local in pending:
+            key = (ticket.basis, ticket.version, ticket.kind, local)
+            groups.setdefault(key, []).append((ticket, payload))
+        for (name, version, kind, local), items in groups.items():
+            basis = self.load(name, version)
+            if kind == "project":
+                self._flush_project(basis, items, local)
+            elif kind == "reconstruct":
+                self._flush_reconstruct(basis, items)
+            else:
+                self._flush_error(basis, items, local)
+        return len(pending)
+
+    @staticmethod
+    def _spans(payloads: List[np.ndarray]) -> List[Tuple[int, int]]:
+        spans, offset = [], 0
+        for payload in payloads:
+            spans.append((offset, offset + payload.shape[1]))
+            offset = spans[-1][1]
+        return spans
+
+    def _flush_project(self, basis, items, local) -> None:
+        payloads = [p for _, p in items]
+        stacked = np.concatenate(
+            [basis._resolve_local(p, local) for p in payloads], axis=1
+        )
+        coeffs = basis.project(stacked, local=True)
+        self._stats["gemms"] += 1
+        self._stats["collectives"] += 1
+        for (ticket, _), (a, b) in zip(items, self._spans(payloads)):
+            # Copy: a view would alias every ticket of this flush onto one
+            # batch array (mutation bleed-through + whole-batch retention).
+            ticket._fulfil(np.ascontiguousarray(coeffs[:, a:b]))
+
+    def _flush_reconstruct(self, basis, items) -> None:
+        payloads = [p for _, p in items]
+        stacked = basis.reconstruct(np.concatenate(payloads, axis=1))
+        self._stats["gemms"] += 1
+        self._stats["collectives"] += 2  # gatherv_rows + bcast
+        for (ticket, _), (a, b) in zip(items, self._spans(payloads)):
+            ticket._fulfil(np.ascontiguousarray(stacked[:, a:b]))
+
+    def _flush_error(self, basis, items, local) -> None:
+        payloads = [p for _, p in items]
+        rows = [basis._resolve_local(p, local) for p in payloads]
+        coeffs = basis.project(np.concatenate(rows, axis=1), local=True)
+        self._stats["gemms"] += 1
+        # One vector allreduce carries every query's ||A||^2 at once.
+        local_sq = np.array([float(np.sum(r * r)) for r in rows])
+        total_sq = np.asarray(basis.comm.allreduce(local_sq, SUM))
+        self._stats["collectives"] += 2
+        for (ticket, _), (a, b), tot in zip(
+            items, self._spans(payloads), total_sq
+        ):
+            if tot <= 0.0:
+                ticket._fulfil(0.0)
+                continue
+            captured = float(np.sum(coeffs[:, a:b] ** 2))
+            residual = max(float(tot) - captured, 0.0)
+            ticket._fulfil(float(np.sqrt(residual) / np.sqrt(float(tot))))
+
+    # -- instrumentation ---------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Queries queued but not yet flushed."""
+        return len(self._pending)
+
+    @property
+    def stats(self) -> dict:
+        """Counters: queries, flushes, gemms, collectives, cache hits/
+        misses, evictions (a copy; mutating it does not affect the
+        engine)."""
+        return dict(self._stats)

@@ -1,0 +1,211 @@
+"""``ShardedBasis`` — one mode basis row-partitioned across ranks.
+
+Serving a basis is dominated by two GEMMs: projection (``U^T A``, a
+row-reduction) and reconstruction (``U c``, a row-concatenation).  Both
+decompose exactly along the row-block ("domain") layout the SVD itself was
+computed in, so each serving rank holds only its
+:func:`~repro.utils.partition.block_partition` block of ``U`` and the
+distributed answers are
+
+* ``project``: local partial products ``U_i^T A_i`` summed with a
+  deterministic rank-ordered ``allreduce`` — the coefficients land,
+  replicated, on every rank;
+* ``reconstruct``: local products ``U_i c`` stacked with ``gatherv_rows``
+  (+ broadcast), the same collective pair mode assembly uses;
+* ``reconstruction_error``: the orthonormal-basis identity
+  ``||A - U U^T A||_F^2 = ||A||_F^2 - ||U^T A||_F^2`` — one projection and
+  one scalar reduction, no reconstruction materialised.
+
+Any communicator satisfying the :mod:`repro.smpi.factory` protocol works,
+so the same serving code runs on ``"threads"``, ``"self"``, or real MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..smpi.reduction import SUM
+from ..utils.partition import BlockPartition, block_partition
+
+__all__ = ["ShardedBasis"]
+
+
+class ShardedBasis:
+    """A row-sharded orthonormal mode basis answering distributed queries.
+
+    Construct via :meth:`from_global` (every rank holds the full matrix —
+    the SPMD pattern), :meth:`from_store` (every rank reads the store
+    entry and keeps only its block), or directly from a local block.
+
+    Parameters
+    ----------
+    comm:
+        Communicator for this rank (any :mod:`repro.smpi` backend).
+    local_modes:
+        This rank's ``(M_i, K)`` row block of the global basis.
+    singular_values:
+        Optional ``(K,)`` spectrum, replicated on every rank.
+    partition:
+        The global row partition; ``local_modes`` must match this rank's
+        count.
+    """
+
+    def __init__(
+        self,
+        comm,
+        local_modes: np.ndarray,
+        singular_values: Optional[np.ndarray] = None,
+        partition: Optional[BlockPartition] = None,
+    ) -> None:
+        local_modes = np.asarray(local_modes)
+        if local_modes.ndim != 2:
+            raise ShapeError(
+                f"local_modes must be 2-D, got ndim={local_modes.ndim}"
+            )
+        if partition is None:
+            # Single-rank convenience: the local block is the global basis.
+            if comm.size != 1:
+                raise ShapeError(
+                    "a partition is required when comm.size > 1 "
+                    "(use from_global/from_store)"
+                )
+            partition = block_partition(local_modes.shape[0], 1)
+        if local_modes.shape[0] != partition.counts[comm.rank]:
+            raise ShapeError(
+                f"rank {comm.rank} holds {local_modes.shape[0]} rows but the "
+                f"partition assigns it {partition.counts[comm.rank]}"
+            )
+        if partition.parts != comm.size:
+            raise ShapeError(
+                f"partition has {partition.parts} parts for a "
+                f"{comm.size}-rank communicator"
+            )
+        self.comm = comm
+        self.partition = partition
+        self._local_modes = local_modes
+        self._singular_values = (
+            None if singular_values is None else np.asarray(singular_values)
+        )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        comm,
+        modes: np.ndarray,
+        singular_values: Optional[np.ndarray] = None,
+    ) -> "ShardedBasis":
+        """Shard a globally replicated ``(M, K)`` basis: each rank keeps its
+        canonical block (no communication — every rank slices locally)."""
+        modes = np.asarray(modes)
+        if modes.ndim != 2:
+            raise ShapeError(f"modes must be 2-D, got ndim={modes.ndim}")
+        part = block_partition(modes.shape[0], comm.size)
+        local = np.array(modes[part.slice_of(comm.rank), :])
+        return cls(comm, local, singular_values, part)
+
+    @classmethod
+    def from_store(
+        cls, comm, store, name: str, version: Optional[int] = None
+    ) -> "ShardedBasis":
+        """Load ``name``/``version`` from a
+        :class:`~repro.serving.ModeBaseStore` and shard it.
+
+        Every rank reads the (single, gathered) version file independently
+        — the parallel-IO pattern of :mod:`repro.data.io` — and keeps only
+        its row block.
+        """
+        base = store.get(name, version)
+        return cls.from_global(comm, base.modes, base.singular_values)
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def n_dof(self) -> int:
+        """Global rows of the basis."""
+        return self.partition.total
+
+    @property
+    def n_modes(self) -> int:
+        """Retained modes (columns)."""
+        return int(self._local_modes.shape[1])
+
+    @property
+    def local_modes(self) -> np.ndarray:
+        """This rank's ``(M_i, K)`` block."""
+        return self._local_modes
+
+    @property
+    def singular_values(self) -> Optional[np.ndarray]:
+        """The basis spectrum, if published with one."""
+        return self._singular_values
+
+    def local_rows(self, data: np.ndarray) -> np.ndarray:
+        """This rank's row block of a globally replicated ``(M, b)`` array."""
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != self.n_dof:
+            raise ShapeError(
+                f"global data must be ({self.n_dof}, b), got "
+                f"{getattr(data, 'shape', None)}"
+            )
+        return data[self.partition.slice_of(self.comm.rank), :]
+
+    def _resolve_local(self, data: np.ndarray, local: bool) -> np.ndarray:
+        if not local:
+            return self.local_rows(data)
+        data = np.asarray(data)
+        expected = self.partition.counts[self.comm.rank]
+        if data.ndim != 2 or data.shape[0] != expected:
+            raise ShapeError(
+                f"local data must be ({expected}, b) on rank "
+                f"{self.comm.rank}, got {getattr(data, 'shape', None)}"
+            )
+        return data
+
+    # -- distributed queries (collective: call on every rank) --------------
+    def project(self, data: np.ndarray, local: bool = False) -> np.ndarray:
+        """Coefficients ``U^T A`` of snapshots in the basis, replicated on
+        every rank.
+
+        ``data`` is the globally replicated ``(M, b)`` snapshot block, or —
+        with ``local=True`` — this rank's ``(M_i, b)`` rows only (the
+        in-situ case where no rank ever holds the global field).
+        """
+        rows = self._resolve_local(data, local)
+        partial = self._local_modes.T @ rows
+        return self.comm.allreduce(partial, SUM)
+
+    def reconstruct(self, coefficients: np.ndarray) -> np.ndarray:
+        """Lift replicated ``(K, b)`` coefficients back to the global
+        ``(M, b)`` field, assembled on every rank."""
+        coefficients = np.asarray(coefficients)
+        if coefficients.ndim != 2 or coefficients.shape[0] != self.n_modes:
+            raise ShapeError(
+                f"coefficients must be ({self.n_modes}, b), got "
+                f"{getattr(coefficients, 'shape', None)}"
+            )
+        local = self._local_modes @ coefficients
+        stacked = self.comm.gatherv_rows(local, root=0)
+        return self.comm.bcast(stacked, root=0)
+
+    def reconstruction_error(
+        self, data: np.ndarray, local: bool = False
+    ) -> float:
+        """Relative Frobenius error ``||A - U U^T A||_F / ||A||_F`` of
+        representing ``data`` in the basis (0 when ``||A|| = 0``)."""
+        rows = self._resolve_local(data, local)
+        coeffs = self.project(rows, local=True)
+        total_sq = float(self.comm.allreduce(np.sum(rows * rows), SUM))
+        if total_sq == 0.0:
+            return 0.0
+        captured_sq = float(np.sum(coeffs * coeffs))
+        residual_sq = max(total_sq - captured_sq, 0.0)
+        return float(np.sqrt(residual_sq) / np.sqrt(total_sq))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedBasis(n_dof={self.n_dof}, n_modes={self.n_modes}, "
+            f"shards={self.partition.parts}, rank={self.comm.rank})"
+        )

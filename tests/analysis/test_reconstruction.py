@@ -103,3 +103,113 @@ class TestRankForEnergy:
             rank_for_energy(np.ones(3), 0.0)
         with pytest.raises(ShapeError):
             rank_for_energy(np.ones(3), 1.5)
+
+
+class TestFloat32Inputs:
+    """ISSUE 2: the reconstruction helpers must behave under float32 data
+    (the dtype large simulation outputs typically arrive in)."""
+
+    @pytest.fixture
+    def basis32(self, rng):
+        u, _ = np.linalg.qr(rng.standard_normal((80, 6)))
+        return u.astype(np.float32)
+
+    @pytest.fixture
+    def data32(self, rng):
+        return rng.standard_normal((80, 12)).astype(np.float32)
+
+    def test_project_preserves_dtype(self, basis32, data32):
+        coeffs = project_coefficients(basis32, data32)
+        assert coeffs.dtype == np.float32
+        assert coeffs.shape == (6, 12)
+
+    def test_round_trip_close_at_float32_tolerance(self, basis32, data32):
+        coeffs = project_coefficients(basis32, data32)
+        recon = reconstruct(basis32, coeffs)
+        ref64 = reconstruct(
+            basis32.astype(np.float64),
+            project_coefficients(
+                basis32.astype(np.float64), data32.astype(np.float64)
+            ),
+        )
+        assert np.max(np.abs(recon.astype(np.float64) - ref64)) < 1e-5
+
+    def test_error_curve_promotes_and_stays_monotone(self, basis32, data32):
+        curve = reconstruction_error_curve(data32, basis32)
+        assert curve.dtype == np.float64  # computed in double internally
+        assert np.all(np.isfinite(curve))
+        assert np.all(np.diff(curve) <= 1e-12)  # non-increasing in rank
+        curve64 = reconstruction_error_curve(
+            data32.astype(np.float64), basis32.astype(np.float64)
+        )
+        assert np.max(np.abs(curve - curve64)) < 1e-5
+
+    def test_representable_float32_data_reconstructs(self, rng, basis32):
+        inside = (basis32 @ rng.standard_normal((6, 4))).astype(np.float32)
+        curve = reconstruction_error_curve(inside, basis32)
+        # The cancellation identity floors at ~sqrt(eps_f32) for data that
+        # was rounded to float32, not at float64 resolution.
+        assert curve[-1] < 5e-3
+
+    def test_cumulative_energy_float32_values(self, rng):
+        s = np.sort(rng.random(8).astype(np.float32))[::-1]
+        energy = cumulative_energy(s)
+        assert np.isclose(energy[-1], 1.0)
+        assert np.all(np.diff(energy) >= 0)
+
+
+class TestServingRoundTrip:
+    """project_coefficients / reconstruct round-trips agree with the
+    serving QueryEngine — serial ('self') vs sharded ('threads') answers
+    must coincide (ISSUE 2)."""
+
+    @pytest.fixture
+    def published(self, rng, tmp_path):
+        from repro.serving import ModeBaseStore
+
+        u, _ = np.linalg.qr(rng.standard_normal((96, 5)))
+        store = ModeBaseStore(tmp_path / "store")
+        store.publish("basis", u, np.linspace(2.0, 0.2, 5))
+        return store, u
+
+    def _serve(self, store, data, backend, nranks):
+        from repro import run_backend
+        from repro.serving import QueryEngine
+
+        def job(comm):
+            engine = QueryEngine(comm, store)
+            coeffs = engine.project("basis", data)
+            recon = engine.reconstruct("basis", coeffs)
+            err = engine.reconstruction_error("basis", data)
+            return coeffs, recon, err
+
+        return run_backend(backend, nranks, job)[0]
+
+    def test_engine_round_trip_matches_serial_functions(
+        self, published, rng
+    ):
+        store, u = published
+        data = rng.standard_normal((96, 9))
+        ref_c = project_coefficients(u, data)
+        ref_r = reconstruct(u, ref_c)
+        ref_e = reconstruction_error_curve(data, u)[-1]
+        for backend, nranks in [("self", 1), ("threads", 1), ("threads", 3)]:
+            coeffs, recon, err = self._serve(store, data, backend, nranks)
+            assert np.max(np.abs(coeffs - ref_c)) < 1e-10, (backend, nranks)
+            assert np.max(np.abs(recon - ref_r)) < 1e-10, (backend, nranks)
+            assert abs(err - ref_e) < 1e-10, (backend, nranks)
+
+    def test_engine_round_trip_float32_payload(self, published, rng):
+        """float32 queries through the engine stay within float32 accuracy
+        of the float64 serial reference."""
+        store, u = published
+        data = rng.standard_normal((96, 6)).astype(np.float32)
+        ref_c = project_coefficients(u, data.astype(np.float64))
+        serial = self._serve(store, data, "self", 1)
+        sharded = self._serve(store, data, "threads", 2)
+        for coeffs, _, _ in (serial, sharded):
+            assert np.max(np.abs(coeffs - ref_c)) < 1e-5
+        # Serial vs sharded agree to float32 summation-order effects
+        # (partial sums accumulate per shard in the payload dtype).
+        assert np.max(np.abs(serial[0] - sharded[0])) < 1e-6
+        assert abs(serial[2] - sharded[2]) < 1e-6

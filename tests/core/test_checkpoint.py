@@ -204,3 +204,168 @@ class TestParallelCheckpoint:
             isinstance(f.exception, DataFormatError)
             for f in info.value.failures
         )
+
+
+class TestGatheredCheckpoint:
+    """save_checkpoint(gathered=True): one rank-0 file, any-rank restart."""
+
+    def _stream(self, comm, data, upto, base=None, restart=False, K=3):
+        m = data.shape[0]
+        part = block_partition(m, comm.size)
+        block = data[part.slice_of(comm.rank), :]
+        if restart:
+            svd = ParSVDParallel.from_checkpoint(comm, base)
+            start0 = svd.n_seen
+        else:
+            svd = ParSVDParallel(comm, K=K, ff=1.0, r1=20)
+            svd.initialize(block[:, :10])
+            start0 = 10
+        for start in range(start0, upto, 10):
+            svd.incorporate_data(block[:, start : start + 10])
+        return svd
+
+    def test_single_file_written_at_rank0(self, decaying_matrix, tmp_path):
+        base = tmp_path / "single"
+
+        def job(comm):
+            svd = self._stream(comm, decaying_matrix, 20)
+            return svd.save_checkpoint(base, gathered=True)
+
+        paths = run_spmd(2, job)
+        assert paths == [str(tmp_path / "single.npz")] * 2
+        state = read_checkpoint(paths[0])
+        assert state["kind"] == "gathered"
+        assert state["modes"].shape == (decaying_matrix.shape[0], 3)
+        assert state["nranks"] == 2
+        # No per-rank shards were produced.
+        assert not rank_checkpoint_path(base, 0).exists()
+
+    @pytest.mark.parametrize("restart_ranks", [1, 2, 3])
+    def test_restart_at_any_rank_count(
+        self, decaying_matrix, tmp_path, restart_ranks
+    ):
+        """Save gathered at 2 ranks; continuing at 1/2/3 ranks all land on
+        the uninterrupted trajectory."""
+        base = tmp_path / "resize"
+
+        def phase1(comm):
+            self._stream(comm, decaying_matrix, 20).save_checkpoint(
+                base, gathered=True
+            )
+
+        def phase2(comm):
+            svd = self._stream(
+                comm, decaying_matrix, 40, base=base, restart=True
+            )
+            return svd.modes, svd.singular_values, svd.iteration, svd.n_seen
+
+        def straight(comm):
+            svd = self._stream(comm, decaying_matrix, 40)
+            return svd.modes, svd.singular_values
+
+        run_spmd(2, phase1)
+        modes_r, values_r, iteration, n_seen = run_spmd(
+            restart_ranks, phase2
+        )[0]
+        modes_s, values_s = run_spmd(2, straight)[0]
+        assert iteration == 4
+        assert n_seen == 40
+        assert np.allclose(values_r, values_s, rtol=1e-10)
+        assert np.allclose(modes_r, modes_s, atol=1e-10)
+
+    def test_gathered_restores_run_options(self, decaying_matrix, tmp_path):
+        base = tmp_path / "opts"
+        m = decaying_matrix.shape[0]
+
+        def save(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(
+                comm, K=3, ff=0.9, qr_variant="tree", gather="root"
+            )
+            svd.initialize(block)
+            svd.save_checkpoint(base, gathered=True)
+
+        def load(comm):
+            svd = ParSVDParallel.from_checkpoint(comm, base)
+            return svd._qr_variant, svd._gather, svd.ff
+
+        run_spmd(2, save)
+        assert run_spmd(3, load) == [("tree", "root", 0.9)] * 3
+
+    def test_plain_file_not_gathered_rejected(
+        self, decaying_matrix, tmp_path
+    ):
+        """A serial checkpoint sitting at the exact path is not silently
+        scattered."""
+        svd = ParSVDSerial(K=3).initialize(decaying_matrix)
+        path = svd.save_checkpoint(tmp_path / "serialstate")
+
+        def load(comm):
+            ParSVDParallel.from_checkpoint(comm, path)
+
+        with pytest.raises(ParallelFailure) as info:
+            run_spmd(2, load, timeout=5.0)
+        assert any(
+            isinstance(f.exception, DataFormatError)
+            for f in info.value.failures
+        )
+
+    def test_invalid_kind_rejected_at_write(self, decaying_matrix, tmp_path):
+        from repro.config import SVDConfig
+
+        with pytest.raises(DataFormatError):
+            write_checkpoint(
+                tmp_path / "bad",
+                SVDConfig(K=3),
+                decaying_matrix[:, :3],
+                np.ones(3),
+                1,
+                10,
+                kind="sideways",
+            )
+
+    def test_save_then_immediate_restart_same_job(
+        self, decaying_matrix, tmp_path
+    ):
+        """The gathered save's exit barrier: a rank may restart from the
+        file immediately after save_checkpoint returns, even though only
+        rank 0 wrote it."""
+        base = tmp_path / "immediate"
+
+        def job(comm):
+            svd = self._stream(comm, decaying_matrix, 20)
+            svd.save_checkpoint(base, gathered=True)
+            resumed = ParSVDParallel.from_checkpoint(comm, base)
+            return resumed.n_seen, resumed.singular_values
+
+        for n_seen, values in run_spmd(4, job):
+            assert n_seen == 20
+            assert values.shape == (3,)
+
+    def test_results_archive_at_stem_does_not_block_shard_restart(
+        self, decaying_matrix, tmp_path
+    ):
+        """save_results("state") + per-rank shards at the same stem: the
+        gathered-file probe must fall back to the shards, not choke on the
+        results archive at state.npz."""
+        base = tmp_path / "state"
+        m = decaying_matrix.shape[0]
+
+        def save(comm):
+            part = block_partition(m, comm.size)
+            block = decaying_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(comm, K=3, ff=1.0, r1=20)
+            svd.initialize(block)
+            svd.save_checkpoint(base)  # shards state.rank<i>.npz
+            svd.assemble_modes()  # collective: every rank participates
+            if comm.rank == 0:
+                svd.save_results(base)  # results archive at state.npz
+            return svd.singular_values
+
+        def load(comm):
+            return ParSVDParallel.from_checkpoint(comm, base).singular_values
+
+        saved = run_spmd(2, save)[0]
+        assert (tmp_path / "state.npz").exists()
+        assert np.allclose(run_spmd(2, load)[0], saved)

@@ -26,6 +26,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scaling", "--mode", "sideways"])
 
+    def test_serve_query_defaults(self):
+        args = build_parser().parse_args(["serve-query"])
+        assert args.nx == 512
+        assert args.queries == 24
+        assert args.window == 8
+        assert args.store is None
+        assert args.backend == "threads"
+
     def test_backend_choices(self):
         args = build_parser().parse_args(["burgers"])
         assert args.backend == "threads"
@@ -80,6 +88,35 @@ class TestCommands:
         assert "1 ranks, backend=self" in out
         assert "PASS" in out
 
+    def test_serve_query_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-query",
+                "--nx", "128", "--nt", "40", "--batch", "20",
+                "--modes", "3", "--ranks", "2", "--queries", "6",
+                "--window", "3", "--store", str(tmp_path / "store"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "published 'burgers' v1" in out
+        assert "PASS" in out
+        # The chosen store directory was actually used.
+        assert (tmp_path / "store" / "manifest.json").exists()
+
+    def test_serve_query_self_backend(self, capsys):
+        code = main(
+            [
+                "serve-query",
+                "--nx", "128", "--nt", "40", "--batch", "20",
+                "--modes", "3", "--queries", "4", "--backend", "self",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 shards, backend=self" in out
+        assert "PASS" in out
+
     def test_scaling_weak_uncalibrated(self, capsys):
         code = main(["scaling", "--mode", "weak", "--max-nodes", "4", "--no-calibrate"])
         out = capsys.readouterr().out
@@ -106,3 +143,22 @@ class TestTwoLevelScalingFlag:
         out = capsys.readouterr().out
         assert code == 0
         assert "two-level, groups of 16" in out
+
+
+class TestServeQueryStoreLifecycle:
+    def test_default_store_is_temporary_and_cleaned_up(self, capsys):
+        import pathlib
+        import re
+
+        code = main(
+            [
+                "serve-query",
+                "--nx", "128", "--nt", "40", "--batch", "20",
+                "--modes", "3", "--queries", "4", "--backend", "self",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        match = re.search(r"store: (\S+) \(temporary, removed on exit\)", out)
+        assert match, out
+        assert not pathlib.Path(match.group(1)).exists()

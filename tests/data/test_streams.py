@@ -107,3 +107,71 @@ class TestTransforms:
             for r in range(3)
         ]
         assert np.allclose(np.concatenate(pieces, axis=0), a)
+
+    def test_restrict_rows_step_slice_n_dof(self, rng):
+        """Stepped slices report the true restricted row count (ISSUE 2)."""
+        a = rng.standard_normal((10, 6))
+        stream = array_stream(a, 3).restrict_rows(slice(None, None, 2))
+        out = np.concatenate(list(stream), axis=1)
+        assert stream.n_dof == 5 == out.shape[0]
+        assert np.allclose(out, a[::2])
+
+    def test_restrict_rows_negative_slices_n_dof(self, rng):
+        a = rng.standard_normal((10, 6))
+        cases = [
+            (slice(-4, None), 4),
+            (slice(8, 1, -2), 4),
+            (slice(None, None, -1), 10),
+            (slice(7, None, -3), 3),
+        ]
+        for sl, expected in cases:
+            stream = array_stream(a, 5).restrict_rows(sl)
+            out = np.concatenate(list(stream), axis=1)
+            assert stream.n_dof == expected == out.shape[0], sl
+            assert np.allclose(out, a[sl])
+
+    def test_restrict_rows_validates_downstream(self, rng):
+        """The derived stream enforces its restricted row count on every
+        batch, so a drifting source fails loudly."""
+        batches = [np.zeros((10, 2)), np.zeros((8, 2))]
+        stream = function_stream(
+            lambda i: batches[i] if i < 2 else None, n_dof=10
+        ).restrict_rows(slice(0, 6))
+        with pytest.raises(ShapeError):
+            list(stream)
+
+    def test_restrict_rows_unknown_n_dof_stays_lazy(self, rng):
+        """Without a declared n_dof the restricted stream infers its row
+        count from the first batch (and still yields the right rows)."""
+        a = rng.standard_normal((12, 4))
+        stream = function_stream(lambda i: a if i == 0 else None)
+        restricted = stream.restrict_rows(slice(2, 9))
+        assert restricted.n_dof is None
+        assert np.allclose(next(iter(restricted)), a[2:9])
+
+
+class TestFunctionStreamNDof:
+    def test_declared_n_dof_validates_first_batch(self):
+        """With n_dof declared, the very first wrong-sized batch raises
+        (previously the first batch silently defined the row count)."""
+        stream = function_stream(lambda i: np.zeros((7, 2)), n_batches=3, n_dof=9)
+        with pytest.raises(ShapeError, match="expected 9"):
+            next(iter(stream))
+
+    def test_declared_n_dof_accepts_matching(self):
+        stream = function_stream(
+            lambda i: np.zeros((9, 2)), n_batches=3, n_dof=9
+        )
+        assert stream.n_dof == 9
+        assert sum(b.shape[1] for b in stream) == 6
+
+    def test_invalid_n_dof_rejected(self):
+        with pytest.raises(ShapeError):
+            function_stream(lambda i: None, n_dof=0)
+        with pytest.raises(ShapeError):
+            function_stream(lambda i: None, n_dof=-3)
+
+    def test_default_stays_inferred(self):
+        stream = function_stream(lambda i: np.zeros((4, 1)), n_batches=2)
+        assert stream.n_dof is None
+        list(stream)

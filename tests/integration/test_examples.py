@@ -24,6 +24,7 @@ EXPECTED = {
     "dmd_analysis.py": "recovered frequencies",
     "checkpoint_restart.py": "bit-faithful",
     "spectral_analysis.py": "alignment with planted wave pair",
+    "serving_queries.py": "queries served from sharded basis",
 }
 
 

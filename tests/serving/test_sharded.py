@@ -1,0 +1,168 @@
+"""ShardedBasis: row-partitioned distributed query kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reconstruction import (
+    project_coefficients,
+    reconstruct,
+    reconstruction_error_curve,
+)
+from repro.exceptions import ShapeError
+from repro.serving import ModeBaseStore, ShardedBasis
+from repro.smpi import create_communicator, run_spmd
+from repro.utils.partition import block_partition
+
+M, K, B = 90, 6, 7
+
+
+@pytest.fixture
+def basis(rng):
+    u, _ = np.linalg.qr(rng.standard_normal((M, K)))
+    return u, np.linspace(2.0, 0.1, K)
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.standard_normal((M, B))
+
+
+class TestConstruction:
+    def test_from_global_partitions_canonically(self, basis):
+        u, s = basis
+
+        def job(comm):
+            sharded = ShardedBasis.from_global(comm, u, s)
+            return sharded.local_modes.shape, sharded.n_dof, sharded.n_modes
+
+        shapes = run_spmd(4, job)
+        part = block_partition(M, 4)
+        for rank, (shape, n_dof, n_modes) in enumerate(shapes):
+            assert shape == (part.counts[rank], K)
+            assert (n_dof, n_modes) == (M, K)
+
+    def test_from_store(self, tmp_path, basis):
+        u, s = basis
+        store = ModeBaseStore(tmp_path / "store")
+        store.publish("b", u, s)
+
+        def job(comm):
+            sharded = ShardedBasis.from_store(comm, store, "b")
+            return sharded.local_modes
+
+        blocks = run_spmd(3, job)
+        assert np.array_equal(np.concatenate(blocks, axis=0), u)
+
+    def test_single_rank_defaults(self, basis):
+        u, s = basis
+        sharded = ShardedBasis(create_communicator("self"), u, s)
+        assert sharded.n_dof == M
+        assert np.array_equal(sharded.local_modes, u)
+
+    def test_local_block_shape_enforced(self, basis):
+        u, s = basis
+
+        def job(comm):
+            part = block_partition(M, comm.size)
+            with pytest.raises(ShapeError):
+                ShardedBasis(comm, u, s, part)  # full matrix, not the block
+            return True
+
+        assert all(run_spmd(2, job))
+
+    def test_multi_rank_requires_partition(self, basis):
+        u, _ = basis
+
+        def job(comm):
+            with pytest.raises(ShapeError):
+                ShardedBasis(comm, u)
+            return True
+
+        assert all(run_spmd(2, job))
+
+
+class TestQueries:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_project_matches_serial(self, basis, queries, nranks):
+        u, s = basis
+        ref = project_coefficients(u, queries)
+
+        def job(comm):
+            return ShardedBasis.from_global(comm, u, s).project(queries)
+
+        for coeffs in run_spmd(nranks, job):
+            assert np.max(np.abs(coeffs - ref)) < 1e-10
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_reconstruct_matches_serial(self, basis, queries, nranks):
+        u, s = basis
+        coeffs = project_coefficients(u, queries)
+        ref = reconstruct(u, coeffs)
+
+        def job(comm):
+            return ShardedBasis.from_global(comm, u, s).reconstruct(coeffs)
+
+        for recon in run_spmd(nranks, job):
+            assert np.max(np.abs(recon - ref)) < 1e-10
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_error_matches_serial_curve(self, basis, queries, nranks):
+        u, s = basis
+        ref = reconstruction_error_curve(queries, u)[-1]
+
+        def job(comm):
+            return ShardedBasis.from_global(comm, u, s).reconstruction_error(
+                queries
+            )
+
+        for err in run_spmd(nranks, job):
+            assert abs(err - ref) < 1e-10
+
+    def test_local_payloads(self, basis, queries):
+        """In-situ pattern: no rank ever holds the global snapshot."""
+        u, s = basis
+        ref = project_coefficients(u, queries)
+
+        def job(comm):
+            part = block_partition(M, comm.size)
+            sharded = ShardedBasis.from_global(comm, u, s)
+            local = queries[part.slice_of(comm.rank), :]
+            return (
+                sharded.project(local, local=True),
+                sharded.reconstruction_error(local, local=True),
+            )
+
+        ref_err = reconstruction_error_curve(queries, u)[-1]
+        for coeffs, err in run_spmd(3, job):
+            assert np.max(np.abs(coeffs - ref)) < 1e-10
+            assert abs(err - ref_err) < 1e-10
+
+    def test_zero_data_error_is_zero(self, basis):
+        u, s = basis
+
+        def job(comm):
+            sharded = ShardedBasis.from_global(comm, u, s)
+            return sharded.reconstruction_error(np.zeros((M, 2)))
+
+        assert run_spmd(2, job) == [0.0, 0.0]
+
+    def test_perfectly_representable_data(self, basis):
+        """Data inside span(U) reconstructs with ~zero error."""
+        u, s = basis
+        inside = u @ np.linspace(1.0, 2.0, K)[:, np.newaxis]
+
+        def job(comm):
+            return ShardedBasis.from_global(comm, u, s).reconstruction_error(
+                inside
+            )
+
+        for err in run_spmd(2, job):
+            assert err < 1e-7
+
+    def test_shape_errors(self, basis, queries):
+        u, s = basis
+        sharded = ShardedBasis.from_global(create_communicator("self"), u, s)
+        with pytest.raises(ShapeError):
+            sharded.project(queries[:-1, :])  # wrong global row count
+        with pytest.raises(ShapeError):
+            sharded.reconstruct(np.ones((K + 1, 3)))
