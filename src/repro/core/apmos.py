@@ -154,7 +154,9 @@ def apmos_svd(
     vlocal, slocal = generate_right_vectors(a_local, r1, method=method)
 
     # W_i = V_i * s_i (column scaling by the local singular values).
-    wlocal = vlocal * slocal[np.newaxis, :]
+    # vlocal is freshly factored, so the scaling is applied in place.
+    wlocal = vlocal
+    wlocal *= slocal[np.newaxis, :]
 
     wglobal = comm.gather(wlocal, root=0)
     if comm.rank == 0:
@@ -184,8 +186,11 @@ def apmos_svd(
 
     # Local assembly: U^i = A_i X diag(1/Lambda) — one GEMM for all modes
     # (the paper's listing loops mode-by-mode; the batched product is
-    # algebraically identical).
-    u_local = (a_local @ x) / lam[np.newaxis, :]
+    # algebraically identical).  The GEMM output is scratch, so the
+    # 1/Lambda scaling happens in place instead of allocating a second
+    # (M_i, k) array.
+    u_local = a_local @ x
+    u_local /= lam[np.newaxis, :]
     return u_local, lam
 
 
@@ -229,7 +234,8 @@ def apmos_svd_two_level(
         raise ShapeError(f"group_size must be >= 1, got {group_size}")
     a_local = as_floating(a_local, "a_local")
     vlocal, slocal = generate_right_vectors(a_local, r1, method=method)
-    wlocal = vlocal * slocal[np.newaxis, :]
+    wlocal = vlocal
+    wlocal *= slocal[np.newaxis, :]
 
     group = comm.rank // group_size
     subcomm = comm.split(color=group)
@@ -279,5 +285,6 @@ def apmos_svd_two_level(
     # stage 3: broadcast from global rank 0 (which is always a leader)
     x = comm.bcast(x, root=0)
     lam = comm.bcast(lam, root=0)
-    u_local = (a_local @ x) / lam[np.newaxis, :]
+    u_local = a_local @ x
+    u_local /= lam[np.newaxis, :]
     return u_local, lam

@@ -46,6 +46,7 @@ from .checkpoint import (
 )
 from .randomized import low_rank_svd
 from .tsqr import tsqr_gather, tsqr_tree
+from .workspace import Workspace
 
 __all__ = ["ParSVDParallel"]
 
@@ -68,6 +69,18 @@ class ParSVDParallel(ParSVDBase):
         ``"root"``: global modes on rank 0 only (others raise; use
         :attr:`local_modes`);
         ``"none"``: no gathering; :attr:`modes` is the local block.
+    workspace:
+        ``True`` (default) enables the allocation-free streaming fast
+        lane: a persistent per-instance :class:`~repro.core.workspace.
+        Workspace` backs the fused scale-and-concat input, the TSQR
+        ``R``-stack and the updated local modes, so a steady-state
+        ``incorporate_data`` performs its large intermediates with
+        ``out=`` GEMMs into reused buffers.  The numbers are identical to
+        the ``False`` (seed) path — the test suite asserts agreement to
+        1e-12 — but :attr:`local_modes` then aliases workspace memory:
+        a block handed out at step ``t`` is overwritten at step ``t + 2``
+        (double buffering), so copy it if you need it to survive further
+        updates.  Set ``False`` for fresh arrays every step.
 
     Notes
     -----
@@ -81,6 +94,13 @@ class ParSVDParallel(ParSVDBase):
     :meth:`assemble_modes`) the same number of times relative to updates;
     an internal epoch counter makes repeated reads free and keeps ranks
     aligned.  :attr:`local_modes` never communicates.
+
+    Results that arrive over a broadcast (:attr:`modes` under
+    ``gather="bcast"`` on non-root ranks, :attr:`singular_values` away
+    from rank 0) are **read-only** views of the zero-copy snapshot the
+    communicator shares between receivers; in-place mutation raises
+    ``ValueError`` there (while rank 0 holds its own writable original).
+    Treat collective results as immutable — copy first if you must write.
 
     Examples
     --------
@@ -110,6 +130,7 @@ class ParSVDParallel(ParSVDBase):
         qr_variant: str = "gather",
         gather: str = "bcast",
         apmos_group_size: Optional[int] = None,
+        workspace: bool = True,
         **extra,
     ) -> None:
         super().__init__(K=K, ff=ff, low_rank=low_rank, config=config, **extra)
@@ -118,6 +139,7 @@ class ParSVDParallel(ParSVDBase):
         self._qr_variant = qr_variant
         self._gather = gather
         self._apmos_group_size = apmos_group_size
+        self._workspace: Optional[Workspace] = Workspace() if workspace else None
         self._ulocal: Optional[np.ndarray] = None
         # Lazy mode assembly: _modes_epoch counts factorization updates,
         # _modes_synced_epoch the update the cached gathered modes belong
@@ -172,12 +194,20 @@ class ParSVDParallel(ParSVDBase):
         block of the global orthonormal factor and ``(u_new, s_new)`` is the
         (possibly randomized) SVD of the replicated global ``R`` — "step b
         of Levy-Lindenbaum - small operation" in the listing.
+
+        With the workspace fast lane enabled (the default) ``a_local`` is
+        treated as caller-owned scratch: the gather-variant TSQR writes
+        ``q_local`` in place over it.  Pass ``workspace=False`` at
+        construction if you call this directly and need ``a_local``
+        preserved.
         """
         cfg = self._config
         if self._qr_variant == "tree":
             q_local, r_final = tsqr_tree(self.comm, a_local)
         else:
-            q_local, r_final = tsqr_gather(self.comm, a_local)
+            q_local, r_final = tsqr_gather(
+                self.comm, a_local, workspace=self._workspace
+            )
 
         # SVD the small replicated factor once, at rank 0, and broadcast —
         # with randomization enabled this keeps every rank on the same
@@ -192,7 +222,11 @@ class ParSVDParallel(ParSVDBase):
                     rng=self._rng,
                 )
             else:
-                u_new, s_new, _ = economy_svd(r_final)
+                # r_final is dead after this factorization (only its SVD
+                # travels on); on the fast lane let LAPACK consume it.
+                u_new, s_new, _ = economy_svd(
+                    r_final, overwrite_a=self._workspace is not None
+                )
             payload: Optional[Tuple[np.ndarray, np.ndarray]] = (u_new, s_new)
         else:
             payload = None
@@ -210,20 +244,50 @@ class ParSVDParallel(ParSVDBase):
         return self
 
     def incorporate_data(self, A: np.ndarray) -> "ParSVDParallel":
-        """Ingest one more (local block of a) batch via distributed QR."""
+        """Ingest one more (local block of a) batch via distributed QR.
+
+        On the workspace fast lane (default) the three large per-step
+        intermediates — the scaled-modes ‖ batch concatenation, the TSQR
+        correction GEMM and the updated local modes — are written with
+        ``out=`` into persistent buffers, so a steady-state streaming loop
+        allocates no ``(M_i, K + batch)`` arrays at all.
+        """
         A = self._validate_next_batch(A)
         cfg = self._config
         assert self._ulocal is not None
         assert self._singular_values is not None
 
-        ll = self._ulocal * (cfg.ff * self._singular_values)[np.newaxis, :]
-        ll = np.concatenate((ll, A), axis=1)
+        scale = cfg.ff * self._singular_values
+        if self._workspace is None:
+            # Seed path: fresh arrays every step (reference semantics).
+            ll = self._ulocal * scale[np.newaxis, :]
+            ll = np.concatenate((ll, A), axis=1)
+        else:
+            # Fused scale-and-concat straight into the reusable workspace
+            # buffer: ll[:, :k] = ulocal * (ff * s); ll[:, k:] = A.
+            # F-ordered so the TSQR's local QR can factor it in place.
+            m_i, k = self._ulocal.shape
+            dtype = np.result_type(self._ulocal.dtype, A.dtype)
+            ll = self._workspace.get(
+                "ll", (m_i, k + A.shape[1]), dtype, order="F"
+            )
+            np.multiply(self._ulocal, scale[np.newaxis, :], out=ll[:, :k])
+            ll[:, k:] = A
 
         q_local, u_new, s_new = self.parallel_qr(ll)
-        u_new, s_new, _ = truncate_svd(
-            u_new, s_new, np.empty((s_new.shape[0], 0)), cfg.K
-        )
-        self._ulocal = q_local @ u_new
+        u_new, s_new, _ = truncate_svd(u_new, s_new, None, cfg.K)
+        if self._workspace is None:
+            self._ulocal = q_local @ u_new
+        else:
+            # Double-buffered update: take a stable destination from the
+            # pool (never the buffer q_local lives in), GEMM into it, and
+            # recycle the previous generation's block.
+            new_u = self._workspace.take(
+                "ulocal", (q_local.shape[0], u_new.shape[1]), q_local.dtype
+            )
+            np.matmul(q_local, u_new, out=new_u)
+            self._workspace.give_back("ulocal", self._ulocal)
+            self._ulocal = new_u
         self._singular_values = s_new
         self._iteration += 1
         self._n_seen += A.shape[1]
@@ -264,9 +328,21 @@ class ParSVDParallel(ParSVDBase):
             return self._modes
         assert self._ulocal is not None
         if self._gather == "none":
+            # Documented alias of the local block: same lifetime caveats
+            # as :attr:`local_modes` (workspace double buffering).
             self._modes = self._ulocal
         else:
             stacked = self.comm.gatherv_rows(self._ulocal, root=0)
+            if (
+                stacked is not None
+                and self._workspace is not None
+                and np.shares_memory(stacked, self._ulocal)
+            ):
+                # Single-rank backends return the send buffer aliased;
+                # with the workspace recycling _ulocal every other step,
+                # an assembled-modes result must not share that storage
+                # (gathered modes are a stable snapshot on every backend).
+                stacked = np.array(stacked)
             if self._gather == "bcast":
                 stacked = self.comm.bcast(stacked, root=0)
             self._modes = stacked

@@ -107,7 +107,7 @@ def initialize_streaming(
     q, r = qr_positive(a0)
     u_inner, s = _inner_svd(r, k, low_rank, oversampling, power_iters, rng)
     modes = q @ u_inner
-    modes, s, _ = truncate_svd(modes, s, np.empty((s.shape[0], 0)), k)
+    modes, s, _ = truncate_svd(modes, s, None, k)
     return StreamingState(
         modes=modes,
         singular_values=s,

@@ -48,7 +48,9 @@ def _validate_local(a_local: np.ndarray) -> np.ndarray:
     return a_local
 
 
-def tsqr_gather(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def tsqr_gather(
+    comm, a_local: np.ndarray, workspace=None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Gather-based TSQR (the paper's ``parallel_qr`` communication pattern).
 
     Parameters
@@ -58,6 +60,14 @@ def tsqr_gather(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     a_local:
         ``(M_i, n)`` local row block, all ranks agreeing on ``n`` and with
         ``sum_i M_i >= n`` for a full-rank result.
+    workspace:
+        Optional :class:`~repro.core.workspace.Workspace` enabling the
+        allocation-free fast lane.  Passing it asserts that ``a_local`` is
+        caller-owned *scratch*: rank 0 stacks the gathered ``R`` factors
+        into a reused workspace buffer (no ``np.concatenate``), the stacked
+        refactorization may destroy that buffer (``overwrite_a``), and the
+        returned ``q_local`` is written **in place over** ``a_local``
+        (whose contents are no longer needed once the local QR is taken).
 
     Returns
     -------
@@ -69,16 +79,33 @@ def tsqr_gather(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     n = a_local.shape[1]
 
     # Local QR; canonical signs so the stacked reduction is deterministic.
-    q1, r1 = qr_positive(a_local)
+    # On the fast lane the input is declared scratch, so LAPACK may factor
+    # it in place (zero-copy when the caller hands an F-ordered workspace
+    # buffer: Q then aliases the input storage).
+    scratch_input = workspace is not None and a_local.flags.writeable
+    q1, r1 = qr_positive(a_local, overwrite_a=scratch_input)
     rows_local = r1.shape[0]
 
     r_stack = comm.gather(r1, root=0)
     if comm.rank == 0:
-        stacked = np.concatenate(r_stack, axis=0)
-        q2, r_final = qr_positive(stacked)
+        counts = [blk.shape[0] for blk in r_stack]
+        total = sum(counts)
+        if workspace is None:
+            stacked = np.empty((total, n), dtype=r1.dtype)
+        else:
+            # F-ordered so the overwrite_a refactorization below is truly
+            # in place (LAPACK copies non-Fortran input regardless).
+            stacked = workspace.get(
+                "tsqr_rstack", (total, n), r1.dtype, order="F"
+            )
+        offsets = np.cumsum([0] + counts)
+        for peer, blk in enumerate(r_stack):
+            stacked[offsets[peer] : offsets[peer + 1]] = blk
+        # The stack buffer is scratch either way once the factors are out;
+        # with a workspace, let LAPACK reuse it instead of copying.
+        q2, r_final = qr_positive(stacked, overwrite_a=workspace is not None)
         # Slice the correction factor by each rank's R row count and ship it.
         # (Counts can differ when a rank owns fewer rows than columns.)
-        offsets = np.cumsum([0] + [blk.shape[0] for blk in r_stack])
         for peer in range(1, comm.size):
             comm.send(
                 np.ascontiguousarray(q2[offsets[peer] : offsets[peer + 1]]),
@@ -91,7 +118,15 @@ def tsqr_gather(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         q2_local = comm.recv(source=0, tag=_TAG_BASE + comm.rank)
     r_final = comm.bcast(r_final, root=0)
 
-    q_local = q1 @ q2_local
+    if workspace is not None:
+        # The correction GEMM lands in a persistent buffer (q1 may alias
+        # the spent input, so the output cannot go there).
+        q_out = workspace.get(
+            "tsqr_q", (q1.shape[0], q2_local.shape[1]), q1.dtype
+        )
+        q_local = np.matmul(q1, q2_local, out=q_out)
+    else:
+        q_local = q1 @ q2_local
     if q_local.shape[1] != n:  # pragma: no cover - defensive
         raise ShapeError(
             f"TSQR produced {q_local.shape[1]} columns, expected {n}"

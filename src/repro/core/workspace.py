@@ -1,0 +1,106 @@
+"""Reusable GEMM/stacking workspaces for the streaming hot path.
+
+The paper's claim is that per-batch cost is independent of the number of
+snapshots seen; the per-step *constant* should then be dominated by FLOPs,
+not by the allocator.  A :class:`Workspace` keeps one named buffer per
+recurring intermediate — the fused scale-and-concat input, the updated
+local modes, the rank-0 R stack — so a steady-state streaming loop writes
+every large intermediate into memory it already owns (``np.multiply``/
+``np.matmul`` with ``out=``) instead of allocating ~3 fresh
+``(M_i, K + batch)`` arrays per step.
+
+Buffers are keyed by name and re-created only when the requested shape or
+dtype changes (e.g. a different batch width), so the workspace is safe for
+ragged streams — it simply stops saving allocations at shape boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A named pool of reusable, exactly-shaped scratch arrays."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    @staticmethod
+    def _matches(
+        buf: np.ndarray, shape: Tuple[int, ...], dtype, order: str
+    ) -> bool:
+        return (
+            buf.shape == tuple(shape)
+            and buf.dtype == dtype
+            and (
+                buf.flags.f_contiguous
+                if order == "F"
+                else buf.flags.c_contiguous
+            )
+        )
+
+    def get(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        order: str = "C",
+    ) -> np.ndarray:
+        """The buffer registered under ``name``, (re)allocated to match
+        ``shape``/``dtype``/``order``.  Contents are unspecified — callers
+        overwrite.  ``order="F"`` suits buffers handed to LAPACK with
+        ``overwrite_a`` (in-place factorization needs Fortran layout).
+        """
+        buf = self._buffers.get(name)
+        if buf is None or not self._matches(buf, shape, dtype, order):
+            buf = np.empty(shape, dtype=dtype, order=order)
+            self._buffers[name] = buf
+        return buf
+
+    def take(
+        self, name: str, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """Like :meth:`get`, but *removes* the buffer from the pool.
+
+        Use when the result escapes the workspace (e.g. it becomes the
+        instance's new ``_ulocal``): the pool forgets the array so a later
+        :meth:`get`/:meth:`take` of the same name cannot hand out memory
+        something else still references.  Returning the previous same-name
+        escapee to the pool (:meth:`give_back`) makes two calls alternate
+        between two stable buffers (double buffering).
+        """
+        buf = self._buffers.pop(name, None)
+        if buf is None or not self._matches(buf, shape, dtype, "C"):
+            buf = np.empty(shape, dtype=dtype)
+        return buf
+
+    def give_back(self, name: str, buf: np.ndarray) -> None:
+        """Return an escaped buffer to the pool under ``name`` (it must no
+        longer be referenced by live results)."""
+        self._buffers[name] = buf
+
+    def drop(self, name: str) -> None:
+        """Forget the buffer registered under ``name``, if any."""
+        self._buffers.pop(name, None)
+
+    def clear(self) -> None:
+        """Forget all buffers."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by pooled buffers."""
+        return sum(int(b.nbytes) for b in self._buffers.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        entries = ", ".join(
+            f"{k}:{v.shape}" for k, v in self._buffers.items()
+        )
+        return f"Workspace({entries})"

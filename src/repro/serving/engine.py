@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.workspace import Workspace
 from ..exceptions import BasisNotFoundError, ServingError, ShapeError
 from ..smpi.reduction import SUM
 from ..utils.partition import block_partition
@@ -127,6 +128,10 @@ class QueryEngine:
         )
         self._pinned: set = set()  # in-memory bases are not evictable
         self._pending: List[Tuple[QueryTicket, np.ndarray, bool]] = []
+        # Reusable column-stacking buffer for flush batches: the stacked
+        # payload only feeds the distributed GEMM (which snapshots/copies),
+        # so steady-state flushes of a stable batch shape allocate nothing.
+        self._workspace = Workspace()
         self._stats = {
             "queries": 0,
             "flushes": 0,
@@ -354,31 +359,53 @@ class QueryEngine:
             offset = spans[-1][1]
         return spans
 
+    def _stack_columns(self, blocks: List[np.ndarray]) -> np.ndarray:
+        """Column-stack a flush group into the reusable workspace buffer.
+
+        A single-query group is passed through untouched (no copy at all);
+        larger groups fill one pooled ``(rows, total_cols)`` buffer instead
+        of ``np.concatenate``-ing a fresh batch array every flush.
+        """
+        if len(blocks) == 1:
+            return blocks[0]
+        width = sum(b.shape[1] for b in blocks)
+        dtype = np.result_type(*[b.dtype for b in blocks])
+        stacked = self._workspace.get(
+            "flush_stack", (blocks[0].shape[0], width), dtype
+        )
+        offset = 0
+        for block in blocks:
+            stacked[:, offset : offset + block.shape[1]] = block
+            offset += block.shape[1]
+        return stacked
+
     def _flush_project(self, basis, items, local) -> None:
         payloads = [p for _, p in items]
-        stacked = np.concatenate(
-            [basis._resolve_local(p, local) for p in payloads], axis=1
+        stacked = self._stack_columns(
+            [basis._resolve_local(p, local) for p in payloads]
         )
         coeffs = basis.project(stacked, local=True)
         self._stats["gemms"] += 1
         self._stats["collectives"] += 1
         for (ticket, _), (a, b) in zip(items, self._spans(payloads)):
-            # Copy: a view would alias every ticket of this flush onto one
-            # batch array (mutation bleed-through + whole-batch retention).
-            ticket._fulfil(np.ascontiguousarray(coeffs[:, a:b]))
+            # True copy (ascontiguousarray would pass a full-width slice
+            # through uncopied): tickets must own writable storage — never
+            # alias the batch array (mutation bleed-through, whole-batch
+            # retention) or a read-only broadcast snapshot.
+            ticket._fulfil(np.array(coeffs[:, a:b]))
 
     def _flush_reconstruct(self, basis, items) -> None:
         payloads = [p for _, p in items]
-        stacked = basis.reconstruct(np.concatenate(payloads, axis=1))
+        stacked = basis.reconstruct(self._stack_columns(payloads))
         self._stats["gemms"] += 1
         self._stats["collectives"] += 2  # gatherv_rows + bcast
         for (ticket, _), (a, b) in zip(items, self._spans(payloads)):
-            ticket._fulfil(np.ascontiguousarray(stacked[:, a:b]))
+            ticket._fulfil(np.array(stacked[:, a:b]))
 
     def _flush_error(self, basis, items, local) -> None:
         payloads = [p for _, p in items]
         rows = [basis._resolve_local(p, local) for p in payloads]
-        coeffs = basis.project(np.concatenate(rows, axis=1), local=True)
+        coeffs = basis.project(self._stack_columns(rows), local=True)
         self._stats["gemms"] += 1
         # One vector allreduce carries every query's ||A||^2 at once.
         local_sq = np.array([float(np.sum(r * r)) for r in rows])

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.workspace import Workspace
 from ..exceptions import ShapeError
 from ..smpi.reduction import SUM
 from ..utils.partition import BlockPartition, block_partition
@@ -89,6 +90,13 @@ class ShardedBasis:
         self._singular_values = (
             None if singular_values is None else np.asarray(singular_values)
         )
+        # Reusable local-GEMM outputs: the partial products feeding the
+        # collectives are scratch (the reduction/gather snapshots them), so
+        # repeated queries of the same batch width allocate nothing.  Only
+        # usable when the collective actually copies — on a single rank the
+        # identity collectives return the buffer itself, which must then be
+        # a fresh array (it escapes to the caller).
+        self._workspace = Workspace()
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -174,7 +182,14 @@ class ShardedBasis:
         in-situ case where no rank ever holds the global field).
         """
         rows = self._resolve_local(data, local)
-        partial = self._local_modes.T @ rows
+        if self.comm.size > 1:
+            dtype = np.result_type(self._local_modes.dtype, rows.dtype)
+            partial = self._workspace.get(
+                "project", (self.n_modes, rows.shape[1]), dtype
+            )
+            np.matmul(self._local_modes.T, rows, out=partial)
+        else:
+            partial = self._local_modes.T @ rows
         return self.comm.allreduce(partial, SUM)
 
     def reconstruct(self, coefficients: np.ndarray) -> np.ndarray:
@@ -186,7 +201,18 @@ class ShardedBasis:
                 f"coefficients must be ({self.n_modes}, b), got "
                 f"{getattr(coefficients, 'shape', None)}"
             )
-        local = self._local_modes @ coefficients
+        if self.comm.size > 1:
+            dtype = np.result_type(
+                self._local_modes.dtype, coefficients.dtype
+            )
+            local = self._workspace.get(
+                "reconstruct",
+                (self._local_modes.shape[0], coefficients.shape[1]),
+                dtype,
+            )
+            np.matmul(self._local_modes, coefficients, out=local)
+        else:
+            local = self._local_modes @ coefficients
         stacked = self.comm.gatherv_rows(local, root=0)
         return self.comm.bcast(stacked, root=0)
 

@@ -29,9 +29,9 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .buffered import BufferedOpsMixin
-from .derived import DerivedCollectivesMixin
+from .derived import DerivedCollectivesMixin, rows_output_buffer
 from .exceptions import RankError, SmpiError, TagError
-from .message import Envelope
+from .message import Envelope, copy_payload, freeze_payload
 from .reduction import ReduceOp
 from .request import RecvRequest, SendRequest
 from .world import World
@@ -53,6 +53,7 @@ _TAG_BARRIER_OUT = -14
 _TAG_ALLTOALL = -15
 _TAG_SPLIT = -16
 _TAG_SENDRECV = -17
+_TAG_GATHERV = -18
 
 
 class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
@@ -173,15 +174,31 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
         """Broadcast ``obj`` from ``root``; every rank returns the value.
 
         The root returns its own object unchanged (as mpi4py does); other
-        ranks receive an independent copy.
+        ranks receive an independent snapshot.
+
+        Snapshot-once fast lane: array (and tuple-of-array) payloads are
+        frozen *once* (one copy, ``writeable=False``) and that immutable
+        snapshot is shared by all ``p - 1`` envelopes — instead of one deep
+        copy per peer.  Value semantics hold because neither the root
+        (which keeps its original) nor any receiver (the snapshot is
+        read-only) can mutate what the others observe.  Payloads that
+        cannot be frozen (mutable containers, arbitrary objects) fall back
+        to the per-peer deep copy.
         """
         self._check_peer(root, "root")
         if self.size == 1:
             return obj
         if self.rank == root:
+            snapshot, shareable = freeze_payload(obj)
             for peer in range(self.size):
                 if peer != root:
-                    self._post(peer, _TAG_BCAST, obj)
+                    if shareable:
+                        envelope = Envelope.presnapshotted(
+                            self.rank, _TAG_BCAST, snapshot
+                        )
+                    else:
+                        envelope = Envelope.make(self.rank, _TAG_BCAST, obj)
+                    self._mailbox_of(peer).put(envelope)
             return obj
         return self._take(root, _TAG_BCAST)
 
@@ -224,8 +241,61 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
             return objs[root]
         return self._take(root, _TAG_SCATTER)
 
-    # (gatherv_rows / scatterv_rows / reduce / allreduce / scan / exscan /
-    # reduce_scatter come from DerivedCollectivesMixin.)
+    # (scatterv_rows / reduce / allreduce / scan / exscan / reduce_scatter
+    # come from DerivedCollectivesMixin; gatherv_rows is overridden below
+    # with a zero-copy assembly path.)
+
+    def gatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Gather per-rank row blocks, assembled directly into one buffer.
+
+        Fast-lane override of the generic mixin implementation: row counts
+        are exchanged once (a tiny int gather), the root allocates — or
+        reuses the caller-provided ``out`` — the full ``(sum_i M_i, n)``
+        result, and every remote block is copied straight from its envelope
+        snapshot into the right row slice.  No list of blocks is held and
+        no ``np.concatenate`` re-copy happens; with ``out`` reuse a
+        streaming loop's repeated assemblies allocate nothing at all.
+        """
+        self._check_peer(root, "root")
+        arr = np.asarray(sendbuf)
+        if arr.ndim != 2:
+            raise SmpiError(
+                f"gatherv_rows expects a 2-D row block, got ndim={arr.ndim}"
+            )
+        # One tiny header gather carries each block's row count and dtype:
+        # the root sizes (and dtype-promotes, matching the generic mixin /
+        # np.concatenate behavior) the output before any block arrives.
+        headers = self.gather((int(arr.shape[0]), arr.dtype.str), root=root)
+        if self.rank != root:
+            self._post(root, _TAG_GATHERV, arr)
+            return None
+        assert headers is not None
+        counts = [count for count, _ in headers]
+        total = int(sum(counts))
+        dtype = np.result_type(*[np.dtype(d) for _, d in headers])
+        out = rows_output_buffer(total, arr.shape[1], dtype, out)
+        offsets = [0]
+        for count in counts:
+            offsets.append(offsets[-1] + count)
+        out[offsets[root] : offsets[root + 1]] = arr
+        for peer in range(self.size):
+            if peer == root:
+                continue
+            envelope = self._mailbox_of(self.rank).get(peer, _TAG_GATHERV)
+            block = np.asarray(envelope.payload)
+            if block.shape != (counts[peer], arr.shape[1]):
+                raise SmpiError(
+                    f"gatherv_rows: rank {peer} announced "
+                    f"{counts[peer]} x {arr.shape[1]} rows but sent "
+                    f"{block.shape}"
+                )
+            out[offsets[peer] : offsets[peer + 1]] = block
+        return out
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
         """Personalised all-to-all: send ``objs[j]`` to rank ``j``; receive
@@ -238,7 +308,9 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
             if peer != self.rank:
                 self._post(peer, _TAG_ALLTOALL, objs[peer])
         out: List[Any] = [None] * self.size
-        out[self.rank] = Envelope.make(self.rank, _TAG_ALLTOALL, objs[self.rank]).payload
+        # Self-delivery: one snapshot preserves value semantics without the
+        # envelope round trip (and, formerly, its eager sizing walk).
+        out[self.rank] = copy_payload(objs[self.rank])
         for peer in range(self.size):
             if peer != self.rank:
                 envelope = self._mailbox_of(self.rank).get(peer, _TAG_ALLTOALL)

@@ -22,7 +22,36 @@ import numpy as np
 from .exceptions import SmpiError
 from .reduction import ReduceOp
 
-__all__ = ["DerivedCollectivesMixin"]
+__all__ = ["DerivedCollectivesMixin", "rows_output_buffer", "rows_output_usable"]
+
+
+def rows_output_usable(
+    total: int, width: int, dtype, out: Optional[np.ndarray]
+) -> bool:
+    """Is ``out`` a usable ``gatherv_rows`` destination?  (Matching
+    shape/dtype, C-contiguous, writable.)  The single predicate every
+    backend consults, so the accepted-``out`` contract cannot drift."""
+    return (
+        out is not None
+        and out.shape == (total, width)
+        and out.dtype == dtype
+        and out.flags.c_contiguous
+        and out.flags.writeable
+    )
+
+
+def rows_output_buffer(
+    total: int, width: int, dtype, out: Optional[np.ndarray]
+) -> np.ndarray:
+    """Validate a caller-provided ``gatherv_rows`` output buffer.
+
+    Returns ``out`` when :func:`rows_output_usable`; otherwise allocates a
+    fresh ``(total, width)`` array — an unusable ``out`` degrades to
+    allocation, never to an error mid-collective.
+    """
+    if rows_output_usable(total, width, dtype, out):
+        return out
+    return np.empty((total, width), dtype=dtype)
 
 
 class DerivedCollectivesMixin:
@@ -34,18 +63,44 @@ class DerivedCollectivesMixin:
     size: int
 
     def gatherv_rows(
-        self, sendbuf: np.ndarray, root: int = 0
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
     ) -> Optional[np.ndarray]:
         """Gather per-rank row blocks into one vertically stacked array.
 
         Convenience equivalent of MPI ``Gatherv`` for the common "assemble
         the distributed modes at rank 0" operation (paper's
         ``_gather_modes``).  Row counts may differ across ranks.
+
+        ``out`` (root only) is an optional preallocated destination; when
+        its shape/dtype match the result it is filled and returned instead
+        of allocating a fresh stack, so repeated assemblies (streaming
+        loops) reuse one buffer.  (The threaded backend overrides this with
+        a fully zero-copy path; this generic version serves any backend
+        that only provides the protocol primitives.)
         """
         blocks = self.gather(np.asarray(sendbuf), root=root)  # type: ignore[attr-defined]
         if blocks is None:
             return None
-        return np.concatenate(blocks, axis=0)
+        total = sum(int(np.asarray(b).shape[0]) for b in blocks)
+        width = int(np.asarray(blocks[0]).shape[1])
+        dtype = np.result_type(*[np.asarray(b).dtype for b in blocks])
+        out = rows_output_buffer(total, width, dtype, out)
+        offset = 0
+        for peer, block in enumerate(blocks):
+            block = np.asarray(block)
+            if block.ndim != 2 or block.shape[1] != width:
+                # Guard explicitly: a stray (r, 1) block would otherwise
+                # numpy-broadcast across the full output width.
+                raise SmpiError(
+                    f"gatherv_rows: rank {peer} sent a block of shape "
+                    f"{block.shape}, expected ({block.shape[0]}, {width})"
+                )
+            out[offset : offset + block.shape[0]] = block
+            offset += block.shape[0]
+        return out
 
     def scatterv_rows(
         self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0

@@ -6,35 +6,95 @@ receiver.  A naive in-process implementation that passes object references
 would silently violate this, so every payload is deep-copied at send time
 (:func:`copy_payload`), with a fast path for NumPy arrays.
 
-Envelopes carry ``(source, tag, payload, nbytes)``; ``nbytes`` is the
-estimated wire size used by the traffic tracer and the scaling cost model.
+Two fast lanes keep the snapshot cost off the streaming hot path:
+
+* **read-only arrays are shared, not copied** — an ndarray with
+  ``writeable=False`` is already an immutable snapshot, so
+  :func:`copy_payload` returns it as-is.  :func:`freeze_payload` produces
+  such snapshots (one copy, then ``arr.flags.writeable = False``), which is
+  how a broadcast root pays for *one* copy shared by all ``p - 1``
+  envelopes instead of ``p - 1`` deep copies;
+* **wire sizes are computed lazily** — ``Envelope.nbytes`` walks the
+  payload only when something (the traffic tracer, the cost model) actually
+  reads it, so untraced runs never pay for the recursive sizing walk.
 """
 
 from __future__ import annotations
 
 import copy
-import dataclasses
 import pickle
-from typing import Any
+from typing import Any, Tuple
 
 import numpy as np
 
-__all__ = ["Envelope", "copy_payload", "payload_nbytes"]
+__all__ = ["Envelope", "copy_payload", "freeze_payload", "payload_nbytes"]
+
+
+def _is_immutable_snapshot(arr: np.ndarray) -> bool:
+    """Is ``arr`` safe to share without copying?
+
+    Read-only is necessary but not sufficient: a ``writeable=False`` *view*
+    of a writable base (``np.broadcast_to``, a flag-frozen slice) still
+    changes when the base is mutated, so sharing it would leak sender
+    mutations to receivers.  Only read-only arrays that own their buffer
+    (``base is None`` — e.g. :func:`freeze_payload` snapshots) qualify.
+    """
+    return not arr.flags.writeable and arr.base is None
 
 
 def copy_payload(obj: Any) -> Any:
     """Deep-copy ``obj`` with a fast path for NumPy arrays.
 
     Immutable scalars (int, float, complex, bool, str, bytes, None) are
-    returned as-is; arrays are copied with ``np.array(..., copy=True)``;
-    containers holding arrays fall back to :func:`copy.deepcopy`, which
-    handles arrays correctly via their ``__deepcopy__``.
+    returned as-is; *immutable-snapshot* arrays (read-only and owning
+    their buffer, e.g. produced by :func:`freeze_payload`) are also
+    returned as-is; every other array is copied with
+    ``np.array(..., copy=True)``; containers holding arrays fall back to
+    :func:`copy.deepcopy`, which handles arrays correctly via their
+    ``__deepcopy__``.
     """
     if obj is None or isinstance(obj, (int, float, complex, bool, str, bytes)):
         return obj
     if isinstance(obj, np.ndarray):
+        if _is_immutable_snapshot(obj):
+            return obj
         return np.array(obj, copy=True)
     return copy.deepcopy(obj)
+
+
+def freeze_payload(obj: Any) -> Tuple[Any, bool]:
+    """Produce an immutable snapshot of ``obj`` safe to *share* across
+    receivers, if possible.
+
+    Returns ``(snapshot, shareable)``.  When ``shareable`` is true the
+    snapshot is immutable all the way down — scalars, read-only arrays
+    (``writeable=False``), and tuples thereof — so a single object can back
+    every receiver's envelope without breaking value semantics: the sender
+    mutating its original cannot reach the snapshot, and no receiver can
+    mutate what it got.  When ``shareable`` is false (mutable containers,
+    arbitrary objects) the caller must fall back to one
+    :func:`copy_payload` per receiver.
+    """
+    if obj is None or isinstance(obj, (int, float, complex, bool, str, bytes)):
+        return obj, True
+    if isinstance(obj, np.ndarray):
+        if _is_immutable_snapshot(obj):
+            # Already an immutable snapshot (e.g. re-broadcast of a
+            # previously frozen payload) — share it outright.  Read-only
+            # *views* of writable bases do NOT qualify and are copied.
+            return obj, True
+        frozen = np.array(obj, copy=True)
+        frozen.flags.writeable = False
+        return frozen, True
+    if isinstance(obj, tuple):
+        items = []
+        for item in obj:
+            frozen, shareable = freeze_payload(item)
+            if not shareable:
+                return obj, False
+            items.append(frozen)
+        return tuple(items), True
+    return obj, False
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -65,22 +125,43 @@ def payload_nbytes(obj: Any) -> int:
         return 0
 
 
-@dataclasses.dataclass
 class Envelope:
-    """One in-flight message: source rank, tag, copied payload, wire size."""
+    """One in-flight message: source rank, tag, copied payload.
 
-    source: int
-    tag: int
-    payload: Any
-    nbytes: int
+    ``nbytes`` (the estimated wire size used by the traffic tracer and the
+    scaling cost model) is computed lazily on first read and cached — an
+    untraced run never walks the payload just to size it.
+    """
+
+    __slots__ = ("source", "tag", "payload", "_nbytes")
+
+    def __init__(self, source: int, tag: int, payload: Any) -> None:
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self._nbytes: Any = None
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated wire size of the payload (lazy, cached)."""
+        if self._nbytes is None:
+            self._nbytes = payload_nbytes(self.payload)
+        return self._nbytes
 
     @classmethod
     def make(cls, source: int, tag: int, payload: Any) -> "Envelope":
-        """Snapshot ``payload`` and size it, producing a sendable envelope."""
-        copied = copy_payload(payload)
-        return cls(
-            source=source, tag=tag, payload=copied, nbytes=payload_nbytes(copied)
-        )
+        """Snapshot ``payload``, producing a sendable envelope."""
+        return cls(source=source, tag=tag, payload=copy_payload(payload))
+
+    @classmethod
+    def presnapshotted(cls, source: int, tag: int, payload: Any) -> "Envelope":
+        """Wrap an *already snapshotted* payload (no copy).
+
+        The caller vouches that ``payload`` is safe to hand to the receiver
+        without copying — e.g. a :func:`freeze_payload` snapshot shared by
+        every receiver of a broadcast.
+        """
+        return cls(source=source, tag=tag, payload=payload)
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a ``recv(source, tag)`` with wildcard
@@ -88,3 +169,9 @@ class Envelope:
         source_ok = source == -1 or source == self.source
         tag_ok = tag == -1 or tag == self.tag
         return source_ok and tag_ok
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Envelope(source={self.source}, tag={self.tag}, "
+            f"payload={type(self.payload).__name__})"
+        )

@@ -22,8 +22,9 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .buffered import BufferedOpsMixin
+from .derived import rows_output_usable
 from .exceptions import DeadlockError, RankError, SmpiError, TagError
-from .message import Envelope
+from .message import Envelope, copy_payload
 from .reduction import ReduceOp
 from .request import Request, SendRequest
 
@@ -138,7 +139,7 @@ class SelfCommunicator(BufferedOpsMixin):
     def sendrecv(self, obj: Any, dest: int, source: int) -> Any:
         self._check_peer(dest, "dest")
         self._check_peer(source, "source")
-        return Envelope.make(source=0, tag=0, payload=obj).payload
+        return copy_payload(obj)
 
     def iprobe(self, source: int = _ANY, tag: int = _ANY) -> bool:
         if source != _ANY:
@@ -166,9 +167,22 @@ class SelfCommunicator(BufferedOpsMixin):
             raise SmpiError(f"scatter root needs exactly 1 item, got {got}")
         return objs[0]
 
-    def gatherv_rows(self, sendbuf: np.ndarray, root: int = 0) -> np.ndarray:
+    def gatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         self._check_peer(root, "root")
-        return np.asarray(sendbuf)
+        arr = np.asarray(sendbuf)
+        # Shared usability predicate; an unusable ``out`` degrades to the
+        # zero-copy identity (returning the send buffer), not allocation.
+        if arr.ndim == 2 and rows_output_usable(
+            arr.shape[0], arr.shape[1], arr.dtype, out
+        ):
+            out[...] = arr
+            return out
+        return arr
 
     def scatterv_rows(
         self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0

@@ -161,16 +161,22 @@ class CommTracer:
         self._record("scatter", payload_nbytes(out))
         return out
 
-    def gatherv_rows(self, sendbuf: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
+    def gatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
         if self._comm.rank == root:
-            out = self._comm.gatherv_rows(sendbuf, root)
-            assert out is not None
+            stacked = self._comm.gatherv_rows(sendbuf, root, out=out)
+            assert stacked is not None
             self._record(
-                "gatherv", max(payload_nbytes(out) - payload_nbytes(sendbuf), 0)
+                "gatherv",
+                max(payload_nbytes(stacked) - payload_nbytes(sendbuf), 0),
             )
-            return out
+            return stacked
         self._record("gatherv", payload_nbytes(sendbuf))
-        return self._comm.gatherv_rows(sendbuf, root)
+        return self._comm.gatherv_rows(sendbuf, root, out=out)
 
     def scatterv_rows(
         self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0

@@ -18,11 +18,21 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ShapeError
+
+try:  # pragma: no cover - exercised via economy_qr/economy_svd
+    from scipy.linalg import qr as _scipy_qr
+    from scipy.linalg import svd as _scipy_svd
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - numpy-only environments
+    _scipy_qr = None
+    _scipy_svd = None
+    HAVE_SCIPY = False
 
 __all__ = [
     "as_floating",
@@ -59,30 +69,64 @@ def _require_2d(a: np.ndarray, name: str) -> np.ndarray:
     return arr
 
 
-def economy_svd(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def economy_svd(
+    a: np.ndarray, overwrite_a: bool = False
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Economy-size SVD ``a = U @ diag(s) @ Vt``.
 
-    Thin wrapper over :func:`numpy.linalg.svd` with ``full_matrices=False``;
-    kept as a function so callers never accidentally request full factors of
-    a tall-skinny matrix (guide: "ask for an incomplete version of the SVD").
+    Backed by ``scipy.linalg.svd`` with ``check_finite=False`` when SciPy is
+    available (both route to LAPACK ``gesdd``, so the numbers are identical
+    to :func:`numpy.linalg.svd` — SciPy just skips the finite-ness
+    pre-scan of the whole matrix); falls back to NumPy otherwise.  Kept as
+    a function so callers never accidentally request full factors of a
+    tall-skinny matrix (guide: "ask for an incomplete version of the SVD").
+
+    Parameters
+    ----------
+    overwrite_a:
+        Allow the backend to destroy ``a``'s contents (SciPy only).  Pass
+        ``True`` only for scratch buffers the caller owns and no longer
+        needs — e.g. the streaming workspace after its factors are taken.
     """
     a = _require_2d(a, "a")
+    if HAVE_SCIPY and np.issubdtype(np.asarray(a).dtype, np.floating):
+        return _scipy_svd(
+            a,
+            full_matrices=False,
+            check_finite=False,
+            overwrite_a=overwrite_a,
+        )
     return np.linalg.svd(a, full_matrices=False)
 
 
-def economy_qr(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Economy-size (reduced) QR factorization ``a = Q @ R``."""
+def economy_qr(
+    a: np.ndarray, overwrite_a: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Economy-size (reduced) QR factorization ``a = Q @ R``.
+
+    SciPy-backed (``mode="economic"``, ``check_finite=False``) when
+    available, with a NumPy fallback.  ``overwrite_a`` as in
+    :func:`economy_svd`: opt-in scratch destruction, SciPy only.
+    """
     a = _require_2d(a, "a")
+    if HAVE_SCIPY and np.issubdtype(np.asarray(a).dtype, np.floating):
+        return _scipy_qr(
+            a, mode="economic", check_finite=False, overwrite_a=overwrite_a
+        )
     return np.linalg.qr(a, mode="reduced")
 
 
-def qr_positive(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def qr_positive(
+    a: np.ndarray, overwrite_a: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
     """Reduced QR with the sign convention ``diag(R) >= 0``.
 
     Flips the sign of each column ``j`` of ``Q`` (and row ``j`` of ``R``)
     whose diagonal entry ``R[j, j]`` is negative.  With this convention the
     factorization of a full-column-rank matrix is unique, which is what makes
-    the distributed TSQR reduction deterministic across rank counts.
+    the distributed TSQR reduction deterministic across rank counts.  The
+    sign flips are applied *in place* on the freshly factored ``Q``/``R``
+    (no extra full-size temporaries on the streaming hot path).
 
     Returns
     -------
@@ -90,30 +134,38 @@ def qr_positive(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         ``Q`` has orthonormal columns, ``R`` is upper triangular with a
         nonnegative diagonal and ``a == Q @ R`` to round-off.
     """
-    q, r = economy_qr(a)
+    q, r = economy_qr(a, overwrite_a=overwrite_a)
     k = min(r.shape)
     signs = np.sign(np.diagonal(r)[:k])
     # sign(0) == 0 would zero out columns of a rank-deficient factor; keep
     # those columns untouched instead.
     signs = np.where(signs == 0.0, 1.0, signs)
-    q = q[:, :k] * signs[np.newaxis, :]
-    r = r[:k, :] * signs[:, np.newaxis]
+    if k < q.shape[1]:
+        q = q[:, :k]
+    if k < r.shape[0]:
+        r = r[:k, :]
+    # q/r are freshly allocated by the factorization, so canonicalising in
+    # place is safe and saves two full-size copies per QR.
+    q *= signs[np.newaxis, :]
+    r *= signs[:, np.newaxis]
     return q, r
 
 
 def truncate_svd(
-    u: np.ndarray, s: np.ndarray, vt: np.ndarray, rank: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    u: np.ndarray, s: np.ndarray, vt: Optional[np.ndarray], rank: int
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Retain the leading ``rank`` triplets of an SVD, preserving order.
 
     ``rank`` larger than the available number of triplets is clipped rather
     than raised: streaming callers routinely ask for ``K`` modes before ``K``
-    snapshots have been seen.
+    snapshots have been seen.  ``vt`` may be ``None`` (callers that only
+    track the left factors — the streaming classes — need no throwaway
+    right-vector dummy); it is then returned as ``None``.
     """
     if rank <= 0:
         raise ShapeError(f"rank must be positive, got {rank}")
     k = min(rank, s.shape[0])
-    return u[:, :k], s[:k], vt[:k, :]
+    return u[:, :k], s[:k], None if vt is None else vt[:k, :]
 
 
 def align_signs(reference: np.ndarray, candidate: np.ndarray) -> np.ndarray:

@@ -266,3 +266,25 @@ class TestReviewHardening:
         ref = u.T @ data
         for coeffs in run_spmd(2, job):
             assert np.max(np.abs(coeffs - ref)) < 1e-10
+
+
+class TestTicketOwnership:
+    def test_single_query_results_writable_on_every_rank(self, store, rng):
+        """A one-query flush group must not hand the ticket an alias of
+        the (possibly read-only, broadcast-shared) batch array."""
+        data = rng.standard_normal((M, 3))
+
+        def job(comm):
+            engine = QueryEngine(comm, store)
+            t_proj = engine.submit_project("alpha", data)
+            engine.flush()
+            coeffs = t_proj.result()
+            coeffs *= 2.0  # must be legal on every rank
+            t_rec = engine.submit_reconstruct("beta", coeffs[:, :1])
+            engine.flush()
+            field = t_rec.result()
+            field += 1.0
+            return coeffs.flags.writeable and field.flags.writeable
+
+        assert all(run_spmd(3, job))
+        assert all(run_spmd(1, job))
