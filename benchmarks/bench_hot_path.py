@@ -1,24 +1,24 @@
-"""Hot-path allocation + throughput bench: workspace fast lane vs seed path.
+"""Hot-path allocation + throughput bench: fast lane, seed path, overlap.
 
 The zero-copy / workspace-reuse PR claims the per-step *constant* of the
-streaming update is allocator-free in steady state: the fused
-scale-and-concat, the TSQR correction GEMM and the updated local modes all
-land in persistent buffers, broadcasts share one frozen snapshot instead of
-``p - 1`` deep copies, and ``gatherv_rows`` assembles into a preallocated
-output.  This bench measures, per ``backend x rank-count x batch`` cell:
+streaming update is allocator-free in steady state; the pipelined-engine
+PR adds the overlap dimension: fused single-message TSQR replies with
+preposted receives, the small-matrices-first correction fold (one tall
+GEMM per rank per step), and `overlap=True` deferred completion.  This
+bench measures, per ``backend x rank-count x batch`` cell and per lane:
 
 * **bytes/step** — aggregate tracemalloc peak-over-baseline per streaming
   step (all ranks; the in-process backends share one heap), and
 * **steps/s** — wall-clock streaming throughput (measured untraced),
 
-for the fast lane (``workspace=True``, default) against the seed
-allocation-per-step path (``workspace=False``), and emits
-``BENCH_hot_path.json``.  The committed copy of that file at the repo root
-is the regression baseline CI compares against (>25% bytes/step growth on
-the acceptance cell fails).
+for three lanes: ``fast`` (``workspace=True``, default), ``seed``
+(``workspace=False``, fresh allocations per step) and ``overlap``
+(``workspace=True, overlap=True``, collectives in flight across steps),
+and emits ``BENCH_hot_path.json``.  The committed copy of that file at
+the repo root is the regression baseline CI compares against — both
+bytes/step and the throughput *ratios* (machine-independent) are gated.
 
-Acceptance cell: threads backend, 4 ranks, K=10, 20 streaming batches —
-asserted here to allocate >= 2x less per step than the seed path.
+Acceptance cell: threads backend, 4 ranks, K=10, 20 streaming batches.
 """
 
 import json
@@ -46,6 +46,13 @@ CONFIGS = [
     ("self", 1, 20),
 ]
 
+#: lane name -> (workspace, overlap)
+LANES = {
+    "fast": (True, False),
+    "seed": (False, False),
+    "overlap": (True, True),
+}
+
 
 def make_data(batch):
     rng = np.random.default_rng(7)
@@ -55,14 +62,16 @@ def make_data(batch):
     return left @ right + 1e-6 * rng.standard_normal((M, n_cols))
 
 
-def streaming_job(data, batch, workspace, measure_alloc):
+def streaming_job(data, batch, workspace, overlap, measure_alloc):
     """SPMD job streaming N_STEPS batches; rank 0 optionally samples
     tracemalloc around each (barrier-fenced) step."""
 
     def job(comm):
         part = block_partition(M, comm.size)
         block = np.ascontiguousarray(data[part.slice_of(comm.rank), :])
-        svd = ParSVDParallel(comm, K=K, ff=0.95, workspace=workspace)
+        svd = ParSVDParallel(
+            comm, K=K, ff=0.95, workspace=workspace, overlap=overlap
+        )
         svd.initialize(block[:, :batch])
         per_step = []
         for step in range(N_STEPS):
@@ -79,56 +88,79 @@ def streaming_job(data, batch, workspace, measure_alloc):
                 if comm.rank == 0:
                     _, peak = tracemalloc.get_traced_memory()
                     per_step.append(peak - before)
-        return per_step, svd.singular_values
+        return per_step, np.array(svd.singular_values)
 
     return job
 
 
-def measure(backend, nranks, batch, workspace):
-    data = make_data(batch)
-
-    # Allocation: tracemalloc on, barriers fence each step so rank 0's
-    # window covers every rank's allocations (shared in-process heap).
-    # The first few steps warm the workspace/BLAS buffers; average the
-    # steady-state tail.
+def measure_alloc_lane(data, backend, nranks, batch, workspace, overlap):
+    """bytes/step for one lane (tracemalloc on, barrier-fenced steps so
+    rank 0's window covers every rank's allocations — shared in-process
+    heap; the barriers also serialize overlap's deferred completion into
+    the measured window).  The first few steps warm the workspace/BLAS
+    buffers; the steady-state tail is averaged."""
     tracemalloc.start()
     try:
         results = run_backend(
             backend,
             nranks,
-            streaming_job(data, batch, workspace, measure_alloc=True),
+            streaming_job(data, batch, workspace, overlap, measure_alloc=True),
         )
     finally:
         tracemalloc.stop()
     per_step = results[0][0]
-    bytes_per_step = float(np.mean(per_step[5:]))
+    return float(np.mean(per_step[5:])), results[0][1]
 
-    # Throughput: same stream, no tracemalloc (it dominates otherwise);
-    # best of 5 repetitions to shed scheduler noise.
-    elapsed = []
-    for _ in range(5):
-        start = time.perf_counter()
-        results = run_backend(
-            backend,
-            nranks,
-            streaming_job(data, batch, workspace, measure_alloc=False),
-        )
-        elapsed.append(time.perf_counter() - start)
-    steps_per_s = N_STEPS / min(elapsed)
-    return bytes_per_step, steps_per_s, results[0][1]
+
+def measure_rates(data, backend, nranks, batch, reps=5):
+    """steps/s per lane, no tracemalloc (it dominates otherwise).
+
+    The lanes are timed *interleaved* — every repetition times each lane
+    once, back to back — so slow machine-load drift hits all lanes
+    equally and the throughput ratios the CI gate checks stay stable;
+    best-of-reps per lane sheds scheduler noise.
+    """
+    elapsed = {lane: [] for lane in LANES}
+    for _ in range(reps):
+        for lane, (workspace, overlap) in LANES.items():
+            start = time.perf_counter()
+            run_backend(
+                backend,
+                nranks,
+                streaming_job(
+                    data, batch, workspace, overlap, measure_alloc=False
+                ),
+            )
+            elapsed[lane].append(time.perf_counter() - start)
+    return {lane: N_STEPS / min(times) for lane, times in elapsed.items()}
 
 
 def test_hot_path(benchmark, artifacts_dir):
     cells = []
     rows = []
     for backend, nranks, batch in CONFIGS:
-        fast_bytes, fast_rate, fast_sv = measure(backend, nranks, batch, True)
-        seed_bytes, seed_rate, seed_sv = measure(backend, nranks, batch, False)
-        # Same numbers out of both lanes (the equality tests pin 1e-12;
+        data = make_data(batch)
+        lanes = {}
+        values = {}
+        for lane, (workspace, overlap) in LANES.items():
+            lane_bytes, lane_sv = measure_alloc_lane(
+                data, backend, nranks, batch, workspace, overlap
+            )
+            lanes[lane] = {"bytes_per_step": lane_bytes}
+            values[lane] = lane_sv
+        for lane, rate in measure_rates(data, backend, nranks, batch).items():
+            lanes[lane]["steps_per_s"] = rate
+        # Same numbers out of every lane (the equality tests pin 1e-12;
         # here it guards the bench itself against divergence).
-        assert np.max(np.abs(fast_sv - seed_sv)) <= 1e-10
-        reduction = seed_bytes / max(fast_bytes, 1.0)
-        speedup = fast_rate / seed_rate
+        assert np.max(np.abs(values["fast"] - values["seed"])) <= 1e-10
+        assert np.max(np.abs(values["overlap"] - values["fast"])) <= 1e-10
+        reduction = lanes["seed"]["bytes_per_step"] / max(
+            lanes["fast"]["bytes_per_step"], 1.0
+        )
+        speedup = lanes["fast"]["steps_per_s"] / lanes["seed"]["steps_per_s"]
+        overlap_speedup = (
+            lanes["overlap"]["steps_per_s"] / lanes["fast"]["steps_per_s"]
+        )
         cells.append(
             {
                 "backend": backend,
@@ -137,27 +169,24 @@ def test_hot_path(benchmark, artifacts_dir):
                 "batch": batch,
                 "n_steps": N_STEPS,
                 "n_dof": M,
-                "fast": {
-                    "bytes_per_step": fast_bytes,
-                    "steps_per_s": fast_rate,
-                },
-                "seed": {
-                    "bytes_per_step": seed_bytes,
-                    "steps_per_s": seed_rate,
-                },
+                "fast": lanes["fast"],
+                "seed": lanes["seed"],
+                "overlap": lanes["overlap"],
                 "bytes_reduction": reduction,
                 "speedup": speedup,
+                "overlap_speedup": overlap_speedup,
             }
         )
         rows.append(
             [
                 f"{backend} x{nranks} b{batch}",
-                f"{fast_bytes / 1024:.0f} KiB",
-                f"{seed_bytes / 1024:.0f} KiB",
+                f"{lanes['fast']['bytes_per_step'] / 1024:.0f} KiB",
+                f"{lanes['seed']['bytes_per_step'] / 1024:.0f} KiB",
                 f"{reduction:.1f}x",
-                f"{fast_rate:.1f}",
-                f"{seed_rate:.1f}",
-                f"{speedup:.2f}x",
+                f"{lanes['fast']['steps_per_s']:.1f}",
+                f"{lanes['seed']['steps_per_s']:.1f}",
+                f"{lanes['overlap']['steps_per_s']:.1f}",
+                f"{overlap_speedup:.2f}x",
             ]
         )
 
@@ -168,7 +197,7 @@ def test_hot_path(benchmark, artifacts_dir):
     emit(
         artifacts_dir,
         "hot_path.txt",
-        f"Streaming hot path: workspace fast lane vs seed path "
+        f"Streaming hot path: fast lane vs seed path vs overlapped engine "
         f"(n_dof={M}, K={K}, {N_STEPS} steps)\n"
         + format_table(
             [
@@ -178,52 +207,90 @@ def test_hot_path(benchmark, artifacts_dir):
                 "reduction",
                 "fast steps/s",
                 "seed steps/s",
-                "speedup",
+                "overlap steps/s",
+                "overlap-vs-fast",
             ],
             rows,
         ),
     )
 
     # Acceptance cell (threads, 4 ranks, K=10, 20 batches): the fast lane
-    # must allocate at least 2x less per step than the pre-PR path
-    # (measured ~14x; hard-asserted because tracemalloc is stable).  The
-    # speedup (typically ~1.1x here) is recorded in the JSON; the assert
-    # is only a catastrophic-regression canary because wall-clock on a
-    # shared 4-thread CI box jitters +-20%.
+    # must allocate at least 2x less per step than the seed path, and the
+    # overlapped lane must not allocate meaningfully more than the fast
+    # lane (its replies are smaller; preposted requests are tiny).  The
+    # wall-clock asserts are only catastrophic-regression canaries because
+    # a shared CI box jitters +-20%; the precise numbers live in the JSON
+    # and are gated against the committed baseline by check_against_baseline.
     acceptance = cells[0]
     assert acceptance["bytes_reduction"] >= 2.0
     assert acceptance["speedup"] > 0.75
+    assert acceptance["overlap_speedup"] > 0.75
+    assert (
+        acceptance["overlap"]["bytes_per_step"]
+        <= 1.5 * acceptance["fast"]["bytes_per_step"] + 65536
+    )
 
-    # Timed kernel for pytest-benchmark: one steady-state fast-lane stream.
+    # Timed kernel for pytest-benchmark: one steady-state overlapped stream.
     data = make_data(CONFIGS[0][2])
     benchmark(
         lambda: run_backend(
             CONFIGS[0][0],
             CONFIGS[0][1],
-            streaming_job(data, CONFIGS[0][2], True, measure_alloc=False),
+            streaming_job(
+                data, CONFIGS[0][2], True, True, measure_alloc=False
+            ),
         )
     )
 
 
-def check_against_baseline(
-    artifact_path, baseline_path, tolerance=0.25
-):
-    """Fail (exit 1) if bytes/step on the acceptance cell regressed more
-    than ``tolerance`` vs the committed baseline.  Used by the CI smoke.
+def check_against_baseline(artifact_path, baseline_path, tolerance=0.25):
+    """Fail (exit 1) on hot-path regressions vs the committed baseline.
+
+    Gated on the acceptance cell (threads, 4 ranks, K=10):
+
+    * ``fast`` bytes/step must stay within ``tolerance`` (+25%) of the
+      baseline — allocation counts are machine-independent;
+    * throughput must not regress.  Raw steps/s are not comparable
+      across machines, so the gate checks the *ratios* measured within
+      one (lane-interleaved) bench run against the baseline's:
+      ``overlap_speedup`` (overlap vs fast — the pipelined engine's
+      steps/s) at the issue's 15% floor, and ``speedup`` (fast vs seed)
+      at a wider 25% floor — that ratio is only ~1.1x to begin with, so
+      15% of it sits inside a shared box's wall-clock jitter.
     """
     artifact = json.loads(pathlib.Path(artifact_path).read_text())
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
-    measured = artifact["cells"][0]["fast"]["bytes_per_step"]
-    allowed = baseline["cells"][0]["fast"]["bytes_per_step"] * (1 + tolerance)
+    cell = artifact["cells"][0]
+    base = baseline["cells"][0]
+    failures = []
+
+    measured = cell["fast"]["bytes_per_step"]
+    allowed = base["fast"]["bytes_per_step"] * (1 + tolerance)
     print(
         f"hot-path bytes/step: measured {measured:.0f}, "
         f"baseline allows <= {allowed:.0f}"
     )
     if measured > allowed:
-        raise SystemExit(
-            f"hot-path allocation regression: {measured:.0f} B/step exceeds "
+        failures.append(
+            f"allocation regression: {measured:.0f} B/step exceeds "
             f"baseline {allowed:.0f} B/step (+{tolerance:.0%})"
         )
+
+    for ratio, steps_tolerance in (("overlap_speedup", 0.15), ("speedup", 0.25)):
+        measured_ratio = cell[ratio]
+        floor = base[ratio] * (1 - steps_tolerance)
+        print(
+            f"hot-path {ratio}: measured {measured_ratio:.3f}, "
+            f"baseline requires >= {floor:.3f}"
+        )
+        if measured_ratio < floor:
+            failures.append(
+                f"steps/s regression: {ratio} {measured_ratio:.3f} fell "
+                f">{steps_tolerance:.0%} below baseline {base[ratio]:.3f}"
+            )
+
+    if failures:
+        raise SystemExit("hot-path regression gate: " + "; ".join(failures))
 
 
 if __name__ == "__main__":

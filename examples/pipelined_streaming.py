@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Pipelined streaming: out-of-core ingestion + overlapped collectives.
+
+Three stages of one streaming step run concurrently here:
+
+1. a ``PrefetchStream`` background thread reads the *next* batch from an
+   on-disk snapshot container (out-of-core ingestion);
+2. each rank's ``incorporate_data`` posts its TSQR communication and
+   returns with the step *in flight* (``ParSVDParallel(overlap=True)``);
+3. the previous step's fused reply completes lazily at the next update.
+
+The numbers are identical to the plain blocking loop — asserted below to
+1e-12 — only the schedule changes.
+
+Run:  python examples/pipelined_streaming.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro import ParSVDParallel, run_backend
+from repro.data import PrefetchStream, dataset_stream, write_snapshot_dataset
+from repro.data.io import SnapshotDataset
+from repro.utils.partition import block_partition
+
+M, NT, K, BATCH, RANKS = 2048, 240, 8, 24, 4
+
+
+def make_dataset(path):
+    rng = np.random.default_rng(42)
+    left = rng.standard_normal((M, 6))
+    right = rng.standard_normal((6, NT))
+    data = left @ right + 1e-3 * rng.standard_normal((M, NT))
+    write_snapshot_dataset(path, data)
+    return path
+
+
+def stream_svd(dataset_path, *, overlap, prefetch):
+    """Fit the distributed streaming SVD from the on-disk container."""
+
+    def job(comm):
+        part = block_partition(M, comm.size)
+        stream = dataset_stream(
+            SnapshotDataset.open(dataset_path), BATCH
+        ).restrict_rows(part.slice_of(comm.rank))
+        if prefetch:
+            stream = PrefetchStream(stream, depth=2)
+        svd = ParSVDParallel(comm, K=K, ff=1.0, overlap=overlap)
+        svd.fit_stream(stream)
+        return np.array(svd.modes), np.array(svd.singular_values)
+
+    start = time.perf_counter()
+    modes, values = run_backend("threads", RANKS, job)[0]
+    return modes, values, time.perf_counter() - start
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-pipeline-") as tmp:
+        path = make_dataset(f"{tmp}/snapshots.npz")
+        print(
+            f"streaming {NT} snapshots of {M} dofs from disk "
+            f"({RANKS} ranks, K={K}, batches of {BATCH})"
+        )
+        m_ref, v_ref, t_ref = stream_svd(path, overlap=False, prefetch=False)
+        m_pipe, v_pipe, t_pipe = stream_svd(path, overlap=True, prefetch=True)
+
+        dm = float(np.max(np.abs(m_ref - m_pipe)))
+        dv = float(np.max(np.abs(v_ref - v_pipe)))
+        assert dm <= 1e-12 and dv <= 1e-12, (dm, dv)
+        print(f"blocking loop          : {t_ref:6.2f} s")
+        print(f"prefetch + overlap loop: {t_pipe:6.2f} s")
+        print(
+            f"pipelined result matches blocking to "
+            f"max|dU|={dm:.1e}, max|dS|={dv:.1e}"
+        )
+        print(f"leading singular values: {np.round(v_pipe[:4], 3)}")
+
+
+if __name__ == "__main__":
+    main()

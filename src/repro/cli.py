@@ -37,6 +37,34 @@ def _add_backend_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prefetch",
+        type=int,
+        default=0,
+        metavar="DEPTH",
+        help="prefetch snapshot batches through a background double buffer "
+        "of this depth (0 = off); batch production then overlaps compute",
+    )
+    parser.add_argument(
+        "--overlap",
+        action="store_true",
+        help="pipeline the streaming update: each step's TSQR collectives "
+        "stay in flight while the next batch is ingested (same numbers, "
+        "asserted by the test suite)",
+    )
+
+
+def _rank_stream(args: argparse.Namespace, data, batch: int, part, rank: int):
+    """This rank's batch stream per the CLI pipeline options."""
+    from repro.data.streams import PrefetchStream, array_stream
+
+    stream = array_stream(data, batch).restrict_rows(part.slice_of(rank))
+    if args.prefetch > 0:
+        stream = PrefetchStream(stream, depth=args.prefetch)
+    return stream
+
+
 def _resolve_ranks(args: argparse.Namespace) -> int:
     """The 'self' backend is single-rank by construction."""
     return 1 if args.backend == "self" else args.ranks
@@ -59,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_burgers.add_argument("--batch", type=int, default=100)
     p_burgers.add_argument("--ff", type=float, default=0.95)
     _add_backend_option(p_burgers)
+    _add_pipeline_options(p_burgers)
 
     p_era5 = sub.add_parser(
         "era5", help="coherent structures of the synthetic pressure record"
@@ -69,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_era5.add_argument("--ranks", type=int, default=4)
     p_era5.add_argument("--modes", type=int, default=6)
     _add_backend_option(p_era5)
+    _add_pipeline_options(p_era5)
 
     p_scaling = sub.add_parser("scaling", help="scaling studies (model)")
     p_scaling.add_argument(
@@ -150,14 +180,12 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
 
     def job(comm):
         part = block_partition(args.nx, comm.size)
-        block = data[part.slice_of(comm.rank), :]
         svd = ParSVDParallel(
             comm, K=args.modes, ff=args.ff, r1=50,
             low_rank=True, oversampling=10, power_iters=2, seed=0,
+            overlap=args.overlap,
         )
-        svd.initialize(block[:, : args.batch])
-        for start in range(args.batch, args.nt, args.batch):
-            svd.incorporate_data(block[:, start : start + args.batch])
+        svd.fit_stream(_rank_stream(args, data, args.batch, part, comm.rank))
         return svd.modes, svd.singular_values
 
     modes, values = run_backend(args.backend, ranks, job)[0]
@@ -185,11 +213,10 @@ def _cmd_era5(args: argparse.Namespace) -> int:
 
     def job(comm):
         part = block_partition(field.n_dof, comm.size)
-        block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(comm, K=args.modes, ff=1.0, r1=50)
-        svd.initialize(block[:, :batch])
-        for start in range(batch, args.nt, batch):
-            svd.incorporate_data(block[:, start : start + batch])
+        svd = ParSVDParallel(
+            comm, K=args.modes, ff=1.0, r1=50, overlap=args.overlap
+        )
+        svd.fit_stream(_rank_stream(args, data, batch, part, comm.rank))
         return svd.modes, svd.singular_values
 
     modes, values = run_backend(args.backend, _resolve_ranks(args), job)[0]

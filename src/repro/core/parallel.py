@@ -32,7 +32,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..config import validate_parallel_options
-from ..exceptions import DataFormatError, ShapeError
+from ..exceptions import CommunicatorError, DataFormatError, ShapeError
 from ..utils.linalg import economy_svd, truncate_svd
 from ..utils.rng import resolve_rng
 from ..utils.partition import block_partition
@@ -45,7 +45,12 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .randomized import low_rank_svd
-from .tsqr import tsqr_gather, tsqr_tree
+from .tsqr import (
+    PipelinedGatherStep,
+    PipelinedTreeStep,
+    tsqr_gather,
+    tsqr_tree,
+)
 from .workspace import Workspace
 
 __all__ = ["ParSVDParallel"]
@@ -81,6 +86,25 @@ class ParSVDParallel(ParSVDBase):
         a block handed out at step ``t`` is overwritten at step ``t + 2``
         (double buffering), so copy it if you need it to survive further
         updates.  Set ``False`` for fresh arrays every step.
+    overlap:
+        ``True`` pipelines the streaming update: ``incorporate_data``
+        performs the local QR, posts the step's communication
+        (:class:`~repro.core.tsqr.PipelinedGatherStep` /
+        :class:`~repro.core.tsqr.PipelinedTreeStep` — receives preposted,
+        fused single-message replies) and **returns with the step in
+        flight**; the caller's next batch ingest (IO, simulation,
+        :class:`~repro.data.streams.PrefetchStream` refills) overlaps the
+        in-flight collectives.  The step completes lazily — at the next
+        ``incorporate_data`` or on any result access (``modes``,
+        ``local_modes``, ``singular_values``, checkpointing).  Numbers are
+        identical to ``overlap=False`` (asserted to 1e-12 by the test
+        suite).  As with lazy mode gathering, completion is collective in
+        effect: a rank that never completes its step never releases its
+        peers, so all ranks must advance (update or read results) in the
+        same pattern.  Give each overlapped instance its own
+        communicator (``comm.dup()``) if several stream concurrently on
+        one group — in-flight steps of different instances must not
+        share a tag space.
 
     Notes
     -----
@@ -131,6 +155,7 @@ class ParSVDParallel(ParSVDBase):
         gather: str = "bcast",
         apmos_group_size: Optional[int] = None,
         workspace: bool = True,
+        overlap: bool = False,
         **extra,
     ) -> None:
         super().__init__(K=K, ff=ff, low_rank=low_rank, config=config, **extra)
@@ -140,6 +165,13 @@ class ParSVDParallel(ParSVDBase):
         self._gather = gather
         self._apmos_group_size = apmos_group_size
         self._workspace: Optional[Workspace] = Workspace() if workspace else None
+        self._overlap = bool(overlap)
+        # In-flight pipelined step (overlap mode): posted by
+        # incorporate_data, completed lazily by the next update or by any
+        # result accessor.  _pending_error poisons the instance after a
+        # failed completion — its state no longer reflects the counters.
+        self._pending = None
+        self._pending_error: Optional[BaseException] = None
         self._ulocal: Optional[np.ndarray] = None
         # Lazy mode assembly: _modes_epoch counts factorization updates,
         # _modes_synced_epoch the update the cached gathered modes belong
@@ -201,9 +233,11 @@ class ParSVDParallel(ParSVDBase):
         construction if you call this directly and need ``a_local``
         preserved.
         """
-        cfg = self._config
+        self._finalize_pending()
         if self._qr_variant == "tree":
-            q_local, r_final = tsqr_tree(self.comm, a_local)
+            q_local, r_final = tsqr_tree(
+                self.comm, a_local, workspace=self._workspace
+            )
         else:
             q_local, r_final = tsqr_gather(
                 self.comm, a_local, workspace=self._workspace
@@ -213,29 +247,38 @@ class ParSVDParallel(ParSVDBase):
         # with randomization enabled this keeps every rank on the same
         # sketch realisation.
         if self.comm.rank == 0:
-            if cfg.low_rank:
-                u_new, s_new = low_rank_svd(
-                    r_final,
-                    cfg.K,
-                    oversampling=cfg.oversampling,
-                    power_iters=cfg.power_iters,
-                    rng=self._rng,
-                )
-            else:
-                # r_final is dead after this factorization (only its SVD
-                # travels on); on the fast lane let LAPACK consume it.
-                u_new, s_new, _ = economy_svd(
-                    r_final, overwrite_a=self._workspace is not None
-                )
-            payload: Optional[Tuple[np.ndarray, np.ndarray]] = (u_new, s_new)
+            payload: Optional[Tuple[np.ndarray, np.ndarray]] = self._reduce_r(
+                r_final
+            )
         else:
             payload = None
         u_new, s_new = self.comm.bcast(payload, root=0)
         return q_local, u_new, s_new
 
+    def _reduce_r(self, r_final: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Rank-0 reduction of the replicated TSQR ``R``: the streaming
+        update's small (possibly randomized) SVD.  Consumes ``r_final`` in
+        place on the workspace fast lane."""
+        cfg = self._config
+        if cfg.low_rank:
+            return low_rank_svd(
+                r_final,
+                cfg.K,
+                oversampling=cfg.oversampling,
+                power_iters=cfg.power_iters,
+                rng=self._rng,
+            )
+        # r_final is dead after this factorization (only its SVD travels
+        # on); on the fast lane let LAPACK consume it.
+        u_new, s_new, _ = economy_svd(
+            r_final, overwrite_a=self._workspace is not None
+        )
+        return u_new, s_new
+
     # -- streaming driver (paper Listing 2) -----------------------------------
     def initialize(self, A: np.ndarray) -> "ParSVDParallel":
         """Factor the first (local block of the) batch via APMOS."""
+        self._finalize_pending()
         A = self._validate_first_batch(A)
         self._ulocal, self._singular_values = self.parallel_svd(A)
         self._iteration = 1
@@ -251,57 +294,138 @@ class ParSVDParallel(ParSVDBase):
         correction GEMM and the updated local modes — are written with
         ``out=`` into persistent buffers, so a steady-state streaming loop
         allocates no ``(M_i, K + batch)`` arrays at all.
+
+        With ``overlap=True`` the call returns with the step's
+        communication in flight (see the class docstring); the previous
+        in-flight step, if any, is completed first.
         """
+        self._finalize_pending()
         A = self._validate_next_batch(A)
-        cfg = self._config
         assert self._ulocal is not None
         assert self._singular_values is not None
 
-        scale = cfg.ff * self._singular_values
-        if self._workspace is None:
-            # Seed path: fresh arrays every step (reference semantics).
-            ll = self._ulocal * scale[np.newaxis, :]
-            ll = np.concatenate((ll, A), axis=1)
-        else:
-            # Fused scale-and-concat straight into the reusable workspace
-            # buffer: ll[:, :k] = ulocal * (ff * s); ll[:, k:] = A.
-            # F-ordered so the TSQR's local QR can factor it in place.
-            m_i, k = self._ulocal.shape
-            dtype = np.result_type(self._ulocal.dtype, A.dtype)
-            ll = self._workspace.get(
-                "ll", (m_i, k + A.shape[1]), dtype, order="F"
-            )
-            np.multiply(self._ulocal, scale[np.newaxis, :], out=ll[:, :k])
-            ll[:, k:] = A
-
-        q_local, u_new, s_new = self.parallel_qr(ll)
-        u_new, s_new, _ = truncate_svd(u_new, s_new, None, cfg.K)
-        if self._workspace is None:
-            self._ulocal = q_local @ u_new
-        else:
-            # Double-buffered update: take a stable destination from the
-            # pool (never the buffer q_local lives in), GEMM into it, and
-            # recycle the previous generation's block.
-            new_u = self._workspace.take(
-                "ulocal", (q_local.shape[0], u_new.shape[1]), q_local.dtype
-            )
-            np.matmul(q_local, u_new, out=new_u)
-            self._workspace.give_back("ulocal", self._ulocal)
-            self._ulocal = new_u
-        self._singular_values = s_new
+        ll = self._scale_concat(A)
+        # Every lane shares the pipelined step (identical numbers); the
+        # lanes differ only in buffer reuse (workspace) and in *when* the
+        # finish phase runs.  With overlap=True the step stays in flight —
+        # the merge / reduce / fused reply completes at the next update or
+        # result access, overlapping whatever the caller does in between.
+        step_cls = (
+            PipelinedTreeStep
+            if self._qr_variant == "tree"
+            else PipelinedGatherStep
+        )
+        self._pending = step_cls(self.comm, ll, workspace=self._workspace)
+        if not self._overlap:
+            self._finalize_pending()
         self._iteration += 1
         self._n_seen += A.shape[1]
         self._invalidate_modes()
         return self
 
+    def _scale_concat(self, A: np.ndarray) -> np.ndarray:
+        """Build ``[ff * U diag(D) | A]`` — fused into a reused F-ordered
+        workspace buffer on the fast lane, fresh arrays on the seed path."""
+        scale = self._config.ff * self._singular_values
+        if self._workspace is None:
+            # Seed path: fresh arrays every step (reference semantics).
+            ll = self._ulocal * scale[np.newaxis, :]
+            return np.concatenate((ll, A), axis=1)
+        # Fused scale-and-concat straight into the reusable workspace
+        # buffer: ll[:, :k] = ulocal * (ff * s); ll[:, k:] = A.
+        # F-ordered so the TSQR's local QR can factor it in place.
+        m_i, k = self._ulocal.shape
+        dtype = np.result_type(self._ulocal.dtype, A.dtype)
+        ll = self._workspace.get("ll", (m_i, k + A.shape[1]), dtype, order="F")
+        np.multiply(self._ulocal, scale[np.newaxis, :], out=ll[:, :k])
+        ll[:, k:] = A
+        return ll
+
+    def _reduce_truncated(
+        self, r_final: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``reduce_fn`` of the pipelined steps: the truncated small SVD.
+
+        The leading result is the *combine* factor the steps fold into
+        each correction block small-matrices-first, so every rank's whole
+        update costs one tall ``(M_i, K+B) x (K+B, K)`` GEMM.
+        """
+        u_new, s_new = self._reduce_r(r_final)
+        u_new, s_new, _ = truncate_svd(u_new, s_new, None, self._config.K)
+        return u_new, s_new
+
+    def _apply_update(self, q1: np.ndarray, fused: np.ndarray, s_new) -> None:
+        """Lift the fused correction through the local Q factor — the one
+        tall GEMM of the step, landed in the double-buffered modes."""
+        if self._workspace is None:
+            self._ulocal = q1 @ fused
+        else:
+            # Double-buffered update: take a stable destination from the
+            # pool (never the buffer q1 lives in), GEMM into it, and
+            # recycle the previous generation's block.
+            new_u = self._workspace.take(
+                "ulocal", (q1.shape[0], fused.shape[1]), q1.dtype
+            )
+            np.matmul(q1, fused, out=new_u)
+            self._workspace.give_back("ulocal", self._ulocal)
+            self._ulocal = new_u
+        self._singular_values = s_new
+
+    def _finalize_pending(self) -> None:
+        """Complete the in-flight pipelined step, if any.
+
+        On rank 0 this is where the step's deferred share runs (stack /
+        merge, the truncated small SVD, the fused replies); on other ranks
+        it waits for the fused reply.  No-op when nothing is pending, so
+        result accessors may call it unconditionally.
+
+        A completion failure (e.g. a dead peer surfacing as a deadlock)
+        *poisons* the instance: the posted batch was already counted but
+        its update is lost, so every later access re-raises instead of
+        quietly serving the stale pre-step factorization.
+        """
+        if self._pending_error is not None:
+            raise CommunicatorError(
+                f"a previously posted overlapped step failed to complete "
+                f"({type(self._pending_error).__name__}: "
+                f"{self._pending_error}); the factorization is stale "
+                f"relative to iteration/n_seen — restart from a checkpoint"
+            ) from self._pending_error
+        if self._pending is None:
+            return
+        pending, self._pending = self._pending, None
+        try:
+            q1, fused, s_new = pending.finish(self._reduce_truncated)
+        except BaseException as exc:
+            self._pending_error = exc
+            raise
+        self._apply_update(q1, fused, s_new)
+
+    @property
+    def pending_update(self) -> bool:
+        """Whether a pipelined streaming step is still in flight (its
+        completion will run on the next update or result access)."""
+        return self._pending is not None
+
     # -- results layout ---------------------------------------------------------
     @property
     def local_modes(self) -> np.ndarray:
         """This rank's ``(M_i, K)`` block of the global left singular
-        vectors (always available, no communication)."""
+        vectors (no mode-assembly communication; completes an in-flight
+        overlapped step first)."""
         self._require_initialized()
+        self._finalize_pending()
         assert self._ulocal is not None
         return self._ulocal
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """Current singular values (completes an in-flight overlapped
+        step first)."""
+        self._require_initialized()
+        self._finalize_pending()
+        assert self._singular_values is not None
+        return self._singular_values
 
     def _invalidate_modes(self) -> None:
         """Drop the cached gathered modes; the next :attr:`modes` access
@@ -324,6 +448,7 @@ class ParSVDParallel(ParSVDBase):
         non-root ranks under the ``"root"`` policy.
         """
         self._require_initialized()
+        self._finalize_pending()
         if self.modes_current:
             return self._modes
         assert self._ulocal is not None
@@ -382,6 +507,7 @@ class ParSVDParallel(ParSVDBase):
         :class:`~repro.serving.ModeBaseStore` ingests.
         """
         self._require_initialized()
+        self._finalize_pending()
         assert self._ulocal is not None
         if gathered:
             stacked = self.comm.gatherv_rows(self._ulocal, root=0)
@@ -432,6 +558,7 @@ class ParSVDParallel(ParSVDBase):
         broadcasts the assigned version so every rank returns it.
         """
         self._require_initialized()
+        self._finalize_pending()
         assert self._ulocal is not None
         stacked = self.comm.gatherv_rows(self._ulocal, root=0)
         version: Optional[int] = None

@@ -19,18 +19,37 @@ over ranks, columns = ``K + batch`` ≪ rows).  Two variants are provided:
 
 Both return ``(Q_local, R)`` with ``Q_local`` the caller's row block of the
 global orthonormal factor and ``R`` replicated on every rank.
+
+Pipelined steps
+---------------
+:class:`PipelinedGatherStep` / :class:`PipelinedTreeStep` split one
+TSQR-plus-reduce step into a *post* phase (receives preposted before the
+local QR, local factor taken, small ``R`` shipped) and a *finish* phase
+(merge/refactor, a root-side ``reduce_fn(R)`` — e.g. the small SVD of the
+streaming update — and a **fused** reply carrying each rank's correction
+block together with ``reduce_fn``'s results in a single message).
+Between ``post`` and ``finish`` the caller is free to do unrelated work
+(ingest the next batch, prefetch IO) while the collectives are in flight;
+:class:`~repro.core.parallel.ParSVDParallel`'s ``overlap=True`` streaming
+update is built on these.  The numbers are identical to the blocking
+variants — same factorizations of the same values in the same order.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
 from ..exceptions import ShapeError
 from ..utils.linalg import as_floating, qr_positive
 
-__all__ = ["tsqr_gather", "tsqr_tree"]
+__all__ = [
+    "PipelinedGatherStep",
+    "PipelinedTreeStep",
+    "tsqr_gather",
+    "tsqr_tree",
+]
 
 #: Base of the p2p tag range used by the gather variant (mirrors the
 #: paper's ``tag=rank+10``).
@@ -39,6 +58,12 @@ _TAG_BASE = 10
 #: both can run on one communicator in sequence).
 _TAG_TREE_UP = 200
 _TAG_TREE_DOWN = 300
+#: Tag ranges of the pipelined steps (distinct from the blocking variants
+#: so posted traffic can sit in mailboxes across a blocking call).
+_TAG_PIPE_UP = 400
+_TAG_PIPE_DOWN = 500
+_TAG_PTREE_UP = 600
+_TAG_PTREE_DOWN = 700
 
 
 def _validate_local(a_local: np.ndarray) -> np.ndarray:
@@ -46,6 +71,31 @@ def _validate_local(a_local: np.ndarray) -> np.ndarray:
     if a_local.ndim != 2:
         raise ShapeError(f"local block must be 2-D, got ndim={a_local.ndim}")
     return a_local
+
+
+def _stack_and_refactor(blocks, n: int, workspace):
+    """Rank-0 core of the gather variant: stack the per-rank ``R`` factors
+    and take the canonical QR of the stack.
+
+    With a workspace the stack lands in a reused F-ordered buffer that
+    LAPACK may refactor in place (it copies non-Fortran input regardless);
+    the buffer is scratch either way once the factors are out.  Returns
+    ``(q2, r_final, offsets)`` with ``offsets`` delimiting each rank's
+    rows of ``q2`` (counts can differ when a rank owns fewer rows than
+    columns).
+    """
+    counts = [blk.shape[0] for blk in blocks]
+    total = sum(counts)
+    dtype = blocks[0].dtype
+    if workspace is None:
+        stacked = np.empty((total, n), dtype=dtype)
+    else:
+        stacked = workspace.get("tsqr_rstack", (total, n), dtype, order="F")
+    offsets = np.cumsum([0] + counts)
+    for peer, blk in enumerate(blocks):
+        stacked[offsets[peer] : offsets[peer + 1]] = blk
+    q2, r_final = qr_positive(stacked, overwrite_a=workspace is not None)
+    return q2, r_final, offsets
 
 
 def tsqr_gather(
@@ -88,22 +138,7 @@ def tsqr_gather(
 
     r_stack = comm.gather(r1, root=0)
     if comm.rank == 0:
-        counts = [blk.shape[0] for blk in r_stack]
-        total = sum(counts)
-        if workspace is None:
-            stacked = np.empty((total, n), dtype=r1.dtype)
-        else:
-            # F-ordered so the overwrite_a refactorization below is truly
-            # in place (LAPACK copies non-Fortran input regardless).
-            stacked = workspace.get(
-                "tsqr_rstack", (total, n), r1.dtype, order="F"
-            )
-        offsets = np.cumsum([0] + counts)
-        for peer, blk in enumerate(r_stack):
-            stacked[offsets[peer] : offsets[peer + 1]] = blk
-        # The stack buffer is scratch either way once the factors are out;
-        # with a workspace, let LAPACK reuse it instead of copying.
-        q2, r_final = qr_positive(stacked, overwrite_a=workspace is not None)
+        q2, r_final, offsets = _stack_and_refactor(r_stack, n, workspace)
         # Slice the correction factor by each rank's R row count and ship it.
         # (Counts can differ when a rank owns fewer rows than columns.)
         for peer in range(1, comm.size):
@@ -134,7 +169,89 @@ def tsqr_gather(
     return q_local, r_final
 
 
-def tsqr_tree(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _tree_recv_schedule(rank: int, size: int, comm, tag_base: int) -> Dict[int, object]:
+    """Prepost one receive per upsweep level at which ``rank`` will merge.
+
+    The binary-reduction schedule is static: at level ``d`` (stride
+    ``2^d``) a still-active rank with the ``2^d`` bit clear absorbs
+    ``rank + 2^d`` (when that partner exists).  Posting the receives
+    before any local compute is the MPI prepost idiom — the partner's
+    ``R`` lands while this rank is busy factoring its own block.
+    """
+    requests: Dict[int, object] = {}
+    stride, depth = 1, 0
+    while stride < size:
+        if rank % stride == 0 and not (rank & stride) and rank + stride < size:
+            requests[depth] = comm.irecv(rank + stride, tag_base + depth)
+        stride <<= 1
+        depth += 1
+    return requests
+
+
+def _tree_upsweep(
+    comm,
+    r_current: np.ndarray,
+    up_requests: Dict[int, object],
+    workspace,
+    n: int,
+    tag_base: int,
+    skip_first_send: bool = False,
+):
+    """Run the binary reduction of R factors (receives preposted).
+
+    Returns ``(r_current, q_factors, merge_meta)`` — the reduced factor
+    (final global ``R`` on rank 0), the correction chain and its metadata.
+    With a workspace, each level's stacked R pair lands in a pooled
+    F-ordered buffer that LAPACK may refactor in place.
+    """
+    rank, size = comm.rank, comm.size
+    q_factors = []  # correction chain, innermost (local) first
+    merge_meta = []  # (partner, my_rows, partner_rows) per merge
+    stride, depth = 1, 0
+    active = True
+    while stride < size:
+        if active:
+            partner = rank ^ stride
+            if partner < size:
+                if rank & stride:
+                    if not (skip_first_send and depth == 0):
+                        # Blocking send: the partner preposted this level's
+                        # receive, and a completed send needs no buffer-
+                        # lifetime management on any backend.
+                        comm.send(r_current, dest=partner, tag=tag_base + depth)
+                    active = False
+                else:
+                    r_partner = np.asarray(up_requests[depth].wait())
+                    my_rows = r_current.shape[0]
+                    partner_rows = r_partner.shape[0]
+                    if workspace is None:
+                        stacked = np.concatenate(
+                            (r_current, r_partner), axis=0
+                        )
+                    else:
+                        # F-ordered so the in-place refactorization below
+                        # needs no LAPACK-side copy.
+                        stacked = workspace.get(
+                            f"tree_stack_{depth}",
+                            (my_rows + partner_rows, n),
+                            np.result_type(r_current.dtype, r_partner.dtype),
+                            order="F",
+                        )
+                        stacked[:my_rows] = r_current
+                        stacked[my_rows:] = r_partner
+                    q_merge, r_current = qr_positive(
+                        stacked, overwrite_a=workspace is not None
+                    )
+                    merge_meta.append((partner, my_rows, partner_rows))
+                    q_factors.append(q_merge)
+        stride <<= 1
+        depth += 1
+    return r_current, q_factors, merge_meta
+
+
+def tsqr_tree(
+    comm, a_local: np.ndarray, workspace=None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Binary-reduction TSQR (Benson, Gleich & Demmel 2013).
 
     Communication structure: ``ceil(log2 p)`` rounds.  In round ``d`` the
@@ -144,6 +261,14 @@ def tsqr_tree(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     each child its slice of the correction factor so every rank can update
     its local ``Q``.
 
+    Every receive in this rank's static schedule — the per-level partner
+    ``R`` factors and (non-root) the downsweep correction — is posted
+    *before* the local QR, so partners' traffic lands in the mailbox while
+    this rank factors its own block.  ``workspace`` (as in
+    :func:`tsqr_gather`) declares ``a_local`` caller-owned scratch and
+    pools the per-level stacked ``R`` pairs plus the final correction
+    GEMM's output.
+
     Results match :func:`tsqr_gather` to round-off because both are
     canonicalised (``diag(R) >= 0``), which the tests assert.
     """
@@ -151,32 +276,20 @@ def tsqr_tree(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     n = a_local.shape[1]
     rank, size = comm.rank, comm.size
 
-    q_factors = []  # correction chain, innermost (local) first
-    q_local, r_current = qr_positive(a_local)
+    # --- prepost the whole receive schedule, then factor locally ----------
+    up_requests = _tree_recv_schedule(rank, size, comm, _TAG_TREE_UP)
+    if rank != 0 and size > 1:
+        down_request = comm.irecv(
+            rank & ~stride_of_absorption(rank),
+            _TAG_TREE_DOWN + level_of_absorption(rank),
+        )
+    scratch = workspace is not None and a_local.flags.writeable
+    q_local, r_current = qr_positive(a_local, overwrite_a=scratch)
 
     # --- upsweep: binary reduction of R factors -------------------------
-    depth = 0
-    stride = 1
-    active = True
-    merge_meta = []  # (partner, my_rows, partner_rows) per merge this rank did
-    while stride < size:
-        if active:
-            partner = rank ^ stride
-            if partner < size:
-                if rank & stride:
-                    comm.send(r_current, dest=partner, tag=_TAG_TREE_UP + depth)
-                    active = False
-                else:
-                    r_partner = comm.recv(
-                        source=partner, tag=_TAG_TREE_UP + depth
-                    )
-                    my_rows = r_current.shape[0]
-                    stacked = np.concatenate((r_current, r_partner), axis=0)
-                    q_merge, r_current = qr_positive(stacked)
-                    merge_meta.append((partner, my_rows, r_partner.shape[0]))
-                    q_factors.append(q_merge)
-        stride <<= 1
-        depth += 1
+    r_current, q_factors, merge_meta = _tree_upsweep(
+        comm, r_current, up_requests, workspace, n, _TAG_TREE_UP
+    )
 
     # --- broadcast final R (owned by rank 0 after the reduction) -----------
     r_final = comm.bcast(r_current if rank == 0 else None, root=0)
@@ -188,8 +301,8 @@ def tsqr_tree(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     if rank == 0:
         correction = np.eye(r_final.shape[0], dtype=r_final.dtype)
     else:
-        # Receive from the partner that absorbed this rank's R.
-        correction = comm.recv(source=rank & ~(stride_of_absorption(rank)), tag=_TAG_TREE_DOWN + level_of_absorption(rank))
+        # Receive from the partner that absorbed this rank's R (preposted).
+        correction = down_request.wait()
 
     for q_merge, (partner, my_rows, partner_rows) in zip(
         reversed(q_factors), reversed(merge_meta)
@@ -202,12 +315,214 @@ def tsqr_tree(comm, a_local: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         )
         correction = combined[:my_rows]
 
-    q_local = q_local @ correction
+    if workspace is not None:
+        # q_local may alias the spent input buffer; land the correction
+        # GEMM in a stable pooled destination instead.
+        q_out = workspace.get(
+            "tsqr_q", (q_local.shape[0], correction.shape[1]), q_local.dtype
+        )
+        q_local = np.matmul(q_local, correction, out=q_out)
+    else:
+        q_local = q_local @ correction
     if q_local.shape[1] != n:  # pragma: no cover - defensive
         raise ShapeError(
             f"tree TSQR produced {q_local.shape[1]} columns, expected {n}"
         )
     return q_local, r_final
+
+
+def _frozen_copy(block: np.ndarray) -> np.ndarray:
+    """An owning, read-only snapshot of ``block`` — the communicator's
+    zero-copy lane ships such snapshots without a second copy, even
+    inside tuple payloads.  A fresh buffer-owning input (e.g. a GEMM
+    product) is frozen in place; views and writable borrows are copied.
+    """
+    if block.base is None and block.flags.owndata and block.flags.writeable:
+        block.flags.writeable = False
+        return block
+    snapshot = np.array(block, copy=True)
+    snapshot.flags.writeable = False
+    return snapshot
+
+
+class PipelinedGatherStep:
+    """One in-flight gather-variant TSQR + reduce step.
+
+    Construction is the *post* phase: the root preposts one receive per
+    peer **before** its local QR, every rank factors its block (in place
+    on the workspace fast lane), and non-roots ship their small ``R`` and
+    prepost the receive for the fused reply — then return to the caller
+    with the step in flight.
+
+    :meth:`finish` completes the step: the root stacks the gathered ``R``
+    factors (pooled buffer), refactors, runs ``reduce_fn(R_global) ->
+    (combine, *rest)`` — e.g. the streaming update's truncated small SVD
+    — and sends each peer its correction block **pre-multiplied by**
+    ``combine`` together with ``rest`` in one fused message.  Three
+    envelopes per peer pair per step collapse into one, the blocking
+    path's separate ``R``/result broadcasts disappear, and the
+    correction-combine product is taken *small-matrices-first*: each rank
+    later needs only one tall GEMM ``q1 @ (correction @ combine)``
+    instead of ``(q1 @ correction) @ combine`` — a large cut of the
+    per-step FLOPs when ``combine`` is a truncation.
+
+    Returns ``(q1, fused_correction, *rest)``: the caller owns the final
+    ``q1 @ fused_correction`` product (and its destination buffer).
+    """
+
+    def __init__(self, comm, a_local: np.ndarray, workspace=None) -> None:
+        a_local = _validate_local(a_local)
+        self._comm = comm
+        self._workspace = workspace
+        self._n = a_local.shape[1]
+        if comm.rank == 0 and comm.size > 1:
+            # Preposted before the local QR (the prepost idiom).
+            self._up = [
+                comm.irecv(peer, _TAG_PIPE_UP)
+                for peer in range(1, comm.size)
+            ]
+        scratch = workspace is not None and a_local.flags.writeable
+        self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
+        # In-flight sends are retained until finish() so backends whose
+        # send requests own the wire buffer (mpi4py pickle mode) cannot
+        # have it collected mid-flight.
+        self._outbox = []
+        if comm.rank != 0:
+            self._outbox.append(comm.isend(self._r1, 0, _TAG_PIPE_UP))
+            self._reply = comm.irecv(0, _TAG_PIPE_DOWN)
+
+    def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
+        """Complete the step; ``reduce_fn`` runs on rank 0 only."""
+        comm, workspace, n = self._comm, self._workspace, self._n
+        if comm.rank == 0:
+            blocks = [self._r1]
+            if comm.size > 1:
+                blocks.extend(np.asarray(req.wait()) for req in self._up)
+            q2, r_final, offsets = _stack_and_refactor(blocks, n, workspace)
+            reduced = tuple(reduce_fn(r_final))
+            combine, rest = reduced[0], tuple(reduced[1:])
+            rest_shared = tuple(
+                _frozen_copy(item) if isinstance(item, np.ndarray) else item
+                for item in rest
+            )
+            for peer in range(1, comm.size):
+                # Small-first fuse at the root: the shipped block is the
+                # peer's whole remaining update except its one tall GEMM.
+                piece = _frozen_copy(
+                    q2[offsets[peer] : offsets[peer + 1]] @ combine
+                )
+                self._outbox.append(
+                    comm.isend((piece,) + rest_shared, peer, _TAG_PIPE_DOWN)
+                )
+            fused = q2[offsets[0] : offsets[1]] @ combine
+        else:
+            payload = self._reply.wait()
+            fused = payload[0]
+            rest = tuple(payload[1:])
+        # Drain the outbox: the peers' matching receives are preposted, so
+        # these waits are instant once the step's exchange has happened.
+        for request in self._outbox:
+            request.wait()
+        self._outbox = []
+        return (self._q1, fused) + rest
+
+
+class PipelinedTreeStep:
+    """One in-flight tree-variant TSQR + reduce step.
+
+    Post phase: the full static receive schedule (per-level upsweep
+    partners plus the downsweep correction) is preposted before the local
+    QR; leaf ranks absorbed at level 0 ship their ``R`` immediately so it
+    travels while their partner is still factoring.  :meth:`finish` runs
+    the binary reduction, ``reduce_fn(R_global) -> (combine, *rest)`` at
+    the root, and a **fused downsweep**: each correction slice travels
+    together with ``reduce_fn``'s results, each merging rank forwarding
+    them to the partners it absorbed — no separate ``R``/result
+    broadcasts at all.  The downsweep keeps full-width corrections (the
+    children's chains need them); the ``combine`` fold happens
+    small-matrices-first at the leaves, so — like the gather step — each
+    rank performs exactly one tall GEMM, owned by the caller.  Returns
+    ``(q1, fused_correction, *rest)``.
+    """
+
+    def __init__(self, comm, a_local: np.ndarray, workspace=None) -> None:
+        a_local = _validate_local(a_local)
+        self._comm = comm
+        self._workspace = workspace
+        self._n = a_local.shape[1]
+        rank, size = comm.rank, comm.size
+        self._up = _tree_recv_schedule(rank, size, comm, _TAG_PTREE_UP)
+        if rank != 0 and size > 1:
+            self._down = comm.irecv(
+                rank & ~stride_of_absorption(rank),
+                _TAG_PTREE_DOWN + level_of_absorption(rank),
+            )
+        scratch = workspace is not None and a_local.flags.writeable
+        self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
+        # In-flight sends are retained until finish() (mpi4py send
+        # requests own the wire buffer; see PipelinedGatherStep).
+        self._outbox = []
+        # Leaf fast path: a rank absorbed at level 0 performs no merges,
+        # so its R is final now — ship it and let it overlap the partner's
+        # local QR (and whatever the caller does next).
+        self._sent_leaf = bool(rank & 1) and size > 1
+        if self._sent_leaf:
+            self._outbox.append(
+                comm.isend(self._r1, rank - 1, _TAG_PTREE_UP + 0)
+            )
+
+    def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
+        """Complete the step; ``reduce_fn`` runs on rank 0 only."""
+        comm, workspace, n = self._comm, self._workspace, self._n
+        rank = comm.rank
+        r_current, q_factors, merge_meta = _tree_upsweep(
+            comm,
+            self._r1,
+            self._up,
+            workspace,
+            n,
+            _TAG_PTREE_UP,
+            skip_first_send=self._sent_leaf,
+        )
+        if rank == 0:
+            # The identity seed depends only on R's shape/dtype; build it
+            # before reduce_fn, which may consume R in place.
+            correction = np.eye(r_current.shape[0], dtype=r_current.dtype)
+            reduced = tuple(reduce_fn(r_current))
+            combine, rest = reduced[0], tuple(reduced[1:])
+            extras = (
+                _frozen_copy(combine),
+            ) + tuple(
+                _frozen_copy(item) if isinstance(item, np.ndarray) else item
+                for item in rest
+            )
+        else:
+            payload = self._down.wait()
+            correction = payload[0]
+            extras = tuple(payload[1:])
+            combine, rest = extras[0], tuple(extras[1:])
+        for q_merge, (partner, my_rows, partner_rows) in zip(
+            reversed(q_factors), reversed(merge_meta)
+        ):
+            combined = q_merge @ correction
+            piece = _frozen_copy(combined[my_rows : my_rows + partner_rows])
+            self._outbox.append(
+                comm.isend(
+                    (piece,) + extras,
+                    partner,
+                    _TAG_PTREE_DOWN + level_of_absorption(partner),
+                )
+            )
+            correction = combined[:my_rows]
+        # Small-first fuse at the leaf: fold the combine factor into the
+        # (n x n) correction before the single tall GEMM the caller runs.
+        fused = correction @ combine
+        # Drain the outbox (matching receives are preposted; see the
+        # gather step).
+        for request in self._outbox:
+            request.wait()
+        self._outbox = []
+        return (self._q1, fused) + rest
 
 
 def level_of_absorption(rank: int) -> int:

@@ -3,7 +3,13 @@
 from .burgers import BurgersProblem, burgers_snapshots
 from .era5_like import Era5LikeField, era5_like_snapshots
 from .io import SnapshotDataset, read_local_block, write_snapshot_dataset
-from .streams import SnapshotStream, array_stream, dataset_stream, function_stream
+from .streams import (
+    PrefetchStream,
+    SnapshotStream,
+    array_stream,
+    dataset_stream,
+    function_stream,
+)
 from .synthetic import (
     low_rank_plus_noise,
     matrix_with_spectrum,
@@ -20,6 +26,7 @@ __all__ = [
     "SnapshotDataset",
     "write_snapshot_dataset",
     "read_local_block",
+    "PrefetchStream",
     "SnapshotStream",
     "array_stream",
     "dataset_stream",

@@ -5,10 +5,19 @@ normalises the three ways batches arise in practice — an in-memory matrix,
 a snapshot container on disk, or an on-the-fly generator (the in-situ case
 the paper targets, where snapshots come from a running simulation) — behind
 one re-iterable interface with validated, uniform batch shapes.
+
+:class:`PrefetchStream` wraps any snapshot stream with a bounded
+background double buffer, so batch production (disk reads of an
+out-of-core :func:`dataset_stream`, an expensive generator) overlaps the
+consumer's compute — the ingestion half of the pipelined streaming
+engine (:class:`~repro.core.parallel.ParSVDParallel` ``overlap=True`` is
+the communication half).
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
@@ -16,7 +25,13 @@ import numpy as np
 from ..exceptions import ShapeError
 from .io import SnapshotDataset
 
-__all__ = ["SnapshotStream", "array_stream", "dataset_stream", "function_stream"]
+__all__ = [
+    "PrefetchStream",
+    "SnapshotStream",
+    "array_stream",
+    "dataset_stream",
+    "function_stream",
+]
 
 
 class SnapshotStream:
@@ -86,6 +101,97 @@ class SnapshotStream:
         if self.n_dof is not None:
             stream.n_dof = len(range(*row_slice.indices(self.n_dof)))
         return stream
+
+
+class _EndOfStream:
+    """Producer sentinel: the wrapped stream is exhausted."""
+
+
+class _StreamFailure:
+    """Producer sentinel carrying the wrapped stream's exception."""
+
+    def __init__(self, exception: BaseException) -> None:
+        self.exception = exception
+
+
+class PrefetchStream(SnapshotStream):
+    """Bounded background double-buffer over any :class:`SnapshotStream`.
+
+    A daemon producer thread iterates the wrapped stream into a queue of
+    ``depth`` slots (default 2 — classic double buffering): while the
+    consumer processes batch *k*, the producer is already reading batch
+    *k+1* (and with an overlapped :class:`~repro.core.parallel.
+    ParSVDParallel`, batch *k−1*'s collectives are still in flight — a
+    three-stage software pipeline).  Exactly the wrapped stream's batches
+    are yielded, in order; a producer-side exception is re-raised at the
+    consumer's next batch.  Each iteration spawns a fresh producer, so the
+    stream stays re-iterable; abandoning an iteration mid-stream (e.g. a
+    consumer error) stops the producer promptly — a bounded queue never
+    strands it blocked forever.
+
+    Parameters
+    ----------
+    stream:
+        The source stream — including an out-of-core
+        :func:`dataset_stream`, whose disk reads then overlap compute.
+    depth:
+        Queue capacity (prefetched batches held at once), ``>= 1``.
+    """
+
+    def __init__(self, stream: SnapshotStream, depth: int = 2) -> None:
+        if depth < 1:
+            raise ShapeError(f"prefetch depth must be >= 1, got {depth}")
+        self._stream = stream
+        self._depth = int(depth)
+        super().__init__(
+            self._prefetched,
+            n_dof=stream.n_dof,
+            n_snapshots=stream.n_snapshots,
+        )
+
+    def _prefetched(self) -> Iterator[np.ndarray]:
+        slots: "queue.Queue" = queue.Queue(maxsize=self._depth)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for batch in self._stream:
+                    # Snapshot before queueing: an in-situ source may
+                    # legally reuse one buffer per batch, and it keeps
+                    # producing while the consumer still holds this one.
+                    batch = np.array(batch, copy=True)
+                    while not stop.is_set():
+                        try:
+                            slots.put(batch, timeout=0.05)
+                            break
+                        except queue.Full:
+                            continue
+                    else:
+                        return
+                item = _EndOfStream()
+            except BaseException as exc:  # noqa: BLE001 - re-raised consumer-side
+                item = _StreamFailure(exc)
+            while not stop.is_set():
+                try:
+                    slots.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+
+        producer = threading.Thread(
+            target=produce, name="snapshot-prefetch", daemon=True
+        )
+        producer.start()
+        try:
+            while True:
+                item = slots.get()
+                if isinstance(item, _EndOfStream):
+                    return
+                if isinstance(item, _StreamFailure):
+                    raise item.exception
+                yield item
+        finally:
+            stop.set()
 
 
 def array_stream(matrix: np.ndarray, batch_size: int) -> SnapshotStream:

@@ -407,9 +407,20 @@ class QueryEngine:
         rows = [basis._resolve_local(p, local) for p in payloads]
         coeffs = basis.project(self._stack_columns(rows), local=True)
         self._stats["gemms"] += 1
-        # One vector allreduce carries every query's ||A||^2 at once.
+        # One vector allreduce carries every query's ||A||^2 at once,
+        # folded into a pooled buffer (out=) — the per-flush reduction
+        # result is consumed below and never escapes, so repeated flushes
+        # allocate nothing for it.
         local_sq = np.array([float(np.sum(r * r)) for r in rows])
-        total_sq = np.asarray(basis.comm.allreduce(local_sq, SUM))
+        total_sq = np.asarray(
+            basis.comm.allreduce(
+                local_sq,
+                SUM,
+                out=self._workspace.get(
+                    "error_norms", local_sq.shape, local_sq.dtype
+                ),
+            )
+        )
         self._stats["collectives"] += 2
         for (ticket, _), (a, b), tot in zip(
             items, self._spans(payloads), total_sq

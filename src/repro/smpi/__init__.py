@@ -37,7 +37,9 @@ from .exceptions import SmpiError, RankError, TagError
 from .executor import ParallelFailure, run_spmd
 from .factory import BACKENDS, DEFAULT_BACKEND, create_communicator, run_backend
 from .mpi import HAVE_MPI4PY
+from .nonblocking import NB_TAG_BASE
 from .reduction import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from .request import CollectiveRequest, RecvRequest, Request, SendRequest, waitall
 from .selfcomm import SelfCommunicator
 from .tracer import CommRecord, CommTracer, TrafficSummary
 
@@ -50,10 +52,16 @@ __all__ = [
     "SelfComm",
     "SelfCommunicator",
     "HAVE_MPI4PY",
+    "NB_TAG_BASE",
     "SmpiError",
     "RankError",
     "TagError",
     "ParallelFailure",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "CollectiveRequest",
+    "waitall",
     "run_spmd",
     "run_backend",
     "create_communicator",

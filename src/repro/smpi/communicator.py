@@ -31,7 +31,8 @@ import numpy as np
 from .buffered import BufferedOpsMixin
 from .derived import DerivedCollectivesMixin, rows_output_buffer
 from .exceptions import RankError, SmpiError, TagError
-from .message import Envelope, copy_payload, freeze_payload
+from .message import Envelope, copy_payload, freeze_payload, take_payload
+from .nonblocking import NonblockingCollectivesMixin
 from .reduction import ReduceOp
 from .request import RecvRequest, SendRequest
 from .world import World
@@ -56,7 +57,9 @@ _TAG_SENDRECV = -17
 _TAG_GATHERV = -18
 
 
-class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
+class Communicator(
+    NonblockingCollectivesMixin, DerivedCollectivesMixin, BufferedOpsMixin
+):
     """A group of ranks that can exchange messages within one context.
 
     Each SPMD thread holds its *own* ``Communicator`` instance; instances of
@@ -121,7 +124,7 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
 
     def _take(self, source: int, tag: int) -> Any:
         envelope = self._mailbox_of(self.rank).get(source, tag)
-        return envelope.payload
+        return take_payload(envelope)
 
     # -- point-to-point ----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -216,7 +219,7 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
             for peer in range(self.size):
                 if peer != root:
                     envelope = self._mailbox_of(self.rank).get(peer, _TAG_GATHER)
-                    out[peer] = envelope.payload
+                    out[peer] = take_payload(envelope)
             return out
         self._post(root, _TAG_GATHER, obj)
         return None
@@ -287,7 +290,7 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
             if peer == root:
                 continue
             envelope = self._mailbox_of(self.rank).get(peer, _TAG_GATHERV)
-            block = np.asarray(envelope.payload)
+            block = np.asarray(take_payload(envelope))
             if block.shape != (counts[peer], arr.shape[1]):
                 raise SmpiError(
                     f"gatherv_rows: rank {peer} announced "
@@ -314,8 +317,35 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
         for peer in range(self.size):
             if peer != self.rank:
                 envelope = self._mailbox_of(self.rank).get(peer, _TAG_ALLTOALL)
-                out[peer] = envelope.payload
+                out[peer] = take_payload(envelope)
         return out
+
+    # -- nonblocking collectives (zero-copy threads posting hooks) -----------
+    # The collective protocols come from NonblockingCollectivesMixin; these
+    # hooks swap its generic isend/send posting for the threads transport's
+    # fast lanes: direct mailbox posts (no request objects to retain — the
+    # buffered transport completes sends at post time) and the blocking
+    # bcast's freeze-once snapshot sharing for fan-outs.
+
+    def _nb_post(self, obj: Any, dest: int, tag: int) -> None:
+        self._post(dest, tag, obj)
+        return None
+
+    def _nb_fanout_posted(self, obj: Any, skip: int, tag: int) -> List[Any]:
+        self._nb_fanout_deferred(obj, skip, tag)
+        return []
+
+    def _nb_fanout_deferred(self, obj: Any, skip: int, tag: int) -> None:
+        """Fan ``obj`` out, sharing one frozen snapshot across all
+        envelopes when the payload allows it."""
+        snapshot, shareable = freeze_payload(obj)
+        for peer in range(self.size):
+            if peer != skip:
+                if shareable:
+                    envelope = Envelope.presnapshotted(self.rank, tag, snapshot)
+                else:
+                    envelope = Envelope.make(self.rank, tag, obj)
+                self._mailbox_of(peer).put(envelope)
 
     def barrier(self) -> None:
         """Synchronise all ranks (fan-in to rank 0, fan-out back)."""
@@ -323,7 +353,9 @@ class Communicator(DerivedCollectivesMixin, BufferedOpsMixin):
             return
         if self.rank == 0:
             for peer in range(1, self.size):
-                self._mailbox_of(self.rank).get(peer, _TAG_BARRIER_IN)
+                take_payload(
+                    self._mailbox_of(self.rank).get(peer, _TAG_BARRIER_IN)
+                )
             for peer in range(1, self.size):
                 self._post(peer, _TAG_BARRIER_OUT, None)
         else:

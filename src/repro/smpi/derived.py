@@ -22,7 +22,14 @@ import numpy as np
 from .exceptions import SmpiError
 from .reduction import ReduceOp
 
-__all__ = ["DerivedCollectivesMixin", "rows_output_buffer", "rows_output_usable"]
+__all__ = [
+    "DerivedCollectivesMixin",
+    "assemble_row_blocks",
+    "copy_result_into",
+    "fold_output_usable",
+    "rows_output_buffer",
+    "rows_output_usable",
+]
 
 
 def rows_output_usable(
@@ -52,6 +59,69 @@ def rows_output_buffer(
     if rows_output_usable(total, width, dtype, out):
         return out
     return np.empty((total, width), dtype=dtype)
+
+
+def assemble_row_blocks(
+    blocks: Sequence[np.ndarray], out: Optional[np.ndarray]
+) -> np.ndarray:
+    """Stack per-rank row blocks into one array (the ``gatherv_rows``
+    assembly step, shared by the blocking and nonblocking variants).
+
+    Sizing, dtype promotion (matching ``np.concatenate``) and the
+    stray-block shape guard are identical to the historical inline
+    implementation; ``out`` reuse follows :func:`rows_output_buffer`.
+    """
+    arrays = [np.asarray(block) for block in blocks]
+    total = sum(int(block.shape[0]) for block in arrays)
+    width = int(arrays[0].shape[1]) if arrays[0].ndim == 2 else -1
+    dtype = np.result_type(*[block.dtype for block in arrays])
+    out = rows_output_buffer(total, width, dtype, out)
+    offset = 0
+    for peer, block in enumerate(arrays):
+        if block.ndim != 2 or block.shape[1] != width:
+            # Guard explicitly: a stray (r, 1) block would otherwise
+            # numpy-broadcast across the full output width.
+            raise SmpiError(
+                f"gatherv_rows: rank {peer} sent a block of shape "
+                f"{block.shape}, expected ({block.shape[0]}, {width})"
+            )
+        out[offset : offset + block.shape[0]] = block
+        offset += block.shape[0]
+    return out
+
+
+def copy_result_into(result: Any, out: Optional[np.ndarray]) -> Any:
+    """Land ``result`` in the caller's ``out`` buffer when it fits.
+
+    The receive-side half of the ``out=``-aware reductions: a writable,
+    exactly-matching ``out`` is filled and returned (the caller gets its
+    own buffer back instead of a shared read-only broadcast snapshot);
+    anything else returns ``result`` unchanged.
+    """
+    if (
+        isinstance(out, np.ndarray)
+        and isinstance(result, np.ndarray)
+        and out.flags.writeable
+        and out.shape == result.shape
+        and out.dtype == result.dtype
+    ):
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def fold_output_usable(
+    out: Optional[np.ndarray], values: Sequence[Any]
+) -> bool:
+    """Is ``out`` a usable destination for an elementwise reduction of
+    ``values``?  (Every contribution an array of ``out``'s shape, their
+    promoted dtype exactly ``out``'s, and ``out`` writable.)"""
+    if not isinstance(out, np.ndarray) or not out.flags.writeable:
+        return False
+    for value in values:
+        if not isinstance(value, np.ndarray) or value.shape != out.shape:
+            return False
+    return np.result_type(*[value.dtype for value in values]) == out.dtype
 
 
 class DerivedCollectivesMixin:
@@ -84,23 +154,7 @@ class DerivedCollectivesMixin:
         blocks = self.gather(np.asarray(sendbuf), root=root)  # type: ignore[attr-defined]
         if blocks is None:
             return None
-        total = sum(int(np.asarray(b).shape[0]) for b in blocks)
-        width = int(np.asarray(blocks[0]).shape[1])
-        dtype = np.result_type(*[np.asarray(b).dtype for b in blocks])
-        out = rows_output_buffer(total, width, dtype, out)
-        offset = 0
-        for peer, block in enumerate(blocks):
-            block = np.asarray(block)
-            if block.ndim != 2 or block.shape[1] != width:
-                # Guard explicitly: a stray (r, 1) block would otherwise
-                # numpy-broadcast across the full output width.
-                raise SmpiError(
-                    f"gatherv_rows: rank {peer} sent a block of shape "
-                    f"{block.shape}, expected ({block.shape[0]}, {width})"
-                )
-            out[offset : offset + block.shape[0]] = block
-            offset += block.shape[0]
-        return out
+        return assemble_row_blocks(blocks, out)
 
     def scatterv_rows(
         self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
@@ -137,10 +191,35 @@ class DerivedCollectivesMixin:
             return None
         return op.reduce_sequence(gathered)
 
-    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
-        """Reduce then broadcast; every rank returns the reduced value."""
-        reduced = self.reduce(obj, op, root=0)
-        return self.bcast(reduced, root=0)  # type: ignore[attr-defined]
+    def allreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ) -> Any:
+        """Reduce then broadcast; every rank returns the reduced value.
+
+        ``out`` (optional, per-rank) is a preallocated destination for
+        elementwise array reductions: the root folds every contribution
+        straight into its ``out`` (:meth:`ReduceOp.fold_into` — zero
+        intermediates), receivers copy the broadcast result into theirs,
+        and each rank gets back its own *writable* buffer — so a streaming
+        loop's repeated reductions reuse one workspace buffer instead of
+        allocating the result per call.  An unusable ``out`` (shape/dtype
+        mismatch, pair-valued ops) degrades to the allocating fold, never
+        to an error; the result is then the usual shared read-only
+        broadcast snapshot on non-root ranks.
+        """
+        gathered = self.gather(obj, root=0)  # type: ignore[attr-defined]
+        if self.rank == 0:
+            assert gathered is not None
+            if fold_output_usable(out, gathered):
+                reduced = op.fold_into(out, gathered)
+            else:
+                reduced = op.reduce_sequence(gathered)
+        else:
+            reduced = None
+        reduced = self.bcast(reduced, root=0)  # type: ignore[attr-defined]
+        if self.rank != 0:
+            return copy_result_into(reduced, out)
+        return reduced
 
     def scan(self, obj: Any, op: ReduceOp) -> Any:
         """Inclusive prefix reduction: rank ``i`` receives

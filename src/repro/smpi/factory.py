@@ -25,8 +25,19 @@ the tracer):
 ``gather``           Rank-ordered list at the root, ``None`` elsewhere.
 ``gatherv_rows``     Per-rank row blocks vertically stacked at the root
                      (row counts may differ) — the modes-assembly op.
+                     ``out=`` (root) reuses a preallocated result buffer.
 ``allreduce``        Deterministic rank-ordered reduction, result on all
-                     ranks (``reduce`` for root-only).
+                     ranks (``reduce`` for root-only).  ``out=`` folds
+                     into a caller-provided buffer on every rank
+                     (allocation-free repeated reductions).
+``ibcast`` /         Nonblocking collectives returning composable
+``igatherv_rows`` /  :class:`~repro.smpi.request.CollectiveRequest`
+``iallreduce`` /     objects (``test()`` / ``wait(timeout=)`` /
+``ialltoall``        :func:`~repro.smpi.request.waitall`).  All ranks
+                     must issue them in the same program order; a rank's
+                     deferred share (e.g. the root's fold) runs inside
+                     its own completion call.  Results mirror the
+                     blocking ops (including ``out=`` reuse).
 ``split/dup``        Context-isolated sub/duplicate communicators.
 =================== =====================================================
 
@@ -35,6 +46,18 @@ the tracer):
 ``iprobe``, ``sendrecv`` and the uppercase buffer ops — see
 :class:`~repro.smpi.communicator.Communicator` for the reference
 semantics.)
+
+Nonblocking plumbing notes: user point-to-point tags should stay below
+:data:`~repro.smpi.nonblocking.NB_TAG_BASE` (``1 << 24``) — the band at
+and above it is reserved for the derived nonblocking collectives on
+backends without an internal tag space (the threads backend uses its
+negative internal tags and a zero-copy snapshot fan-out instead).  The
+threads transport recycles delivered envelope shells through a bounded
+arena (:class:`~repro.smpi.message.EnvelopePool`), so steady-state
+request churn allocates no envelope objects;
+:meth:`~repro.smpi.request.RecvRequest.wait` accepts ``timeout=`` and
+raises a descriptive :class:`~repro.smpi.exceptions.DeadlockError` on
+deadlocked waits instead of hanging.
 
 Backends
 --------

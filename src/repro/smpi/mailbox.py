@@ -11,6 +11,7 @@ non-overtaking for any fixed (source, tag) pair).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Optional
 
@@ -50,20 +51,28 @@ class Mailbox:
                 return envelope
         return None
 
-    def get(self, source: int, tag: int) -> Envelope:
+    def get(
+        self, source: int, tag: int, timeout: Optional[float] = None
+    ) -> Envelope:
         """Block until an envelope matching ``(source, tag)`` arrives.
 
-        ``-1`` in either position is a wildcard.  Raises
-        :class:`DeadlockError` after ``timeout`` seconds without a match —
-        real MPI would hang forever; the simulator fails loudly instead.
+        ``-1`` in either position is a wildcard.  ``timeout`` overrides the
+        mailbox's default for this call only.  Raises
+        :class:`DeadlockError` after the timeout without a match — real
+        MPI would hang forever; the simulator fails loudly instead.  The
+        deadline is absolute: spurious wakeups (other envelopes arriving)
+        do not reset it.
         """
+        effective = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + effective
         with self._cond:
             envelope = self._find(source, tag)
             while envelope is None:
-                if not self._cond.wait(timeout=self.timeout):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0 or not self._cond.wait(timeout=remaining):
                     raise DeadlockError(
                         f"rank {self.owner}: recv(source={source}, tag={tag}) "
-                        f"timed out after {self.timeout}s "
+                        f"timed out after {effective}s "
                         f"({len(self._queue)} unmatched messages queued)"
                     )
                 envelope = self._find(source, tag)

@@ -16,18 +16,33 @@ Two fast lanes keep the snapshot cost off the streaming hot path:
   envelopes instead of ``p - 1`` deep copies;
 * **wire sizes are computed lazily** — ``Envelope.nbytes`` walks the
   payload only when something (the traffic tracer, the cost model) actually
-  reads it, so untraced runs never pay for the recursive sizing walk.
+  reads it, so untraced runs never pay for the recursive sizing walk;
+* **envelope shells are pooled** — delivered envelopes return their
+  (payload-stripped) shell to a bounded arena (:class:`EnvelopePool`), so
+  a steady-state streaming loop's request churn allocates no envelope
+  objects at all.  Consumers release shells through :func:`take_payload`;
+  anything still *referenced* (e.g. a ``peek``-ed envelope) is simply
+  never released.
 """
 
 from __future__ import annotations
 
 import copy
 import pickle
-from typing import Any, Tuple
+import threading
+from typing import Any, List, Tuple
 
 import numpy as np
 
-__all__ = ["Envelope", "copy_payload", "freeze_payload", "payload_nbytes"]
+__all__ = [
+    "Envelope",
+    "EnvelopePool",
+    "ENVELOPE_POOL",
+    "copy_payload",
+    "freeze_payload",
+    "payload_nbytes",
+    "take_payload",
+]
 
 
 def _is_immutable_snapshot(arr: np.ndarray) -> bool:
@@ -59,6 +74,15 @@ def copy_payload(obj: Any) -> Any:
         if _is_immutable_snapshot(obj):
             return obj
         return np.array(obj, copy=True)
+    if isinstance(obj, tuple):
+        # Recurse so tuple members keep the array fast paths: a tuple of
+        # pre-frozen arrays (e.g. a pipelined TSQR reply) is snapshotted
+        # by *sharing* its immutable members instead of deep-copying them.
+        return tuple(copy_payload(item) for item in obj)
+    if isinstance(obj, list):
+        # A fresh list of snapshotted items preserves value semantics:
+        # neither side's container mutations reach the other.
+        return [copy_payload(item) for item in obj]
     return copy.deepcopy(obj)
 
 
@@ -150,8 +174,9 @@ class Envelope:
 
     @classmethod
     def make(cls, source: int, tag: int, payload: Any) -> "Envelope":
-        """Snapshot ``payload``, producing a sendable envelope."""
-        return cls(source=source, tag=tag, payload=copy_payload(payload))
+        """Snapshot ``payload``, producing a sendable envelope (shell drawn
+        from the arena pool)."""
+        return ENVELOPE_POOL.acquire(source, tag, copy_payload(payload))
 
     @classmethod
     def presnapshotted(cls, source: int, tag: int, payload: Any) -> "Envelope":
@@ -161,7 +186,7 @@ class Envelope:
         without copying — e.g. a :func:`freeze_payload` snapshot shared by
         every receiver of a broadcast.
         """
-        return cls(source=source, tag=tag, payload=payload)
+        return ENVELOPE_POOL.acquire(source, tag, payload)
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a ``recv(source, tag)`` with wildcard
@@ -175,3 +200,66 @@ class Envelope:
             f"Envelope(source={self.source}, tag={self.tag}, "
             f"payload={type(self.payload).__name__})"
         )
+
+
+class EnvelopePool:
+    """Bounded arena of recycled :class:`Envelope` shells.
+
+    The threads transport creates one envelope per message; on the
+    streaming hot path that is pure churn — the shell carries three slots
+    and dies the moment the payload is extracted.  The pool keeps up to
+    ``capacity`` dead shells on a lock-protected freelist and reinitialises
+    them on :meth:`acquire`, so steady-state request traffic allocates no
+    envelope objects.  Payload references are dropped at :meth:`release`
+    time (a pooled shell never pins an array).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._free: List[Envelope] = []
+        self._capacity = int(capacity)
+
+    def acquire(self, source: int, tag: int, payload: Any) -> Envelope:
+        """A (re)initialised envelope carrying ``payload`` as-is (the
+        caller has already applied the copy/snapshot policy)."""
+        with self._lock:
+            envelope = self._free.pop() if self._free else None
+        if envelope is None:
+            return Envelope(source, tag, payload)
+        envelope.source = source
+        envelope.tag = tag
+        envelope.payload = payload
+        envelope._nbytes = None
+        return envelope
+
+    def release(self, envelope: Envelope) -> None:
+        """Return a delivered envelope's shell to the arena.
+
+        The caller must own the envelope (taken via ``get``/``poll``, not
+        ``peek``) and must have extracted the payload already.
+        """
+        envelope.payload = None
+        envelope._nbytes = None
+        with self._lock:
+            if len(self._free) < self._capacity:
+                self._free.append(envelope)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+
+#: Process-wide shell arena shared by every threads-backend world.
+ENVELOPE_POOL = EnvelopePool()
+
+
+def take_payload(envelope: Envelope) -> Any:
+    """Extract a delivered envelope's payload and recycle its shell.
+
+    The single helper every consuming call site uses, so ownership rules
+    (release exactly once, never release a ``peek``-ed envelope) live in
+    one place.
+    """
+    payload = envelope.payload
+    ENVELOPE_POOL.release(envelope)
+    return payload

@@ -11,6 +11,11 @@ adapter fills the gaps:
   threaded backend uses, so reductions stay a deterministic rank-ordered
   fold — bit-identical to the in-process backends instead of depending on
   the MPI library's reduction tree;
+* the nonblocking collectives (``ibcast``/``igatherv_rows``/
+  ``iallreduce``/``ialltoall``) come from :class:`~repro.smpi.nonblocking.
+  NonblockingCollectivesMixin`, layered on mpi4py's native pickle-mode
+  ``isend``/``irecv`` (their requests duck-type ``wait``/``test``);
+  traffic uses the reserved high tag band documented there;
 * ``split``/``dup`` — re-wrap the child communicator in the adapter.
 
 mpi4py is optional: this module imports without it, and
@@ -25,6 +30,7 @@ from typing import Any, List, Optional, Sequence
 
 from .derived import DerivedCollectivesMixin
 from .exceptions import SmpiError
+from .nonblocking import NonblockingCollectivesMixin
 
 __all__ = ["HAVE_MPI4PY", "Mpi4pyCommunicator"]
 
@@ -37,22 +43,32 @@ except ImportError:  # pragma: no cover - the common case in this container
     HAVE_MPI4PY = False
 
 
-class Mpi4pyCommunicator(DerivedCollectivesMixin):
+class Mpi4pyCommunicator(NonblockingCollectivesMixin, DerivedCollectivesMixin):
     """Wrap an ``mpi4py`` communicator behind the smpi protocol.
 
     Parameters
     ----------
     mpi_comm:
         An ``mpi4py.MPI.Comm``; defaults to ``COMM_WORLD``.
+    irecv_buffer_bytes:
+        Size of the receive buffer allocated per ``irecv``.  mpi4py's
+        pickle-mode ``irecv`` cannot probe-size a preposted receive and
+        *truncates* messages larger than its (small) default buffer, so
+        every preposted receive here carries an explicit buffer.  Raise
+        this when preposting receives for large payloads (e.g. gathered
+        mode blocks); blocking ``recv`` probe-sizes and is unaffected.
     """
 
-    def __init__(self, mpi_comm: Any = None) -> None:
+    def __init__(
+        self, mpi_comm: Any = None, irecv_buffer_bytes: int = 1 << 24
+    ) -> None:
         if not HAVE_MPI4PY:
             raise SmpiError(
                 "the 'mpi4py' backend requires the mpi4py package, which is "
                 "not installed; use the 'threads' or 'self' backend instead"
             )
         self._comm = _MPI.COMM_WORLD if mpi_comm is None else mpi_comm
+        self._irecv_buffer_bytes = int(irecv_buffer_bytes)
         self.rank = int(self._comm.Get_rank())
         self.size = int(self._comm.Get_size())
 
@@ -77,7 +93,9 @@ class Mpi4pyCommunicator(DerivedCollectivesMixin):
         return self._comm.isend(obj, dest=dest, tag=tag)
 
     def irecv(self, source: int = -1, tag: int = -1):
+        # Explicit buffer: see irecv_buffer_bytes in the class docstring.
         return self._comm.irecv(
+            bytearray(self._irecv_buffer_bytes),
             source=_MPI.ANY_SOURCE if source == -1 else source,
             tag=_MPI.ANY_TAG if tag == -1 else tag,
         )
@@ -124,10 +142,10 @@ class Mpi4pyCommunicator(DerivedCollectivesMixin):
         child = self._comm.Split(mpi_color, int(key))
         if child == _MPI.COMM_NULL:
             return None
-        return Mpi4pyCommunicator(child)
+        return Mpi4pyCommunicator(child, self._irecv_buffer_bytes)
 
     def dup(self) -> "Mpi4pyCommunicator":
-        return Mpi4pyCommunicator(self._comm.Dup())
+        return Mpi4pyCommunicator(self._comm.Dup(), self._irecv_buffer_bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Mpi4pyCommunicator(rank={self.rank}, size={self.size})"

@@ -1,0 +1,253 @@
+"""Nonblocking collectives layered on ``isend``/``irecv``.
+
+Every operation returns a :class:`~repro.smpi.request.CollectiveRequest`
+immediately; the collective's result materialises on ``wait()``/``test()``
+(or :func:`~repro.smpi.request.waitall` over several requests).  The
+implementations compose only the protocol primitives, so any backend that
+provides ``isend``/``irecv`` — including the :class:`~repro.smpi.mpi.
+Mpi4pyCommunicator` adapter — inherits them unchanged; the threads backend
+overrides the fan-out ops (``ibcast``, ``iallreduce``) with its zero-copy
+snapshot-sharing lane.
+
+Progress semantics (mirroring MPI): all ranks must call the same
+nonblocking collectives in the same order, and a rank's *deferred* share
+of the work (e.g. the root folding an ``iallreduce``) runs inside its own
+``wait``/``test`` — a root that never completes its request never releases
+its peers.  Completion calls are cheap to repeat (results are cached).
+
+Several collectives of the same kind may be in flight at once and may be
+completed in any order: each operation draws a per-communicator sequence
+number and encodes it in its tags, so round *k*'s traffic can never match
+round *k+1*'s request — regardless of completion order.  (Ranks issue
+collectives in the same program order, so their sequence counters agree.)
+
+Tag reservation: these collectives exchange traffic on tags at and above
+:data:`NB_TAG_BASE` (``1 << 24``), spanning ``NB_TAG_BASE`` to
+``NB_TAG_BASE + _NB_STRIDE * _NB_SEQ_WINDOW``.  Application
+point-to-point traffic should stay below that band.
+
+Send-buffer lifetime: every ``isend`` a collective posts is retained by
+the returned request (as completion children or awaited inside the
+deferred share), so backends whose send requests own the wire buffer —
+mpi4py's pickle mode — cannot have it garbage-collected mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from .derived import assemble_row_blocks, copy_result_into, fold_output_usable
+from .exceptions import SmpiError
+from .message import copy_payload
+from .reduction import ReduceOp
+from .request import CollectiveRequest
+
+__all__ = ["NB_TAG_BASE", "NonblockingCollectivesMixin"]
+
+#: First tag of the band reserved for nonblocking-collective plumbing.
+NB_TAG_BASE = 1 << 24
+
+# Per-operation tag offsets within one sequence slot.
+_OFF_BCAST = 0
+_OFF_GATHERV = 1
+_OFF_REDUCE_UP = 2
+_OFF_REDUCE_DOWN = 3
+_OFF_ALLTOALL = 4
+#: Tag-slot width per sequence number (> number of offsets above).
+_NB_STRIDE = 8
+#: Sequence numbers wrap here; correctness then degrades to FIFO matching,
+#: which would need >65k *same-kind* collectives simultaneously in flight
+#: to go wrong.
+_NB_SEQ_WINDOW = 1 << 16
+
+
+class NonblockingCollectivesMixin:
+    """Derived nonblocking collectives for any ``isend``/``irecv`` backend.
+
+    Backends customise only the three posting hooks (``_nb_post``,
+    ``_nb_fanout_posted``, ``_nb_fanout_deferred``); the collective
+    protocols themselves live here once.
+    """
+
+    # provided by the host class
+    rank: int
+    size: int
+
+    def _nb_tag(self, op: str, offset: int) -> int:
+        """Sequence-stamped tag for this communicator's next ``op`` round.
+
+        Counters live per communicator instance and per operation kind;
+        every rank advances them in the same (required) program order, so
+        the stamped tags agree across ranks while distinguishing rounds.
+        Call once per collective per op (the reduce down-tag derives from
+        the up-tag's slot).
+        """
+        counters = self.__dict__.setdefault("_nb_seq", {})
+        seq = counters.get(op, 0)
+        counters[op] = seq + 1
+        return NB_TAG_BASE + offset + _NB_STRIDE * (seq % _NB_SEQ_WINDOW)
+
+    # -- posting hooks (overridable per backend) ---------------------------
+    def _nb_post(self, obj: Any, dest: int, tag: int) -> Optional[Any]:
+        """Post one payload at call time; return a request the collective
+        must retain (buffer lifetime), or ``None`` when the backend's
+        sends complete at post time."""
+        return self.isend(obj, dest, tag)  # type: ignore[attr-defined]
+
+    def _nb_fanout_posted(self, obj: Any, skip: int, tag: int) -> List[Any]:
+        """Fan ``obj`` out to every rank but ``skip`` at call time; return
+        the requests to retain (possibly empty)."""
+        requests = []
+        for peer in range(self.size):
+            if peer != skip:
+                request = self._nb_post(obj, peer, tag)
+                if request is not None:
+                    requests.append(request)
+        return requests
+
+    def _nb_fanout_deferred(self, obj: Any, skip: int, tag: int) -> None:
+        """Fan ``obj`` out from inside a completion callback.
+
+        Uses *blocking* sends: every receiver preposted its receive when
+        it issued the collective, so the sends cannot stall, and a
+        completed send needs no buffer-lifetime management.
+        """
+        for peer in range(self.size):
+            if peer != skip:
+                self.send(obj, peer, tag)  # type: ignore[attr-defined]
+
+    # -- collectives --------------------------------------------------------
+    def ibcast(self, obj: Any, root: int = 0) -> CollectiveRequest:
+        """Nonblocking broadcast; every rank's ``wait()`` returns the value.
+
+        The root's sends are posted immediately; its request completes
+        when they do (instantly on the buffered in-process backends).
+        """
+        if self.size == 1:
+            return CollectiveRequest.completed(obj)
+        tag = self._nb_tag("bcast", _OFF_BCAST)
+        if self.rank == root:
+            sends = self._nb_fanout_posted(obj, root, tag)
+            return CollectiveRequest(sends, finalize=lambda payloads: obj)
+        child = self.irecv(root, tag)  # type: ignore[attr-defined]
+        return CollectiveRequest([child], finalize=lambda payloads: payloads[0])
+
+    def igatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ) -> CollectiveRequest:
+        """Nonblocking row-block gather; the root's ``wait()`` returns the
+        stacked ``(sum_i M_i, n)`` array (into ``out`` when usable), other
+        ranks' ``wait()`` returns ``None``.
+
+        The root assembles on completion, with the same dtype promotion
+        and shape guards as the blocking :meth:`~repro.smpi.derived.
+        DerivedCollectivesMixin.gatherv_rows`.
+        """
+        arr = np.asarray(sendbuf)
+        if arr.ndim != 2:
+            raise SmpiError(
+                f"igatherv_rows expects a 2-D row block, got ndim={arr.ndim}"
+            )
+        tag = self._nb_tag("gatherv", _OFF_GATHERV)
+        if self.rank != root:
+            send = self._nb_post(arr, root, tag)
+            children = [send] if send is not None else []
+            return CollectiveRequest(children, finalize=lambda payloads: None)
+        children = [
+            self.irecv(peer, tag)  # type: ignore[attr-defined]
+            for peer in range(self.size)
+            if peer != root
+        ]
+        # Snapshot the root's own contribution now: peers' blocks were
+        # snapshotted by their posts, and a caller may legally reuse the
+        # send buffer before completing the request — the assembled
+        # result must be all-post-time, never mixed-epoch.
+        own = copy_payload(arr)
+
+        def finalize(payloads: List[Any]) -> np.ndarray:
+            blocks: List[Any] = list(payloads)
+            blocks.insert(root, own)
+            return assemble_row_blocks(blocks, out)
+
+        return CollectiveRequest(children, finalize)
+
+    def iallreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ) -> CollectiveRequest:
+        """Nonblocking allreduce (deterministic rank-ascending fold).
+
+        Rank 0 acts as the fold root: its deferred ``wait()`` collects
+        every contribution, folds in rank order (into ``out`` when usable,
+        as in the blocking ``allreduce``), and fans the result back out;
+        peers complete when the result lands.
+        """
+        if self.size == 1:
+            values = [obj]
+            if fold_output_usable(out, values):
+                return CollectiveRequest.completed(op.fold_into(out, values))
+            return CollectiveRequest.completed(op.reduce_sequence(values))
+        up_tag = self._nb_tag("reduce", _OFF_REDUCE_UP)
+        down_tag = up_tag - _OFF_REDUCE_UP + _OFF_REDUCE_DOWN
+        if self.rank != 0:
+            send = self._nb_post(obj, 0, up_tag)
+            child = self.irecv(0, down_tag)  # type: ignore[attr-defined]
+            children = [send, child] if send is not None else [child]
+
+            def receive(payloads: List[Any]) -> Any:
+                return copy_result_into(payloads[-1], out)
+
+            return CollectiveRequest(children, receive)
+        children = [
+            self.irecv(peer, up_tag)  # type: ignore[attr-defined]
+            for peer in range(1, self.size)
+        ]
+        # Snapshot at post time, like the peers' sends (see igatherv_rows).
+        own = copy_payload(obj)
+
+        def fold_and_fan_out(payloads: List[Any]) -> Any:
+            values = [own] + payloads  # rank-ascending order
+            if fold_output_usable(out, values):
+                result = op.fold_into(out, values)
+            else:
+                result = op.reduce_sequence(values)
+            self._nb_fanout_deferred(result, 0, down_tag)
+            return result
+
+        return CollectiveRequest(children, fold_and_fan_out)
+
+    def ialltoall(self, objs: Sequence[Any]) -> CollectiveRequest:
+        """Nonblocking personalised all-to-all; ``wait()`` returns the
+        rank-ordered received list.  Sends (and the self-delivery
+        snapshot) happen at call time — value semantics match the
+        blocking ``alltoall``."""
+        if len(objs) != self.size:
+            raise SmpiError(
+                f"ialltoall needs exactly {self.size} items, got {len(objs)}"
+            )
+        own = copy_payload(objs[self.rank])
+        if self.size == 1:
+            return CollectiveRequest.completed([own])
+        tag = self._nb_tag("alltoall", _OFF_ALLTOALL)
+        sends = []
+        for peer in range(self.size):
+            if peer != self.rank:
+                send = self._nb_post(objs[peer], peer, tag)
+                if send is not None:
+                    sends.append(send)
+        receives = [
+            self.irecv(peer, tag)  # type: ignore[attr-defined]
+            for peer in range(self.size)
+            if peer != self.rank
+        ]
+
+        def finalize(payloads: List[Any]) -> List[Any]:
+            received: List[Any] = list(payloads[len(sends) :])
+            received.insert(self.rank, own)
+            return received
+
+        return CollectiveRequest(sends + receives, finalize)

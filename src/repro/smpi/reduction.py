@@ -11,7 +11,7 @@ guarantee most MPI implementations give in practice for a fixed topology.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,11 +37,23 @@ class ReduceOp:
         Display name (e.g. ``"SUM"``).
     fn:
         Binary callable combining two operands.
+    ufunc:
+        Optional NumPy ufunc computing the same elementwise operation with
+        ``out=`` support.  When present, :meth:`fold_into` accumulates a
+        whole reduction into a caller-provided buffer without allocating
+        any intermediate — the allocation-free ``allreduce(..., out=)``
+        lane uses it.
     """
 
-    def __init__(self, name: str, fn: Callable[[Any, Any], Any]) -> None:
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any, Any], Any],
+        ufunc: Optional[Callable[..., Any]] = None,
+    ) -> None:
         self.name = name
         self._fn = fn
+        self.ufunc = ufunc
 
     def __call__(self, a: Any, b: Any) -> Any:
         return self._fn(a, b)
@@ -54,6 +66,25 @@ class ReduceOp:
         for value in values[1:]:
             acc = self._fn(acc, value)
         return acc
+
+    def fold_into(self, out: np.ndarray, values: Sequence[Any]) -> np.ndarray:
+        """Left-fold array ``values`` into preallocated ``out``.
+
+        Identical numbers to :meth:`reduce_sequence` (same rank-ascending
+        fold, same elementwise operation), but every partial lands in
+        ``out`` via the op's ufunc — zero intermediates.  Ops without a
+        ufunc (``MAXLOC``/``MINLOC`` operate on pairs, not arrays) fall
+        back to the allocating fold and copy the result in.
+        """
+        if len(values) == 0:
+            raise ValueError(f"cannot {self.name}-reduce an empty sequence")
+        if self.ufunc is None:
+            out[...] = self.reduce_sequence(values)
+            return out
+        np.copyto(out, values[0])
+        for value in values[1:]:
+            self.ufunc(out, value, out=out)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ReduceOp({self.name})"
@@ -72,11 +103,11 @@ def _minloc(a: Tuple[Any, Any], b: Tuple[Any, Any]) -> Tuple[Any, Any]:
     return a
 
 
-SUM = ReduceOp("SUM", lambda a, b: a + b)
-PROD = ReduceOp("PROD", lambda a, b: a * b)
-MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b))
-MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b))
-LAND = ReduceOp("LAND", lambda a, b: np.logical_and(a, b))
-LOR = ReduceOp("LOR", lambda a, b: np.logical_or(a, b))
+SUM = ReduceOp("SUM", lambda a, b: a + b, ufunc=np.add)
+PROD = ReduceOp("PROD", lambda a, b: a * b, ufunc=np.multiply)
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b), ufunc=np.maximum)
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b), ufunc=np.minimum)
+LAND = ReduceOp("LAND", lambda a, b: np.logical_and(a, b), ufunc=np.logical_and)
+LOR = ReduceOp("LOR", lambda a, b: np.logical_or(a, b), ufunc=np.logical_or)
 MAXLOC = ReduceOp("MAXLOC", _maxloc)
 MINLOC = ReduceOp("MINLOC", _minloc)

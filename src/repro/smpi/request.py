@@ -1,28 +1,49 @@
-"""Nonblocking communication requests (``isend``/``irecv``).
+"""Nonblocking communication requests (``isend``/``irecv`` and the
+composable collective handles).
 
 In this in-process runtime a send never blocks (mailboxes are unbounded), so
 an :class:`SendRequest` is complete at creation — matching MPI's *buffered*
 send semantics, which is also what mpi4py's pickle-mode ``isend`` gives for
 small messages.  An :class:`RecvRequest` completes when a matching envelope
-is taken from the mailbox; ``wait`` blocks, ``test`` polls.
+is taken from the mailbox; ``wait`` blocks (optionally bounded by
+``timeout=``), ``test`` polls.
+
+Nonblocking *collectives* (:meth:`~repro.smpi.nonblocking.
+NonblockingCollectivesMixin.ibcast` and friends) return a
+:class:`CollectiveRequest`: a composition of child requests plus a
+finalizer that assembles the collective's result exactly once when the
+last child completes.  Collective requests compose — :func:`waitall`
+completes any mixture of requests and is idempotent (every request caches
+its result, so repeated ``wait``/``waitall`` calls are free).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+import inspect
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from .exceptions import SmpiError
+from .exceptions import DeadlockError, SmpiError
 from .mailbox import Mailbox
+from .message import take_payload
 
-__all__ = ["Request", "SendRequest", "RecvRequest"]
+__all__ = [
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "CollectiveRequest",
+    "waitall",
+]
 
 
 class Request:
     """Abstract handle for an in-flight nonblocking operation."""
 
-    def wait(self) -> Any:
+    def wait(self, timeout: Optional[float] = None) -> Any:
         """Block until completion; return the received payload (or ``None``
-        for sends)."""
+        for sends).  ``timeout`` (seconds) bounds the wait — on expiry a
+        :class:`~repro.smpi.exceptions.DeadlockError` is raised instead of
+        hanging the calling thread forever."""
         raise NotImplementedError
 
     def test(self) -> Tuple[bool, Any]:
@@ -30,10 +51,33 @@ class Request:
         raise NotImplementedError
 
 
+def _wait_child(child: Any, timeout: Optional[float]) -> Any:
+    """Complete ``child``, passing ``timeout`` through when supported.
+
+    Foreign request objects (e.g. mpi4py's, whose ``wait`` takes a status
+    argument instead) are waited unbounded, matching their native
+    semantics.  Support is decided by *signature inspection*, never by
+    catching ``TypeError`` from the call — a ``TypeError`` raised inside
+    the wait's execution (e.g. a finalizer folding mismatched payloads)
+    must propagate, not silently retry and re-run side effects.
+    """
+    if timeout is None:
+        return child.wait()
+    if isinstance(child, Request):
+        return child.wait(timeout=timeout)
+    try:
+        supports_timeout = "timeout" in inspect.signature(child.wait).parameters
+    except (TypeError, ValueError):  # builtins/extensions without signatures
+        supports_timeout = False
+    if supports_timeout:
+        return child.wait(timeout=timeout)
+    return child.wait()
+
+
 class SendRequest(Request):
     """A buffered send: complete immediately."""
 
-    def wait(self) -> None:
+    def wait(self, timeout: Optional[float] = None) -> None:
         return None
 
     def test(self) -> Tuple[bool, None]:
@@ -50,10 +94,32 @@ class RecvRequest(Request):
         self._done = False
         self._payload: Any = None
 
-    def wait(self) -> Any:
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the matching envelope arrives.
+
+        ``timeout`` (seconds) overrides the mailbox's default deadlock
+        timeout for this wait only.  A deadlocked wait — no matching send
+        ever posted — raises a descriptive
+        :class:`~repro.smpi.exceptions.DeadlockError` naming the pending
+        ``(source, tag)`` pattern instead of hanging the threads backend
+        forever.
+        """
         if not self._done:
-            envelope = self._mailbox.get(self._source, self._tag)
-            self._payload = envelope.payload
+            try:
+                envelope = self._mailbox.get(
+                    self._source, self._tag, timeout=timeout
+                )
+            except DeadlockError as exc:
+                effective = (
+                    timeout if timeout is not None else self._mailbox.timeout
+                )
+                raise DeadlockError(
+                    f"RecvRequest.wait(source={self._source}, "
+                    f"tag={self._tag}) timed out after {effective}s on rank "
+                    f"{self._mailbox.owner}: the matching send was never "
+                    f"posted (deadlocked nonblocking receive)"
+                ) from exc
+            self._payload = take_payload(envelope)
             self._done = True
         return self._payload
 
@@ -63,7 +129,7 @@ class RecvRequest(Request):
         envelope = self._mailbox.poll(self._source, self._tag)
         if envelope is None:
             return False, None
-        self._payload = envelope.payload
+        self._payload = take_payload(envelope)
         self._done = True
         return True, self._payload
 
@@ -73,3 +139,117 @@ class RecvRequest(Request):
             raise SmpiError("cannot cancel a completed receive request")
         self._done = True
         self._payload = None
+
+
+class CollectiveRequest(Request):
+    """Completion handle for a nonblocking collective.
+
+    Composes zero or more *child* requests (typically pending receives)
+    with a ``finalize`` callback that turns the children's payloads into
+    the collective's result.  ``finalize`` runs exactly once, on whichever
+    ``wait``/``test`` call observes the last child completing — this is
+    where a root rank performs its deferred share of the collective (e.g.
+    folding gathered contributions and fanning the reduction back out).
+    The result is cached, so repeated completion calls (and
+    :func:`waitall` over already-completed requests) are free.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Any] = (),
+        finalize: Optional[Callable[[List[Any]], Any]] = None,
+    ) -> None:
+        self._children = list(children)
+        self._finalize = finalize
+        self._done = not self._children and finalize is None
+        self._result: Any = None
+        # Child payloads are collected *incrementally*: foreign requests
+        # (mpi4py) consume their message on the first successful test(),
+        # so a partial poll must bank what it saw — re-testing would lose
+        # already-delivered payloads.
+        self._collected = [False] * len(self._children)
+        self._payloads: List[Any] = [None] * len(self._children)
+
+    @classmethod
+    def completed(cls, result: Any = None) -> "CollectiveRequest":
+        """An already-complete request carrying ``result`` (the degenerate
+        single-rank / root-side case)."""
+        request = cls()
+        request._result = result
+        request._done = True
+        return request
+
+    def _complete(self, payloads: List[Any]) -> None:
+        if self._finalize is not None:
+            self._result = self._finalize(payloads)
+        self._done = True
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if self._done:
+            return self._result
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for index, child in enumerate(self._children):
+            if self._collected[index]:
+                continue
+            if deadline is None:
+                payload = _wait_child(child, None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise DeadlockError(
+                        f"CollectiveRequest.wait timed out after {timeout}s "
+                        f"with {self._collected.count(False)} child "
+                        f"request(s) still pending"
+                    )
+                payload = _wait_child(child, remaining)
+            self._collected[index] = True
+            self._payloads[index] = payload
+        self._complete(self._payloads)
+        return self._result
+
+    def test(self) -> Tuple[bool, Any]:
+        if self._done:
+            return True, self._result
+        for index, child in enumerate(self._children):
+            if self._collected[index]:
+                continue
+            done, payload = child.test()
+            if not done:
+                return False, None
+            self._collected[index] = True
+            self._payloads[index] = payload
+        self._complete(self._payloads)
+        return True, self._result
+
+    @staticmethod
+    def waitall(
+        requests: Sequence["Request"], timeout: Optional[float] = None
+    ) -> List[Any]:
+        """Complete every request; returns their results in order.  See
+        :func:`waitall`."""
+        return waitall(requests, timeout=timeout)
+
+
+def waitall(
+    requests: Sequence[Request], timeout: Optional[float] = None
+) -> List[Any]:
+    """Complete ``requests`` in order and return their payloads/results.
+
+    Idempotent: requests cache their result on first completion, so
+    calling ``waitall`` again (or mixing it with individual ``wait``
+    calls, in any order) returns the same values without re-communicating.
+    ``timeout`` bounds the *total* wall time across all pending requests.
+    """
+    if timeout is None:
+        return [_wait_child(request, None) for request in requests]
+    deadline = time.monotonic() + timeout
+    results = []
+    for request in requests:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0.0:
+            raise DeadlockError(
+                f"waitall timed out after {timeout}s with "
+                f"{len(requests) - len(results)} request(s) still pending"
+            )
+        results.append(_wait_child(request, remaining))
+    return results

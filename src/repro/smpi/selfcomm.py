@@ -22,11 +22,11 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .buffered import BufferedOpsMixin
-from .derived import rows_output_usable
+from .derived import fold_output_usable, rows_output_usable
 from .exceptions import DeadlockError, RankError, SmpiError, TagError
-from .message import Envelope, copy_payload
+from .message import Envelope, copy_payload, take_payload
 from .reduction import ReduceOp
-from .request import Request, SendRequest
+from .request import CollectiveRequest, Request, SendRequest
 
 __all__ = ["SelfCommunicator"]
 
@@ -43,7 +43,7 @@ class _SelfRecvRequest(Request):
         self._done = False
         self._payload: Any = None
 
-    def wait(self) -> Any:
+    def wait(self, timeout: Optional[float] = None) -> Any:
         if not self._done:
             self._payload = self._comm._take(self._source, self._tag)
             self._done = True
@@ -55,7 +55,7 @@ class _SelfRecvRequest(Request):
         envelope = self._comm._poll(self._source, self._tag)
         if envelope is None:
             return False, None
-        self._payload = envelope.payload
+        self._payload = take_payload(envelope)
         self._done = True
         return True, self._payload
 
@@ -104,7 +104,7 @@ class SelfCommunicator(BufferedOpsMixin):
                 f"recv(source={source}, tag={tag}) on a single-rank "
                 f"communicator with no matching queued self-send"
             )
-        return envelope.payload
+        return take_payload(envelope)
 
     def _poll(self, source: int, tag: int) -> Optional[Envelope]:
         for index, envelope in enumerate(self._queue):
@@ -206,7 +206,11 @@ class SelfCommunicator(BufferedOpsMixin):
         self._check_peer(root, "root")
         return op.reduce_sequence([obj])
 
-    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
+    def allreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ) -> Any:
+        if fold_output_usable(out, [obj]):
+            return op.fold_into(out, [obj])
         return op.reduce_sequence([obj])
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
@@ -231,6 +235,29 @@ class SelfCommunicator(BufferedOpsMixin):
 
     def barrier(self) -> None:
         return None
+
+    # -- nonblocking collectives (immediately complete) ----------------------
+    def ibcast(self, obj: Any, root: int = 0) -> CollectiveRequest:
+        self._check_peer(root, "root")
+        return CollectiveRequest.completed(obj)
+
+    def igatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ) -> CollectiveRequest:
+        return CollectiveRequest.completed(
+            self.gatherv_rows(sendbuf, root, out=out)
+        )
+
+    def iallreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ) -> CollectiveRequest:
+        return CollectiveRequest.completed(self.allreduce(obj, op, out=out))
+
+    def ialltoall(self, objs: Sequence[Any]) -> CollectiveRequest:
+        return CollectiveRequest.completed(self.alltoall(objs))
 
     # -- communicator management -------------------------------------------
     def split(

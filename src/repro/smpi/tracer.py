@@ -30,8 +30,40 @@ import numpy as np
 from .communicator import Communicator
 from .message import payload_nbytes
 from .reduction import ReduceOp
+from .request import Request, _wait_child
 
 __all__ = ["CommRecord", "CommTracer", "TrafficSummary"]
+
+
+class _TracedRequest(Request):
+    """Proxy completing an inner request and recording its result's size.
+
+    Nonblocking receives don't know their size until completion, so the
+    tracer wraps the request and records once, on whichever
+    ``wait``/``test`` call first observes completion.
+    """
+
+    def __init__(self, inner, record) -> None:
+        self._inner = inner
+        self._record = record
+
+    def _observe(self, result) -> None:
+        if self._record is not None:
+            self._record(result)
+            self._record = None
+
+    def wait(self, timeout=None):
+        # _wait_child forwards timeout= only to requests that take it
+        # (foreign mpi4py requests put status first).
+        result = _wait_child(self._inner, timeout)
+        self._observe(result)
+        return result
+
+    def test(self):
+        done, result = self._inner.test()
+        if done:
+            self._observe(result)
+        return done, result
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,9 +135,14 @@ class CommTracer:
         return self._comm.isend(obj, dest, tag)
 
     def irecv(self, source: int = -1, tag: int = -1):
-        # Received size is unknown until completion; record the event only.
-        self._record("recv", 0, peer=source)
-        return self._comm.irecv(source, tag)
+        # Received size is unknown until completion; record it on whichever
+        # wait()/test() call first observes the payload.
+        return _TracedRequest(
+            self._comm.irecv(source, tag),
+            lambda result: self._record(
+                "recv", payload_nbytes(result), peer=source
+            ),
+        )
 
     def sendrecv(self, obj: Any, dest: int, source: int) -> Any:
         self._record("send", payload_nbytes(obj), peer=dest)
@@ -197,10 +234,12 @@ class CommTracer:
         self._record("reduce", payload_nbytes(obj))
         return self._comm.reduce(obj, op, root)
 
-    def allreduce(self, obj: Any, op: ReduceOp) -> Any:
-        out = self._comm.allreduce(obj, op)
+    def allreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ) -> Any:
+        result = self._comm.allreduce(obj, op, out=out)
         self._record("allreduce", payload_nbytes(obj) * 2)
-        return out
+        return result
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
         sent = sum(
@@ -237,6 +276,63 @@ class CommTracer:
         out = self._comm.reduce_scatter(objs, op)
         self._record("reduce_scatter", sent + payload_nbytes(out))
         return out
+
+    # -- nonblocking collectives ----------------------------------------------
+    # Send-side bytes are recorded at call time (they are known and the
+    # traffic is already in flight); receive-side bytes are recorded when
+    # the returned request completes, under the blocking op's name.
+
+    def ibcast(self, obj: Any, root: int = 0):
+        if self._comm.rank == root:
+            self._record("bcast", payload_nbytes(obj) * (self._comm.size - 1))
+            return self._comm.ibcast(obj, root)
+        return _TracedRequest(
+            self._comm.ibcast(obj, root),
+            lambda result: self._record("bcast", payload_nbytes(result)),
+        )
+
+    def igatherv_rows(
+        self,
+        sendbuf: np.ndarray,
+        root: int = 0,
+        out: Optional[np.ndarray] = None,
+    ):
+        if self._comm.rank != root:
+            self._record("gatherv", payload_nbytes(sendbuf))
+            return self._comm.igatherv_rows(sendbuf, root, out=out)
+        own = payload_nbytes(sendbuf)
+        return _TracedRequest(
+            self._comm.igatherv_rows(sendbuf, root, out=out),
+            lambda result: self._record(
+                "gatherv", max(payload_nbytes(result) - own, 0)
+            ),
+        )
+
+    def iallreduce(
+        self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
+    ):
+        self._record("allreduce", payload_nbytes(obj) * 2)
+        return self._comm.iallreduce(obj, op, out=out)
+
+    def ialltoall(self, objs: Sequence[Any]):
+        sent = sum(
+            payload_nbytes(item)
+            for peer, item in enumerate(objs)
+            if peer != self._comm.rank
+        )
+        self._record("alltoall", sent)
+        rank = self._comm.rank
+        return _TracedRequest(
+            self._comm.ialltoall(objs),
+            lambda result: self._record(
+                "alltoall",
+                sum(
+                    payload_nbytes(item)
+                    for peer, item in enumerate(result)
+                    if peer != rank
+                ),
+            ),
+        )
 
     def iprobe(self, source: int = -1, tag: int = -1) -> bool:
         # probing moves no data; not recorded

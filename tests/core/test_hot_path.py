@@ -36,7 +36,7 @@ def stream_matrix(rng):
     return left @ right
 
 
-def run_stream(data, nranks, *, workspace, qr_variant, dtype):
+def run_stream(data, nranks, *, workspace, qr_variant, dtype, overlap=False):
     data = data.astype(dtype)
 
     def job(comm):
@@ -48,6 +48,7 @@ def run_stream(data, nranks, *, workspace, qr_variant, dtype):
             ff=0.97,
             qr_variant=qr_variant,
             workspace=workspace,
+            overlap=overlap,
         )
         svd.initialize(block[:, :BATCH])
         for start in range(BATCH, data.shape[1], BATCH):
@@ -118,6 +119,163 @@ class TestFastLaneEquality:
 
         assert np.max(np.abs(svd.modes - seed.modes)) <= 1e-12
         assert np.max(np.abs(svd.singular_values - seed.singular_values)) <= 1e-12
+
+
+class TestOverlapEquality:
+    """The pipelined (overlap=True) engine is a pure schedule change: the
+    numbers must match the PR-3 fast path to <= 1e-12 everywhere."""
+
+    @pytest.mark.parametrize("qr_variant", ["gather", "tree"])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_overlap_matches_fast_lane(self, stream_matrix, qr_variant, dtype):
+        fast = run_stream(
+            stream_matrix,
+            NRANKS,
+            workspace=True,
+            qr_variant=qr_variant,
+            dtype=dtype,
+        )
+        overlapped = run_stream(
+            stream_matrix,
+            NRANKS,
+            workspace=True,
+            qr_variant=qr_variant,
+            dtype=dtype,
+            overlap=True,
+        )
+        assert overlapped[0].dtype == fast[0].dtype
+        assert np.max(np.abs(overlapped[0] - fast[0])) <= 1e-12
+        assert np.max(np.abs(overlapped[1] - fast[1])) <= 1e-12
+
+    @pytest.mark.parametrize("qr_variant", ["gather", "tree"])
+    def test_overlap_without_workspace_matches_seed(
+        self, stream_matrix, qr_variant
+    ):
+        seed = run_stream(
+            stream_matrix,
+            NRANKS,
+            workspace=False,
+            qr_variant=qr_variant,
+            dtype=np.float64,
+        )
+        overlapped = run_stream(
+            stream_matrix,
+            NRANKS,
+            workspace=False,
+            qr_variant=qr_variant,
+            dtype=np.float64,
+            overlap=True,
+        )
+        assert np.max(np.abs(overlapped[0] - seed[0])) <= 1e-12
+        assert np.max(np.abs(overlapped[1] - seed[1])) <= 1e-12
+
+    def test_parallel_qr_pins_pipelined_update(self, stream_matrix):
+        """The public blocking parallel_qr stays consistent with the
+        pipelined update path: applying its (q_local, u, s) by hand
+        reproduces incorporate_data's state to round-off."""
+        from repro.utils.linalg import truncate_svd
+
+        def job(comm):
+            part = block_partition(M, comm.size)
+            block = stream_matrix[part.slice_of(comm.rank), :]
+            ref = ParSVDParallel(comm, K=K, ff=0.97, workspace=False)
+            ref.initialize(block[:, :BATCH])
+            ref.incorporate_data(block[:, BATCH : 2 * BATCH])
+
+            manual = ParSVDParallel(comm, K=K, ff=0.97, workspace=False)
+            manual.initialize(block[:, :BATCH])
+            scale = 0.97 * manual.singular_values
+            ll = np.concatenate(
+                (
+                    manual.local_modes * scale[np.newaxis, :],
+                    block[:, BATCH : 2 * BATCH],
+                ),
+                axis=1,
+            )
+            q_local, u_new, s_new = manual.parallel_qr(ll)
+            u_t, s_t, _ = truncate_svd(u_new, s_new, None, K)
+            return (
+                np.array(ref.local_modes),
+                q_local @ u_t,
+                np.array(ref.singular_values),
+                np.array(s_t),
+            )
+
+        for ref_modes, manual_modes, ref_values, manual_values in run_spmd(
+            NRANKS, job
+        ):
+            # parallel_qr combines (q1 @ q2) @ u_t; the pipelined path
+            # fuses q1 @ (q2 @ u_t) — identical to round-off, not bits.
+            assert np.max(np.abs(ref_modes - manual_modes)) <= 1e-10
+            assert np.max(np.abs(ref_values - manual_values)) <= 1e-12
+
+    def test_pending_step_completes_on_access(self, stream_matrix):
+        """An in-flight step finalises lazily on the first result access
+        (and pending_update reports the in-flight state)."""
+
+        def job(comm):
+            part = block_partition(M, comm.size)
+            block = stream_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(comm, K=K, ff=0.97, overlap=True)
+            svd.initialize(block[:, :BATCH])
+            assert not svd.pending_update
+            svd.incorporate_data(block[:, BATCH : 2 * BATCH])
+            posted = svd.pending_update
+            values = np.array(svd.singular_values)  # finalises
+            settled = svd.pending_update
+            assert np.array_equal(values, svd.singular_values)
+            return posted, settled, values
+
+        results = run_spmd(NRANKS, job)
+        for posted, settled, values in results:
+            # Multi-rank runs really defer (single-rank steps have no
+            # communication to leave in flight but must still complete).
+            assert posted
+            assert not settled
+            assert np.array_equal(values, results[0][2])
+
+    def test_failed_step_completion_poisons_instance(self, stream_matrix):
+        """If an in-flight step fails to complete, later accesses keep
+        raising (counters already include the lost batch — serving the
+        stale factorization silently would be a wrong result)."""
+        from repro.exceptions import CommunicatorError
+
+        comm = create_communicator("self")
+        svd = ParSVDParallel(comm, K=K, ff=0.97, overlap=True)
+        svd.initialize(stream_matrix[:, :BATCH])
+
+        class ExplodingStep:
+            def finish(self, reduce_fn):
+                raise RuntimeError("peer died mid-step")
+
+        svd._pending = ExplodingStep()
+        with pytest.raises(RuntimeError, match="peer died"):
+            _ = svd.singular_values
+        # Poisoned: the failure persists instead of serving stale state.
+        with pytest.raises(CommunicatorError, match="stale"):
+            _ = svd.singular_values
+        with pytest.raises(CommunicatorError, match="stale"):
+            svd.incorporate_data(stream_matrix[:, BATCH : 2 * BATCH])
+
+    def test_overlap_checkpoint_roundtrip_finalizes(self, stream_matrix, tmp_path):
+        """Checkpointing with a step in flight completes it first — the
+        saved state equals the blocking loop's."""
+        path = tmp_path / "overlap.npz"
+
+        def job(comm):
+            part = block_partition(M, comm.size)
+            block = stream_matrix[part.slice_of(comm.rank), :]
+            svd = ParSVDParallel(comm, K=K, ff=0.97, overlap=True)
+            svd.initialize(block[:, :BATCH])
+            svd.incorporate_data(block[:, BATCH : 2 * BATCH])
+            svd.save_checkpoint(path, gathered=True)
+            return np.array(svd.singular_values)
+
+        values = run_spmd(NRANKS, job)[0]
+        restarted = ParSVDParallel.from_checkpoint(
+            create_communicator("self"), path
+        )
+        assert np.max(np.abs(restarted.singular_values - values)) <= 1e-12
 
 
 class TestLocalModesBufferContract:
