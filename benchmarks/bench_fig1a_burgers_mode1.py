@@ -14,13 +14,12 @@ results ... with a low error magnitude").
 import numpy as np
 
 from conftest import emit
-from repro import ParSVDParallel, ParSVDSerial
+from repro import ParSVDSerial
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.core.metrics import mode_error_curve, mode_errors
 from repro.data.burgers import BurgersProblem
 from repro.postprocessing.plots import plot_mode_comparison, save_series_csv
-from repro.smpi import run_spmd
 from repro.utils.linalg import align_signs
-from repro.utils.partition import block_partition
 
 NX, NT, K, BATCH, NRANKS = 2048, 400, 10, 100, 4
 MODE = 0  # figure 1(a): mode 1
@@ -35,19 +34,20 @@ def compute_serial(data):
 
 
 def compute_parallel(data):
-    def job(comm):
-        part = block_partition(NX, comm.size)
-        block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(
-            comm, K=K, ff=0.95, r1=50,
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=K, ff=0.95, r1=50,
             low_rank=True, oversampling=10, power_iters=2, seed=0,
-        )
-        svd.initialize(block[:, :BATCH])
-        for start in range(BATCH, NT, BATCH):
-            svd.incorporate_data(block[:, start : start + BATCH])
-        return svd.modes, svd.singular_values
+        ),
+        backend=BackendConfig(name="threads", size=NRANKS),
+        stream=StreamConfig(batch=BATCH),
+    )
 
-    return run_spmd(NRANKS, job)[0]
+    def job(session):
+        res = session.fit_stream(data).result()
+        return res.modes, res.singular_values
+
+    return Session.run(cfg, job)[0]
 
 
 def test_fig1a_mode1_serial_vs_parallel(benchmark, artifacts_dir):

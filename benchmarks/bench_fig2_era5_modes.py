@@ -15,12 +15,11 @@ leading modes recover the planted structures, energy-ordered.
 import numpy as np
 
 from conftest import emit
-from repro import ParSVDParallel
 from repro.analysis.coherent import extract_coherent_structures
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.data.era5_like import Era5LikeField
-from repro.data.io import SnapshotDataset, write_snapshot_dataset
+from repro.data.io import write_snapshot_dataset
 from repro.postprocessing.plots import ascii_field, save_series_csv
-from repro.smpi import run_spmd
 
 NLAT, NLON, NT, BATCH, NRANKS, K = 24, 48, 360, 60, 4, 6
 
@@ -33,19 +32,22 @@ def build_field():
 
 
 def run_pipeline(dataset_path):
-    def job(comm):
-        dataset = SnapshotDataset.open(dataset_path)
-        block = dataset.read_rows_for_rank(comm.rank, comm.size)
-        svd = ParSVDParallel(
-            comm, K=K, ff=1.0, r1=50,
+    # The container is the configured stream source: each rank reads,
+    # row-restricts and batches it through the session's plumbing.
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=K, ff=1.0, r1=50,
             low_rank=True, oversampling=10, power_iters=2, seed=0,
-        )
-        svd.initialize(block[:, :BATCH])
-        for start in range(BATCH, dataset.n_snapshots, BATCH):
-            svd.incorporate_data(block[:, start : start + BATCH])
-        return svd.modes, svd.singular_values
+        ),
+        backend=BackendConfig(name="threads", size=NRANKS),
+        stream=StreamConfig(source=str(dataset_path), batch=BATCH),
+    )
 
-    return run_spmd(NRANKS, job)[0]
+    def job(session):
+        res = session.fit_stream().result()
+        return res.modes, res.singular_values
+
+    return Session.run(cfg, job)[0]
 
 
 def test_fig2_era5_coherent_structures(benchmark, artifacts_dir, tmp_path_factory):

@@ -18,33 +18,37 @@ import time
 import numpy as np
 
 from conftest import emit
-from repro import ParSVDParallel
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig
 from repro.data.burgers import BurgersProblem
 from repro.postprocessing.plots import save_series_csv
 from repro.postprocessing.report import format_table
-from repro.smpi import run_backend
 from repro.utils.partition import block_partition
 
 NX, NT, K, BATCH = 4096, 240, 8, 20
 NRANKS = 2
 N_STEPS = NT // BATCH
 
+CONFIG = RunConfig(
+    solver=SolverConfig(K=K, ff=0.95, gather="bcast"),
+    backend=BackendConfig(name="threads", size=NRANKS),
+)
+
 
 def stream(data, read_every_step):
     """Stream all batches; read .modes per step (eager) or once (lazy)."""
 
-    def job(comm):
+    def job(session):
+        comm = session.comm
         part = block_partition(NX, comm.size)
         block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(comm, K=K, ff=0.95, gather="bcast")
-        svd.initialize(block[:, :BATCH])
+        session.initialize(block[:, :BATCH])
         if read_every_step:
-            _ = svd.modes
+            _ = session.modes
         for start in range(BATCH, NT, BATCH):
-            svd.incorporate_data(block[:, start : start + BATCH])
+            session.incorporate_data(block[:, start : start + BATCH])
             if read_every_step:
-                _ = svd.modes
-        return svd.modes.shape
+                _ = session.modes
+        return session.modes.shape
 
     return job
 
@@ -52,7 +56,7 @@ def stream(data, read_every_step):
 def timed_run(data, read_every_step):
     job = stream(data, read_every_step)
     start = time.perf_counter()
-    _, tracers = run_backend("threads", NRANKS, job, trace=True)
+    _, tracers = Session.run(CONFIG, job, trace=True)
     elapsed = time.perf_counter() - start
     gatherv_calls = sum(
         1 for r in tracers[0].records if r.op == "gatherv"

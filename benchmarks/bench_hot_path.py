@@ -29,9 +29,8 @@ import tracemalloc
 import numpy as np
 
 from conftest import emit
-from repro import ParSVDParallel
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig
 from repro.postprocessing.report import format_table
-from repro.smpi import run_backend
 from repro.utils.partition import block_partition
 
 M = 4096
@@ -62,17 +61,23 @@ def make_data(batch):
     return left @ right + 1e-6 * rng.standard_normal((M, n_cols))
 
 
-def streaming_job(data, batch, workspace, overlap, measure_alloc):
-    """SPMD job streaming N_STEPS batches; rank 0 optionally samples
-    tracemalloc around each (barrier-fenced) step."""
+def lane_config(backend, nranks, workspace, overlap):
+    """The typed RunConfig of one ``backend x ranks x lane`` cell."""
+    return RunConfig(
+        solver=SolverConfig(K=K, ff=0.95, workspace=workspace, overlap=overlap),
+        backend=BackendConfig(name=backend, size=nranks),
+    )
 
-    def job(comm):
+
+def streaming_job(data, batch, measure_alloc):
+    """Per-rank session job streaming N_STEPS batches; rank 0 optionally
+    samples tracemalloc around each (barrier-fenced) step."""
+
+    def job(session):
+        comm = session.comm
         part = block_partition(M, comm.size)
         block = np.ascontiguousarray(data[part.slice_of(comm.rank), :])
-        svd = ParSVDParallel(
-            comm, K=K, ff=0.95, workspace=workspace, overlap=overlap
-        )
-        svd.initialize(block[:, :batch])
+        session.initialize(block[:, :batch])
         per_step = []
         for step in range(N_STEPS):
             lo = (step + 1) * batch
@@ -82,13 +87,13 @@ def streaming_job(data, batch, workspace, overlap, measure_alloc):
                     tracemalloc.reset_peak()
                     before = tracemalloc.get_traced_memory()[0]
                 comm.barrier()
-            svd.incorporate_data(block[:, lo : lo + batch])
+            session.incorporate_data(block[:, lo : lo + batch])
             if measure_alloc:
                 comm.barrier()
                 if comm.rank == 0:
                     _, peak = tracemalloc.get_traced_memory()
                     per_step.append(peak - before)
-        return per_step, np.array(svd.singular_values)
+        return per_step, np.array(session.singular_values)
 
     return job
 
@@ -101,10 +106,9 @@ def measure_alloc_lane(data, backend, nranks, batch, workspace, overlap):
     buffers; the steady-state tail is averaged."""
     tracemalloc.start()
     try:
-        results = run_backend(
-            backend,
-            nranks,
-            streaming_job(data, batch, workspace, overlap, measure_alloc=True),
+        results = Session.run(
+            lane_config(backend, nranks, workspace, overlap),
+            streaming_job(data, batch, measure_alloc=True),
         )
     finally:
         tracemalloc.stop()
@@ -124,12 +128,9 @@ def measure_rates(data, backend, nranks, batch, reps=5):
     for _ in range(reps):
         for lane, (workspace, overlap) in LANES.items():
             start = time.perf_counter()
-            run_backend(
-                backend,
-                nranks,
-                streaming_job(
-                    data, batch, workspace, overlap, measure_alloc=False
-                ),
+            Session.run(
+                lane_config(backend, nranks, workspace, overlap),
+                streaming_job(data, batch, measure_alloc=False),
             )
             elapsed[lane].append(time.perf_counter() - start)
     return {lane: N_STEPS / min(times) for lane, times in elapsed.items()}
@@ -233,12 +234,9 @@ def test_hot_path(benchmark, artifacts_dir):
     # Timed kernel for pytest-benchmark: one steady-state overlapped stream.
     data = make_data(CONFIGS[0][2])
     benchmark(
-        lambda: run_backend(
-            CONFIGS[0][0],
-            CONFIGS[0][1],
-            streaming_job(
-                data, CONFIGS[0][2], True, True, measure_alloc=False
-            ),
+        lambda: Session.run(
+            lane_config(CONFIGS[0][0], CONFIGS[0][1], True, True),
+            streaming_job(data, CONFIGS[0][2], measure_alloc=False),
         )
     )
 

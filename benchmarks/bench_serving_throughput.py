@@ -22,10 +22,10 @@ import numpy as np
 
 from conftest import emit
 from repro.analysis.reconstruction import project_coefficients
+from repro.api import BackendConfig, RunConfig, Session
 from repro.data.burgers import BurgersProblem
 from repro.postprocessing.report import format_table
-from repro.serving import ModeBaseStore, QueryEngine
-from repro.smpi import run_backend
+from repro.serving import ModeBaseStore
 
 NX, NT, K = 2048, 120, 8
 N_QUERIES, QUERY_WIDTH = 48, 4
@@ -45,15 +45,16 @@ def serve_log(store, queries, nranks, window):
     """Run the query log through a fresh engine; returns (elapsed, stats,
     answers) from rank 0."""
 
-    def job(comm):
-        engine = QueryEngine(comm, store, flush_threshold=window)
+    def job(session):
+        engine = session.query_engine(store, flush_threshold=window)
         start = time.perf_counter()
         tickets = [engine.submit_project("burgers", q) for q in queries]
         engine.flush()
         elapsed = time.perf_counter() - start
         return elapsed, engine.stats, [t.result() for t in tickets]
 
-    return run_backend("threads", nranks, job)[0]
+    cfg = RunConfig(backend=BackendConfig(name="threads", size=nranks))
+    return Session.run(cfg, job)[0]
 
 
 def test_serving_throughput(benchmark, artifacts_dir, tmp_path):

@@ -13,12 +13,11 @@ import time
 import numpy as np
 
 from conftest import emit
-from repro import ParSVDParallel, ParSVDSerial
+from repro import ParSVDSerial
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.data.burgers import BurgersProblem
 from repro.postprocessing.plots import save_series_csv
 from repro.postprocessing.report import format_table
-from repro.smpi import run_spmd
-from repro.utils.partition import block_partition
 
 NX, NT, K = 2048, 240, 8
 BATCHES = [10, 20, 40, 80]
@@ -34,16 +33,16 @@ def stream_serial(data, batch):
 
 
 def stream_parallel(data, batch):
-    def job(comm):
-        part = block_partition(NX, comm.size)
-        block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(comm, K=K, ff=0.95, gather="none")
-        svd.initialize(block[:, :batch])
-        for start in range(batch, NT, batch):
-            svd.incorporate_data(block[:, start : start + batch])
-        return svd.singular_values
+    cfg = RunConfig(
+        solver=SolverConfig(K=K, ff=0.95, gather="none"),
+        backend=BackendConfig(name="threads", size=NRANKS),
+        stream=StreamConfig(batch=batch),
+    )
 
-    return run_spmd(NRANKS, job)
+    def job(session):
+        return session.fit_stream(data).singular_values
+
+    return Session.run(cfg, job)
 
 
 def test_streaming_throughput(benchmark, artifacts_dir):

@@ -14,10 +14,10 @@ Run:  python examples/burgers_modes.py
 
 import numpy as np
 
-from repro import ParSVDParallel, ParSVDSerial, compare_modes, run_spmd
+from repro import ParSVDSerial, compare_modes
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.data.burgers import BurgersProblem
 from repro.postprocessing.plots import plot_mode_comparison
-from repro.utils.partition import block_partition
 
 NX, NT, K, BATCH, NRANKS = 2048, 400, 10, 100, 4
 
@@ -31,27 +31,23 @@ def serial_reference(data: np.ndarray) -> ParSVDSerial:
 
 
 def parallel_candidate(data: np.ndarray):
-    """The paper's deployment: 4 ranks, randomized inner SVDs."""
+    """The paper's deployment: 4 ranks, randomized inner SVDs — one typed
+    RunConfig, dispatched SPMD through the Session facade (which also
+    row-partitions the global snapshot matrix per rank)."""
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=K, ff=0.95, r1=50,
+            low_rank=True, oversampling=10, power_iters=2, seed=0,
+        ),
+        backend=BackendConfig(name="threads", size=NRANKS),
+        stream=StreamConfig(batch=BATCH),
+    )
 
-    def job(comm):
-        part = block_partition(NX, comm.size)
-        block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(
-            comm,
-            K=K,
-            ff=0.95,
-            r1=50,
-            low_rank=True,
-            oversampling=10,
-            power_iters=2,
-            seed=0,
-        )
-        svd.initialize(block[:, :BATCH])
-        for start in range(BATCH, NT, BATCH):
-            svd.incorporate_data(block[:, start : start + BATCH])
-        return svd.modes, svd.singular_values
+    def job(session: Session):
+        res = session.fit_stream(data).result()
+        return res.modes, res.singular_values
 
-    return run_spmd(NRANKS, job)[0]
+    return Session.run(cfg, job)[0]
 
 
 def main() -> None:

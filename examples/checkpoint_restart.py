@@ -20,10 +20,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ParSVDParallel, ParSVDSerial, run_backend
+from repro import ParSVDSerial
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.smpi import BACKENDS, DEFAULT_BACKEND
 from repro.data.burgers import BurgersProblem
-from repro.utils.partition import block_partition
 
 NX, NT, K, BATCH, NRANKS = 1024, 240, 6, 40, 3
 
@@ -70,38 +70,34 @@ def main() -> None:
     )
     with tempfile.TemporaryDirectory() as tmp:
         base = Path(tmp) / "parallel_state"
+        cfg = RunConfig(
+            solver=SolverConfig(K=K, ff=0.95),
+            backend=BackendConfig(name=args.backend, size=nranks),
+            stream=StreamConfig(batch=BATCH),
+        )
 
-        def phase1(comm):
-            part = block_partition(NX, comm.size)
-            block = data[part.slice_of(comm.rank), :]
-            svd = ParSVDParallel(comm, K=K, ff=0.95)
-            svd.initialize(block[:, :BATCH])
-            for start in range(BATCH, half, BATCH):
-                svd.incorporate_data(block[:, start : start + BATCH])
-            return svd.save_checkpoint(base)
+        def phase1(session: Session):
+            # Checkpoints written through the Session embed the full
+            # RunConfig, so the resume below restores solver *and*
+            # backend settings from the file alone.
+            session.fit_stream(data[:, :half])
+            return session.save_checkpoint(base)
 
-        shards = run_backend(args.backend, nranks, phase1)
+        shards = Session.run(cfg, phase1)
         print("  shards:", ", ".join(Path(s).name for s in shards))
 
-        def phase2(comm):
-            part = block_partition(NX, comm.size)
-            block = data[part.slice_of(comm.rank), :]
-            svd = ParSVDParallel.from_checkpoint(comm, base)
-            for start in range(half, NT, BATCH):
-                svd.incorporate_data(block[:, start : start + BATCH])
-            return svd.singular_values
+        def phase2(session: Session):
+            # A resumed session keeps incorporating where the checkpoint
+            # stopped — fit_stream continues rather than re-initialising.
+            session.fit_stream(data[:, half:])
+            return session.result().singular_values
 
-        def uninterrupted(comm):
-            part = block_partition(NX, comm.size)
-            block = data[part.slice_of(comm.rank), :]
-            svd = ParSVDParallel(comm, K=K, ff=0.95)
-            svd.initialize(block[:, :BATCH])
-            for start in range(BATCH, NT, BATCH):
-                svd.incorporate_data(block[:, start : start + BATCH])
-            return svd.singular_values
+        def uninterrupted(session: Session):
+            session.fit_stream(data)
+            return session.result().singular_values
 
-        resumed = run_backend(args.backend, nranks, phase2)[0]
-        straight = run_backend(args.backend, nranks, uninterrupted)[0]
+        resumed = Session.run(None, phase2, resume=base)[0]
+        straight = Session.run(cfg, uninterrupted)[0]
         drift = np.max(np.abs(resumed - straight) / straight)
         print(f"  resumed vs uninterrupted: max rel sigma diff = {drift:.3e}")
         assert drift < 1e-12

@@ -19,10 +19,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ParSVDParallel, run_spmd
 from repro.analysis.coherent import extract_coherent_structures
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.data.era5_like import Era5LikeField
-from repro.data.io import SnapshotDataset, write_snapshot_dataset
+from repro.data.io import write_snapshot_dataset
 from repro.postprocessing.plots import ascii_field
 
 NLAT, NLON, NT, BATCH, NRANKS, K = 24, 48, 480, 80, 4, 6
@@ -47,19 +47,24 @@ def main() -> None:
         )
         print(f"wrote container: {path.stat().st_size / 1e6:.1f} MB")
 
-        def job(comm):
-            dataset = SnapshotDataset.open(path)
-            block = dataset.read_rows_for_rank(comm.rank, comm.size)
-            svd = ParSVDParallel(
-                comm, K=K, ff=1.0, r1=50,
+        # The RunConfig names the on-disk container as the stream source,
+        # so fit_stream() needs no arguments: each rank opens the dataset,
+        # takes its canonical row block, and streams it in BATCH-column
+        # batches.
+        cfg = RunConfig(
+            solver=SolverConfig(
+                K=K, ff=1.0, r1=50,
                 low_rank=True, oversampling=10, power_iters=2, seed=0,
-            )
-            svd.initialize(block[:, :BATCH])
-            for start in range(BATCH, dataset.n_snapshots, BATCH):
-                svd.incorporate_data(block[:, start : start + BATCH])
-            return svd.modes, svd.singular_values
+            ),
+            backend=BackendConfig(name="threads", size=NRANKS),
+            stream=StreamConfig(source=str(path), batch=BATCH),
+        )
 
-        modes, values = run_spmd(NRANKS, job)[0]
+        def job(session: Session):
+            res = session.fit_stream().result()
+            return res.modes, res.singular_values
+
+        modes, values = Session.run(cfg, job)[0]
 
     cos_map, sin_map = field.wave_patterns()[0]
     truth = {

@@ -20,10 +20,8 @@ import time
 
 import numpy as np
 
-from repro import ParSVDParallel, run_backend
-from repro.data import PrefetchStream, dataset_stream, write_snapshot_dataset
-from repro.data.io import SnapshotDataset
-from repro.utils.partition import block_partition
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
+from repro.data import write_snapshot_dataset
 
 M, NT, K, BATCH, RANKS = 2048, 240, 8, 24, 4
 
@@ -38,21 +36,25 @@ def make_dataset(path):
 
 
 def stream_svd(dataset_path, *, overlap, prefetch):
-    """Fit the distributed streaming SVD from the on-disk container."""
+    """Fit the distributed streaming SVD from the on-disk container.
 
-    def job(comm):
-        part = block_partition(M, comm.size)
-        stream = dataset_stream(
-            SnapshotDataset.open(dataset_path), BATCH
-        ).restrict_rows(part.slice_of(comm.rank))
-        if prefetch:
-            stream = PrefetchStream(stream, depth=2)
-        svd = ParSVDParallel(comm, K=K, ff=1.0, overlap=overlap)
-        svd.fit_stream(stream)
-        return np.array(svd.modes), np.array(svd.singular_values)
+    The whole pipeline — out-of-core source, per-rank row restriction,
+    background prefetch, overlapped collectives — is declared in the
+    RunConfig; the Session wires it."""
+    cfg = RunConfig(
+        solver=SolverConfig(K=K, ff=1.0, overlap=overlap),
+        backend=BackendConfig(name="threads", size=RANKS),
+        stream=StreamConfig(
+            source=str(dataset_path), batch=BATCH, prefetch=2 if prefetch else 0
+        ),
+    )
+
+    def job(session: Session):
+        res = session.fit_stream().result()
+        return np.array(res.modes), np.array(res.singular_values)
 
     start = time.perf_counter()
-    modes, values = run_backend("threads", RANKS, job)[0]
+    modes, values = Session.run(cfg, job)[0]
     return modes, values, time.perf_counter() - start
 
 

@@ -4,7 +4,8 @@
 Builds a random low-rank snapshot matrix, streams it through
 :class:`repro.ParSVDSerial` batch by batch (the paper's Listing-1 usage
 pattern), compares the result to the one-shot SVD, and then re-runs the
-same stream through the *parallel* driver on the zero-overhead ``"self"``
+same stream through the *parallel* driver — constructed the typed way,
+through a :class:`repro.api.Session` on the zero-overhead ``"self"``
 communicator backend — same numbers, same single-process execution.
 
 Run:  python examples/quickstart.py
@@ -12,7 +13,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import ParSVDParallel, ParSVDSerial, create_communicator
+from repro import ParSVDSerial
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.postprocessing.plots import plot_singular_values
 from repro.utils.linalg import align_signs
 
@@ -54,11 +56,16 @@ def main() -> None:
 
     # The parallel driver runs unmodified on the single-rank "self"
     # backend — every collective short-circuits, so this is as fast as the
-    # serial class and numerically identical to it.
-    par = ParSVDParallel(create_communicator("self", 1), K=8, ff=1.0)
-    par.initialize(data[:, :batch])
-    for start in range(batch, n, batch):
-        par.incorporate_data(data[:, start : start + batch])
+    # serial class and numerically identical to it.  One RunConfig
+    # describes the whole run; the Session owns the communicator, builds
+    # the driver and slices the matrix into batches.
+    cfg = RunConfig(
+        solver=SolverConfig(K=8, ff=1.0),
+        backend=BackendConfig(name="self"),
+        stream=StreamConfig(batch=batch),
+    )
+    with Session(cfg) as session:
+        par = session.fit_stream(data).result()
     val_drift = np.max(
         np.abs(par.singular_values - svd.singular_values) / svd.singular_values
     )

@@ -23,15 +23,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import ParSVDParallel, run_backend
 from repro.analysis.reconstruction import (
     project_coefficients,
     reconstruction_error_curve,
 )
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
 from repro.data.burgers import BurgersProblem
-from repro.serving import ModeBaseStore, QueryEngine
+from repro.serving import ModeBaseStore
 from repro.smpi import BACKENDS, DEFAULT_BACKEND
-from repro.utils.partition import block_partition
 
 NX, NT, K, BATCH, NRANKS = 1024, 240, 6, 40, 3
 N_QUERIES = 12
@@ -43,21 +42,21 @@ def main() -> None:
     args = parser.parse_args()
     nranks = 1 if args.backend == "self" else NRANKS
     data = BurgersProblem(nx=NX, nt=NT).snapshot_matrix()
+    cfg = RunConfig(
+        solver=SolverConfig(K=K, ff=1.0, r1=50),
+        backend=BackendConfig(name=args.backend, size=nranks),
+        stream=StreamConfig(batch=BATCH),
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
         store = ModeBaseStore(Path(tmp) / "bases")
 
         # ---- produce: stream the record, publish the basis ------------
-        def build(comm):
-            part = block_partition(NX, comm.size)
-            block = data[part.slice_of(comm.rank), :]
-            svd = ParSVDParallel(comm, K=K, ff=1.0, r1=50)
-            svd.initialize(block[:, :BATCH])
-            for start in range(BATCH, NT, BATCH):
-                svd.incorporate_data(block[:, start : start + BATCH])
-            return svd.export_to_store(store, "burgers")
+        def build(session: Session):
+            session.fit_stream(data)
+            return session.export_to_store(store, "burgers")
 
-        version = run_backend(args.backend, nranks, build)[0]
+        version = Session.run(cfg, build)[0]
         base = store.get("burgers")
         print(
             f"published 'burgers' v{version}: "
@@ -71,8 +70,8 @@ def main() -> None:
             data[:, rng.integers(0, NT, size=4)] for _ in range(N_QUERIES)
         ]
 
-        def serve(comm):
-            engine = QueryEngine(comm, store)
+        def serve(session: Session):
+            engine = session.query_engine(store)
             proj = [engine.submit_project("burgers", q) for q in snapshots]
             errs = [engine.submit_error("burgers", q) for q in snapshots]
             served = engine.flush()  # ONE GEMM per (basis, kind) group
@@ -86,8 +85,8 @@ def main() -> None:
                 flush_gemms,
             )
 
-        coeffs, errors, roundtrip, served, flush_gemms = run_backend(
-            args.backend, nranks, serve
+        coeffs, errors, roundtrip, served, flush_gemms = Session.run(
+            cfg, serve
         )[0]
         print(
             f"flush answered {served} queries with {flush_gemms} "

@@ -4,6 +4,16 @@ SC 2021, arXiv:2108.08845).
 
 Public API
 ----------
+The typed facade (start here):
+
+* :class:`repro.api.Session` — one entry point for every driver: owns
+  the communicator lifecycle, builds the solver, wires streams, and
+  exposes ``fit_stream`` / ``result`` / ``save_checkpoint`` /
+  ``export_to_store`` / ``query_engine`` / ``resume``.
+* :class:`RunConfig` = :class:`SolverConfig` + :class:`BackendConfig` +
+  :class:`StreamConfig` — the frozen, validated, JSON-round-trippable
+  description of a run (also embedded into checkpoints).
+
 Streaming SVD classes (the paper's contribution):
 
 * :class:`ParSVDSerial` — single-process streaming SVD (Listing 1).
@@ -44,7 +54,14 @@ Quickstart
 ((500, 5), (5,))
 """
 
-from .config import SVDConfig
+from .api import Session, SessionResult
+from .config import (
+    BackendConfig,
+    RunConfig,
+    SolverConfig,
+    StreamConfig,
+    SVDConfig,
+)
 from .core import (
     ParSVDBase,
     ParSVDParallel,
@@ -68,9 +85,15 @@ from .exceptions import (
 from .serving import ModeBase, ModeBaseStore, QueryEngine, ShardedBasis
 from .smpi import SelfCommunicator, create_communicator, run_backend, run_spmd
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Session",
+    "SessionResult",
+    "RunConfig",
+    "SolverConfig",
+    "BackendConfig",
+    "StreamConfig",
     "SVDConfig",
     "ParSVDBase",
     "ParSVDSerial",

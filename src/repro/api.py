@@ -1,0 +1,534 @@
+"""``repro.api`` — the one public entry point for every SVD driver.
+
+Four layers of this reproduction accreted their own construction idioms
+(communicator factories, driver kwargs, prefetch wiring, checkpoint and
+serving plumbing).  This module is the stable, typed boundary over all of
+them:
+
+* :class:`~repro.config.RunConfig` — one frozen, validated value
+  describing a whole run: the algorithm (:class:`~repro.config.
+  SolverConfig`), the communicator substrate (:class:`~repro.config.
+  BackendConfig`) and the batch source (:class:`~repro.config.
+  StreamConfig`).  Round-trips through JSON, embeds into checkpoints.
+* :class:`Session` — a context manager that owns the communicator
+  lifecycle, builds the driver, wires prefetch/partitioning/overlap, and
+  exposes the whole workflow: :meth:`~Session.fit_stream`,
+  :meth:`~Session.result`, :meth:`~Session.save_checkpoint`,
+  :meth:`~Session.export_to_store`, :meth:`~Session.query_engine`, and
+  :meth:`~Session.resume`.
+
+Quickstart — stream a matrix on 4 in-process ranks::
+
+    from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
+
+    cfg = RunConfig(
+        solver=SolverConfig(K=10, ff=0.95),
+        backend=BackendConfig(name="threads", size=4),
+        stream=StreamConfig(batch=100),
+    )
+
+    def job(session):
+        session.fit_stream(data)           # rows partitioned per rank
+        return session.result()
+
+    results = Session.run(cfg, job)        # rank-ordered SessionResults
+    modes = results[0].modes
+
+Single-rank sessions (``backend="self"``, or any backend of size 1) can
+be used directly as context managers::
+
+    with Session(cfg) as session:
+        session.fit_stream(data)
+        res = session.result()
+
+and under a real MPI launcher each process adopts its own communicator::
+
+    with Session(cfg, comm=create_communicator("mpi4py")) as session:
+        ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Any, Callable, Iterable, List, Optional, Union
+
+import numpy as np
+
+from .config import (
+    BackendConfig,
+    RunConfig,
+    SolverConfig,
+    StreamConfig,
+)
+from .core.checkpoint import (
+    normalize_checkpoint_path,
+    rank_checkpoint_path,
+    read_checkpoint,
+)
+from .core.parallel import ParSVDParallel
+from .data.streams import PrefetchStream, SnapshotStream, array_stream, dataset_stream
+from .exceptions import ConfigurationError, DataFormatError
+from .smpi.factory import create_communicator, run_backend
+from .utils.partition import block_partition
+
+__all__ = [
+    "BackendConfig",
+    "RunConfig",
+    "Session",
+    "SessionResult",
+    "SolverConfig",
+    "StreamConfig",
+    "checkpoint_run_config",
+    "load_run_config",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def load_run_config(path: PathLike) -> RunConfig:
+    """Load and validate a :class:`RunConfig` JSON file.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` naming the
+    offending section/key on any mismatch — what ``repro config
+    validate`` surfaces.
+    """
+    return RunConfig.load(path)
+
+
+def checkpoint_run_config(path: PathLike) -> RunConfig:
+    """The :class:`RunConfig` a checkpoint resumes under.
+
+    Prefers the typed config embedded by the :class:`Session` layer
+    (``run_config`` payload, any kind); for a checkpoint written through
+    the legacy driver API it is reconstructed from the recorded solver
+    fields, with the default backend at the checkpoint's rank count.
+    Accepts the same ``path`` spellings as
+    :meth:`~repro.core.parallel.ParSVDParallel.from_checkpoint`
+    (a gathered single file or the per-rank shard family's base path).
+    """
+    candidates = [normalize_checkpoint_path(path), rank_checkpoint_path(path, 0)]
+    state = None
+    errors = []
+    for candidate in candidates:
+        if not candidate.exists():
+            continue
+        try:
+            state = read_checkpoint(candidate, load_arrays=False)
+            break
+        except DataFormatError as exc:
+            errors.append(str(exc))
+    if state is None:
+        detail = f" ({'; '.join(errors)})" if errors else ""
+        raise DataFormatError(
+            f"{path}: no readable checkpoint at "
+            f"{' or '.join(str(c) for c in candidates)}{detail}"
+        )
+    if state["run_config"] is not None:
+        return state["run_config"]
+    # Legacy checkpoint: the same flat-field reconstruction the driver's
+    # own restart path uses (one shared helper, no drift between them).
+    solver = ParSVDParallel._restored_solver(state, None, None, None)
+    nranks = max(int(state["nranks"]), 1)
+    return RunConfig(solver=solver, backend=BackendConfig(size=nranks))
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionResult:
+    """What a finished (or checkpointed) session computed.
+
+    ``modes`` follows the solver's gather policy: the global mode matrix
+    under ``"bcast"`` (all ranks) and ``"root"`` (rank 0; ``None``
+    elsewhere), this rank's local block under ``"none"``.  Arrays may be
+    read-only zero-copy snapshots shared between ranks — copy before
+    mutating.
+    """
+
+    modes: Optional[np.ndarray]
+    singular_values: np.ndarray
+    iteration: int
+    n_seen: int
+
+
+class Session:
+    """Owns one run end to end: communicator, driver, streams, lifecycle.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.config.RunConfig` to run (default: all
+        defaults).
+    comm:
+        Adopt an existing communicator (one rank of an SPMD job, or a
+        wrapped ``mpi4py`` world) instead of creating one.  Without it
+        the session creates — and owns — the communicator described by
+        ``config.backend``; the multi-rank ``"threads"`` backend needs
+        one session *per rank*, so create those through :meth:`run`.
+    solver, backend, stream:
+        Section shortcuts: ``Session(solver=SolverConfig(K=8))`` is
+        ``Session(RunConfig(solver=SolverConfig(K=8)))``; when both a
+        ``config`` and a section are given, the section replaces the
+        config's.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.api import Session, SolverConfig, StreamConfig
+    >>> data = np.random.default_rng(0).standard_normal((100, 30))
+    >>> with Session(solver=SolverConfig(K=3, ff=1.0),
+    ...              stream=StreamConfig(batch=10)) as session:
+    ...     res = session.fit_stream(data).result()
+    >>> res.modes.shape
+    (100, 3)
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        *,
+        comm: Any = None,
+        solver: Optional[SolverConfig] = None,
+        backend: Optional[BackendConfig] = None,
+        stream: Optional[StreamConfig] = None,
+    ) -> None:
+        cfg = config if config is not None else RunConfig()
+        if not isinstance(cfg, RunConfig):
+            raise ConfigurationError(
+                f"config must be a RunConfig, got {type(cfg).__name__}"
+            )
+        sections = {
+            key: value
+            for key, value in (
+                ("solver", solver), ("backend", backend), ("stream", stream)
+            )
+            if value is not None
+        }
+        if sections:
+            cfg = cfg.replace(**sections)
+        self._config = cfg
+        self._owns_comm = comm is None
+        if comm is None:
+            bcfg = cfg.backend
+            if bcfg.name == "threads" and bcfg.size > 1:
+                raise ConfigurationError(
+                    f"a single Session cannot host {bcfg.size} 'threads' "
+                    f"ranks (each rank needs its own); dispatch with "
+                    f"Session.run(config, fn) instead"
+                )
+            comm = create_communicator(
+                bcfg.name,
+                bcfg.size,
+                timeout=bcfg.timeout,
+                irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
+            )
+        self._comm = comm
+        self._driver: Optional[ParSVDParallel] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drop_pending=exc_type is not None)
+
+    def close(self, *, drop_pending: bool = False) -> None:
+        """End the session: complete any in-flight overlapped step and
+        release the driver (and, when owned, the communicator binding).
+
+        Safe to call twice.  On a clean exit a pending pipelined step is
+        finalised so no peer is left waiting; with ``drop_pending=True``
+        (what ``__exit__`` passes while an exception is unwinding) the
+        pending state is dropped instead — waiting on peers that are
+        themselves unwinding could only block until the mailbox timeout
+        and mask the original error.
+        """
+        if self._closed:
+            return
+        driver, self._driver = self._driver, None
+        self._closed = True
+        if driver is not None and driver.pending_update and not drop_pending:
+            driver._finalize_pending()
+        if self._owns_comm:
+            self._comm = None
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this Session is closed")
+
+    # -- configuration / plumbing accessors --------------------------------
+    @property
+    def config(self) -> RunConfig:
+        """The full typed run configuration this session executes."""
+        return self._config
+
+    @property
+    def comm(self) -> Any:
+        """This session's communicator (rank view)."""
+        self._require_open()
+        return self._comm
+
+    @property
+    def driver(self) -> ParSVDParallel:
+        """The underlying :class:`~repro.core.parallel.ParSVDParallel`,
+        built lazily from ``config.solver`` on first access."""
+        self._require_open()
+        if self._driver is None:
+            self._driver = ParSVDParallel(
+                self._comm, solver=self._config.solver
+            )
+        return self._driver
+
+    def _require_fitted(self) -> ParSVDParallel:
+        if self._driver is None or not self._driver.initialized:
+            raise ConfigurationError(
+                "this Session has not ingested any data yet; call "
+                "fit_stream()/initialize() (or Session.resume) first"
+            )
+        return self._driver
+
+    # -- streaming ---------------------------------------------------------
+    def _resolve_stream(
+        self, source: Any, partition: bool
+    ) -> Iterable[np.ndarray]:
+        scfg = self._config.stream
+        if source is None:
+            if scfg.source is None:
+                raise ConfigurationError(
+                    "fit_stream() needs a data source: pass one, or set "
+                    "stream.source in the RunConfig"
+                )
+            source = scfg.source
+        if isinstance(source, SnapshotStream):
+            stream = source
+        elif isinstance(source, (str, pathlib.Path)):
+            from .data.io import SnapshotDataset
+
+            if scfg.batch is None:
+                raise ConfigurationError(
+                    "streaming from an on-disk container requires "
+                    "stream.batch in the RunConfig"
+                )
+            stream = dataset_stream(SnapshotDataset.open(source), scfg.batch)
+        else:
+            if scfg.batch is None:
+                raise ConfigurationError(
+                    "streaming an in-memory matrix requires stream.batch "
+                    "in the RunConfig (or pass a SnapshotStream)"
+                )
+            stream = array_stream(np.asarray(source), scfg.batch)
+        if partition and self._comm.size > 1:
+            if stream.n_dof is None:
+                raise ConfigurationError(
+                    "cannot row-partition a stream of unknown n_dof "
+                    "across ranks; declare it (e.g. function_stream("
+                    "n_dof=...)) or pass partition=False with rank-local "
+                    "batches"
+                )
+            part = block_partition(stream.n_dof, self._comm.size)
+            stream = stream.restrict_rows(part.slice_of(self._comm.rank))
+        if scfg.prefetch > 0:
+            stream = PrefetchStream(stream, depth=scfg.prefetch)
+        return stream
+
+    def fit_stream(self, source: Any = None, *, partition: bool = True) -> "Session":
+        """Stream a whole data source through the driver.
+
+        Parameters
+        ----------
+        source:
+            A 2-D array (sliced into ``stream.batch``-column batches), a
+            path to a :class:`~repro.data.io.SnapshotDataset` container,
+            a :class:`~repro.data.streams.SnapshotStream`, or ``None`` to
+            open ``config.stream.source``.
+        partition:
+            ``True`` (default): the source is *global* and each rank
+            ingests its canonical :func:`~repro.utils.partition.
+            block_partition` row block — the APMOS domain decomposition,
+            wired for you.  ``False``: the source is already rank-local.
+
+        A fresh session initialises on the first batch; a resumed (or
+        previously fitted) one keeps incorporating — so checkpoint /
+        resume / ``fit_stream`` composes into one continuous stream.
+        ``config.stream.prefetch`` wraps the rank-local stream in a
+        background :class:`~repro.data.streams.PrefetchStream`;
+        ``config.solver.overlap`` keeps each step's collectives in
+        flight while the next batch arrives.
+        """
+        self._require_open()
+        driver = self.driver
+        got_any = driver.initialized
+        for batch in self._resolve_stream(source, partition):
+            if not got_any:
+                driver.initialize(batch)
+                got_any = True
+            else:
+                driver.incorporate_data(batch)
+        if not got_any:
+            raise ConfigurationError("fit_stream received an empty batch stream")
+        return self
+
+    def initialize(self, batch: np.ndarray) -> "Session":
+        """Manual stepping: factor the first rank-local batch."""
+        self.driver.initialize(batch)
+        return self
+
+    def incorporate_data(self, batch: np.ndarray) -> "Session":
+        """Manual stepping: ingest one more rank-local batch."""
+        self.driver.incorporate_data(batch)
+        return self
+
+    # -- results -----------------------------------------------------------
+    def result(self) -> SessionResult:
+        """Assemble and return the current factorization.
+
+        Collective when modes are stale (all ranks must call in step —
+        the same contract as reading
+        :attr:`~repro.core.parallel.ParSVDParallel.modes`).
+        """
+        driver = self._require_fitted()
+        modes = driver.assemble_modes()
+        return SessionResult(
+            modes=modes,
+            singular_values=driver.singular_values,
+            iteration=driver.iteration,
+            n_seen=driver.n_seen,
+        )
+
+    @property
+    def modes(self) -> np.ndarray:
+        """Global modes per the gather policy (collective when stale)."""
+        return self._require_fitted().modes
+
+    @property
+    def local_modes(self) -> np.ndarray:
+        """This rank's mode block (never communicates)."""
+        return self._require_fitted().local_modes
+
+    @property
+    def singular_values(self) -> np.ndarray:
+        """Current singular values."""
+        return self._require_fitted().singular_values
+
+    # -- persistence / serving ---------------------------------------------
+    def save_checkpoint(self, path: PathLike, gathered: bool = False) -> str:
+        """Checkpoint the streaming state with this session's
+        :class:`RunConfig` embedded, so :meth:`resume` restores solver
+        *and* backend settings.  ``gathered=True`` writes one rank-0 file
+        restartable at any rank count (collective)."""
+        return self._require_fitted().save_checkpoint(
+            path, gathered=gathered, run_config=self._config
+        )
+
+    def export_to_store(self, store: Any, name: str) -> int:
+        """Publish the current basis into a serving
+        :class:`~repro.serving.ModeBaseStore` (collective); returns the
+        assigned version on every rank."""
+        return self._require_fitted().export_to_store(store, name)
+
+    def query_engine(self, store: Any, **options: Any):
+        """A serving :class:`~repro.serving.QueryEngine` over this
+        session's communicator (``options`` pass through, e.g.
+        ``flush_threshold=``, ``cache_size=``)."""
+        self._require_open()
+        from .serving.engine import QueryEngine
+
+        return QueryEngine(self._comm, store, **options)
+
+    # -- resume / SPMD dispatch --------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        path: PathLike,
+        *,
+        comm: Any = None,
+        config: Optional[RunConfig] = None,
+        backend: Optional[BackendConfig] = None,
+    ) -> "Session":
+        """Reopen a checkpointed run as a live session.
+
+        The effective :class:`RunConfig` is, in precedence order: the
+        explicit ``config`` argument, else the config embedded in the
+        checkpoint, else (legacy checkpoints) one reconstructed from the
+        recorded solver fields; ``backend`` then replaces its backend
+        section (e.g. to resume a gathered checkpoint at a different
+        rank count).  With ``comm`` given the session adopts that rank's
+        communicator (the per-rank form :meth:`run` uses); otherwise the
+        session creates the backend itself, under the same single-rank
+        constraint as the constructor.
+
+        Restores bit-identically: the continued stream matches an
+        uninterrupted run to machine precision, including from
+        checkpoints written by the legacy (pre-``RunConfig``) API.
+        """
+        cfg = config if config is not None else checkpoint_run_config(path)
+        if backend is not None:
+            cfg = cfg.replace(backend=backend)
+        session = cls(cfg, comm=comm)
+        session._driver = ParSVDParallel.from_checkpoint(
+            session._comm, path, solver=cfg.solver
+        )
+        return session
+
+    @classmethod
+    def run(
+        cls,
+        config: Optional[RunConfig],
+        fn: Callable[..., Any],
+        *args: Any,
+        resume: Optional[PathLike] = None,
+        trace: bool = False,
+        **kwargs: Any,
+    ) -> List[Any]:
+        """Run ``fn(session, *args, **kwargs)`` SPMD-style on the
+        configured backend — the one entry point every CLI subcommand,
+        example and benchmark drives.
+
+        Each rank receives its own :class:`Session` (sharing ``config``),
+        entered and exited around ``fn``.  With ``resume=`` each rank's
+        session is :meth:`resume`-d from that checkpoint instead of
+        starting fresh (``config=None`` then takes the checkpoint's
+        embedded config).  Returns the rank-ordered list of per-rank
+        results (``trace=True`` additionally returns the communication
+        tracers, as :func:`repro.smpi.run_backend` does).
+        """
+        if config is None:
+            if resume is None:
+                raise ConfigurationError(
+                    "Session.run needs a RunConfig (or a resume checkpoint "
+                    "to take one from)"
+                )
+            config = checkpoint_run_config(resume)
+        elif not isinstance(config, RunConfig):
+            raise ConfigurationError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        bcfg = config.backend
+
+        def job(comm):
+            if resume is not None:
+                session = cls.resume(resume, comm=comm, config=config)
+            else:
+                session = cls(config, comm=comm)
+            with session:
+                return fn(session, *args, **kwargs)
+
+        return run_backend(
+            bcfg.name,
+            bcfg.size,
+            job,
+            timeout=bcfg.timeout,
+            trace=trace,
+            irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "fitted" if self._driver is not None and self._driver.initialized
+            else "fresh"
+        )
+        bcfg = self._config.backend
+        return (
+            f"Session(backend={bcfg.name!r}, size={bcfg.size}, "
+            f"K={self._config.solver.K}, {state})"
+        )

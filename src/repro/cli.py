@@ -6,9 +6,19 @@ Usage::
     python -m repro era5        [--nlat 24 --nlon 48 --nt 360 --ranks 4]
     python -m repro scaling     [--mode weak|strong --max-nodes 256]
     python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
+    python -m repro config      dump [run flags] | validate FILE
     python -m repro info
 
-Each subcommand prints the same tables/plots as the corresponding bench
+Every experiment subcommand resolves its flags into one typed
+:class:`~repro.config.RunConfig` and drives the solver exclusively
+through :class:`repro.api.Session` — the same entry point the examples
+and benchmarks use.  ``repro config dump`` prints that fully-resolved
+config as JSON (pipe it to a file, edit, and ``validate`` it);
+``repro config validate FILE`` exits nonzero with the specific
+:class:`~repro.exceptions.ConfigurationError` on any bad section, key or
+value.
+
+Each experiment prints the same tables/plots as the corresponding bench
 and exits nonzero if the experiment's shape checks fail, so the CLI can be
 used as a smoke test of an installation.
 """
@@ -55,19 +65,15 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _rank_stream(args: argparse.Namespace, data, batch: int, part, rank: int):
-    """This rank's batch stream per the CLI pipeline options."""
-    from repro.data.streams import PrefetchStream, array_stream
-
-    stream = array_stream(data, batch).restrict_rows(part.slice_of(rank))
-    if args.prefetch > 0:
-        stream = PrefetchStream(stream, depth=args.prefetch)
-    return stream
-
-
 def _resolve_ranks(args: argparse.Namespace) -> int:
     """The 'self' backend is single-rank by construction."""
     return 1 if args.backend == "self" else args.ranks
+
+
+def _backend_config(args: argparse.Namespace):
+    from repro.api import BackendConfig
+
+    return BackendConfig(name=args.backend, size=_resolve_ranks(args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,33 +149,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_option(p_serve)
 
+    p_config = sub.add_parser(
+        "config",
+        help="inspect / validate typed run configs (repro.api.RunConfig)",
+    )
+    config_sub = p_config.add_subparsers(dest="config_command", required=True)
+    p_dump = config_sub.add_parser(
+        "dump",
+        help="print the fully-resolved RunConfig for the given flags as JSON",
+    )
+    p_dump.add_argument("--ranks", type=int, default=1)
+    p_dump.add_argument("--modes", type=int, default=10)
+    p_dump.add_argument("--ff", type=float, default=0.95)
+    p_dump.add_argument("--batch", type=int, default=None)
+    p_dump.add_argument("--source", default=None, help="snapshot container path")
+    p_dump.add_argument(
+        "--qr-variant", choices=("gather", "tree"), default="gather"
+    )
+    p_dump.add_argument(
+        "--gather", choices=("bcast", "root", "none"), default="bcast"
+    )
+    p_dump.add_argument("--low-rank", action="store_true")
+    p_dump.add_argument("--seed", type=int, default=None)
+    _add_backend_option(p_dump)
+    _add_pipeline_options(p_dump)
+    p_validate = config_sub.add_parser(
+        "validate",
+        help="load a RunConfig JSON file; exit nonzero with the specific "
+        "ConfigurationError if it does not validate",
+    )
+    p_validate.add_argument("file", help="path to a RunConfig JSON file")
+
     sub.add_parser("info", help="version and configuration summary")
     return parser
 
 
 def _cmd_info() -> int:
     import repro
-    from repro.config import SVDConfig
+    from repro.api import RunConfig
 
-    cfg = SVDConfig()
+    cfg = RunConfig()
     print(f"repro {repro.__version__} — PyParSVD reproduction (SC 2021)")
     print(
-        f"defaults: K={cfg.K} ff={cfg.ff} r1={cfg.r1} r2={cfg.r2} "
-        f"low_rank={cfg.low_rank}"
+        f"defaults: K={cfg.solver.K} ff={cfg.solver.ff} r1={cfg.solver.r1} "
+        f"r2={cfg.solver.r2} low_rank={cfg.solver.low_rank} "
+        f"backend={cfg.backend.name}"
     )
-    print("subpackages: core, smpi, data, analysis, postprocessing, perf")
+    print("entry point: repro.api.Session / RunConfig ('repro config dump')")
+    print("subpackages: api, core, smpi, data, serving, analysis, postprocessing, perf")
     return 0
 
 
 def _cmd_burgers(args: argparse.Namespace) -> int:
-    from repro import ParSVDParallel, ParSVDSerial, compare_modes, run_backend
+    from repro import ParSVDSerial, compare_modes
+    from repro.api import RunConfig, Session, SolverConfig, StreamConfig
     from repro.data.burgers import BurgersProblem
-    from repro.utils.partition import block_partition
 
-    ranks = _resolve_ranks(args)
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=args.modes, ff=args.ff, r1=50,
+            low_rank=True, oversampling=10, power_iters=2, seed=0,
+            overlap=args.overlap,
+        ),
+        backend=_backend_config(args),
+        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+    )
     print(
         f"Burgers validation: {args.nx} points, {args.nt} snapshots, "
-        f"K={args.modes}, {ranks} ranks, backend={args.backend}"
+        f"K={args.modes}, {cfg.backend.size} ranks, backend={cfg.backend.name}"
     )
     data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
 
@@ -178,17 +225,11 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
     for start in range(args.batch, args.nt, args.batch):
         serial.incorporate_data(data[:, start : start + args.batch])
 
-    def job(comm):
-        part = block_partition(args.nx, comm.size)
-        svd = ParSVDParallel(
-            comm, K=args.modes, ff=args.ff, r1=50,
-            low_rank=True, oversampling=10, power_iters=2, seed=0,
-            overlap=args.overlap,
-        )
-        svd.fit_stream(_rank_stream(args, data, args.batch, part, comm.rank))
-        return svd.modes, svd.singular_values
+    def job(session: Session):
+        res = session.fit_stream(data).result()
+        return res.modes, res.singular_values
 
-    modes, values = run_backend(args.backend, ranks, job)[0]
+    modes, values = Session.run(cfg, job)[0]
     comparison = compare_modes(
         serial.modes, serial.singular_values, modes, values, n_modes=2
     )
@@ -200,26 +241,27 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
 
 
 def _cmd_era5(args: argparse.Namespace) -> int:
-    from repro import ParSVDParallel, run_backend
     from repro.analysis.coherent import extract_coherent_structures
+    from repro.api import RunConfig, Session, SolverConfig, StreamConfig
     from repro.data.era5_like import Era5LikeField
-    from repro.utils.partition import block_partition
 
     field = Era5LikeField(
         nlat=args.nlat, nlon=args.nlon, nt=args.nt, noise_amp=0.4, seed=11
     )
     data = field.anomaly_snapshots()
-    batch = max(args.nt // 6, 1)
+    cfg = RunConfig(
+        solver=SolverConfig(K=args.modes, ff=1.0, r1=50, overlap=args.overlap),
+        backend=_backend_config(args),
+        stream=StreamConfig(
+            batch=max(args.nt // 6, 1), prefetch=args.prefetch
+        ),
+    )
 
-    def job(comm):
-        part = block_partition(field.n_dof, comm.size)
-        svd = ParSVDParallel(
-            comm, K=args.modes, ff=1.0, r1=50, overlap=args.overlap
-        )
-        svd.fit_stream(_rank_stream(args, data, batch, part, comm.rank))
-        return svd.modes, svd.singular_values
+    def job(session: Session):
+        res = session.fit_stream(data).result()
+        return res.modes, res.singular_values
 
-    modes, values = run_backend(args.backend, _resolve_ranks(args), job)[0]
+    modes, values = Session.run(cfg, job)[0]
     cos_map, sin_map = field.wave_patterns()[0]
     report = extract_coherent_structures(
         modes,
@@ -267,31 +309,30 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         )
         data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
         store = ModeBaseStore(store_root)
-        return _run_serve_query(args, ranks, data, store)
+        return _run_serve_query(args, data, store)
 
 
-def _run_serve_query(args, ranks, data, store) -> int:
+def _run_serve_query(args, data, store) -> int:
     import time
 
-    from repro import ParSVDParallel, run_backend
     from repro.analysis.reconstruction import (
         project_coefficients,
         reconstruction_error_curve,
     )
+    from repro.api import RunConfig, Session, SolverConfig, StreamConfig
     from repro.postprocessing.report import format_table
-    from repro.serving import QueryEngine
-    from repro.utils.partition import block_partition
 
-    def build(comm):
-        part = block_partition(args.nx, comm.size)
-        block = data[part.slice_of(comm.rank), :]
-        svd = ParSVDParallel(comm, K=args.modes, ff=1.0, r1=50)
-        svd.initialize(block[:, : args.batch])
-        for start in range(args.batch, args.nt, args.batch):
-            svd.incorporate_data(block[:, start : start + args.batch])
-        return svd.export_to_store(store, "burgers")
+    cfg = RunConfig(
+        solver=SolverConfig(K=args.modes, ff=1.0, r1=50),
+        backend=_backend_config(args),
+        stream=StreamConfig(batch=args.batch),
+    )
 
-    version = run_backend(args.backend, ranks, build)[0]
+    def build(session: Session):
+        session.fit_stream(data)
+        return session.export_to_store(store, "burgers")
+
+    version = Session.run(cfg, build)[0]
     base = store.get("burgers", version)
     print(f"published 'burgers' v{version} ({base.n_dof} dof, {base.n_modes} modes)")
 
@@ -300,9 +341,9 @@ def _run_serve_query(args, ranks, data, store) -> int:
         data[:, rng.integers(0, args.nt, size=3)] for _ in range(args.queries)
     ]
 
-    def serve(comm):
-        engine = QueryEngine(
-            comm, store, flush_threshold=max(args.window, 1)
+    def serve(session: Session):
+        engine = session.query_engine(
+            store, flush_threshold=max(args.window, 1)
         )
         t0 = time.perf_counter()
         tickets = [
@@ -317,7 +358,7 @@ def _run_serve_query(args, ranks, data, store) -> int:
         answers = [(tp.result(), te.result()) for tp, te in tickets]
         return answers, engine.stats, elapsed
 
-    answers, stats, elapsed = run_backend(args.backend, ranks, serve)[0]
+    answers, stats, elapsed = Session.run(cfg, serve)[0]
 
     worst = 0.0
     for q, (coeffs, err) in zip(queries, answers):
@@ -371,6 +412,33 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    from repro.api import RunConfig, SolverConfig, StreamConfig, load_run_config
+
+    if args.config_command == "validate":
+        cfg = load_run_config(args.file)
+        print(f"{args.file}: valid RunConfig")
+        print(cfg.to_json(indent=2))
+        return 0
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=args.modes,
+            ff=args.ff,
+            low_rank=args.low_rank,
+            seed=args.seed,
+            qr_variant=args.qr_variant,
+            gather=args.gather,
+            overlap=args.overlap,
+        ),
+        backend=_backend_config(args),
+        stream=StreamConfig(
+            source=args.source, batch=args.batch, prefetch=args.prefetch
+        ),
+    )
+    print(cfg.to_json(indent=2))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.exceptions import ConfigurationError
@@ -388,13 +456,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scaling(args)
         if args.command == "serve-query":
             return _cmd_serve_query(args)
+        if args.command == "config":
+            return _cmd_config(args)
     except ParallelFailure:
         # A rank crashed inside the job: that is a bug, not a user error —
         # let the wrapped per-rank traceback propagate.
         raise
     except (ConfigurationError, SmpiError) as exc:
-        # Misconfiguration (e.g. an unusable backend) is a user error, not
-        # a crash: print the message, not a traceback.
+        # Misconfiguration (e.g. an unusable backend or an invalid run
+        # config file) is a user error, not a crash: print the message,
+        # not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -32,12 +32,18 @@ The paper exposes the following knobs (section 3 and 4.3):
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import json
+import pathlib
+from typing import Optional, Union
 
 from .exceptions import ConfigurationError
 
 __all__ = [
     "SVDConfig",
+    "SolverConfig",
+    "BackendConfig",
+    "StreamConfig",
+    "RunConfig",
     "DEFAULT_FORGET_FACTOR",
     "DEFAULT_R1",
     "DEFAULT_R2",
@@ -162,3 +168,331 @@ class SVDConfig:
     def as_dict(self) -> dict:
         """Return the configuration as a plain dictionary."""
         return dataclasses.asdict(self)
+
+
+class _SectionMixin:
+    """Shared conveniences of the frozen config dataclasses."""
+
+    def replace(self, **changes: object):
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict:
+        """Return the configuration as a plain dictionary."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+
+def _from_section_dict(cls, section: str, payload: dict):
+    """Build a config dataclass from a plain dict, rejecting unknown keys
+    with a :class:`~repro.exceptions.ConfigurationError` that names the
+    offending key (so ``repro config validate`` failures are actionable).
+    Wrong-typed values (e.g. a string where a float belongs) surface as
+    the same error class, never a raw ``TypeError``/``ValueError``."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{section!r} section must be a mapping, got {type(payload).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} in {section!r} section; "
+            f"valid keys: {sorted(known)}"
+        )
+    try:
+        return cls(**payload)
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"invalid value in {section!r} section: {exc}"
+        ) from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverConfig(SVDConfig):
+    """All knobs of a streaming/distributed SVD run, frozen and validated.
+
+    Extends :class:`SVDConfig` (the paper's algorithm parameters) with the
+    parallel driver's run options, so one object fully describes how
+    :class:`~repro.core.parallel.ParSVDParallel` factors its stream.
+
+    Parameters
+    ----------
+    qr_variant:
+        Distributed-QR flavour: ``"gather"`` (paper Listing 4, default) or
+        ``"tree"`` (binary-reduction TSQR).
+    gather:
+        Mode-assembly policy for :attr:`~repro.core.parallel.
+        ParSVDParallel.modes`: ``"bcast"`` (default), ``"root"`` or
+        ``"none"``.
+    apmos_group_size:
+        Group size of the two-level hierarchical APMOS initialisation, or
+        ``None`` (default) for the flat single-level gather.
+    workspace:
+        Enable the allocation-free streaming fast lane (default ``True``).
+    overlap:
+        Pipeline streaming updates: each step's collectives stay in
+        flight while the next batch is ingested (default ``False``).
+
+    Examples
+    --------
+    >>> SolverConfig(K=10, ff=1.0, qr_variant="tree").gather
+    'bcast'
+    """
+
+    qr_variant: str = "gather"
+    gather: str = "bcast"
+    apmos_group_size: Optional[int] = None
+    workspace: bool = True
+    overlap: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validate_parallel_options(
+            self.qr_variant, self.gather, self.apmos_group_size
+        )
+        if not isinstance(self.workspace, bool):
+            raise ConfigurationError(
+                f"workspace must be a bool, got {self.workspace!r}"
+            )
+        if not isinstance(self.overlap, bool):
+            raise ConfigurationError(
+                f"overlap must be a bool, got {self.overlap!r}"
+            )
+
+    @classmethod
+    def from_svd_config(cls, config: SVDConfig, **options: object) -> "SolverConfig":
+        """Lift a plain :class:`SVDConfig` (e.g. from a checkpoint) into a
+        :class:`SolverConfig`, with run options as keyword overrides."""
+        if isinstance(config, SolverConfig) and not options:
+            return config
+        base = {
+            field.name: getattr(config, field.name)
+            for field in dataclasses.fields(config)
+        }
+        base.update(options)
+        return cls(**base)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendConfig(_SectionMixin):
+    """Which communicator substrate a run executes on, and its knobs.
+
+    Parameters
+    ----------
+    name:
+        Registered backend name — ``"threads"`` (in-process SPMD,
+        default), ``"self"`` (zero-overhead single rank) or ``"mpi4py"``
+        (real MPI under a launcher); see :data:`repro.smpi.BACKENDS`.
+    size:
+        Number of ranks.  Must be 1 for ``"self"``; for ``"mpi4py"`` it is
+        validated against the launcher's world size.
+    timeout:
+        Mailbox deadlock timeout in seconds (``"threads"`` backend).
+    irecv_buffer_bytes:
+        Receive-buffer size preallocated per preposted ``irecv`` on the
+        ``"mpi4py"`` adapter (whose pickle-mode ``irecv`` cannot
+        probe-size and truncates larger messages).  Raise it when
+        preposting receives for large payloads; other backends probe
+        exactly and ignore it.
+    """
+
+    name: str = "threads"
+    size: int = 1
+    timeout: float = 120.0
+    irecv_buffer_bytes: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        from .smpi.factory import BACKENDS
+
+        if self.name not in BACKENDS:
+            raise ConfigurationError(
+                f"backend name must be one of {BACKENDS}, got {self.name!r}"
+            )
+        if not isinstance(self.size, int) or isinstance(self.size, bool):
+            raise ConfigurationError(
+                f"backend size must be an int, got {self.size!r}"
+            )
+        if self.size < 1:
+            raise ConfigurationError(
+                f"backend size must be >= 1, got {self.size}"
+            )
+        if self.name == "self" and self.size != 1:
+            raise ConfigurationError(
+                f"the 'self' backend is single-rank by construction; got "
+                f"size {self.size} (use 'threads' or 'mpi4py')"
+            )
+        if (
+            not isinstance(self.timeout, (int, float))
+            or isinstance(self.timeout, bool)
+            or not self.timeout > 0.0
+        ):
+            raise ConfigurationError(
+                f"backend timeout must be a positive number, got {self.timeout!r}"
+            )
+        if (
+            not isinstance(self.irecv_buffer_bytes, int)
+            or isinstance(self.irecv_buffer_bytes, bool)
+            or self.irecv_buffer_bytes < 1
+        ):
+            raise ConfigurationError(
+                f"irecv_buffer_bytes must be a positive int, got "
+                f"{self.irecv_buffer_bytes!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamConfig(_SectionMixin):
+    """How snapshot batches reach the solver.
+
+    Parameters
+    ----------
+    source:
+        Path to an on-disk snapshot container
+        (:class:`~repro.data.io.SnapshotDataset`), or ``None`` (default)
+        when the caller supplies the data/stream directly to
+        :meth:`~repro.api.Session.fit_stream`.
+    batch:
+        Batch size (columns per streaming update) used when slicing a
+        matrix or container into batches; ``None`` when the caller hands
+        over an already-batched stream.
+    prefetch:
+        Background prefetch depth: ``> 0`` wraps the rank-local stream in
+        a :class:`~repro.data.streams.PrefetchStream` of that depth so
+        batch production overlaps compute; ``0`` (default) disables it.
+    """
+
+    source: Optional[str] = None
+    batch: Optional[int] = None
+    prefetch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source is not None and not isinstance(self.source, str):
+            raise ConfigurationError(
+                f"stream source must be a path string or None, got "
+                f"{self.source!r}"
+            )
+        if self.batch is not None:
+            if not isinstance(self.batch, int) or isinstance(self.batch, bool):
+                raise ConfigurationError(
+                    f"stream batch must be an int or None, got {self.batch!r}"
+                )
+            if self.batch < 1:
+                raise ConfigurationError(
+                    f"stream batch must be >= 1, got {self.batch}"
+                )
+        if (
+            not isinstance(self.prefetch, int)
+            or isinstance(self.prefetch, bool)
+            or self.prefetch < 0
+        ):
+            raise ConfigurationError(
+                f"stream prefetch depth must be an int >= 0, got "
+                f"{self.prefetch!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig(_SectionMixin):
+    """The complete, typed description of one SVD run.
+
+    Composes the three orthogonal sections — *what* to solve
+    (:class:`SolverConfig`), *where* to run it (:class:`BackendConfig`)
+    and *how* batches arrive (:class:`StreamConfig`) — into the single
+    value every driver entry point (:class:`~repro.api.Session`, the CLI,
+    examples, benchmarks) programs against.  Round-trips losslessly
+    through :meth:`to_dict`/:meth:`from_dict` and JSON
+    (:meth:`to_json`/:meth:`from_json`/:meth:`save`/:meth:`load`), and is
+    embedded into checkpoints so :meth:`repro.api.Session.resume` can
+    restore solver *and* backend settings.
+
+    Examples
+    --------
+    >>> cfg = RunConfig(solver=SolverConfig(K=10, ff=1.0))
+    >>> RunConfig.from_json(cfg.to_json()) == cfg
+    True
+    """
+
+    solver: SolverConfig = dataclasses.field(default_factory=SolverConfig)
+    backend: BackendConfig = dataclasses.field(default_factory=BackendConfig)
+    stream: StreamConfig = dataclasses.field(default_factory=StreamConfig)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.solver, SolverConfig):
+            raise ConfigurationError(
+                f"solver must be a SolverConfig, got {type(self.solver).__name__}"
+            )
+        if not isinstance(self.backend, BackendConfig):
+            raise ConfigurationError(
+                f"backend must be a BackendConfig, got {type(self.backend).__name__}"
+            )
+        if not isinstance(self.stream, StreamConfig):
+            raise ConfigurationError(
+                f"stream must be a StreamConfig, got {type(self.stream).__name__}"
+            )
+
+    # -- dict / JSON round-trip -------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (JSON-serialisable)."""
+        return {
+            "solver": dataclasses.asdict(self.solver),
+            "backend": dataclasses.asdict(self.backend),
+            "stream": dataclasses.asdict(self.stream),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; missing sections/keys take their
+        defaults, unknown ones raise :class:`~repro.exceptions.
+        ConfigurationError`."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"run config must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"solver", "backend", "stream"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown section(s) {unknown} in run config; valid "
+                f"sections: ['backend', 'solver', 'stream']"
+            )
+        return cls(
+            solver=_from_section_dict(
+                SolverConfig, "solver", payload.get("solver", {})
+            ),
+            backend=_from_section_dict(
+                BackendConfig, "backend", payload.get("backend", {})
+            ),
+            stream=_from_section_dict(
+                StreamConfig, "stream", payload.get("stream", {})
+            ),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"run config is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the JSON form to ``path``; returns the path written."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "RunConfig":
+        """Read a JSON run config from disk (see :meth:`save`)."""
+        path = pathlib.Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read run config {path}: {exc}") from exc
+        return cls.from_json(text)

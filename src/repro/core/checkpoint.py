@@ -25,11 +25,15 @@ unknown version fails loudly rather than mis-restoring.
 from __future__ import annotations
 
 import pathlib
-from typing import Optional, Union
+import warnings
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from ..config import SVDConfig
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..config import RunConfig
 from ..exceptions import DataFormatError, NotInitializedError
 
 __all__ = [
@@ -79,12 +83,19 @@ def write_checkpoint(
     qr_variant: str = "gather",
     gather: str = "bcast",
     apmos_group_size: Optional[int] = None,
+    run_config: Optional["RunConfig"] = None,
 ) -> pathlib.Path:
     """Serialise one (rank's) resumable streaming state.
 
     ``qr_variant``/``gather``/``apmos_group_size`` record the parallel
     driver's run options so a restart continues with the saved
     configuration; the serial driver leaves them at their defaults.
+
+    ``run_config`` (when given, e.g. by :class:`~repro.api.Session`)
+    embeds the full typed :class:`~repro.config.RunConfig` as a JSON
+    payload, so a resume can restore solver *and* backend settings —
+    including knobs the flat fields don't carry (``workspace``,
+    ``overlap``, backend name/size, stream batching).
     """
     if modes is None or singular_values is None:
         raise NotInitializedError("cannot checkpoint an uninitialised SVD")
@@ -93,8 +104,12 @@ def write_checkpoint(
             f"checkpoint kind must be one of {CHECKPOINT_KINDS}, got {kind!r}"
         )
     path = normalize_checkpoint_path(path)
+    extra = {}
+    if run_config is not None:
+        extra["run_config_json"] = np.asarray(run_config.to_json())
     np.savez(
         path,
+        **extra,
         format_version=np.asarray(CHECKPOINT_VERSION),
         kind=np.asarray(kind),
         modes=modes,
@@ -120,11 +135,22 @@ def write_checkpoint(
     return path
 
 
-def read_checkpoint(path: PathLike) -> dict:
+def read_checkpoint(path: PathLike, load_arrays: bool = True) -> dict:
     """Load and validate a checkpoint written by :func:`write_checkpoint`.
 
     Returns a dict with ``config`` (an :class:`SVDConfig`), the state
-    arrays, counters, and the ``kind``/``rank``/``nranks`` identity fields.
+    arrays, counters, the ``kind``/``rank``/``nranks`` identity fields,
+    and ``run_config`` — the embedded :class:`~repro.config.RunConfig`
+    when the checkpoint was written through the :mod:`repro.api` layer,
+    else ``None``.  An embedded config this build cannot parse (e.g. a
+    newer format) degrades to ``None`` with a warning rather than making
+    the whole checkpoint unreadable — the flat fields still restore it.
+
+    ``load_arrays=False`` skips materialising the ``modes`` /
+    ``singular_values`` arrays (both ``None`` in the result) — for
+    callers that only need configuration/identity, e.g.
+    :func:`repro.api.checkpoint_run_config`, which would otherwise pay
+    the full mode-matrix read twice per resume.
     """
     path = pathlib.Path(path)
     try:
@@ -155,11 +181,30 @@ def read_checkpoint(path: PathLike) -> dict:
                 if "par_apmos_group_size" in data
                 else -1
             )
+            run_config: Optional["RunConfig"] = None
+            if "run_config_json" in data:
+                from ..config import RunConfig
+                from ..exceptions import ConfigurationError
+
+                try:
+                    run_config = RunConfig.from_json(
+                        str(data["run_config_json"])
+                    )
+                except ConfigurationError as exc:
+                    warnings.warn(
+                        f"{path}: ignoring embedded run config this build "
+                        f"cannot parse ({exc}); restoring from the flat "
+                        f"checkpoint fields instead",
+                        stacklevel=2,
+                    )
             return {
+                "run_config": run_config,
                 "config": config,
                 "kind": str(data["kind"]),
-                "modes": np.array(data["modes"]),
-                "singular_values": np.array(data["singular_values"]),
+                "modes": np.array(data["modes"]) if load_arrays else None,
+                "singular_values": (
+                    np.array(data["singular_values"]) if load_arrays else None
+                ),
                 "iteration": int(data["iteration"]),
                 "n_seen": int(data["n_seen"]),
                 "rank": int(data["rank"]),

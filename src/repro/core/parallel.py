@@ -27,12 +27,18 @@ Fidelity notes
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
 
-from ..config import validate_parallel_options
-from ..exceptions import CommunicatorError, DataFormatError, ShapeError
+from ..config import RunConfig, SolverConfig
+from ..exceptions import (
+    CommunicatorError,
+    ConfigurationError,
+    DataFormatError,
+    ShapeError,
+)
 from ..utils.linalg import economy_svd, truncate_svd
 from ..utils.rng import resolve_rng
 from ..utils.partition import block_partition
@@ -55,6 +61,49 @@ from .workspace import Workspace
 
 __all__ = ["ParSVDParallel"]
 
+#: Sentinel distinguishing "not passed" from an explicit ``None``/default,
+#: so only genuinely legacy call sites trigger the deprecation shim.
+_UNSET = object()
+
+#: Legacy keyword parameters of ``ParSVDParallel.__init__``, in signature
+#: order; each now lives on :class:`~repro.config.SolverConfig`.
+_LEGACY_PARAMS = (
+    "K",
+    "ff",
+    "low_rank",
+    "qr_variant",
+    "gather",
+    "apmos_group_size",
+    "workspace",
+    "overlap",
+)
+
+
+def _legacy_kwargs_message(legacy: dict, config) -> str:
+    """The deprecation message, carrying the exact replacement snippet for
+    the call site's own arguments."""
+    shown = []
+    if config is not None:
+        shown.append("config=...")
+    shown.extend(f"{key}={value!r}" for key, value in legacy.items())
+    solver_args = ", ".join(f"{key}={value!r}" for key, value in legacy.items())
+    if config is not None:
+        snippet = "SolverConfig.from_svd_config(config" + (
+            f", {solver_args})" if solver_args else ")"
+        )
+    else:
+        snippet = f"SolverConfig({solver_args})"
+    return (
+        f"ParSVDParallel(comm, {', '.join(shown)}) keyword arguments are "
+        f"deprecated; build a typed config instead:\n"
+        f"    from repro.api import RunConfig, Session, SolverConfig\n"
+        f"    cfg = RunConfig(solver={snippet})\n"
+        f"    with Session(cfg, comm=comm) as session:\n"
+        f"        session.fit_stream(batches)\n"
+        f"or construct the driver directly via "
+        f"ParSVDParallel(comm, solver={snippet})."
+    )
+
 
 class ParSVDParallel(ParSVDBase):
     """Distributed streaming truncated SVD over a row-block decomposition.
@@ -63,8 +112,17 @@ class ParSVDParallel(ParSVDBase):
     ----------
     comm:
         Communicator for this rank (:mod:`repro.smpi` or compatible).
+    solver:
+        A :class:`~repro.config.SolverConfig` carrying every algorithm
+        and run option below — the **canonical** construction path
+        (:class:`~repro.api.Session` builds drivers this way).  Mutually
+        exclusive with the legacy keyword arguments.
     K, ff, low_rank, config:
-        As in :class:`~repro.core.base.ParSVDBase`.
+        As in :class:`~repro.core.base.ParSVDBase`.  *Deprecated* along
+        with every keyword below: passing any of them emits a
+        ``DeprecationWarning`` whose message carries the exact
+        ``SolverConfig`` replacement for the call site; the behaviour is
+        unchanged (the shim builds the same config internally).
     qr_variant:
         ``"gather"`` (the paper's Listing 4 pattern, default) or ``"tree"``
         (binary-reduction TSQR; same numbers, different communication).
@@ -130,42 +188,94 @@ class ParSVDParallel(ParSVDBase):
     --------
     Run with 4 ranks via the SPMD executor::
 
+        from repro.config import SolverConfig
         from repro.smpi import run_spmd
         from repro.utils import block_partition
 
         def job(comm):
             part = block_partition(n_dof, comm.size)
             block = data[part.slice_of(comm.rank), :]
-            svd = ParSVDParallel(comm, K=10, ff=0.95)
+            svd = ParSVDParallel(comm, solver=SolverConfig(K=10, ff=0.95))
             svd.initialize(block[:, :100])
             svd.incorporate_data(block[:, 100:200])
             return svd.singular_values
 
         values = run_spmd(4, job)
+
+    (Or, one level up: :class:`repro.api.Session` builds the driver,
+    partitions the rows and owns the communicator — the construction
+    path all shipped entry points use.)
     """
 
     def __init__(
         self,
         comm,
-        K=None,
-        ff=None,
-        low_rank=None,
-        config=None,
-        qr_variant: str = "gather",
-        gather: str = "bcast",
-        apmos_group_size: Optional[int] = None,
-        workspace: bool = True,
-        overlap: bool = False,
+        K=_UNSET,
+        ff=_UNSET,
+        low_rank=_UNSET,
+        config=_UNSET,
+        qr_variant=_UNSET,
+        gather=_UNSET,
+        apmos_group_size=_UNSET,
+        workspace=_UNSET,
+        overlap=_UNSET,
+        *,
+        solver: Optional[SolverConfig] = None,
         **extra,
     ) -> None:
-        super().__init__(K=K, ff=ff, low_rank=low_rank, config=config, **extra)
-        validate_parallel_options(qr_variant, gather, apmos_group_size)
+        # On the legacy signature an explicit None on K/ff/low_rank (its
+        # own defaults) or apmos_group_size (None = flat APMOS) meant
+        # "use the config/default value" — those neither override nor
+        # count as a legacy-kwarg call.  The other options had concrete
+        # defaults, so an explicit None there passes through to
+        # SolverConfig validation and fails loudly.
+        legacy = {
+            name: value
+            for name, value in zip(
+                _LEGACY_PARAMS,
+                (K, ff, low_rank, qr_variant, gather, apmos_group_size,
+                 workspace, overlap),
+            )
+            if value is not _UNSET
+            and not (
+                value is None
+                and name in ("K", "ff", "low_rank", "apmos_group_size")
+            )
+        }
+        legacy.update(extra)
+        legacy_config = config if config is not _UNSET else None
+        if solver is not None:
+            if legacy or legacy_config is not None:
+                raise ConfigurationError(
+                    "pass either solver=SolverConfig(...) or the legacy "
+                    "keyword arguments, not both"
+                )
+            if not isinstance(solver, SolverConfig):
+                raise ConfigurationError(
+                    f"solver must be a SolverConfig, got "
+                    f"{type(solver).__name__}"
+                )
+            resolved = solver
+        else:
+            if legacy or legacy_config is not None:
+                warnings.warn(
+                    _legacy_kwargs_message(legacy, legacy_config),
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            if legacy_config is not None:
+                resolved = SolverConfig.from_svd_config(legacy_config, **legacy)
+            else:
+                resolved = SolverConfig(**legacy)
+        super().__init__(config=resolved)
         self.comm = comm
-        self._qr_variant = qr_variant
-        self._gather = gather
-        self._apmos_group_size = apmos_group_size
-        self._workspace: Optional[Workspace] = Workspace() if workspace else None
-        self._overlap = bool(overlap)
+        self._qr_variant = resolved.qr_variant
+        self._gather = resolved.gather
+        self._apmos_group_size = resolved.apmos_group_size
+        self._workspace: Optional[Workspace] = (
+            Workspace() if resolved.workspace else None
+        )
+        self._overlap = bool(resolved.overlap)
         # In-flight pipelined step (overlap mode): posted by
         # incorporate_data, completed lazily by the next update or by any
         # result accessor.  _pending_error poisons the instance after a
@@ -183,6 +293,13 @@ class ParSVDParallel(ParSVDBase):
         # and broadcast); all ranks derive the same stream for determinism
         # regardless of which rank ends up drawing.
         self._rng = resolve_rng(self._config.seed)
+
+    @property
+    def solver(self) -> SolverConfig:
+        """The full :class:`~repro.config.SolverConfig` this driver runs
+        with (algorithm parameters *and* run options)."""
+        assert isinstance(self._config, SolverConfig)
+        return self._config
 
     # -- distributed kernels (paper Listings 3 and 4) ------------------------
     def parallel_svd(
@@ -491,7 +608,12 @@ class ParSVDParallel(ParSVDBase):
         return self._modes
 
     # -- checkpoint / restart ---------------------------------------------
-    def save_checkpoint(self, path, gathered: bool = False) -> str:
+    def save_checkpoint(
+        self,
+        path,
+        gathered: bool = False,
+        run_config: Optional[RunConfig] = None,
+    ) -> str:
         """Checkpoint the streaming state; returns the path written.
 
         With ``gathered=False`` (default) every rank calls this with the
@@ -505,6 +627,10 @@ class ParSVDParallel(ParSVDBase):
         (``kind="gathered"``).  Such a checkpoint restarts at *any* rank
         count — see :meth:`from_checkpoint` — and is what
         :class:`~repro.serving.ModeBaseStore` ingests.
+
+        ``run_config`` embeds the typed :class:`~repro.config.RunConfig`
+        into the file so :meth:`repro.api.Session.resume` can restore the
+        backend and stream settings too (the session passes its own).
         """
         self._require_initialized()
         self._finalize_pending()
@@ -526,6 +652,7 @@ class ParSVDParallel(ParSVDBase):
                     qr_variant=self._qr_variant,
                     gather=self._gather,
                     apmos_group_size=self._apmos_group_size,
+                    run_config=run_config,
                 )
             # Exit barrier: gatherv_rows returns immediately on non-root
             # ranks (buffered sends), so without this a rank could observe
@@ -546,6 +673,7 @@ class ParSVDParallel(ParSVDBase):
             qr_variant=self._qr_variant,
             gather=self._gather,
             apmos_group_size=self._apmos_group_size,
+            run_config=run_config,
         )
         return str(out)
 
@@ -584,12 +712,19 @@ class ParSVDParallel(ParSVDBase):
         path,
         qr_variant: Optional[str] = None,
         gather: Optional[str] = None,
+        solver: Optional[SolverConfig] = None,
     ) -> "ParSVDParallel":
         """Rebuild this rank's instance from its shard of a checkpoint.
 
         ``qr_variant``/``gather`` default to the values recorded at save
         time (so a restart continues with the saved configuration,
         including ``apmos_group_size``); pass them explicitly to override.
+        ``solver`` overrides the whole configuration at once (a full
+        :class:`~repro.config.SolverConfig`, e.g. the one embedded in the
+        checkpoint's :class:`~repro.config.RunConfig` payload — how
+        :meth:`repro.api.Session.resume` also restores ``workspace``/
+        ``overlap``); it is mutually exclusive with the per-field
+        overrides.
 
         Two layouts restart:
 
@@ -602,6 +737,11 @@ class ParSVDParallel(ParSVDBase):
           equal the checkpoint's (the shards partition the global modes);
           a mismatch raises :class:`~repro.exceptions.DataFormatError`.
         """
+        if solver is not None and (qr_variant is not None or gather is not None):
+            raise ConfigurationError(
+                "pass either solver= or the qr_variant/gather overrides, "
+                "not both"
+            )
         gathered_file = normalize_checkpoint_path(path)
         shard = rank_checkpoint_path(path, comm.rank)
         gathered_state: Optional[dict] = None
@@ -631,13 +771,7 @@ class ParSVDParallel(ParSVDBase):
             state = gathered_state
             global_modes = state["modes"]
             part = block_partition(global_modes.shape[0], comm.size)
-            svd = cls(
-                comm,
-                config=state["config"],
-                qr_variant=qr_variant or state["qr_variant"],
-                gather=gather or state["gather"],
-                apmos_group_size=state["apmos_group_size"],
-            )
+            svd = cls(comm, solver=cls._restored_solver(state, qr_variant, gather, solver))
             local = np.array(global_modes[part.slice_of(comm.rank), :])
             svd._ulocal = local
             svd._singular_values = state["singular_values"]
@@ -661,13 +795,7 @@ class ParSVDParallel(ParSVDBase):
                 f"{shard}: shard belongs to rank {state['rank']}, "
                 f"loaded by rank {comm.rank}"
             )
-        svd = cls(
-            comm,
-            config=state["config"],
-            qr_variant=qr_variant or state["qr_variant"],
-            gather=gather or state["gather"],
-            apmos_group_size=state["apmos_group_size"],
-        )
+        svd = cls(comm, solver=cls._restored_solver(state, qr_variant, gather, solver))
         svd._ulocal = state["modes"]
         svd._singular_values = state["singular_values"]
         svd._iteration = state["iteration"]
@@ -675,3 +803,21 @@ class ParSVDParallel(ParSVDBase):
         svd._n_dof = state["modes"].shape[0]
         svd._invalidate_modes()
         return svd
+
+    @staticmethod
+    def _restored_solver(
+        state: dict,
+        qr_variant: Optional[str],
+        gather: Optional[str],
+        solver: Optional[SolverConfig],
+    ) -> SolverConfig:
+        """The SolverConfig a restart runs with: an explicit override, or
+        the checkpoint's recorded algorithm + run options."""
+        if solver is not None:
+            return solver
+        return SolverConfig.from_svd_config(
+            state["config"],
+            qr_variant=qr_variant or state["qr_variant"],
+            gather=gather or state["gather"],
+            apmos_group_size=state["apmos_group_size"],
+        )

@@ -76,9 +76,13 @@ Use :func:`create_communicator` when you need communicator objects, or
 
     from repro.smpi import create_communicator, run_backend
 
-    svd = ParSVDParallel(create_communicator("self"), K=10)
+    svd = ParSVDParallel(create_communicator("self"), solver=SolverConfig(K=10))
 
     results = run_backend("threads", 4, job)   # == run_spmd(4, job)
+
+(:class:`repro.api.Session` wraps both calls behind one typed entry
+point — ``Session.run(RunConfig(...), fn)`` — and is what the CLI,
+examples and benchmarks use.)
 """
 
 from __future__ import annotations
@@ -115,6 +119,7 @@ def create_communicator(
     *,
     timeout: float = 60.0,
     mpi_comm: Any = None,
+    irecv_buffer_bytes: Optional[int] = None,
 ) -> Union[Any, Tuple[Any, ...]]:
     """Create communicator(s) for the named backend.
 
@@ -131,6 +136,13 @@ def create_communicator(
     mpi_comm:
         Existing ``mpi4py`` communicator to wrap (``"mpi4py"`` only);
         defaults to ``COMM_WORLD``.
+    irecv_buffer_bytes:
+        Receive-buffer size preallocated per preposted ``irecv`` on the
+        ``"mpi4py"`` adapter (its pickle-mode ``irecv`` truncates
+        messages larger than the buffer); ``None`` keeps the adapter's
+        default.  The in-process backends probe message sizes exactly and
+        ignore it.  Set through :class:`repro.config.BackendConfig.
+        irecv_buffer_bytes` when building sessions.
 
     Returns
     -------
@@ -153,7 +165,10 @@ def create_communicator(
     if name == "mpi4py":
         from .mpi import Mpi4pyCommunicator
 
-        comm = Mpi4pyCommunicator(mpi_comm)
+        mpi_kwargs = {}
+        if irecv_buffer_bytes is not None:
+            mpi_kwargs["irecv_buffer_bytes"] = irecv_buffer_bytes
+        comm = Mpi4pyCommunicator(mpi_comm, **mpi_kwargs)
         if size > 1 and comm.size != size:
             raise SmpiError(
                 f"requested {size} ranks but the MPI communicator has "
@@ -176,13 +191,16 @@ def run_backend(
     *args: Any,
     timeout: float = 120.0,
     trace: bool = False,
+    irecv_buffer_bytes: Optional[int] = None,
     **kwargs: Any,
 ) -> Any:
     """Run ``fn(comm, *args, **kwargs)`` SPMD-style on a named backend.
 
     A backend-polymorphic :func:`repro.smpi.run_spmd`: drivers (CLI,
     examples, benchmarks) select the substrate with a string and keep a
-    single code path.
+    single code path.  ``irecv_buffer_bytes`` configures the mpi4py
+    adapter's preposted receive buffers (see :func:`create_communicator`);
+    the in-process backends ignore it.
 
     Returns the rank-ordered list of per-rank results (``[fn(...)]`` for
     single-rank backends), or ``(results, tracers)`` when ``trace=True``.
@@ -201,7 +219,9 @@ def run_backend(
             comm = tracers[0]
         results = [fn(comm, *args, **kwargs)]
         return (results, tracers) if trace else results
-    comm = create_communicator("mpi4py", size)
+    comm = create_communicator(
+        "mpi4py", size, irecv_buffer_bytes=irecv_buffer_bytes
+    )
     if comm.size != size:
         # run_backend's size is an explicit request (unlike
         # create_communicator's default); a launcher mismatch must not

@@ -67,10 +67,21 @@ class Mpi4pyCommunicator(NonblockingCollectivesMixin, DerivedCollectivesMixin):
                 "the 'mpi4py' backend requires the mpi4py package, which is "
                 "not installed; use the 'threads' or 'self' backend instead"
             )
+        if int(irecv_buffer_bytes) < 1:
+            raise SmpiError(
+                f"irecv_buffer_bytes must be >= 1, got {irecv_buffer_bytes!r}"
+            )
         self._comm = _MPI.COMM_WORLD if mpi_comm is None else mpi_comm
         self._irecv_buffer_bytes = int(irecv_buffer_bytes)
         self.rank = int(self._comm.Get_rank())
         self.size = int(self._comm.Get_size())
+
+    @property
+    def irecv_buffer_bytes(self) -> int:
+        """Per-``irecv`` preposted receive-buffer size (bytes).  Propagates
+        through :meth:`split`/:meth:`dup`; configure it via
+        :class:`repro.config.BackendConfig.irecv_buffer_bytes`."""
+        return self._irecv_buffer_bytes
 
     # -- mpi4py-style accessors ------------------------------------------
     def Get_rank(self) -> int:

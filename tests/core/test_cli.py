@@ -43,12 +43,74 @@ class TestParser:
             build_parser().parse_args(["burgers", "--backend", "bogus"])
 
 
+class TestConfigSubcommand:
+    def test_dump_is_valid_run_config_json(self, capsys):
+        from repro.api import RunConfig
+
+        assert main(
+            [
+                "config", "dump",
+                "--ranks", "4", "--modes", "8", "--ff", "1.0",
+                "--batch", "50", "--qr-variant", "tree", "--overlap",
+                "--prefetch", "2", "--seed", "3", "--low-rank",
+            ]
+        ) == 0
+        cfg = RunConfig.from_json(capsys.readouterr().out)
+        assert cfg.solver.K == 8
+        assert cfg.solver.qr_variant == "tree"
+        assert cfg.solver.overlap is True
+        assert cfg.solver.low_rank is True
+        assert cfg.solver.seed == 3
+        assert cfg.backend.size == 4
+        assert cfg.stream.batch == 50
+        assert cfg.stream.prefetch == 2
+
+    def test_dump_self_backend_forces_single_rank(self, capsys):
+        from repro.api import RunConfig
+
+        assert main(["config", "dump", "--backend", "self", "--ranks", "9"]) == 0
+        cfg = RunConfig.from_json(capsys.readouterr().out)
+        assert (cfg.backend.name, cfg.backend.size) == ("self", 1)
+
+    def test_dump_validate_round_trip(self, capsys, tmp_path):
+        assert main(["config", "dump", "--modes", "6"]) == 0
+        dumped = capsys.readouterr().out
+        path = tmp_path / "run.json"
+        path.write_text(dumped)
+        assert main(["config", "validate", str(path)]) == 0
+        assert "valid RunConfig" in capsys.readouterr().out
+
+    def test_validate_bad_file_exits_nonzero_with_specific_error(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "bad.json"
+        path.write_text('{"solver": {"K": -1}}')
+        assert main(["config", "validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "K must be positive" in err
+
+    def test_validate_unknown_key_named(self, capsys, tmp_path):
+        path = tmp_path / "unknown.json"
+        path.write_text('{"backend": {"frobnicate": 1}}')
+        assert main(["config", "validate", str(path)]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_nonzero(self, capsys, tmp_path):
+        assert main(["config", "validate", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_config_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["config"])
+
+
 class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "PyParSVD reproduction" in out
         assert "K=10" in out
+        assert "Session" in out
 
     def test_burgers_small(self, capsys):
         code = main(

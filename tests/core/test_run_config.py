@@ -1,0 +1,216 @@
+"""Typed run-config layer: SolverConfig / BackendConfig / StreamConfig /
+RunConfig validation and lossless dict / JSON round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BackendConfig,
+    RunConfig,
+    SolverConfig,
+    StreamConfig,
+    SVDConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSolverConfig:
+    def test_defaults_extend_svd_config(self):
+        cfg = SolverConfig()
+        assert cfg.K == SVDConfig().K
+        assert cfg.ff == SVDConfig().ff
+        assert cfg.qr_variant == "gather"
+        assert cfg.gather == "bcast"
+        assert cfg.apmos_group_size is None
+        assert cfg.workspace is True
+        assert cfg.overlap is False
+
+    def test_is_an_svd_config(self):
+        assert isinstance(SolverConfig(), SVDConfig)
+
+    def test_svd_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(K=0)
+        with pytest.raises(ConfigurationError):
+            SolverConfig(ff=1.5)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("qr_variant", "sideways"),
+            ("gather", "sometimes"),
+            ("apmos_group_size", 0),
+            ("workspace", "yes"),
+            ("overlap", 1),
+        ],
+    )
+    def test_run_option_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(**{field: value})
+
+    def test_replace_preserves_type(self):
+        cfg = SolverConfig(K=4).replace(qr_variant="tree")
+        assert isinstance(cfg, SolverConfig)
+        assert (cfg.K, cfg.qr_variant) == (4, "tree")
+
+    def test_from_svd_config_lifts_plain_config(self):
+        lifted = SolverConfig.from_svd_config(
+            SVDConfig(K=7, ff=0.5, seed=3), qr_variant="tree"
+        )
+        assert (lifted.K, lifted.ff, lifted.seed) == (7, 0.5, 3)
+        assert lifted.qr_variant == "tree"
+
+    def test_from_svd_config_passthrough_and_override(self):
+        base = SolverConfig(K=5, gather="root", overlap=True)
+        assert SolverConfig.from_svd_config(base) is base
+        overridden = SolverConfig.from_svd_config(base, gather="none")
+        # options override, the solver-level fields of the base survive
+        assert overridden.gather == "none"
+        assert overridden.overlap is True
+        assert overridden.K == 5
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SolverConfig().K = 3
+
+
+class TestBackendConfig:
+    def test_defaults(self):
+        cfg = BackendConfig()
+        assert cfg.name == "threads"
+        assert cfg.size == 1
+        assert cfg.timeout == 120.0
+        assert cfg.irecv_buffer_bytes == 1 << 24
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "bogus"},
+            {"size": 0},
+            {"size": True},
+            {"name": "self", "size": 2},
+            {"timeout": 0.0},
+            {"irecv_buffer_bytes": 0},
+            {"irecv_buffer_bytes": True},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackendConfig(**kwargs)
+
+    def test_every_registered_backend_accepted(self):
+        from repro.smpi import BACKENDS
+
+        for name in BACKENDS:
+            assert BackendConfig(name=name).name == name
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        cfg = StreamConfig()
+        assert cfg.source is None
+        assert cfg.batch is None
+        assert cfg.prefetch == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"source": 42},
+            {"batch": 0},
+            {"batch": True},
+            {"prefetch": -1},
+            {"prefetch": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(**kwargs)
+
+
+class TestRunConfig:
+    def test_sections_must_be_typed(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(solver={"K": 3})
+        with pytest.raises(ConfigurationError):
+            RunConfig(backend="threads")
+        with pytest.raises(ConfigurationError):
+            RunConfig(stream={"batch": 10})
+
+    def test_dict_round_trip(self):
+        cfg = RunConfig(
+            solver=SolverConfig(
+                K=12, ff=0.9, low_rank=True, seed=7,
+                qr_variant="tree", gather="root", overlap=True,
+            ),
+            backend=BackendConfig(name="threads", size=4, timeout=30.0),
+            stream=StreamConfig(source="/data/snaps.npz", batch=25, prefetch=3),
+        )
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_json_round_trip(self):
+        cfg = RunConfig(
+            solver=SolverConfig(K=3, apmos_group_size=2),
+            backend=BackendConfig(name="self"),
+            stream=StreamConfig(batch=10),
+        )
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+        assert RunConfig.from_json(cfg.to_json(indent=2)) == cfg
+
+    def test_default_round_trip(self):
+        assert RunConfig.from_dict(RunConfig().to_dict()) == RunConfig()
+
+    def test_missing_sections_take_defaults(self):
+        cfg = RunConfig.from_dict({"solver": {"K": 5}})
+        assert cfg.solver.K == 5
+        assert cfg.backend == BackendConfig()
+        assert cfg.stream == StreamConfig()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown section"):
+            RunConfig.from_dict({"sovler": {}})
+
+    def test_unknown_key_rejected_with_name(self):
+        with pytest.raises(ConfigurationError, match="frobnicate"):
+            RunConfig.from_dict({"backend": {"frobnicate": 1}})
+
+    def test_invalid_value_surfaces_specific_error(self):
+        with pytest.raises(ConfigurationError, match="forget factor"):
+            RunConfig.from_dict({"solver": {"ff": 2.0}})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"backend": {"timeout": "abc"}},
+            {"backend": {"timeout": "60"}},
+            {"solver": {"seed": "x"}},
+            {"solver": {"K": [3]}},
+        ],
+    )
+    def test_wrong_typed_values_surface_configuration_error(self, payload):
+        """Never a raw TypeError/ValueError out of from_dict — the CLI's
+        `config validate` contract."""
+        with pytest.raises(ConfigurationError):
+            RunConfig.from_dict(payload)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            RunConfig.from_json("{nope")
+
+    def test_save_load_round_trip(self, tmp_path):
+        cfg = RunConfig(
+            solver=SolverConfig(K=6, overlap=True),
+            backend=BackendConfig(size=2),
+            stream=StreamConfig(batch=40, prefetch=1),
+        )
+        path = cfg.save(tmp_path / "run.json")
+        assert RunConfig.load(path) == cfg
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            RunConfig.load(tmp_path / "absent.json")
+
+    def test_replace_sections(self):
+        cfg = RunConfig().replace(backend=BackendConfig(size=3))
+        assert cfg.backend.size == 3
+        assert cfg.solver == SolverConfig()

@@ -8,7 +8,16 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
+
+    def test_facade_exports(self):
+        """The typed api layer is reachable from the package root."""
+        for name in (
+            "Session", "SessionResult", "RunConfig",
+            "SolverConfig", "BackendConfig", "StreamConfig",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name), name
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
