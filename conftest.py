@@ -1,0 +1,16 @@
+"""Root pytest configuration.
+
+Puts ``src`` on the import path (so a bare ``pytest`` works without
+``PYTHONPATH=src``) and registers the SPMD leak-guard plugin
+(:mod:`repro.verify.pytest_plugin`): every test fails if it leaves
+behind a live, never-completed nonblocking request.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ("repro.verify.pytest_plugin",)

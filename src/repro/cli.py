@@ -6,6 +6,7 @@ Usage::
     python -m repro era5        [--nlat 24 --nlon 48 --nt 360 --ranks 4]
     python -m repro scaling     [--mode weak|strong --max-nodes 256]
     python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
+    python -m repro verify      [paths ...] [--schedule]
     python -m repro config      dump [run flags] | validate FILE
     python -m repro info
 
@@ -17,6 +18,16 @@ config as JSON (pipe it to a file, edit, and ``validate`` it);
 ``repro config validate FILE`` exits nonzero with the specific
 :class:`~repro.exceptions.ConfigurationError` on any bad section, key or
 value.
+
+Every experiment subcommand also accepts ``--config FILE`` to load a
+saved :class:`~repro.config.RunConfig` JSON as the base configuration;
+flags passed explicitly on the command line override the file's values
+(flags left at their defaults do not).
+
+``repro verify`` runs the SPMD collective-correctness analyzer
+(:mod:`repro.verify`): a static lint of driver code against the
+communicator protocol's SPMD rules, plus (``--schedule``) a dynamic
+cross-rank trace conformance check with leak detection.
 
 Each experiment prints the same tables/plots as the corresponding bench
 and exits nonzero if the experiment's shape checks fail, so the CLI can be
@@ -65,6 +76,17 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_config_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="load a RunConfig JSON file ('repro config dump' format) as "
+        "the base configuration; flags passed explicitly override its "
+        "values",
+    )
+
+
 def _resolve_ranks(args: argparse.Namespace) -> int:
     """The 'self' backend is single-rank by construction."""
     return 1 if args.backend == "self" else args.ranks
@@ -74,6 +96,82 @@ def _backend_config(args: argparse.Namespace):
     from repro.api import BackendConfig
 
     return BackendConfig(name=args.backend, size=_resolve_ranks(args))
+
+
+#: Per-subcommand map of CLI flag dest -> (RunConfig section, field) for
+#: merging explicit flags over a --config file.
+_CONFIG_OVERRIDES = {
+    "burgers": {
+        "modes": ("solver", "K"),
+        "ff": ("solver", "ff"),
+        "overlap": ("solver", "overlap"),
+        "backend": ("backend", "name"),
+        "ranks": ("backend", "size"),
+        "batch": ("stream", "batch"),
+        "prefetch": ("stream", "prefetch"),
+    },
+    "era5": {
+        "modes": ("solver", "K"),
+        "overlap": ("solver", "overlap"),
+        "backend": ("backend", "name"),
+        "ranks": ("backend", "size"),
+        "prefetch": ("stream", "prefetch"),
+    },
+    "serve-query": {
+        "modes": ("solver", "K"),
+        "backend": ("backend", "name"),
+        "ranks": ("backend", "size"),
+        "batch": ("stream", "batch"),
+    },
+}
+
+
+def _explicit_dests(
+    parser: argparse.ArgumentParser, command: str, argv: List[str]
+) -> set:
+    """Flag dests the user actually passed for ``command``.
+
+    Detected by matching the subparser's option strings against the raw
+    argv — argparse itself does not distinguish "given" from
+    "defaulted", and the --config merge must override only the former.
+    """
+    sub = getattr(parser, "_repro_subparsers", {}).get(command)
+    if sub is None:
+        return set()
+    explicit = set()
+    for action in sub._actions:
+        for option in action.option_strings:
+            if any(
+                token == option or token.startswith(option + "=")
+                for token in argv
+            ):
+                explicit.add(action.dest)
+                break
+    return explicit
+
+
+def _config_from_file(args: argparse.Namespace, command: str):
+    """A RunConfig from ``--config FILE`` with explicit flags merged in."""
+    import dataclasses
+
+    from repro.api import load_run_config
+
+    cfg = load_run_config(args.config)
+    overrides = _CONFIG_OVERRIDES[command]
+    explicit = getattr(args, "_explicit", set())
+    changes = {"solver": {}, "backend": {}, "stream": {}}
+    for dest, (section, field) in overrides.items():
+        if dest in explicit:
+            changes[section][field] = getattr(args, dest)
+    # Mirror _resolve_ranks: the 'self' backend is single-rank.
+    if changes["backend"].get("name", cfg.backend.name) == "self":
+        changes["backend"]["size"] = 1
+    return dataclasses.replace(
+        cfg,
+        solver=dataclasses.replace(cfg.solver, **changes["solver"]),
+        backend=dataclasses.replace(cfg.backend, **changes["backend"]),
+        stream=dataclasses.replace(cfg.stream, **changes["stream"]),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_burgers.add_argument("--ff", type=float, default=0.95)
     _add_backend_option(p_burgers)
     _add_pipeline_options(p_burgers)
+    _add_config_option(p_burgers)
 
     p_era5 = sub.add_parser(
         "era5", help="coherent structures of the synthetic pressure record"
@@ -105,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_era5.add_argument("--modes", type=int, default=6)
     _add_backend_option(p_era5)
     _add_pipeline_options(p_era5)
+    _add_config_option(p_era5)
 
     p_scaling = sub.add_parser("scaling", help="scaling studies (model)")
     p_scaling.add_argument(
@@ -148,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="store directory to publish into (default: a temporary one)",
     )
     _add_backend_option(p_serve)
+    _add_config_option(p_serve)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="SPMD collective-correctness analyzer: static lint over "
+        "driver code, plus --schedule for a dynamic cross-rank trace "
+        "conformance and leak check",
+    )
+    from repro.verify.cli import add_verify_arguments
+
+    add_verify_arguments(p_verify)
 
     p_config = sub.add_parser(
         "config",
@@ -181,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("file", help="path to a RunConfig JSON file")
 
     sub.add_parser("info", help="version and configuration summary")
+    parser._repro_subparsers = {
+        "burgers": p_burgers,
+        "era5": p_era5,
+        "serve-query": p_serve,
+    }
     return parser
 
 
@@ -205,25 +321,29 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
     from repro.api import RunConfig, Session, SolverConfig, StreamConfig
     from repro.data.burgers import BurgersProblem
 
-    cfg = RunConfig(
-        solver=SolverConfig(
-            K=args.modes, ff=args.ff, r1=50,
-            low_rank=True, oversampling=10, power_iters=2, seed=0,
-            overlap=args.overlap,
-        ),
-        backend=_backend_config(args),
-        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
-    )
+    if args.config:
+        cfg = _config_from_file(args, "burgers")
+    else:
+        cfg = RunConfig(
+            solver=SolverConfig(
+                K=args.modes, ff=args.ff, r1=50,
+                low_rank=True, oversampling=10, power_iters=2, seed=0,
+                overlap=args.overlap,
+            ),
+            backend=_backend_config(args),
+            stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+        )
     print(
         f"Burgers validation: {args.nx} points, {args.nt} snapshots, "
-        f"K={args.modes}, {cfg.backend.size} ranks, backend={cfg.backend.name}"
+        f"K={cfg.solver.K}, {cfg.backend.size} ranks, backend={cfg.backend.name}"
     )
     data = BurgersProblem(nx=args.nx, nt=args.nt).snapshot_matrix()
 
-    serial = ParSVDSerial(K=args.modes, ff=args.ff)
-    serial.initialize(data[:, : args.batch])
-    for start in range(args.batch, args.nt, args.batch):
-        serial.incorporate_data(data[:, start : start + args.batch])
+    batch = cfg.stream.batch or args.batch
+    serial = ParSVDSerial(K=cfg.solver.K, ff=cfg.solver.ff)
+    serial.initialize(data[:, :batch])
+    for start in range(batch, args.nt, batch):
+        serial.incorporate_data(data[:, start : start + batch])
 
     def job(session: Session):
         res = session.fit_stream(data).result()
@@ -249,13 +369,16 @@ def _cmd_era5(args: argparse.Namespace) -> int:
         nlat=args.nlat, nlon=args.nlon, nt=args.nt, noise_amp=0.4, seed=11
     )
     data = field.anomaly_snapshots()
-    cfg = RunConfig(
-        solver=SolverConfig(K=args.modes, ff=1.0, r1=50, overlap=args.overlap),
-        backend=_backend_config(args),
-        stream=StreamConfig(
-            batch=max(args.nt // 6, 1), prefetch=args.prefetch
-        ),
-    )
+    if args.config:
+        cfg = _config_from_file(args, "era5")
+    else:
+        cfg = RunConfig(
+            solver=SolverConfig(K=args.modes, ff=1.0, r1=50, overlap=args.overlap),
+            backend=_backend_config(args),
+            stream=StreamConfig(
+                batch=max(args.nt // 6, 1), prefetch=args.prefetch
+            ),
+        )
 
     def job(session: Session):
         res = session.fit_stream(data).result()
@@ -270,7 +393,7 @@ def _cmd_era5(args: argparse.Namespace) -> int:
             "seasonal": field.seasonal_pattern().ravel(),
             "wave": np.column_stack([cos_map.ravel(), sin_map.ravel()]),
         },
-        n_modes=min(3, args.modes),
+        n_modes=min(3, cfg.solver.K),
     )
     for line in report.summary_lines():
         print(line)
@@ -322,11 +445,14 @@ def _run_serve_query(args, data, store) -> int:
     from repro.api import RunConfig, Session, SolverConfig, StreamConfig
     from repro.postprocessing.report import format_table
 
-    cfg = RunConfig(
-        solver=SolverConfig(K=args.modes, ff=1.0, r1=50),
-        backend=_backend_config(args),
-        stream=StreamConfig(batch=args.batch),
-    )
+    if args.config:
+        cfg = _config_from_file(args, "serve-query")
+    else:
+        cfg = RunConfig(
+            solver=SolverConfig(K=args.modes, ff=1.0, r1=50),
+            backend=_backend_config(args),
+            stream=StreamConfig(batch=args.batch),
+        )
 
     def build(session: Session):
         session.fit_stream(data)
@@ -444,7 +570,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.exceptions import ConfigurationError
     from repro.smpi import ParallelFailure, SmpiError
 
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    args._explicit = _explicit_dests(parser, args.command, raw)
     try:
         if args.command == "info":
             return _cmd_info()
@@ -456,6 +585,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scaling(args)
         if args.command == "serve-query":
             return _cmd_serve_query(args)
+        if args.command == "verify":
+            from repro.verify.cli import run_verify
+
+            return run_verify(args)
         if args.command == "config":
             return _cmd_config(args)
     except ParallelFailure:

@@ -33,15 +33,16 @@ used to reproduce the paper's weak-scaling figure.
 """
 
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator, SelfComm
-from .exceptions import SmpiError, RankError, TagError
+from .exceptions import DeadlockError, SmpiError, RankError, TagError
 from .executor import ParallelFailure, run_spmd
 from .factory import BACKENDS, DEFAULT_BACKEND, create_communicator, run_backend
 from .mpi import HAVE_MPI4PY
 from .nonblocking import NB_TAG_BASE
+from .provenance import Leak, RequestTracker, TRACKER, track
 from .reduction import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
 from .request import CollectiveRequest, RecvRequest, Request, SendRequest, waitall
 from .selfcomm import SelfCommunicator
-from .tracer import CommRecord, CommTracer, TrafficSummary
+from .tracer import COLLECTIVE_OPS, CommRecord, CommTracer, TrafficSummary
 
 __all__ = [
     "ANY_SOURCE",
@@ -56,6 +57,7 @@ __all__ = [
     "SmpiError",
     "RankError",
     "TagError",
+    "DeadlockError",
     "ParallelFailure",
     "Request",
     "SendRequest",
@@ -76,5 +78,10 @@ __all__ = [
     "MINLOC",
     "CommTracer",
     "CommRecord",
+    "COLLECTIVE_OPS",
     "TrafficSummary",
+    "Leak",
+    "RequestTracker",
+    "TRACKER",
+    "track",
 ]

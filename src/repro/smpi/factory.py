@@ -47,14 +47,49 @@ the tracer):
 :class:`~repro.smpi.communicator.Communicator` for the reference
 semantics.)
 
-Nonblocking plumbing notes: user point-to-point tags should stay below
-:data:`~repro.smpi.nonblocking.NB_TAG_BASE` (``1 << 24``) — the band at
-and above it is reserved for the derived nonblocking collectives on
-backends without an internal tag space (the threads backend uses its
-negative internal tags and a zero-copy snapshot fan-out instead).  The
-threads transport recycles delivered envelope shells through a bounded
-arena (:class:`~repro.smpi.message.EnvelopePool`), so steady-state
-request churn allocates no envelope objects;
+SPMD correctness rules
+----------------------
+The protocol is *single program, multiple data*: the same driver function
+runs on every rank, and the collectives only work if the ranks keep to a
+shared schedule.  ``repro verify`` (:mod:`repro.verify`) checks these
+rules statically (rule codes below) and at runtime; the contract itself
+is:
+
+* **Collective ordering** — every rank must issue the same collectives
+  (blocking and nonblocking alike) in the same program order, with
+  matching roots.  A collective issued under a rank-dependent branch
+  (``if comm.rank == 0: comm.bcast(...)``) deadlocks the other ranks —
+  unless every arm of the branch issues the *matched* call, as the
+  root/receiver split requires.  Statically flagged as ``SPMD001``;
+  divergence between recorded per-rank schedules is what
+  ``repro verify --schedule`` reports.
+* **Nonblocking completion** — every request (``isend``/``irecv``/
+  ``ibcast``/…) must reach ``wait()``/``test()``/``waitall``.  A rank's
+  deferred share of a collective (e.g. the ``iallreduce`` root's fold)
+  runs inside its completion call, so a dropped request can deadlock
+  *other* ranks, not just leak locally.  Statically flagged as
+  ``SPMD002``; at runtime, un-awaited requests emit a
+  :class:`ResourceWarning` on garbage collection and are reported by the
+  leak detector (:mod:`repro.smpi.provenance`).
+* **Tag band** — user point-to-point tags must stay below
+  :data:`~repro.smpi.nonblocking.NB_TAG_BASE` (``1 << 24``); the band at
+  and above it is reserved for the derived nonblocking collectives'
+  internal traffic on backends without a private tag space (the threads
+  backend uses its negative internal tags and a zero-copy snapshot
+  fan-out instead).  A hardcoded tag inside the reserved band is
+  ``SPMD003``.
+* **Buffer aliasing** — an ``out=`` buffer passed to a collective must
+  not alias that collective's input (``allreduce(x, SUM, out=x)``): the
+  deterministic rank-ordered fold reads contributions while writing the
+  output.  Statically flagged as ``SPMD004``.
+* **Snapshot immutability** — arrays received from the zero-copy
+  fast lanes (``bcast`` payloads, snapshot-shared nonblocking fan-outs)
+  may be *shared* read-only views; receivers must copy before mutating.
+  Writes to received payloads are flagged as ``SPMD005``.
+
+The threads transport recycles delivered envelope shells through a
+bounded arena (:class:`~repro.smpi.message.EnvelopePool`), so
+steady-state request churn allocates no envelope objects;
 :meth:`~repro.smpi.request.RecvRequest.wait` accepts ``timeout=`` and
 raises a descriptive :class:`~repro.smpi.exceptions.DeadlockError` on
 deadlocked waits instead of hanging.

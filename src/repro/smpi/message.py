@@ -34,6 +34,8 @@ from typing import Any, List, Tuple
 
 import numpy as np
 
+from .provenance import TRACKER
+
 __all__ = [
     "Envelope",
     "EnvelopePool",
@@ -157,7 +159,7 @@ class Envelope:
     untraced run never walks the payload just to size it.
     """
 
-    __slots__ = ("source", "tag", "payload", "_nbytes")
+    __slots__ = ("source", "tag", "payload", "_nbytes", "__weakref__")
 
     def __init__(self, source: int, tag: int, payload: Any) -> None:
         self.source = source
@@ -225,11 +227,19 @@ class EnvelopePool:
         with self._lock:
             envelope = self._free.pop() if self._free else None
         if envelope is None:
-            return Envelope(source, tag, payload)
-        envelope.source = source
-        envelope.tag = tag
-        envelope.payload = payload
-        envelope._nbytes = None
+            envelope = Envelope(source, tag, payload)
+        else:
+            envelope.source = source
+            envelope.tag = tag
+            envelope.payload = payload
+            envelope._nbytes = None
+        # Leak-detection hook: while provenance tracking is enabled
+        # (repro.verify leak scopes), every envelope leaving the arena is
+        # registered so shutdown reports can name sent-but-never-consumed
+        # messages with their creation site.  Disabled, this is one
+        # attribute check.
+        if TRACKER.enabled:
+            TRACKER.note_envelope(envelope)
         return envelope
 
     def release(self, envelope: Envelope) -> None:
@@ -238,6 +248,8 @@ class EnvelopePool:
         The caller must own the envelope (taken via ``get``/``poll``, not
         ``peek``) and must have extracted the payload already.
         """
+        if TRACKER.enabled:
+            TRACKER.forget_envelope(envelope)
         envelope.payload = None
         envelope._nbytes = None
         with self._lock:

@@ -130,9 +130,21 @@ class NonblockingCollectivesMixin:
         tag = self._nb_tag("bcast", _OFF_BCAST)
         if self.rank == root:
             sends = self._nb_fanout_posted(obj, root, tag)
-            return CollectiveRequest(sends, finalize=lambda payloads: obj)
+            return CollectiveRequest(
+                sends,
+                finalize=lambda payloads: obj,
+                op="ibcast",
+                root=root,
+                tag=tag,
+            )
         child = self.irecv(root, tag)  # type: ignore[attr-defined]
-        return CollectiveRequest([child], finalize=lambda payloads: payloads[0])
+        return CollectiveRequest(
+            [child],
+            finalize=lambda payloads: payloads[0],
+            op="ibcast",
+            root=root,
+            tag=tag,
+        )
 
     def igatherv_rows(
         self,
@@ -157,7 +169,13 @@ class NonblockingCollectivesMixin:
         if self.rank != root:
             send = self._nb_post(arr, root, tag)
             children = [send] if send is not None else []
-            return CollectiveRequest(children, finalize=lambda payloads: None)
+            return CollectiveRequest(
+                children,
+                finalize=lambda payloads: None,
+                op="igatherv_rows",
+                root=root,
+                tag=tag,
+            )
         children = [
             self.irecv(peer, tag)  # type: ignore[attr-defined]
             for peer in range(self.size)
@@ -174,7 +192,9 @@ class NonblockingCollectivesMixin:
             blocks.insert(root, own)
             return assemble_row_blocks(blocks, out)
 
-        return CollectiveRequest(children, finalize)
+        return CollectiveRequest(
+            children, finalize, op="igatherv_rows", root=root, tag=tag
+        )
 
     def iallreduce(
         self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
@@ -201,7 +221,9 @@ class NonblockingCollectivesMixin:
             def receive(payloads: List[Any]) -> Any:
                 return copy_result_into(payloads[-1], out)
 
-            return CollectiveRequest(children, receive)
+            return CollectiveRequest(
+                children, receive, op="iallreduce", root=0, tag=up_tag
+            )
         children = [
             self.irecv(peer, up_tag)  # type: ignore[attr-defined]
             for peer in range(1, self.size)
@@ -218,7 +240,9 @@ class NonblockingCollectivesMixin:
             self._nb_fanout_deferred(result, 0, down_tag)
             return result
 
-        return CollectiveRequest(children, fold_and_fan_out)
+        return CollectiveRequest(
+            children, fold_and_fan_out, op="iallreduce", root=0, tag=up_tag
+        )
 
     def ialltoall(self, objs: Sequence[Any]) -> CollectiveRequest:
         """Nonblocking personalised all-to-all; ``wait()`` returns the
@@ -250,4 +274,6 @@ class NonblockingCollectivesMixin:
             received.insert(self.rank, own)
             return received
 
-        return CollectiveRequest(sends + receives, finalize)
+        return CollectiveRequest(
+            sends + receives, finalize, op="ialltoall", tag=tag
+        )

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import inspect
 import time
+import warnings
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .exceptions import DeadlockError, SmpiError
 from .mailbox import Mailbox
 from .message import take_payload
+from .provenance import TRACKER
 
 __all__ = [
     "Request",
@@ -34,6 +36,26 @@ __all__ = [
     "CollectiveRequest",
     "waitall",
 ]
+
+
+def _warn_unawaited(request: "Request", what: str) -> None:
+    """Finalizer body shared by the leak-prone request classes.
+
+    A request garbage-collected without ``wait()``/``test()`` ever
+    observing completion is an SPMD hazard (dropped message, or a peer
+    blocked on this rank's deferred collective share) — the runtime twin
+    of the static never-awaited rule ``SPMD002``.  Emits a
+    :class:`ResourceWarning`, with the creation traceback appended when
+    provenance tracking captured one.
+    """
+    origin = getattr(request, "_origin", None)
+    message = (
+        f"{what} was garbage-collected without wait()/test() observing "
+        f"completion — an un-awaited nonblocking operation (SPMD002)"
+    )
+    if origin:
+        message += f"; created at:\n{origin}"
+    warnings.warn(message, ResourceWarning, stacklevel=2, source=request)
 
 
 class Request:
@@ -93,6 +115,23 @@ class RecvRequest(Request):
         self._tag = tag
         self._done = False
         self._payload: Any = None
+        self._origin: Optional[str] = None
+        if TRACKER.enabled:
+            self._origin = TRACKER.note_request(
+                self,
+                "RecvRequest",
+                f"recv(source={source}, tag={tag}) on rank {mailbox.owner}",
+            )
+
+    def __del__(self) -> None:
+        try:
+            if not self._done:
+                _warn_unawaited(
+                    self,
+                    f"RecvRequest(source={self._source}, tag={self._tag})",
+                )
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def wait(self, timeout: Optional[float] = None) -> Any:
         """Block until the matching envelope arrives.
@@ -158,17 +197,49 @@ class CollectiveRequest(Request):
         self,
         children: Sequence[Any] = (),
         finalize: Optional[Callable[[List[Any]], Any]] = None,
+        *,
+        op: str = "collective",
+        root: Optional[int] = None,
+        tag: Optional[int] = None,
     ) -> None:
         self._children = list(children)
         self._finalize = finalize
         self._done = not self._children and finalize is None
         self._result: Any = None
+        # Operation metadata: who/what this handle completes.  Purely
+        # diagnostic — it names the op, root and tag in timeout errors,
+        # finalizer warnings and leak reports.
+        self.op = op
+        self.root = root
+        self.tag = tag
         # Child payloads are collected *incrementally*: foreign requests
         # (mpi4py) consume their message on the first successful test(),
         # so a partial poll must bank what it saw — re-testing would lose
         # already-delivered payloads.
         self._collected = [False] * len(self._children)
         self._payloads: List[Any] = [None] * len(self._children)
+        self._origin: Optional[str] = None
+        if not self._done and TRACKER.enabled:
+            self._origin = TRACKER.note_request(
+                self, "CollectiveRequest", self._describe()
+            )
+
+    def _describe(self) -> str:
+        parts = [self.op]
+        if self.root is not None:
+            parts.append(f"root={self.root}")
+        if self.tag is not None:
+            parts.append(f"tag={self.tag}")
+        return ", ".join(parts)
+
+    def __del__(self) -> None:
+        try:
+            if not self._done:
+                _warn_unawaited(
+                    self, f"CollectiveRequest({self._describe()})"
+                )
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     @classmethod
     def completed(cls, result: Any = None) -> "CollectiveRequest":
@@ -184,6 +255,15 @@ class CollectiveRequest(Request):
             self._result = self._finalize(payloads)
         self._done = True
 
+    def _timeout_error(self, timeout: Optional[float]) -> DeadlockError:
+        spent = f" after {timeout}s" if timeout is not None else ""
+        return DeadlockError(
+            f"CollectiveRequest.wait({self._describe()}) timed out{spent} "
+            f"with {self._collected.count(False)} child request(s) still "
+            f"pending — a peer likely never issued (or never completed) "
+            f"its matching collective"
+        )
+
     def wait(self, timeout: Optional[float] = None) -> Any:
         if self._done:
             return self._result
@@ -192,16 +272,17 @@ class CollectiveRequest(Request):
             if self._collected[index]:
                 continue
             if deadline is None:
-                payload = _wait_child(child, None)
+                remaining = None
             else:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0.0:
-                    raise DeadlockError(
-                        f"CollectiveRequest.wait timed out after {timeout}s "
-                        f"with {self._collected.count(False)} child "
-                        f"request(s) still pending"
-                    )
+                    raise self._timeout_error(timeout)
+            try:
                 payload = _wait_child(child, remaining)
+            except DeadlockError as exc:
+                # Name the collective (op, root, tag), not just the
+                # child receive — that is what the user issued.
+                raise self._timeout_error(timeout) from exc
             self._collected[index] = True
             self._payloads[index] = payload
         self._complete(self._payloads)

@@ -32,7 +32,37 @@ from .message import payload_nbytes
 from .reduction import ReduceOp
 from .request import Request, _wait_child
 
-__all__ = ["CommRecord", "CommTracer", "TrafficSummary"]
+__all__ = ["COLLECTIVE_OPS", "CommRecord", "CommTracer", "TrafficSummary"]
+
+#: Operation names recorded for collective calls (nonblocking variants
+#: record under their blocking op's name) — the subset that must agree in
+#: kind and order across every rank of an SPMD program, and therefore the
+#: stream :meth:`CommTracer.schedule` exports for the cross-rank
+#: conformance checker in :mod:`repro.verify.schedule`.
+COLLECTIVE_OPS = frozenset(
+    {
+        "bcast",
+        "gather",
+        "allgather",
+        "scatter",
+        "gatherv",
+        "scatterv",
+        "reduce",
+        "allreduce",
+        "alltoall",
+        "scan",
+        "exscan",
+        "reduce_scatter",
+        "barrier",
+    }
+)
+
+
+def _payload_meta(obj: Any) -> tuple:
+    """(dtype, shape) of an array payload; ``(None, None)`` otherwise."""
+    if isinstance(obj, np.ndarray):
+        return str(obj.dtype), tuple(int(dim) for dim in obj.shape)
+    return None, None
 
 
 class _TracedRequest(Request):
@@ -68,11 +98,21 @@ class _TracedRequest(Request):
 
 @dataclasses.dataclass(frozen=True)
 class CommRecord:
-    """One recorded communication event on one rank."""
+    """One recorded communication event on one rank.
+
+    ``root``, ``dtype`` and ``shape`` describe the collective's schedule
+    (for rooted collectives, and array payloads respectively) and feed
+    the cross-rank conformance checker; they stay ``None`` for events
+    where they do not apply (p2p traffic, non-array payloads).  For
+    gather-flavoured ops the recorded shape is this rank's *contribution*
+    (row counts legitimately differ across ranks)."""
 
     op: str
     nbytes: int
     peer: Optional[int] = None
+    root: Optional[int] = None
+    dtype: Optional[str] = None
+    shape: Optional[tuple] = None
 
 
 @dataclasses.dataclass
@@ -117,8 +157,25 @@ class CommTracer:
     def Get_size(self) -> int:
         return self._comm.size
 
-    def _record(self, op: str, nbytes: int, peer: Optional[int] = None) -> None:
-        self.records.append(CommRecord(op=op, nbytes=int(nbytes), peer=peer))
+    def _record(
+        self,
+        op: str,
+        nbytes: int,
+        peer: Optional[int] = None,
+        root: Optional[int] = None,
+        obj: Any = None,
+    ) -> None:
+        dtype, shape = _payload_meta(obj)
+        self.records.append(
+            CommRecord(
+                op=op,
+                nbytes=int(nbytes),
+                peer=peer,
+                root=root,
+                dtype=dtype,
+                shape=shape,
+            )
+        )
 
     # -- point-to-point --------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -153,10 +210,15 @@ class CommTracer:
     # -- collectives ------------------------------------------------------------
     def bcast(self, obj: Any, root: int = 0) -> Any:
         if self._comm.rank == root:
-            self._record("bcast", payload_nbytes(obj) * (self._comm.size - 1))
+            self._record(
+                "bcast",
+                payload_nbytes(obj) * (self._comm.size - 1),
+                root=root,
+                obj=obj,
+            )
             return self._comm.bcast(obj, root)
         out = self._comm.bcast(obj, root)
-        self._record("bcast", payload_nbytes(out))
+        self._record("bcast", payload_nbytes(out), root=root, obj=out)
         return out
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -168,9 +230,9 @@ class CommTracer:
                 for peer, item in enumerate(out)
                 if peer != root
             )
-            self._record("gather", received)
+            self._record("gather", received, root=root, obj=obj)
             return out
-        self._record("gather", payload_nbytes(obj))
+        self._record("gather", payload_nbytes(obj), root=root, obj=obj)
         return self._comm.gather(obj, root)
 
     def allgather(self, obj: Any) -> List[Any]:
@@ -180,7 +242,7 @@ class CommTracer:
             for peer, item in enumerate(out)
             if peer != self._comm.rank
         )
-        self._record("allgather", payload_nbytes(obj) + others)
+        self._record("allgather", payload_nbytes(obj) + others, obj=obj)
         return out
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
@@ -192,10 +254,11 @@ class CommTracer:
                     for peer, item in enumerate(objs)
                     if peer != root
                 )
-            self._record("scatter", sent)
-            return self._comm.scatter(objs, root)
+            out = self._comm.scatter(objs, root)
+            self._record("scatter", sent, root=root, obj=out)
+            return out
         out = self._comm.scatter(objs, root)
-        self._record("scatter", payload_nbytes(out))
+        self._record("scatter", payload_nbytes(out), root=root, obj=out)
         return out
 
     def gatherv_rows(
@@ -210,9 +273,11 @@ class CommTracer:
             self._record(
                 "gatherv",
                 max(payload_nbytes(stacked) - payload_nbytes(sendbuf), 0),
+                root=root,
+                obj=sendbuf,
             )
             return stacked
-        self._record("gatherv", payload_nbytes(sendbuf))
+        self._record("gatherv", payload_nbytes(sendbuf), root=root, obj=sendbuf)
         return self._comm.gatherv_rows(sendbuf, root, out=out)
 
     def scatterv_rows(
@@ -221,24 +286,29 @@ class CommTracer:
         out = self._comm.scatterv_rows(sendbuf, counts, root)
         if self._comm.rank == root:
             sent = payload_nbytes(sendbuf) - payload_nbytes(out) if sendbuf is not None else 0
-            self._record("scatterv", max(sent, 0))
+            self._record("scatterv", max(sent, 0), root=root, obj=out)
         else:
-            self._record("scatterv", payload_nbytes(out))
+            self._record("scatterv", payload_nbytes(out), root=root, obj=out)
         return out
 
     def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
         if self._comm.rank == root:
             out = self._comm.reduce(obj, op, root)
-            self._record("reduce", payload_nbytes(obj) * (self._comm.size - 1))
+            self._record(
+                "reduce",
+                payload_nbytes(obj) * (self._comm.size - 1),
+                root=root,
+                obj=obj,
+            )
             return out
-        self._record("reduce", payload_nbytes(obj))
+        self._record("reduce", payload_nbytes(obj), root=root, obj=obj)
         return self._comm.reduce(obj, op, root)
 
     def allreduce(
         self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
     ) -> Any:
         result = self._comm.allreduce(obj, op, out=out)
-        self._record("allreduce", payload_nbytes(obj) * 2)
+        self._record("allreduce", payload_nbytes(obj) * 2, obj=obj)
         return result
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
@@ -253,18 +323,22 @@ class CommTracer:
             for peer, item in enumerate(out)
             if peer != self._comm.rank
         )
-        self._record("alltoall", sent + received)
+        self._record(
+            "alltoall", sent + received, obj=objs[self._comm.rank]
+        )
         return out
 
     def scan(self, obj: Any, op: ReduceOp) -> Any:
         out = self._comm.scan(obj, op)
         # up: own contribution; down: the received prefix
-        self._record("scan", payload_nbytes(obj) + payload_nbytes(out))
+        self._record("scan", payload_nbytes(obj) + payload_nbytes(out), obj=obj)
         return out
 
     def exscan(self, obj: Any, op: ReduceOp) -> Any:
         out = self._comm.exscan(obj, op)
-        self._record("exscan", payload_nbytes(obj) + payload_nbytes(out))
+        self._record(
+            "exscan", payload_nbytes(obj) + payload_nbytes(out), obj=obj
+        )
         return out
 
     def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp) -> Any:
@@ -274,7 +348,11 @@ class CommTracer:
             if peer != self._comm.rank
         )
         out = self._comm.reduce_scatter(objs, op)
-        self._record("reduce_scatter", sent + payload_nbytes(out))
+        self._record(
+            "reduce_scatter",
+            sent + payload_nbytes(out),
+            obj=objs[self._comm.rank],
+        )
         return out
 
     # -- nonblocking collectives ----------------------------------------------
@@ -284,11 +362,18 @@ class CommTracer:
 
     def ibcast(self, obj: Any, root: int = 0):
         if self._comm.rank == root:
-            self._record("bcast", payload_nbytes(obj) * (self._comm.size - 1))
+            self._record(
+                "bcast",
+                payload_nbytes(obj) * (self._comm.size - 1),
+                root=root,
+                obj=obj,
+            )
             return self._comm.ibcast(obj, root)
         return _TracedRequest(
             self._comm.ibcast(obj, root),
-            lambda result: self._record("bcast", payload_nbytes(result)),
+            lambda result: self._record(
+                "bcast", payload_nbytes(result), root=root, obj=result
+            ),
         )
 
     def igatherv_rows(
@@ -298,20 +383,25 @@ class CommTracer:
         out: Optional[np.ndarray] = None,
     ):
         if self._comm.rank != root:
-            self._record("gatherv", payload_nbytes(sendbuf))
+            self._record(
+                "gatherv", payload_nbytes(sendbuf), root=root, obj=sendbuf
+            )
             return self._comm.igatherv_rows(sendbuf, root, out=out)
         own = payload_nbytes(sendbuf)
         return _TracedRequest(
             self._comm.igatherv_rows(sendbuf, root, out=out),
             lambda result: self._record(
-                "gatherv", max(payload_nbytes(result) - own, 0)
+                "gatherv",
+                max(payload_nbytes(result) - own, 0),
+                root=root,
+                obj=sendbuf,
             ),
         )
 
     def iallreduce(
         self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
     ):
-        self._record("allreduce", payload_nbytes(obj) * 2)
+        self._record("allreduce", payload_nbytes(obj) * 2, obj=obj)
         return self._comm.iallreduce(obj, op, out=out)
 
     def ialltoall(self, objs: Sequence[Any]):
@@ -320,7 +410,7 @@ class CommTracer:
             for peer, item in enumerate(objs)
             if peer != self._comm.rank
         )
-        self._record("alltoall", sent)
+        self._record("alltoall", sent, obj=objs[self._comm.rank])
         rank = self._comm.rank
         return _TracedRequest(
             self._comm.ialltoall(objs),
@@ -353,37 +443,54 @@ class CommTracer:
 
     def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
         if self._comm.rank == root:
-            self._record("bcast", payload_nbytes(buf) * (self._comm.size - 1))
+            self._record(
+                "bcast",
+                payload_nbytes(buf) * (self._comm.size - 1),
+                root=root,
+                obj=buf,
+            )
         else:
-            self._record("bcast", payload_nbytes(buf))
+            self._record("bcast", payload_nbytes(buf), root=root, obj=buf)
         self._comm.Bcast(buf, root)
 
     def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
         if self._comm.rank == root:
             self._record(
-                "gather", payload_nbytes(sendbuf) * (self._comm.size - 1)
+                "gather",
+                payload_nbytes(sendbuf) * (self._comm.size - 1),
+                root=root,
+                obj=sendbuf,
             )
         else:
-            self._record("gather", payload_nbytes(sendbuf))
+            self._record(
+                "gather", payload_nbytes(sendbuf), root=root, obj=sendbuf
+            )
         self._comm.Gather(sendbuf, recvbuf, root)
 
     def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
         if self._comm.rank == root:
             self._record(
-                "scatter", payload_nbytes(recvbuf) * (self._comm.size - 1)
+                "scatter",
+                payload_nbytes(recvbuf) * (self._comm.size - 1),
+                root=root,
+                obj=recvbuf,
             )
         else:
-            self._record("scatter", payload_nbytes(recvbuf))
+            self._record(
+                "scatter", payload_nbytes(recvbuf), root=root, obj=recvbuf
+            )
         self._comm.Scatter(sendbuf, recvbuf, root)
 
     def Allgather(self, sendbuf, recvbuf) -> None:
         self._comm.Allgather(sendbuf, recvbuf)
         own = payload_nbytes(sendbuf)
-        self._record("allgather", payload_nbytes(recvbuf) - own + own)
+        self._record(
+            "allgather", payload_nbytes(recvbuf) - own + own, obj=sendbuf
+        )
 
     def Allreduce(self, sendbuf, recvbuf, op: ReduceOp) -> None:
         self._comm.Allreduce(sendbuf, recvbuf, op)
-        self._record("allreduce", payload_nbytes(sendbuf) * 2)
+        self._record("allreduce", payload_nbytes(sendbuf) * 2, obj=sendbuf)
 
     # -- management -----------------------------------------------------------
     def split(self, color: Optional[int], key: int = 0):
@@ -399,6 +506,20 @@ class CommTracer:
     def summary(self) -> TrafficSummary:
         """Aggregate events/bytes recorded so far on this rank."""
         return TrafficSummary.from_records(self.records)
+
+    def schedule(self) -> List[CommRecord]:
+        """This rank's *collective* op stream, in issue order.
+
+        The SPMD contract requires every rank to produce the same stream
+        (same kinds, same order, compatible roots/dtypes); the cross-rank
+        conformance checker (:mod:`repro.verify.schedule`) aligns these
+        per-rank streams and reports the first divergence.  Point-to-point
+        traffic is excluded — it legitimately differs per rank.  Caveat:
+        receive-side *nonblocking* collectives record at completion time,
+        so heavily overlapped runs can reorder records relative to issue
+        order; the checker is exact for blocking-dominant schedules.
+        """
+        return [r for r in self.records if r.op in COLLECTIVE_OPS]
 
     def reset(self) -> None:
         """Discard all records (e.g. between benchmark phases)."""

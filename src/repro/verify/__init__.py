@@ -1,0 +1,53 @@
+"""``repro.verify`` — SPMD collective-correctness analyzers.
+
+The communicator protocol (:mod:`repro.smpi.factory`) only works when
+every rank keeps to a shared schedule: same collectives, same order,
+compatible payloads, every nonblocking request completed.  Nothing in
+Python enforces any of that — a violated contract surfaces as a hang, a
+silently dropped message, or a value that is wrong only at ``p > 1``.
+This package checks the contract two ways:
+
+* **statically** (:mod:`repro.verify.static`): an AST linter over driver
+  code that knows the communicator call surface and flags the five
+  violation patterns in :data:`repro.verify.rules.RULES` (``SPMD001`` …
+  ``SPMD005``), each with a fix-it and a per-line
+  ``# spmd: ignore[SPMDxxx]`` suppression;
+* **dynamically** (:mod:`repro.verify.schedule`): a cross-rank trace
+  conformance checker built on :class:`~repro.smpi.tracer.CommTracer`
+  (align per-rank collective streams, report the first divergence) plus
+  a shutdown-time leak detector built on :mod:`repro.smpi.provenance`
+  (un-awaited requests, unrecycled envelopes, with creation-site
+  provenance).
+
+Entry points: the ``repro verify`` CLI subcommand (static over paths;
+``--schedule`` for the dynamic smoke check), :func:`checked_run` to wrap
+any :meth:`repro.api.Session.run` workload, and the
+:mod:`repro.verify.pytest_plugin` pytest plugin whose global guard makes
+the test suite assert "no leaked requests".
+"""
+
+from .rules import RULES, Rule
+from .schedule import (
+    CheckedRun,
+    Divergence,
+    ScheduleReport,
+    check_schedules,
+    checked_run,
+    format_leaks,
+)
+from .static import Finding, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "CheckedRun",
+    "Divergence",
+    "ScheduleReport",
+    "check_schedules",
+    "checked_run",
+    "format_leaks",
+]

@@ -1,0 +1,129 @@
+"""Implementation of the ``repro verify`` CLI subcommand.
+
+Static mode (default) lints the given paths (files or directory trees)
+with :func:`repro.verify.static.lint_paths` and prints one finding per
+violation with its fix-it.  ``--schedule`` additionally runs a small
+built-in streaming-SVD workload under :func:`repro.verify.schedule.
+checked_run` and reports cross-rank schedule conformance and resource
+leaks.  Exit status is nonzero when anything is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List
+
+__all__ = ["add_verify_arguments", "run_verify"]
+
+#: Paths linted when the user names none.
+DEFAULT_PATHS = ("src", "examples", "benchmarks")
+
+
+def add_verify_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register ``repro verify``'s arguments on its subparser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to report (default: all); "
+        "e.g. --select SPMD001,SPMD002",
+    )
+    parser.add_argument(
+        "--schedule",
+        action="store_true",
+        help="also run a built-in streaming workload under cross-rank "
+        "trace conformance checking and leak detection",
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=2,
+        help="rank count for the --schedule workload (threads backend)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format",
+    )
+
+
+def _schedule_smoke(ranks: int):
+    """A tiny deterministic streaming-SVD run for the dynamic check."""
+    import numpy as np
+
+    from repro.api import (
+        BackendConfig,
+        RunConfig,
+        Session,
+        SolverConfig,
+        StreamConfig,
+    )
+    from repro.verify.schedule import checked_run
+
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((64, 48))
+    config = RunConfig(
+        solver=SolverConfig(K=4, ff=1.0, r1=20),
+        backend=BackendConfig(name="threads", size=ranks),
+        stream=StreamConfig(batch=16),
+    )
+
+    def job(session: Session):
+        return session.fit_stream(data).result().singular_values
+
+    return checked_run(config, job)
+
+
+def run_verify(args: argparse.Namespace) -> int:
+    from repro.verify.static import lint_paths
+
+    paths = list(args.paths) or list(DEFAULT_PATHS)
+    findings = lint_paths(paths)
+    if args.select:
+        selected = {
+            code.strip().upper()
+            for code in args.select.split(",")
+            if code.strip()
+        }
+        findings = [f for f in findings if f.code in selected]
+
+    checked = None
+    if args.schedule:
+        checked = _schedule_smoke(args.ranks)
+
+    failed = bool(findings) or (checked is not None and not checked.ok)
+    if args.output_format == "json":
+        payload = {"findings": [f.to_dict() for f in findings]}
+        if checked is not None:
+            payload["schedule"] = {
+                "ok": checked.schedule.ok,
+                "divergence": (
+                    None
+                    if checked.schedule.ok
+                    else checked.schedule.divergence.describe()
+                ),
+                "leaks": [leak.describe() for leak in checked.leaks],
+                "unawaited": list(checked.unawaited),
+            }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(finding.format())
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    else:
+        lines.append(f"static: no findings in {' '.join(paths)}")
+    if checked is not None:
+        lines.append("dynamic: " + checked.describe().replace("\n", "\n  "))
+    print("\n".join(lines))
+    return 1 if failed else 0

@@ -224,3 +224,117 @@ class TestServeQueryStoreLifecycle:
         match = re.search(r"store: (\S+) \(temporary, removed on exit\)", out)
         assert match, out
         assert not pathlib.Path(match.group(1)).exists()
+
+
+class TestConfigFileOption:
+    def _write_config(self, tmp_path):
+        from repro.api import (
+            BackendConfig,
+            RunConfig,
+            SolverConfig,
+            StreamConfig,
+        )
+
+        cfg = RunConfig(
+            solver=SolverConfig(K=4, ff=1.0, r1=50),
+            backend=BackendConfig(name="threads", size=2),
+            stream=StreamConfig(batch=20),
+        )
+        path = tmp_path / "run.json"
+        path.write_text(cfg.to_json(indent=2))
+        return path
+
+    def test_all_experiment_subcommands_accept_config(self):
+        for command in ("burgers", "era5", "serve-query"):
+            args = build_parser().parse_args([command, "--config", "run.json"])
+            assert args.config == "run.json"
+
+    def test_explicit_dests_detection(self):
+        from repro.cli import _explicit_dests
+
+        parser = build_parser()
+        argv = ["burgers", "--ranks", "2", "--ff=1.0", "--nx", "256"]
+        explicit = _explicit_dests(parser, "burgers", argv)
+        # Both "--flag value" and "--flag=value" spellings count.
+        assert {"ranks", "ff", "nx"} <= explicit
+        assert "modes" not in explicit
+        assert "batch" not in explicit
+
+    def test_file_values_win_when_flags_are_defaulted(self, tmp_path):
+        from repro.cli import _config_from_file
+
+        parser = build_parser()
+        path = self._write_config(tmp_path)
+        args = parser.parse_args(["burgers", "--config", str(path)])
+        args._explicit = set()
+        cfg = _config_from_file(args, "burgers")
+        assert cfg.solver.K == 4
+        assert cfg.solver.ff == 1.0
+        assert cfg.backend.size == 2
+        assert cfg.stream.batch == 20
+
+    def test_explicit_flags_override_file(self, tmp_path):
+        from repro.cli import _config_from_file, _explicit_dests
+
+        parser = build_parser()
+        path = self._write_config(tmp_path)
+        argv = ["burgers", "--config", str(path), "--modes", "6", "--ranks", "1"]
+        args = parser.parse_args(argv)
+        args._explicit = _explicit_dests(parser, "burgers", argv)
+        cfg = _config_from_file(args, "burgers")
+        assert cfg.solver.K == 6
+        assert cfg.backend.size == 1
+        # Untouched flags keep the file's values, not argparse defaults.
+        assert cfg.solver.ff == 1.0
+        assert cfg.stream.batch == 20
+
+    def test_explicit_self_backend_forces_single_rank(self, tmp_path):
+        from repro.cli import _config_from_file
+
+        parser = build_parser()
+        path = self._write_config(tmp_path)
+        args = parser.parse_args(
+            ["burgers", "--config", str(path), "--backend", "self"]
+        )
+        args._explicit = {"backend"}
+        cfg = _config_from_file(args, "burgers")
+        assert (cfg.backend.name, cfg.backend.size) == ("self", 1)
+
+    def test_burgers_runs_from_config_file(self, capsys, tmp_path):
+        path = self._write_config(tmp_path)
+        code = main(
+            ["burgers", "--nx", "256", "--nt", "60", "--config", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K=4, 2 ranks, backend=threads" in out
+        assert "PASS" in out
+
+    def test_burgers_flag_overrides_config_file(self, capsys, tmp_path):
+        path = self._write_config(tmp_path)
+        code = main(
+            [
+                "burgers", "--nx", "256", "--nt", "60",
+                "--config", str(path), "--modes", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K=3, 2 ranks, backend=threads" in out
+        assert "PASS" in out
+
+    def test_serve_query_runs_from_config_file(self, capsys, tmp_path):
+        path = self._write_config(tmp_path)
+        code = main(
+            [
+                "serve-query",
+                "--nx", "128", "--nt", "40", "--queries", "4",
+                "--store", str(tmp_path / "store"),
+                "--config", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        # The file's K=4 drove the published basis, not the --modes default.
+        assert "4 modes" in out

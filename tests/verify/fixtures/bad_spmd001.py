@@ -1,0 +1,14 @@
+"""Deliberately buggy: collective under a rank-dependent branch."""
+
+
+def broadcast_from_root_only(comm, value):
+    if comm.rank == 0:
+        comm.bcast(value, 0)
+    return value
+
+
+def barrier_on_workers_only(comm):
+    if comm.Get_rank() == 0:
+        pass
+    else:
+        comm.barrier()

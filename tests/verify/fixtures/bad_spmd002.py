@@ -1,0 +1,16 @@
+"""Deliberately buggy: nonblocking requests that never complete."""
+
+
+def fire_and_forget(comm, payload):
+    comm.isend(payload, 1)
+    return payload
+
+
+def receive_and_drop(comm):
+    request = comm.irecv(0)
+    return None
+
+
+def collective_dropped(comm, block, op):
+    folded = comm.iallreduce(block, op)
+    return block

@@ -1,0 +1,9 @@
+"""Deliberately buggy: hardcoded tags inside the reserved band."""
+
+
+def send_in_reserved_band(comm, payload):
+    comm.send(payload, 1, 1 << 24)
+
+
+def recv_in_reserved_band(comm):
+    return comm.recv(0, tag=16777217)

@@ -1,0 +1,5 @@
+"""Deliberately buggy: out= buffer aliasing the collective's input."""
+
+
+def fold_in_place(comm, block, op):
+    return comm.allreduce(block, op, out=block)

@@ -1,0 +1,14 @@
+"""Deliberately buggy: mutating an array received from bcast."""
+
+
+def patch_received_snapshot(comm, value):
+    shared = comm.bcast(value, 0)
+    shared[0] = 0.0
+    return shared
+
+
+def scale_received_alias(comm, value):
+    received = comm.bcast(value, 0)
+    alias = received
+    alias *= 2.0
+    return alias

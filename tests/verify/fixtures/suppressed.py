@@ -1,0 +1,31 @@
+"""The same deliberate bugs, every one suppressed inline."""
+
+
+def broadcast_from_root_only(comm, value):
+    if comm.rank == 0:
+        comm.bcast(value, 0)  # spmd: ignore[SPMD001]
+    return value
+
+
+def fire_and_forget(comm, payload):
+    comm.isend(payload, 1)  # spmd: ignore[SPMD002]
+    return payload
+
+
+def send_in_reserved_band(comm, payload):
+    comm.send(payload, 1, 1 << 24)  # spmd: ignore[SPMD003]
+
+
+def fold_in_place(comm, block, op):
+    return comm.allreduce(block, op, out=block)  # spmd: ignore[SPMD004]
+
+
+def patch_received_snapshot(comm, value):
+    shared = comm.bcast(value, 0)
+    shared[0] = 0.0  # spmd: ignore[SPMD005]
+    return shared
+
+
+def everything_ignored(comm, payload):
+    comm.isend(payload, 1, 1 << 25)  # spmd: ignore
+    return payload

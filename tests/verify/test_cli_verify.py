@@ -1,0 +1,95 @@
+"""The ``repro verify`` subcommand end-to-end."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestStaticMode:
+    def test_shipped_tree_is_clean(self, capsys):
+        code = main(
+            [
+                "verify",
+                str(REPO / "src"),
+                str(REPO / "examples"),
+                str(REPO / "benchmarks"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "no findings" in out
+
+    def test_buggy_file_fails_with_fixit(self, capsys):
+        code = main(["verify", str(FIXTURES / "bad_spmd001.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SPMD001" in out
+        assert "fix:" in out
+        assert "2 finding(s)" in out
+
+    def test_select_filters_codes(self, capsys):
+        code = main(["verify", str(FIXTURES), "--select", "SPMD003"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SPMD003" in out
+        assert "SPMD001" not in out
+
+    def test_select_can_silence_a_file(self, capsys):
+        code = main(
+            ["verify", str(FIXTURES / "bad_spmd001.py"), "--select", "SPMD005"]
+        )
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        code = main(
+            ["verify", str(FIXTURES / "bad_spmd004.py"), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert [f["code"] for f in payload["findings"]] == ["SPMD004"]
+        finding = payload["findings"][0]
+        assert finding["path"].endswith("bad_spmd004.py")
+        assert finding["line"] > 0
+        assert "out=" in finding["message"]
+
+
+class TestScheduleMode:
+    def test_schedule_smoke_conforms(self, capsys):
+        code = main(
+            [
+                "verify",
+                str(FIXTURES / "suppressed.py"),
+                "--schedule",
+                "--ranks",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "dynamic:" in out
+        assert "conform" in out
+        assert "no leaked requests or envelopes" in out
+        assert "no requests garbage-collected un-awaited" in out
+
+    def test_schedule_json(self, capsys):
+        code = main(
+            [
+                "verify",
+                str(FIXTURES / "suppressed.py"),
+                "--schedule",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["findings"] == []
+        assert payload["schedule"]["ok"] is True
+        assert payload["schedule"]["divergence"] is None
+        assert payload["schedule"]["leaks"] == []
+        assert payload["schedule"]["unawaited"] == []

@@ -1,0 +1,168 @@
+"""Cross-rank schedule conformance checker on real traced runs.
+
+The divergent jobs are written so they *complete* on the threads
+backend (unbounded mailboxes absorb the asymmetry) — which is exactly
+the point of the checker: catch contract violations that would deadlock
+real MPI but pass an in-process smoke test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.smpi import SUM, run_spmd
+from repro.smpi.tracer import CommRecord
+from repro.verify import check_schedules, checked_run
+
+
+def _trace(size, job):
+    results, tracers = run_spmd(size, job, trace=True)
+    return tracers
+
+
+class TestConformingRuns:
+    def test_identical_streams_conform(self):
+        def job(comm):
+            x = np.full(4, float(comm.rank))
+            comm.bcast(x, 0)
+            comm.allreduce(x, SUM)
+            comm.barrier()
+            return None
+
+        report = check_schedules(_trace(3, job))
+        assert report.ok
+        assert report.divergence is None
+        assert "conform" in report.describe()
+        assert all(len(s) == 3 for s in report.streams.values())
+
+    def test_single_rank_trivially_conforms(self):
+        def job(comm):
+            comm.bcast(np.ones(2), 0)
+
+        assert check_schedules(_trace(1, job)).ok
+
+    def test_gather_contribution_shapes_may_differ(self):
+        # gatherv row counts legitimately differ per rank: not a
+        # divergence.
+        def job(comm):
+            block = np.ones((comm.rank + 1, 3))
+            comm.gatherv_rows(block, 0)
+
+        assert check_schedules(_trace(2, job)).ok
+
+
+class TestDivergentRuns:
+    def test_op_order_divergence(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.bcast(np.ones(2), 0)
+                comm.barrier()
+            else:
+                comm.barrier()
+                comm.bcast(None, 0)
+
+        report = check_schedules(_trace(2, job))
+        assert not report.ok
+        assert report.divergence.index == 0
+        assert report.divergence.field == "op"
+        assert report.divergence.values == {0: "bcast", 1: "barrier"}
+        assert "different collectives" in report.describe()
+
+    def test_dtype_divergence(self):
+        def job(comm):
+            dtype = np.float64 if comm.rank == 0 else np.float32
+            comm.allreduce(np.ones(3, dtype=dtype), SUM)
+
+        report = check_schedules(_trace(2, job))
+        assert not report.ok
+        assert report.divergence.field == "dtype"
+        assert set(report.divergence.values.values()) == {
+            "float64",
+            "float32",
+        }
+
+    def test_root_divergence(self):
+        # Both ranks believe they are the broadcast root; on the
+        # threads backend both fan out and return immediately.
+        def job(comm):
+            comm.bcast(np.ones(2), comm.rank)
+
+        report = check_schedules(_trace(2, job))
+        assert not report.ok
+        assert report.divergence.field == "root"
+        assert report.divergence.values == {0: 0, 1: 1}
+
+    def test_shape_divergence(self):
+        def job(comm):
+            shape = 4 if comm.rank == 0 else 5
+            comm.bcast(np.ones(shape), comm.rank)
+
+        report = check_schedules(_trace(2, job))
+        assert not report.ok
+        # Root diverges first (checked before shape at the same index).
+        assert report.divergence.field in ("root", "shape")
+
+    def test_length_divergence(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.bcast(np.ones(2), 0)
+
+        report = check_schedules(_trace(2, job))
+        assert not report.ok
+        assert report.divergence.field in ("length", "op")
+        assert "rank 1" in report.describe()
+
+
+class TestRecordListInput:
+    def test_plain_record_lists_are_accepted(self):
+        streams = [
+            [CommRecord(op="bcast", nbytes=8, root=0)],
+            [CommRecord(op="barrier", nbytes=0)],
+        ]
+        report = check_schedules(streams)
+        assert not report.ok
+        assert report.divergence.field == "op"
+
+    def test_p2p_records_are_filtered_out(self):
+        streams = [
+            [
+                CommRecord(op="send", nbytes=8, peer=1),
+                CommRecord(op="barrier", nbytes=0),
+            ],
+            [
+                CommRecord(op="recv", nbytes=8, peer=0),
+                CommRecord(op="barrier", nbytes=0),
+            ],
+        ]
+        assert check_schedules(streams).ok
+
+
+class TestCheckedRun:
+    @pytest.fixture()
+    def config(self):
+        from repro.api import (
+            BackendConfig,
+            RunConfig,
+            SolverConfig,
+            StreamConfig,
+        )
+
+        return RunConfig(
+            solver=SolverConfig(K=3, ff=1.0, r1=16),
+            backend=BackendConfig(name="threads", size=2),
+            stream=StreamConfig(batch=12),
+        )
+
+    def test_clean_workload_reports_ok(self, config):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((32, 24))
+
+        def job(session):
+            return session.fit_stream(data).result().singular_values
+
+        report = checked_run(config, job)
+        assert report.ok, report.describe()
+        assert len(report.results) == 2
+        assert report.schedule.ok
+        assert report.leaks == []
+        assert report.unawaited == []
+        assert "conform" in report.describe()
