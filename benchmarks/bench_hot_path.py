@@ -17,6 +17,8 @@ for three lanes: ``fast`` (``workspace=True``, default), ``seed``
 and emits ``BENCH_hot_path.json``.  The committed copy of that file at
 the repo root is the regression baseline CI compares against — both
 bytes/step and the throughput *ratios* (machine-independent) are gated.
+Each cell additionally carries a ``phases`` rollup (schema v1) from one
+obs-traced run — informational only, never gated.
 
 Acceptance cell: threads backend, 4 ranks, K=10, 20 streaming batches.
 """
@@ -29,7 +31,14 @@ import tracemalloc
 import numpy as np
 
 from conftest import emit
-from repro.api import BackendConfig, RunConfig, Session, SolverConfig
+from repro.api import (
+    BackendConfig,
+    ObservabilityConfig,
+    RunConfig,
+    Session,
+    SolverConfig,
+)
+from repro.obs import runtime as obs_runtime
 from repro.postprocessing.report import format_table
 from repro.utils.partition import block_partition
 
@@ -136,6 +145,25 @@ def measure_rates(data, backend, nranks, batch, reps=5):
     return {lane: N_STEPS / min(times) for lane, times in elapsed.items()}
 
 
+def measure_phases(data, backend, nranks, batch):
+    """Per-phase timing rollup of one obs-traced overlapped run.
+
+    A separate run with :mod:`repro.obs` tracing enabled (the measured
+    lanes above run with observability *off*, so the bytes/step and
+    steps/s numbers are untouched).  Returns the tracer's
+    ``phase_summary()`` dict: ``{phase: {count, total_s, mean_s,
+    max_s}}``.
+    """
+    obs_runtime.reset()
+    cfg = lane_config(backend, nranks, True, True).replace(
+        obs=ObservabilityConfig(metrics=True, trace=True)
+    )
+    Session.run(cfg, streaming_job(data, batch, measure_alloc=False))
+    summary = obs_runtime.default_tracer().phase_summary()
+    obs_runtime.reset()
+    return summary
+
+
 def test_hot_path(benchmark, artifacts_dir):
     cells = []
     rows = []
@@ -176,6 +204,10 @@ def test_hot_path(benchmark, artifacts_dir):
                 "bytes_reduction": reduction,
                 "speedup": speedup,
                 "overlap_speedup": overlap_speedup,
+                # Additive (schema v1): per-phase wall-clock breakdown of
+                # one traced overlapped run; the baseline gate ignores it.
+                "phase_timing_schema": 1,
+                "phases": measure_phases(data, backend, nranks, batch),
             }
         )
         rows.append(

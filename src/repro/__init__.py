@@ -42,6 +42,9 @@ Substrates built for this reproduction:
   reconstruction-error).
 * :mod:`repro.perf` — calibrated machine model + scaling studies
   (stand-in for the Theta weak-scaling runs).
+* :mod:`repro.obs` — opt-in metrics registry and span tracer wired
+  through the whole stack (``repro profile``, Chrome-trace export),
+  costing ~nothing while disabled.
 
 Quickstart
 ----------
@@ -57,6 +60,7 @@ Quickstart
 from .api import Session, SessionResult
 from .config import (
     BackendConfig,
+    ObservabilityConfig,
     RunConfig,
     SolverConfig,
     StreamConfig,
@@ -94,6 +98,7 @@ __all__ = [
     "SolverConfig",
     "BackendConfig",
     "StreamConfig",
+    "ObservabilityConfig",
     "SVDConfig",
     "ParSVDBase",
     "ParSVDSerial",

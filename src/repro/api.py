@@ -57,6 +57,7 @@ import numpy as np
 
 from .config import (
     BackendConfig,
+    ObservabilityConfig,
     RunConfig,
     SolverConfig,
     StreamConfig,
@@ -69,11 +70,13 @@ from .core.checkpoint import (
 from .core.parallel import ParSVDParallel
 from .data.streams import PrefetchStream, SnapshotStream, array_stream, dataset_stream
 from .exceptions import ConfigurationError, DataFormatError
+from .obs import runtime as _obs
 from .smpi.factory import create_communicator, run_backend
 from .utils.partition import block_partition
 
 __all__ = [
     "BackendConfig",
+    "ObservabilityConfig",
     "RunConfig",
     "Session",
     "SessionResult",
@@ -164,11 +167,19 @@ class Session:
         the session creates — and owns — the communicator described by
         ``config.backend``; the multi-rank ``"threads"`` backend needs
         one session *per rank*, so create those through :meth:`run`.
-    solver, backend, stream:
+    solver, backend, stream, obs:
         Section shortcuts: ``Session(solver=SolverConfig(K=8))`` is
         ``Session(RunConfig(solver=SolverConfig(K=8)))``; when both a
         ``config`` and a section are given, the section replaces the
         config's.
+
+    With ``config.obs`` enabled the session installs process-global
+    observability (:mod:`repro.obs`) for its lifetime: every
+    communicator op is metered, the pipelined engine reports its
+    ``overlap_efficiency`` gauge, and (with ``obs.trace``) phase spans
+    accumulate on the tracer.  Read them through :attr:`metrics` and
+    :meth:`dump_trace`; the install is reference-counted, so the
+    per-rank sessions of one :meth:`run` share a single registry.
 
     Examples
     --------
@@ -190,6 +201,7 @@ class Session:
         solver: Optional[SolverConfig] = None,
         backend: Optional[BackendConfig] = None,
         stream: Optional[StreamConfig] = None,
+        obs: Optional[ObservabilityConfig] = None,
     ) -> None:
         cfg = config if config is not None else RunConfig()
         if not isinstance(cfg, RunConfig):
@@ -199,28 +211,48 @@ class Session:
         sections = {
             key: value
             for key, value in (
-                ("solver", solver), ("backend", backend), ("stream", stream)
+                ("solver", solver),
+                ("backend", backend),
+                ("stream", stream),
+                ("obs", obs),
             )
             if value is not None
         }
         if sections:
             cfg = cfg.replace(**sections)
         self._config = cfg
+        self._obs_installed = False
+        if cfg.obs.enabled:
+            # Installed before the communicator exists so the factory's
+            # observer hook meters it; uninstalled (refcounted) on close.
+            _obs.install(metrics=cfg.obs.metrics, trace=cfg.obs.trace)
+            self._obs_installed = True
         self._owns_comm = comm is None
-        if comm is None:
-            bcfg = cfg.backend
-            if bcfg.name == "threads" and bcfg.size > 1:
-                raise ConfigurationError(
-                    f"a single Session cannot host {bcfg.size} 'threads' "
-                    f"ranks (each rank needs its own); dispatch with "
-                    f"Session.run(config, fn) instead"
+        try:
+            if comm is None:
+                bcfg = cfg.backend
+                if bcfg.name == "threads" and bcfg.size > 1:
+                    raise ConfigurationError(
+                        f"a single Session cannot host {bcfg.size} 'threads' "
+                        f"ranks (each rank needs its own); dispatch with "
+                        f"Session.run(config, fn) instead"
+                    )
+                comm = create_communicator(
+                    bcfg.name,
+                    bcfg.size,
+                    timeout=bcfg.timeout,
+                    irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
                 )
-            comm = create_communicator(
-                bcfg.name,
-                bcfg.size,
-                timeout=bcfg.timeout,
-                irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
-            )
+            else:
+                # Adopted communicators (the per-rank Session.run form, an
+                # mpi4py world) predate this session's install — wrap them
+                # now; a no-op when metrics are off, idempotent otherwise.
+                comm = _obs.observe_communicator(comm)
+        except BaseException:
+            if self._obs_installed:
+                self._obs_installed = False
+                _obs.uninstall()
+            raise
         self._comm = comm
         self._driver: Optional[ParSVDParallel] = None
         self._closed = False
@@ -247,10 +279,15 @@ class Session:
             return
         driver, self._driver = self._driver, None
         self._closed = True
-        if driver is not None and driver.pending_update and not drop_pending:
-            driver._finalize_pending()
-        if self._owns_comm:
-            self._comm = None
+        try:
+            if driver is not None and driver.pending_update and not drop_pending:
+                driver._finalize_pending()
+        finally:
+            if self._owns_comm:
+                self._comm = None
+            if self._obs_installed:
+                self._obs_installed = False
+                _obs.uninstall()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -409,6 +446,31 @@ class Session:
     def singular_values(self) -> np.ndarray:
         """Current singular values."""
         return self._require_fitted().singular_values
+
+    # -- observability -----------------------------------------------------
+    @property
+    def metrics(self) -> dict:
+        """Snapshot of the metrics registry this session reports into.
+
+        ``{"counters": ..., "gauges": ..., "histograms": ...}`` keyed by
+        metric name (``repro.<subsystem>.<name>``).  The registry is
+        process-global and shared by the per-rank sessions of one
+        :meth:`run`, so reading it after the run sees every rank's
+        contributions merged; it remains readable after :meth:`close`.
+        """
+        return _obs.current_registry().snapshot()
+
+    def dump_trace(self, path: PathLike) -> str:
+        """Write the span timeline as Chrome-trace JSON to ``path``.
+
+        The file loads in ``chrome://tracing`` / Perfetto: one process
+        per rank, spans grouped by phase (``ingest``, ``qr``,
+        ``tsqr_comm``, ``svd``, ``wait``, ``flush``).  Meaningful when
+        the session runs with ``obs.trace`` enabled; an empty trace is
+        still valid JSON.  Returns ``path`` as a string.
+        """
+        _obs.current_tracer().write_chrome_trace(path)
+        return str(path)
 
     # -- persistence / serving ---------------------------------------------
     def save_checkpoint(self, path: PathLike, gathered: bool = False) -> str:

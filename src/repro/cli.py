@@ -6,6 +6,7 @@ Usage::
     python -m repro era5        [--nlat 24 --nlon 48 --nt 360 --ranks 4]
     python -m repro scaling     [--mode weak|strong --max-nodes 256]
     python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
+    python -m repro profile     [--ranks 4 --steps 6 --trace out.json]
     python -m repro verify      [paths ...] [--schedule]
     python -m repro config      dump [run flags] | validate FILE
     python -m repro info
@@ -23,6 +24,12 @@ Every experiment subcommand also accepts ``--config FILE`` to load a
 saved :class:`~repro.config.RunConfig` JSON as the base configuration;
 flags passed explicitly on the command line override the file's values
 (flags left at their defaults do not).
+
+Observability: the experiment subcommands accept ``--metrics-json PATH``
+(dump the :mod:`repro.obs` metrics registry after the run) and
+``--trace PATH`` (write the span timeline as Chrome-trace JSON, loadable
+in Perfetto / ``chrome://tracing``).  ``repro profile`` runs a small
+synthetic stream with both enabled and prints the per-phase breakdown.
 
 ``repro verify`` runs the SPMD collective-correctness analyzer
 (:mod:`repro.verify`): a static lint of driver code against the
@@ -74,6 +81,65 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         "stay in flight while the next batch is ingested (same numbers, "
         "asserted by the test suite)",
     )
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="after the run, dump the repro.obs metrics registry "
+        "(counters/gauges/histograms) as JSON to this file",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="after the run, write the span timeline as Chrome-trace JSON "
+        "to this file (open in Perfetto or chrome://tracing)",
+    )
+
+
+def _apply_obs_flags(cfg, args: argparse.Namespace):
+    """Enable the run config's obs section for any requested output."""
+    import dataclasses
+
+    want_metrics = getattr(args, "metrics_json", None) is not None
+    want_trace = getattr(args, "trace", None) is not None
+    if not (want_metrics or want_trace):
+        return cfg
+    from repro.obs import runtime as obs_runtime
+
+    # Each CLI invocation profiles one run: start from a clean slate.
+    obs_runtime.reset()
+    return dataclasses.replace(
+        cfg,
+        obs=dataclasses.replace(
+            cfg.obs,
+            metrics=cfg.obs.metrics or want_metrics,
+            trace=cfg.obs.trace or want_trace,
+        ),
+    )
+
+
+def _write_obs_outputs(args: argparse.Namespace) -> None:
+    """Dump the requested metrics/trace files after a run."""
+    from repro.obs import runtime as obs_runtime
+
+    metrics_path = getattr(args, "metrics_json", None)
+    if metrics_path:
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                obs_runtime.default_registry().to_json(indent=2) + "\n"
+            )
+        print(f"metrics written to {metrics_path}")
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs_runtime.default_tracer().write_chrome_trace(trace_path)
+        print(
+            f"trace written to {trace_path} "
+            f"(open in Perfetto or chrome://tracing)"
+        )
 
 
 def _add_config_option(parser: argparse.ArgumentParser) -> None:
@@ -193,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(p_burgers)
     _add_pipeline_options(p_burgers)
     _add_config_option(p_burgers)
+    _add_obs_options(p_burgers)
 
     p_era5 = sub.add_parser(
         "era5", help="coherent structures of the synthetic pressure record"
@@ -205,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(p_era5)
     _add_pipeline_options(p_era5)
     _add_config_option(p_era5)
+    _add_obs_options(p_era5)
 
     p_scaling = sub.add_parser("scaling", help="scaling studies (model)")
     p_scaling.add_argument(
@@ -249,6 +317,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_option(p_serve)
     _add_config_option(p_serve)
+    _add_obs_options(p_serve)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="stream a small synthetic low-rank matrix with observability "
+        "on and print the per-phase timing breakdown (repro.obs); "
+        "--trace/--metrics-json export the raw timeline and registry",
+    )
+    p_profile.add_argument("--ranks", type=int, default=4)
+    p_profile.add_argument("--modes", type=int, default=8)
+    p_profile.add_argument(
+        "--ndof", type=int, default=1024, help="rows of the synthetic stream"
+    )
+    p_profile.add_argument("--batch", type=int, default=24)
+    p_profile.add_argument(
+        "--steps", type=int, default=6, help="number of streamed batches"
+    )
+    p_profile.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable the pipelined streaming update (profile the "
+        "blocking engine instead)",
+    )
+    p_profile.add_argument(
+        "--prefetch",
+        type=int,
+        default=2,
+        metavar="DEPTH",
+        help="background prefetch depth for the synthetic stream (0 = off)",
+    )
+    _add_backend_option(p_profile)
+    _add_obs_options(p_profile)
 
     p_verify = sub.add_parser(
         "verify",
@@ -333,6 +433,7 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
             backend=_backend_config(args),
             stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
         )
+    cfg = _apply_obs_flags(cfg, args)
     print(
         f"Burgers validation: {args.nx} points, {args.nt} snapshots, "
         f"K={cfg.solver.K}, {cfg.backend.size} ranks, backend={cfg.backend.name}"
@@ -355,6 +456,7 @@ def _cmd_burgers(args: argparse.Namespace) -> int:
     )
     print(f"mode errors (leading 2): {comparison.mode_rel_errors}")
     print(f"spectrum errors        : {comparison.spectrum_rel_errors}")
+    _write_obs_outputs(args)
     ok = comparison.worst_mode_error < 1e-2
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
@@ -379,6 +481,7 @@ def _cmd_era5(args: argparse.Namespace) -> int:
                 batch=max(args.nt // 6, 1), prefetch=args.prefetch
             ),
         )
+    cfg = _apply_obs_flags(cfg, args)
 
     def job(session: Session):
         res = session.fit_stream(data).result()
@@ -397,6 +500,7 @@ def _cmd_era5(args: argparse.Namespace) -> int:
     )
     for line in report.summary_lines():
         print(line)
+    _write_obs_outputs(args)
     ok = (
         report.dominant_structure(0) is not None
         and report.dominant_structure(0)[1] > 0.9
@@ -453,6 +557,7 @@ def _run_serve_query(args, data, store) -> int:
             backend=_backend_config(args),
             stream=StreamConfig(batch=args.batch),
         )
+    cfg = _apply_obs_flags(cfg, args)
 
     def build(session: Session):
         session.fit_stream(data)
@@ -509,9 +614,82 @@ def _run_serve_query(args, data, store) -> int:
         )
     )
     print(f"worst deviation vs serial reference: {worst:.3e}")
+    _write_obs_outputs(args)
     ok = worst < 1e-8
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.api import (
+        ObservabilityConfig,
+        RunConfig,
+        Session,
+        SolverConfig,
+        StreamConfig,
+    )
+    from repro.obs import runtime as obs_runtime
+
+    ranks = _resolve_ranks(args)
+    nt = args.batch * args.steps
+    # Synthetic low-rank stream: a few smooth spatial modes modulated in
+    # time, plus noise — enough structure for the solver to do real work
+    # in every phase without needing a PDE solve.
+    rng = np.random.default_rng(7)
+    x = np.linspace(0.0, 1.0, args.ndof)
+    t = np.linspace(0.0, 1.0, nt)
+    rank = min(5, args.modes)
+    basis = np.column_stack(
+        [np.sin((i + 1) * np.pi * x) for i in range(rank)]
+    )
+    weights = np.column_stack(
+        [np.cos((i + 1) * 2.0 * np.pi * t) / (i + 1.0) for i in range(rank)]
+    )
+    data = basis @ weights.T
+    data += 0.01 * rng.standard_normal(data.shape)
+
+    cfg = RunConfig(
+        solver=SolverConfig(
+            K=args.modes, ff=0.95, overlap=not args.no_overlap
+        ),
+        backend=_backend_config(args),
+        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+        obs=ObservabilityConfig(metrics=True, trace=True),
+    )
+    obs_runtime.reset()
+    print(
+        f"profile: {args.ndof}x{nt} synthetic stream, K={cfg.solver.K}, "
+        f"{ranks} ranks, backend={cfg.backend.name}, "
+        f"overlap={cfg.solver.overlap}, prefetch={cfg.stream.prefetch}"
+    )
+
+    def job(session: Session):
+        return session.fit_stream(data).result().singular_values
+
+    Session.run(cfg, job)
+
+    tracer = obs_runtime.default_tracer()
+    lines = tracer.summary_lines()
+    if not lines:
+        print("error: no spans recorded", file=sys.stderr)
+        return 1
+    print()
+    for line in lines:
+        print(line)
+    snapshot = obs_runtime.default_registry().snapshot()
+    overlap = snapshot["gauges"].get("repro.core.overlap_efficiency")
+    if overlap is not None:
+        print(f"\noverlap_efficiency (wait/step): {overlap:.3f}")
+    comm_counters = {
+        name: meter["value"]
+        for name, meter in snapshot["counters"].items()
+        if name.startswith("repro.smpi.") and name.endswith(".calls")
+    }
+    if comm_counters:
+        total_calls = int(sum(comm_counters.values()))
+        print(f"communicator ops metered: {total_calls}")
+    _write_obs_outputs(args)
+    return 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -585,6 +763,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scaling(args)
         if args.command == "serve-query":
             return _cmd_serve_query(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "verify":
             from repro.verify.cli import run_verify
 

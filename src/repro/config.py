@@ -43,6 +43,7 @@ __all__ = [
     "SolverConfig",
     "BackendConfig",
     "StreamConfig",
+    "ObservabilityConfig",
     "RunConfig",
     "DEFAULT_FORGET_FACTOR",
     "DEFAULT_R1",
@@ -201,8 +202,11 @@ def _from_section_dict(cls, section: str, payload: dict):
         )
     try:
         return cls(**payload)
-    except ConfigurationError:
-        raise
+    except ConfigurationError as exc:
+        # Field validation errors name the field ("K must be positive")
+        # but not where it lives — prefix the section so `repro config
+        # validate` failures point at the right part of the file.
+        raise ConfigurationError(f"in {section!r} section: {exc}") from exc
     except (TypeError, ValueError) as exc:
         raise ConfigurationError(
             f"invalid value in {section!r} section: {exc}"
@@ -394,13 +398,63 @@ class StreamConfig(_SectionMixin):
 
 
 @dataclasses.dataclass(frozen=True)
+class ObservabilityConfig(_SectionMixin):
+    """What the run measures about itself (the :mod:`repro.obs` layer).
+
+    Parameters
+    ----------
+    metrics:
+        Record counters/gauges/histograms into the process-global
+        :class:`~repro.obs.MetricsRegistry` — per-collective call/byte/
+        latency rollups, overlap efficiency, prefetch and serving
+        metrics.  Communicators are wrapped in the metrics observer only
+        while this is on; the default ``False`` keeps the hot path
+        untouched.
+    trace:
+        Record phase-tagged spans into the process-global
+        :class:`~repro.obs.SpanTracer`, exportable as Chrome-trace JSON
+        (``Session.dump_trace`` / ``--trace``).
+    window_s:
+        Rolling window (seconds) for counter rates.
+    """
+
+    metrics: bool = False
+    trace: bool = False
+    window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.metrics, bool):
+            raise ConfigurationError(
+                f"metrics must be a bool, got {self.metrics!r}"
+            )
+        if not isinstance(self.trace, bool):
+            raise ConfigurationError(
+                f"trace must be a bool, got {self.trace!r}"
+            )
+        if (
+            not isinstance(self.window_s, (int, float))
+            or isinstance(self.window_s, bool)
+            or not self.window_s > 0.0
+        ):
+            raise ConfigurationError(
+                f"window_s must be a positive number, got {self.window_s!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any observability is requested."""
+        return self.metrics or self.trace
+
+
+@dataclasses.dataclass(frozen=True)
 class RunConfig(_SectionMixin):
     """The complete, typed description of one SVD run.
 
-    Composes the three orthogonal sections — *what* to solve
-    (:class:`SolverConfig`), *where* to run it (:class:`BackendConfig`)
-    and *how* batches arrive (:class:`StreamConfig`) — into the single
-    value every driver entry point (:class:`~repro.api.Session`, the CLI,
+    Composes the orthogonal sections — *what* to solve
+    (:class:`SolverConfig`), *where* to run it (:class:`BackendConfig`),
+    *how* batches arrive (:class:`StreamConfig`) and *what the run
+    measures about itself* (:class:`ObservabilityConfig`) — into the
+    single value every driver entry point (:class:`~repro.api.Session`, the CLI,
     examples, benchmarks) programs against.  Round-trips losslessly
     through :meth:`to_dict`/:meth:`from_dict` and JSON
     (:meth:`to_json`/:meth:`from_json`/:meth:`save`/:meth:`load`), and is
@@ -417,6 +471,9 @@ class RunConfig(_SectionMixin):
     solver: SolverConfig = dataclasses.field(default_factory=SolverConfig)
     backend: BackendConfig = dataclasses.field(default_factory=BackendConfig)
     stream: StreamConfig = dataclasses.field(default_factory=StreamConfig)
+    obs: ObservabilityConfig = dataclasses.field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, SolverConfig):
@@ -431,6 +488,10 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"stream must be a StreamConfig, got {type(self.stream).__name__}"
             )
+        if not isinstance(self.obs, ObservabilityConfig):
+            raise ConfigurationError(
+                f"obs must be an ObservabilityConfig, got {type(self.obs).__name__}"
+            )
 
     # -- dict / JSON round-trip -------------------------------------------
     def to_dict(self) -> dict:
@@ -439,6 +500,7 @@ class RunConfig(_SectionMixin):
             "solver": dataclasses.asdict(self.solver),
             "backend": dataclasses.asdict(self.backend),
             "stream": dataclasses.asdict(self.stream),
+            "obs": dataclasses.asdict(self.obs),
         }
 
     @classmethod
@@ -450,11 +512,11 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"run config must be a mapping, got {type(payload).__name__}"
             )
-        unknown = sorted(set(payload) - {"solver", "backend", "stream"})
+        unknown = sorted(set(payload) - {"solver", "backend", "stream", "obs"})
         if unknown:
             raise ConfigurationError(
                 f"unknown section(s) {unknown} in run config; valid "
-                f"sections: ['backend', 'solver', 'stream']"
+                f"sections: ['backend', 'obs', 'solver', 'stream']"
             )
         return cls(
             solver=_from_section_dict(
@@ -465,6 +527,9 @@ class RunConfig(_SectionMixin):
             ),
             stream=_from_section_dict(
                 StreamConfig, "stream", payload.get("stream", {})
+            ),
+            obs=_from_section_dict(
+                ObservabilityConfig, "obs", payload.get("obs", {})
             ),
         )
 

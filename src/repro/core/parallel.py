@@ -27,12 +27,14 @@ Fidelity notes
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..config import RunConfig, SolverConfig
+from ..obs import runtime as _obs
 from ..exceptions import (
     CommunicatorError,
     ConfigurationError,
@@ -282,6 +284,10 @@ class ParSVDParallel(ParSVDBase):
         # failed completion — its state no longer reflects the counters.
         self._pending = None
         self._pending_error: Optional[BaseException] = None
+        # Observability: perf_counter stamp of the in-flight step's post
+        # (None while observability is off — the disabled path must not
+        # allocate).
+        self._pending_posted_t: Optional[float] = None
         self._ulocal: Optional[np.ndarray] = None
         # Lazy mode assembly: _modes_epoch counts factorization updates,
         # _modes_synced_epoch the update the cached gathered modes belong
@@ -397,7 +403,8 @@ class ParSVDParallel(ParSVDBase):
         """Factor the first (local block of the) batch via APMOS."""
         self._finalize_pending()
         A = self._validate_first_batch(A)
-        self._ulocal, self._singular_values = self.parallel_svd(A)
+        with _obs.span("parsvd.initialize", phase="svd", rank=self.comm.rank):
+            self._ulocal, self._singular_values = self.parallel_svd(A)
         self._iteration = 1
         self._n_seen = A.shape[1]
         self._invalidate_modes()
@@ -421,7 +428,8 @@ class ParSVDParallel(ParSVDBase):
         assert self._ulocal is not None
         assert self._singular_values is not None
 
-        ll = self._scale_concat(A)
+        with _obs.span("parsvd.ingest", phase="ingest", rank=self.comm.rank):
+            ll = self._scale_concat(A)
         # Every lane shares the pipelined step (identical numbers); the
         # lanes differ only in buffer reuse (workspace) and in *when* the
         # finish phase runs.  With overlap=True the step stays in flight —
@@ -433,6 +441,9 @@ class ParSVDParallel(ParSVDBase):
             else PipelinedGatherStep
         )
         self._pending = step_cls(self.comm, ll, workspace=self._workspace)
+        self._pending_posted_t = (
+            time.perf_counter() if _obs.state() is not None else None
+        )
         if not self._overlap:
             self._finalize_pending()
         self._iteration += 1
@@ -467,8 +478,9 @@ class ParSVDParallel(ParSVDBase):
         each correction block small-matrices-first, so every rank's whole
         update costs one tall ``(M_i, K+B) x (K+B, K)`` GEMM.
         """
-        u_new, s_new = self._reduce_r(r_final)
-        u_new, s_new, _ = truncate_svd(u_new, s_new, None, self._config.K)
+        with _obs.span("parsvd.reduce", phase="svd", rank=self.comm.rank):
+            u_new, s_new = self._reduce_r(r_final)
+            u_new, s_new, _ = truncate_svd(u_new, s_new, None, self._config.K)
         return u_new, s_new
 
     def _apply_update(self, q1: np.ndarray, fused: np.ndarray, s_new) -> None:
@@ -511,11 +523,30 @@ class ParSVDParallel(ParSVDBase):
         if self._pending is None:
             return
         pending, self._pending = self._pending, None
+        posted_t, self._pending_posted_t = self._pending_posted_t, None
+        st = _obs.state()
+        t0 = time.perf_counter() if st is not None else 0.0
         try:
             q1, fused, s_new = pending.finish(self._reduce_truncated)
         except BaseException as exc:
             self._pending_error = exc
             raise
+        if st is not None and st.registry is not None:
+            # Overlap efficiency: the fraction of the step's wall time
+            # (post -> completion) spent blocked completing it.  With
+            # perfect overlap finish() returns instantly and the gauge
+            # tends to 0; without overlap it tends to 1.
+            now = time.perf_counter()
+            wait_s = now - t0
+            step_s = (now - posted_t) if posted_t is not None else wait_s
+            if step_s > 0.0:
+                st.registry.gauge("repro.core.overlap_efficiency").set(
+                    wait_s / step_s
+                )
+            st.registry.histogram("repro.core.step_seconds").observe(step_s)
+            st.registry.histogram(
+                "repro.core.finish_seconds"
+            ).observe(wait_s)
         self._apply_update(q1, fused, s_new)
 
     @property

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..obs import runtime as _obs
 from ..utils.linalg import as_floating, qr_positive
 
 __all__ = [
@@ -221,7 +222,10 @@ def _tree_upsweep(
                         comm.send(r_current, dest=partner, tag=tag_base + depth)
                     active = False
                 else:
-                    r_partner = np.asarray(up_requests[depth].wait())
+                    with _obs.span(
+                        "tsqr.tree_wait", phase="wait", rank=rank
+                    ):
+                        r_partner = np.asarray(up_requests[depth].wait())
                     my_rows = r_current.shape[0]
                     partner_rows = r_partner.shape[0]
                     if workspace is None:
@@ -302,7 +306,8 @@ def tsqr_tree(
         correction = np.eye(r_final.shape[0], dtype=r_final.dtype)
     else:
         # Receive from the partner that absorbed this rank's R (preposted).
-        correction = down_request.wait()
+        with _obs.span("tsqr.down_wait", phase="wait", rank=rank):
+            correction = down_request.wait()
 
     for q_merge, (partner, my_rows, partner_rows) in zip(
         reversed(q_factors), reversed(merge_meta)
@@ -382,7 +387,8 @@ class PipelinedGatherStep:
                 for peer in range(1, comm.size)
             ]
         scratch = workspace is not None and a_local.flags.writeable
-        self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
+        with _obs.span("tsqr.local_qr", phase="qr", rank=comm.rank):
+            self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
         # In-flight sends are retained until finish() so backends whose
         # send requests own the wire buffer (mpi4py pickle mode) cannot
         # have it collected mid-flight.
@@ -393,11 +399,20 @@ class PipelinedGatherStep:
 
     def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         """Complete the step; ``reduce_fn`` runs on rank 0 only."""
+        with _obs.span(
+            "tsqr.finish", phase="tsqr_comm", rank=self._comm.rank
+        ):
+            return self._finish(reduce_fn)
+
+    def _finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         comm, workspace, n = self._comm, self._workspace, self._n
         if comm.rank == 0:
             blocks = [self._r1]
             if comm.size > 1:
-                blocks.extend(np.asarray(req.wait()) for req in self._up)
+                with _obs.span("tsqr.gather_wait", phase="wait", rank=0):
+                    blocks.extend(
+                        np.asarray(req.wait()) for req in self._up
+                    )
             q2, r_final, offsets = _stack_and_refactor(blocks, n, workspace)
             reduced = tuple(reduce_fn(r_final))
             combine, rest = reduced[0], tuple(reduced[1:])
@@ -416,7 +431,10 @@ class PipelinedGatherStep:
                 )
             fused = q2[offsets[0] : offsets[1]] @ combine
         else:
-            payload = self._reply.wait()
+            with _obs.span(
+                "tsqr.reply_wait", phase="wait", rank=comm.rank
+            ):
+                payload = self._reply.wait()
             fused = payload[0]
             rest = tuple(payload[1:])
         # Drain the outbox: the peers' matching receives are preposted, so
@@ -458,7 +476,8 @@ class PipelinedTreeStep:
                 _TAG_PTREE_DOWN + level_of_absorption(rank),
             )
         scratch = workspace is not None and a_local.flags.writeable
-        self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
+        with _obs.span("tsqr.local_qr", phase="qr", rank=comm.rank):
+            self._q1, self._r1 = qr_positive(a_local, overwrite_a=scratch)
         # In-flight sends are retained until finish() (mpi4py send
         # requests own the wire buffer; see PipelinedGatherStep).
         self._outbox = []
@@ -473,6 +492,12 @@ class PipelinedTreeStep:
 
     def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         """Complete the step; ``reduce_fn`` runs on rank 0 only."""
+        with _obs.span(
+            "tsqr.finish", phase="tsqr_comm", rank=self._comm.rank
+        ):
+            return self._finish(reduce_fn)
+
+    def _finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         comm, workspace, n = self._comm, self._workspace, self._n
         rank = comm.rank
         r_current, q_factors, merge_meta = _tree_upsweep(
@@ -497,7 +522,8 @@ class PipelinedTreeStep:
                 for item in rest
             )
         else:
-            payload = self._down.wait()
+            with _obs.span("tsqr.down_wait", phase="wait", rank=rank):
+                payload = self._down.wait()
             correction = payload[0]
             extras = tuple(payload[1:])
             combine, rest = extras[0], tuple(extras[1:])

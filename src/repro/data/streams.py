@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Iterator, Optional
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..obs import runtime as _obs
 from .io import SnapshotDataset
 
 __all__ = [
@@ -184,11 +185,26 @@ class PrefetchStream(SnapshotStream):
         producer.start()
         try:
             while True:
+                # Observability: queue depth / starvation seen by the
+                # consumer.  One module-global read when disabled — no
+                # allocation on the hot path.
+                st = _obs.state()
+                if st is not None and st.registry is not None:
+                    depth = slots.qsize()
+                    st.registry.gauge(
+                        "repro.data.prefetch.queue_depth"
+                    ).set(float(depth))
+                    if depth == 0:
+                        st.registry.counter(
+                            "repro.data.prefetch.starvation"
+                        ).inc()
                 item = slots.get()
                 if isinstance(item, _EndOfStream):
                     return
                 if isinstance(item, _StreamFailure):
                     raise item.exception
+                if st is not None and st.registry is not None:
+                    st.registry.counter("repro.data.prefetch.batches").inc()
                 yield item
         finally:
             stop.set()

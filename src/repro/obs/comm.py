@@ -1,0 +1,190 @@
+"""Communicator observation: per-op call/byte/latency metrics.
+
+:class:`ObservedCommunicator` is the factory-level observer the
+:mod:`repro.smpi` backends report through when observability is active —
+a transparent proxy (like :class:`~repro.smpi.tracer.CommTracer`, but
+recording aggregate metrics instead of per-payload records, so it is
+cheap enough to leave on).  Every communication op is timed and
+byte-counted into three metrics::
+
+    repro.smpi.<op>.calls     counter
+    repro.smpi.<op>.bytes     counter  (contribution bytes this rank handed over)
+    repro.smpi.<op>.seconds   histogram
+
+Nonblocking ops return a request proxy that additionally times the
+``wait`` that completes them (``repro.smpi.wait.calls`` /
+``repro.smpi.wait.seconds``) — on the overlap engine this is exactly the
+non-overlapped communication time.
+
+The proxy only exists while observability is installed
+(:func:`repro.obs.runtime.observe_communicator`); disabled runs keep the
+raw backend communicator and pay nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+from ..smpi.message import payload_nbytes
+from ..smpi.request import Request, _wait_child
+from .metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = ["ObservedCommunicator"]
+
+#: Every op the proxy times.  Anything else (``iprobe``, internals) is
+#: delegated untouched.
+_TIMED_OPS = frozenset(
+    {
+        "send",
+        "recv",
+        "sendrecv",
+        "bcast",
+        "gather",
+        "allgather",
+        "scatter",
+        "gatherv_rows",
+        "scatterv_rows",
+        "reduce",
+        "allreduce",
+        "alltoall",
+        "scan",
+        "exscan",
+        "reduce_scatter",
+        "barrier",
+        "Send",
+        "Recv",
+        "Bcast",
+        "Gather",
+        "Scatter",
+        "Allgather",
+        "Allreduce",
+        "isend",
+        "irecv",
+        "ibcast",
+        "igatherv_rows",
+        "iallreduce",
+        "ialltoall",
+    }
+)
+
+#: Ops returning a request instead of a payload.
+_NONBLOCKING_OPS = frozenset(
+    {"isend", "irecv", "ibcast", "igatherv_rows", "iallreduce", "ialltoall"}
+)
+
+
+class _ObservedRequest(Request):
+    """Request proxy timing the completing ``wait``/``test`` call."""
+
+    __slots__ = ("_inner", "_wait_calls", "_wait_seconds")
+
+    def __init__(
+        self, inner: Any, wait_calls: Counter, wait_seconds: Histogram
+    ) -> None:
+        self._inner = inner
+        self._wait_calls = wait_calls
+        self._wait_seconds = wait_seconds
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        t0 = time.perf_counter()
+        result = _wait_child(self._inner, timeout)
+        self._wait_seconds.observe(time.perf_counter() - t0)
+        self._wait_calls.inc()
+        return result
+
+    def test(self) -> Tuple[bool, Any]:
+        return self._inner.test()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+def _op_nbytes(op: str, args: Tuple[Any, ...], result: Any) -> int:
+    """Contribution bytes for one call: the payload this rank handed in,
+    falling back to the received result for receiver-side blocking ops
+    (``bcast(None, root)``, ``recv``, non-root ``scatter``)."""
+    if args and args[0] is not None:
+        return payload_nbytes(args[0])
+    if op in _NONBLOCKING_OPS or op == "barrier":
+        return 0
+    return payload_nbytes(result)
+
+
+class ObservedCommunicator:
+    """Transparent metrics-recording proxy over any backend communicator.
+
+    Timed-op wrappers are built lazily on first use and cached on the
+    instance, so steady-state dispatch is one instance-dict hit; all
+    other attributes delegate to the wrapped communicator.
+    """
+
+    def __init__(self, comm: Any, registry: MetricsRegistry) -> None:
+        self._comm = comm
+        self._registry = registry
+        self._wait_calls = registry.counter("repro.smpi.wait.calls")
+        self._wait_seconds = registry.histogram("repro.smpi.wait.seconds")
+
+    @property
+    def inner(self) -> Any:
+        return self._comm
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    def Get_rank(self) -> int:
+        return self._comm.rank
+
+    def Get_size(self) -> int:
+        return self._comm.size
+
+    def split(self, color: Optional[int], key: int = 0) -> Any:
+        sub = self._comm.split(color, key)
+        if sub is None:
+            return None
+        return ObservedCommunicator(sub, self._registry)
+
+    def dup(self) -> "ObservedCommunicator":
+        return ObservedCommunicator(self._comm.dup(), self._registry)
+
+    def _make_timed(self, op: str) -> Any:
+        target = getattr(self._comm, op)
+        calls = self._registry.counter(f"repro.smpi.{op}.calls")
+        nbytes = self._registry.counter(f"repro.smpi.{op}.bytes")
+        seconds = self._registry.histogram(f"repro.smpi.{op}.seconds")
+        nonblocking = op in _NONBLOCKING_OPS
+        wait_calls = self._wait_calls
+        wait_seconds = self._wait_seconds
+
+        def timed(*args: Any, **kwargs: Any) -> Any:
+            t0 = time.perf_counter()
+            result = target(*args, **kwargs)
+            seconds.observe(time.perf_counter() - t0)
+            calls.inc()
+            size = _op_nbytes(op, args, result)
+            if size:
+                nbytes.inc(size)
+            if nonblocking:
+                return _ObservedRequest(result, wait_calls, wait_seconds)
+            return result
+
+        timed.__name__ = op
+        return timed
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in _TIMED_OPS:
+            wrapper = self._make_timed(name)
+            # Cache on the instance: subsequent calls bypass __getattr__.
+            self.__dict__[name] = wrapper
+            return wrapper
+        return getattr(self._comm, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObservedCommunicator({self._comm!r})"

@@ -1,0 +1,283 @@
+"""Span tracing with Chrome-trace (Perfetto) export and phase rollups.
+
+A :class:`SpanTracer` records closed spans — named intervals tagged with a
+*phase* (``ingest``, ``qr``, ``tsqr_comm``, ``svd``, ``wait``, ``flush``)
+and a *rank*.  Spans nest: each thread keeps a stack, so a span opened
+inside another records its parent, and the Chrome-trace export renders
+the nesting as stacked slices.
+
+Export targets:
+
+* :meth:`SpanTracer.chrome_trace` — the ``trace_event`` JSON format
+  (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+  one *pid* per rank (with ``process_name`` metadata events), one *tid*
+  per thread, ``"X"`` complete events with microsecond ``ts``/``dur``.
+  Load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+* :meth:`SpanTracer.phase_summary` / :meth:`SpanTracer.summary_lines` —
+  per-phase totals as a dict / plain-text table (what ``repro profile``
+  prints).
+
+:func:`validate_chrome_trace` is the schema check used by the test suite
+and the CI profile smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = [
+    "SpanTracer",
+    "validate_chrome_trace",
+    "phases_per_rank",
+]
+
+#: Canonical phase tags used by the built-in instrumentation.  Spans may
+#: carry any string phase; these are the ones the stack emits.
+PHASES = ("ingest", "qr", "tsqr_comm", "svd", "wait", "flush")
+
+
+class _Span:
+    """Context manager / decorator recording one closed span."""
+
+    __slots__ = ("_tracer", "_name", "_phase", "_rank", "_t0", "_parent")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        phase: Optional[str],
+        rank: Optional[int],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._phase = phase
+        self._rank = rank
+        self._t0 = 0.0
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        t1 = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        self._tracer._record(
+            self._name, self._phase, self._rank, self._parent, self._t0, t1
+        )
+
+    def __call__(self, fn: Any) -> Any:
+        """Decorator form: time every call of ``fn`` as a fresh span."""
+        tracer, name, phase, rank = (
+            self._tracer,
+            self._name,
+            self._phase,
+            self._rank,
+        )
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with _Span(tracer, name, phase, rank):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", name)
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+class SpanTracer:
+    """Collects closed spans from any thread; exports timelines."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        # Each event: dict(name, phase, rank, tid, parent, t0, dur) with
+        # t0 relative to the tracer epoch, seconds.
+        self._events: List[Dict[str, Any]] = []
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(
+        self,
+        name: str,
+        *,
+        phase: Optional[str] = None,
+        rank: Optional[int] = None,
+    ) -> _Span:
+        return _Span(self, name, phase, rank)
+
+    def _record(
+        self,
+        name: str,
+        phase: Optional[str],
+        rank: Optional[int],
+        parent: Optional[str],
+        t0: float,
+        t1: float,
+    ) -> None:
+        event = {
+            "name": name,
+            "phase": phase,
+            "rank": rank,
+            "tid": threading.get_ident(),
+            "parent": parent,
+            "t0": t0 - self._epoch,
+            "dur": t1 - t0,
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+        self._epoch = time.perf_counter()
+
+    # -- exports ---------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome ``trace_event`` JSON object."""
+        events = self.events()
+        trace_events: List[Dict[str, Any]] = []
+        ranks: Set[int] = set()
+        for event in events:
+            pid = event["rank"] if event["rank"] is not None else 0
+            ranks.add(pid)
+            args: Dict[str, Any] = {}
+            if event["phase"] is not None:
+                args["phase"] = event["phase"]
+            if event["parent"] is not None:
+                args["parent"] = event["parent"]
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "ts": event["t0"] * 1e6,
+                    "dur": event["dur"] * 1e6,
+                    "pid": pid,
+                    "tid": event["tid"],
+                    "cat": event["phase"] or "span",
+                    "args": args,
+                }
+            )
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+            for rank in sorted(ranks)
+        ]
+        return {
+            "traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome_trace(self, path: Any) -> None:
+        payload = json.dumps(self.chrome_trace(), indent=2, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+    def phase_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase rollup: ``{phase: {count, total_s, mean_s, max_s}}``."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for event in self.events():
+            phase = event["phase"]
+            if phase is None:
+                continue
+            entry = summary.setdefault(
+                phase, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += event["dur"]
+            entry["max_s"] = max(entry["max_s"], event["dur"])
+        for entry in summary.values():
+            entry["mean_s"] = (
+                entry["total_s"] / entry["count"] if entry["count"] else 0.0
+            )
+        return summary
+
+    def summary_lines(self) -> List[str]:
+        """Plain-text per-phase table, widest phase first."""
+        summary = self.phase_summary()
+        if not summary:
+            return []
+        lines = [
+            f"{'phase':<12} {'count':>7} {'total_s':>10} "
+            f"{'mean_s':>10} {'max_s':>10}"
+        ]
+        ordered = sorted(
+            summary.items(), key=lambda item: -item[1]["total_s"]
+        )
+        for phase, entry in ordered:
+            lines.append(
+                f"{phase:<12} {int(entry['count']):>7} "
+                f"{entry['total_s']:>10.4f} {entry['mean_s']:>10.6f} "
+                f"{entry['max_s']:>10.6f}"
+            )
+        return lines
+
+
+def phases_per_rank(payload: Dict[str, Any]) -> Dict[Any, Set[str]]:
+    """Distinct phase tags per pid (rank) in a Chrome-trace payload."""
+    phases: Dict[Any, Set[str]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        phase = event.get("args", {}).get("phase")
+        if phase is None:
+            continue
+        phases.setdefault(event.get("pid"), set()).add(phase)
+    return phases
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Validate a Chrome ``trace_event`` payload; raise ``ValueError``.
+
+    Checks the structural invariants the exports rely on: a
+    ``traceEvents`` list, every event carrying ``name``/``ph``/``pid``,
+    and every ``"X"`` complete event carrying non-negative numeric
+    ``ts``/``dur`` plus a ``tid``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload must carry a 'traceEvents' list")
+    complete = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing {key!r}")
+        if event["ph"] == "X":
+            complete += 1
+            if "tid" not in event:
+                raise ValueError(f"traceEvents[{index}] missing 'tid'")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{index}][{key!r}] must be a "
+                        f"non-negative number, got {value!r}"
+                    )
+    if complete == 0:
+        raise ValueError("trace payload has no complete ('X') span events")

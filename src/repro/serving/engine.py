@@ -27,12 +27,14 @@ request log to all serving ranks); results are replicated on every rank.
 from __future__ import annotations
 
 import collections
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.workspace import Workspace
 from ..exceptions import BasisNotFoundError, ServingError, ShapeError
+from ..obs import runtime as _obs
 from ..smpi.reduction import SUM
 from ..utils.partition import block_partition
 from .sharded import ShardedBasis
@@ -204,9 +206,12 @@ class QueryEngine:
         version = self._resolve_version(name, version)
         key = (name, version)
         basis = self._cache.get(key)
+        st = _obs.state()
         if basis is not None:
             self._cache.move_to_end(key)
             self._stats["cache_hits"] += 1
+            if st is not None and st.registry is not None:
+                st.registry.counter("repro.serving.cache_hits").inc()
             return basis
         if version == _MEM_VERSION or self.store is None:
             raise BasisNotFoundError(
@@ -214,6 +219,8 @@ class QueryEngine:
             )
         basis = ShardedBasis.from_store(self.comm, self.store, name, version)
         self._stats["cache_misses"] += 1
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.serving.cache_misses").inc()
         self._cache[key] = basis
         self._evict()
         return basis
@@ -285,6 +292,9 @@ class QueryEngine:
         ticket = QueryTicket(kind, name, version)
         self._pending.append((ticket, payload, local))
         self._stats["queries"] += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.serving.queries").inc()
         if len(self._pending) >= self.flush_threshold:
             self.flush()
         return ticket
@@ -334,21 +344,31 @@ class QueryEngine:
         if not pending:
             return 0
         self._stats["flushes"] += 1
-        groups: Dict[
-            Tuple[str, int, str, bool],
-            List[Tuple[QueryTicket, np.ndarray]],
-        ] = collections.OrderedDict()
-        for ticket, payload, local in pending:
-            key = (ticket.basis, ticket.version, ticket.kind, local)
-            groups.setdefault(key, []).append((ticket, payload))
-        for (name, version, kind, local), items in groups.items():
-            basis = self.load(name, version)
-            if kind == "project":
-                self._flush_project(basis, items, local)
-            elif kind == "reconstruct":
-                self._flush_reconstruct(basis, items)
-            else:
-                self._flush_error(basis, items, local)
+        st = _obs.state()
+        t0 = time.perf_counter() if st is not None else 0.0
+        with _obs.span("serving.flush", phase="flush", rank=self.comm.rank):
+            groups: Dict[
+                Tuple[str, int, str, bool],
+                List[Tuple[QueryTicket, np.ndarray]],
+            ] = collections.OrderedDict()
+            for ticket, payload, local in pending:
+                key = (ticket.basis, ticket.version, ticket.kind, local)
+                groups.setdefault(key, []).append((ticket, payload))
+            for (name, version, kind, local), items in groups.items():
+                basis = self.load(name, version)
+                if kind == "project":
+                    self._flush_project(basis, items, local)
+                elif kind == "reconstruct":
+                    self._flush_reconstruct(basis, items)
+                else:
+                    self._flush_error(basis, items, local)
+        if st is not None and st.registry is not None:
+            st.registry.histogram("repro.serving.flush_batch").observe(
+                float(len(pending))
+            )
+            st.registry.histogram("repro.serving.flush_seconds").observe(
+                time.perf_counter() - t0
+            )
         return len(pending)
 
     @staticmethod

@@ -99,8 +99,15 @@ def run_spmd(
 
     world = World(nprocs, timeout=timeout)
     group = tuple(range(nprocs))
+    # Same observer hook as create_communicator: a no-op unless
+    # repro.obs is installed with metrics, in which case every rank's
+    # communicator reports per-op metrics (CommTracer stacks on top).
+    from ..obs.runtime import observe_communicator
+
     comms: List[Any] = [
-        Communicator(world, World.WORLD_CONTEXT, group, rank)
+        observe_communicator(
+            Communicator(world, World.WORLD_CONTEXT, group, rank)
+        )
         for rank in range(nprocs)
     ]
     tracers: Optional[List[CommTracer]] = None

@@ -190,13 +190,19 @@ def create_communicator(
     _check_name(name)
     if size < 1:
         raise SmpiError(f"communicator size must be positive, got {size}")
+    # Factory-level observer: while repro.obs is installed with metrics,
+    # every communicator this factory hands out reports per-op call/byte/
+    # latency metrics — regardless of backend, without the CommTracer
+    # proxy.  A no-op returning the raw communicator otherwise.
+    from ..obs.runtime import observe_communicator
+
     if name == "self":
         if size != 1:
             raise SmpiError(
                 f"the 'self' backend is single-rank; got size {size} "
                 f"(use 'threads' or 'mpi4py' for multi-rank runs)"
             )
-        return SelfCommunicator()
+        return observe_communicator(SelfCommunicator())
     if name == "mpi4py":
         from .mpi import Mpi4pyCommunicator
 
@@ -209,11 +215,13 @@ def create_communicator(
                 f"requested {size} ranks but the MPI communicator has "
                 f"{comm.size}; launch with 'mpiexec -n {size}'"
             )
-        return comm
+        return observe_communicator(comm)
     world = World(size, timeout=timeout)
     group = tuple(range(size))
     comms = tuple(
-        Communicator(world, World.WORLD_CONTEXT, group, rank)
+        observe_communicator(
+            Communicator(world, World.WORLD_CONTEXT, group, rank)
+        )
         for rank in range(size)
     )
     return comms[0] if size == 1 else comms

@@ -23,6 +23,7 @@ Accounting conventions (bytes are payload sizes from
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -74,25 +75,30 @@ class _TracedRequest(Request):
     """
 
     def __init__(self, inner, record) -> None:
+        # ``record(result, t_start, duration_s)`` — the completing
+        # wait/test call's window, so nonblocking records carry the time
+        # actually spent blocked on completion.
         self._inner = inner
         self._record = record
 
-    def _observe(self, result) -> None:
+    def _observe(self, result, t_start: float, duration_s: float) -> None:
         if self._record is not None:
-            self._record(result)
+            self._record(result, t_start, duration_s)
             self._record = None
 
     def wait(self, timeout=None):
         # _wait_child forwards timeout= only to requests that take it
         # (foreign mpi4py requests put status first).
+        t0 = time.perf_counter()
         result = _wait_child(self._inner, timeout)
-        self._observe(result)
+        self._observe(result, t0, time.perf_counter() - t0)
         return result
 
     def test(self):
+        t0 = time.perf_counter()
         done, result = self._inner.test()
         if done:
-            self._observe(result)
+            self._observe(result, t0, time.perf_counter() - t0)
         return done, result
 
 
@@ -105,7 +111,13 @@ class CommRecord:
     the cross-rank conformance checker; they stay ``None`` for events
     where they do not apply (p2p traffic, non-array payloads).  For
     gather-flavoured ops the recorded shape is this rank's *contribution*
-    (row counts legitimately differ across ranks)."""
+    (row counts legitimately differ across ranks).
+
+    ``t_start`` (a ``time.perf_counter`` stamp) and ``duration_s`` carry
+    wall-clock data: for blocking ops the duration of the call, for
+    nonblocking receive-side records the time blocked in the completing
+    ``wait``/``test``.  Both default (``None``/``0.0``) so records
+    serialized before these fields existed still deserialize."""
 
     op: str
     nbytes: int
@@ -113,25 +125,43 @@ class CommRecord:
     root: Optional[int] = None
     dtype: Optional[str] = None
     shape: Optional[tuple] = None
+    t_start: Optional[float] = None
+    duration_s: float = 0.0
 
 
 @dataclasses.dataclass
 class TrafficSummary:
-    """Aggregate view of a rank's traffic."""
+    """Aggregate view of a rank's traffic.
+
+    ``total_seconds``/``seconds_by_op`` roll up the records' wall-clock
+    durations (communication time, per op and overall) — the measured
+    counterpart to the byte counts the α–β model consumes.  Both default
+    so the pre-timing constructor signature keeps working."""
 
     events: int
     total_bytes: int
     by_op: Dict[str, int]
+    total_seconds: float = 0.0
+    seconds_by_op: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @classmethod
     def from_records(cls, records: Sequence[CommRecord]) -> "TrafficSummary":
         by_op: Dict[str, int] = {}
+        seconds_by_op: Dict[str, float] = {}
+        total_seconds = 0.0
         for record in records:
             by_op[record.op] = by_op.get(record.op, 0) + record.nbytes
+            duration = getattr(record, "duration_s", 0.0)
+            seconds_by_op[record.op] = (
+                seconds_by_op.get(record.op, 0.0) + duration
+            )
+            total_seconds += duration
         return cls(
             events=len(records),
             total_bytes=sum(r.nbytes for r in records),
             by_op=by_op,
+            total_seconds=total_seconds,
+            seconds_by_op=seconds_by_op,
         )
 
 
@@ -164,6 +194,8 @@ class CommTracer:
         peer: Optional[int] = None,
         root: Optional[int] = None,
         obj: Any = None,
+        t_start: Optional[float] = None,
+        duration_s: float = 0.0,
     ) -> None:
         dtype, shape = _payload_meta(obj)
         self.records.append(
@@ -174,6 +206,8 @@ class CommTracer:
                 root=root,
                 dtype=dtype,
                 shape=shape,
+                t_start=t_start if t_start is not None else time.perf_counter(),
+                duration_s=duration_s,
             )
         )
 
@@ -183,8 +217,15 @@ class CommTracer:
         self._comm.send(obj, dest, tag)
 
     def recv(self, source: int = -1, tag: int = -1) -> Any:
+        t0 = time.perf_counter()
         obj = self._comm.recv(source, tag)
-        self._record("recv", payload_nbytes(obj), peer=source)
+        self._record(
+            "recv",
+            payload_nbytes(obj),
+            peer=source,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return obj
 
     def isend(self, obj: Any, dest: int, tag: int = 0):
@@ -196,32 +237,55 @@ class CommTracer:
         # wait()/test() call first observes the payload.
         return _TracedRequest(
             self._comm.irecv(source, tag),
-            lambda result: self._record(
-                "recv", payload_nbytes(result), peer=source
+            lambda result, t0, dt: self._record(
+                "recv",
+                payload_nbytes(result),
+                peer=source,
+                t_start=t0,
+                duration_s=dt,
             ),
         )
 
     def sendrecv(self, obj: Any, dest: int, source: int) -> Any:
-        self._record("send", payload_nbytes(obj), peer=dest)
+        t0 = time.perf_counter()
+        self._record("send", payload_nbytes(obj), peer=dest, t_start=t0)
         out = self._comm.sendrecv(obj, dest, source)
-        self._record("recv", payload_nbytes(out), peer=source)
+        self._record(
+            "recv",
+            payload_nbytes(out),
+            peer=source,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return out
 
     # -- collectives ------------------------------------------------------------
     def bcast(self, obj: Any, root: int = 0) -> Any:
+        t0 = time.perf_counter()
         if self._comm.rank == root:
+            out = self._comm.bcast(obj, root)
             self._record(
                 "bcast",
                 payload_nbytes(obj) * (self._comm.size - 1),
                 root=root,
                 obj=obj,
+                t_start=t0,
+                duration_s=time.perf_counter() - t0,
             )
-            return self._comm.bcast(obj, root)
+            return out
         out = self._comm.bcast(obj, root)
-        self._record("bcast", payload_nbytes(out), root=root, obj=out)
+        self._record(
+            "bcast",
+            payload_nbytes(out),
+            root=root,
+            obj=out,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return out
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        t0 = time.perf_counter()
         if self._comm.rank == root:
             out = self._comm.gather(obj, root)
             assert out is not None
@@ -230,22 +294,45 @@ class CommTracer:
                 for peer, item in enumerate(out)
                 if peer != root
             )
-            self._record("gather", received, root=root, obj=obj)
+            self._record(
+                "gather",
+                received,
+                root=root,
+                obj=obj,
+                t_start=t0,
+                duration_s=time.perf_counter() - t0,
+            )
             return out
-        self._record("gather", payload_nbytes(obj), root=root, obj=obj)
-        return self._comm.gather(obj, root)
+        out = self._comm.gather(obj, root)
+        self._record(
+            "gather",
+            payload_nbytes(obj),
+            root=root,
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
+        return out
 
     def allgather(self, obj: Any) -> List[Any]:
+        t0 = time.perf_counter()
         out = self._comm.allgather(obj)
         others = sum(
             payload_nbytes(item)
             for peer, item in enumerate(out)
             if peer != self._comm.rank
         )
-        self._record("allgather", payload_nbytes(obj) + others, obj=obj)
+        self._record(
+            "allgather",
+            payload_nbytes(obj) + others,
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return out
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        t0 = time.perf_counter()
         if self._comm.rank == root:
             sent = 0
             if objs is not None:
@@ -255,10 +342,24 @@ class CommTracer:
                     if peer != root
                 )
             out = self._comm.scatter(objs, root)
-            self._record("scatter", sent, root=root, obj=out)
+            self._record(
+                "scatter",
+                sent,
+                root=root,
+                obj=out,
+                t_start=t0,
+                duration_s=time.perf_counter() - t0,
+            )
             return out
         out = self._comm.scatter(objs, root)
-        self._record("scatter", payload_nbytes(out), root=root, obj=out)
+        self._record(
+            "scatter",
+            payload_nbytes(out),
+            root=root,
+            obj=out,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return out
 
     def gatherv_rows(
@@ -267,6 +368,7 @@ class CommTracer:
         root: int = 0,
         out: Optional[np.ndarray] = None,
     ) -> Optional[np.ndarray]:
+        t0 = time.perf_counter()
         if self._comm.rank == root:
             stacked = self._comm.gatherv_rows(sendbuf, root, out=out)
             assert stacked is not None
@@ -275,23 +377,50 @@ class CommTracer:
                 max(payload_nbytes(stacked) - payload_nbytes(sendbuf), 0),
                 root=root,
                 obj=sendbuf,
+                t_start=t0,
+                duration_s=time.perf_counter() - t0,
             )
             return stacked
-        self._record("gatherv", payload_nbytes(sendbuf), root=root, obj=sendbuf)
-        return self._comm.gatherv_rows(sendbuf, root, out=out)
+        result = self._comm.gatherv_rows(sendbuf, root, out=out)
+        self._record(
+            "gatherv",
+            payload_nbytes(sendbuf),
+            root=root,
+            obj=sendbuf,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
+        return result
 
     def scatterv_rows(
         self, sendbuf: Optional[np.ndarray], counts: Sequence[int], root: int = 0
     ) -> np.ndarray:
+        t0 = time.perf_counter()
         out = self._comm.scatterv_rows(sendbuf, counts, root)
+        duration = time.perf_counter() - t0
         if self._comm.rank == root:
             sent = payload_nbytes(sendbuf) - payload_nbytes(out) if sendbuf is not None else 0
-            self._record("scatterv", max(sent, 0), root=root, obj=out)
+            self._record(
+                "scatterv",
+                max(sent, 0),
+                root=root,
+                obj=out,
+                t_start=t0,
+                duration_s=duration,
+            )
         else:
-            self._record("scatterv", payload_nbytes(out), root=root, obj=out)
+            self._record(
+                "scatterv",
+                payload_nbytes(out),
+                root=root,
+                obj=out,
+                t_start=t0,
+                duration_s=duration,
+            )
         return out
 
     def reduce(self, obj: Any, op: ReduceOp, root: int = 0) -> Any:
+        t0 = time.perf_counter()
         if self._comm.rank == root:
             out = self._comm.reduce(obj, op, root)
             self._record(
@@ -299,16 +428,33 @@ class CommTracer:
                 payload_nbytes(obj) * (self._comm.size - 1),
                 root=root,
                 obj=obj,
+                t_start=t0,
+                duration_s=time.perf_counter() - t0,
             )
             return out
-        self._record("reduce", payload_nbytes(obj), root=root, obj=obj)
-        return self._comm.reduce(obj, op, root)
+        result = self._comm.reduce(obj, op, root)
+        self._record(
+            "reduce",
+            payload_nbytes(obj),
+            root=root,
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
+        return result
 
     def allreduce(
         self, obj: Any, op: ReduceOp, out: Optional[np.ndarray] = None
     ) -> Any:
+        t0 = time.perf_counter()
         result = self._comm.allreduce(obj, op, out=out)
-        self._record("allreduce", payload_nbytes(obj) * 2, obj=obj)
+        self._record(
+            "allreduce",
+            payload_nbytes(obj) * 2,
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return result
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
@@ -317,27 +463,45 @@ class CommTracer:
             for peer, item in enumerate(objs)
             if peer != self._comm.rank
         )
+        t0 = time.perf_counter()
         out = self._comm.alltoall(objs)
+        duration = time.perf_counter() - t0
         received = sum(
             payload_nbytes(item)
             for peer, item in enumerate(out)
             if peer != self._comm.rank
         )
         self._record(
-            "alltoall", sent + received, obj=objs[self._comm.rank]
+            "alltoall",
+            sent + received,
+            obj=objs[self._comm.rank],
+            t_start=t0,
+            duration_s=duration,
         )
         return out
 
     def scan(self, obj: Any, op: ReduceOp) -> Any:
+        t0 = time.perf_counter()
         out = self._comm.scan(obj, op)
         # up: own contribution; down: the received prefix
-        self._record("scan", payload_nbytes(obj) + payload_nbytes(out), obj=obj)
+        self._record(
+            "scan",
+            payload_nbytes(obj) + payload_nbytes(out),
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
+        )
         return out
 
     def exscan(self, obj: Any, op: ReduceOp) -> Any:
+        t0 = time.perf_counter()
         out = self._comm.exscan(obj, op)
         self._record(
-            "exscan", payload_nbytes(obj) + payload_nbytes(out), obj=obj
+            "exscan",
+            payload_nbytes(obj) + payload_nbytes(out),
+            obj=obj,
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
         )
         return out
 
@@ -347,11 +511,14 @@ class CommTracer:
             for peer, item in enumerate(objs)
             if peer != self._comm.rank
         )
+        t0 = time.perf_counter()
         out = self._comm.reduce_scatter(objs, op)
         self._record(
             "reduce_scatter",
             sent + payload_nbytes(out),
             obj=objs[self._comm.rank],
+            t_start=t0,
+            duration_s=time.perf_counter() - t0,
         )
         return out
 
@@ -371,8 +538,13 @@ class CommTracer:
             return self._comm.ibcast(obj, root)
         return _TracedRequest(
             self._comm.ibcast(obj, root),
-            lambda result: self._record(
-                "bcast", payload_nbytes(result), root=root, obj=result
+            lambda result, t0, dt: self._record(
+                "bcast",
+                payload_nbytes(result),
+                root=root,
+                obj=result,
+                t_start=t0,
+                duration_s=dt,
             ),
         )
 
@@ -390,11 +562,13 @@ class CommTracer:
         own = payload_nbytes(sendbuf)
         return _TracedRequest(
             self._comm.igatherv_rows(sendbuf, root, out=out),
-            lambda result: self._record(
+            lambda result, t0, dt: self._record(
                 "gatherv",
                 max(payload_nbytes(result) - own, 0),
                 root=root,
                 obj=sendbuf,
+                t_start=t0,
+                duration_s=dt,
             ),
         )
 
@@ -414,13 +588,15 @@ class CommTracer:
         rank = self._comm.rank
         return _TracedRequest(
             self._comm.ialltoall(objs),
-            lambda result: self._record(
+            lambda result, t0, dt: self._record(
                 "alltoall",
                 sum(
                     payload_nbytes(item)
                     for peer, item in enumerate(result)
                     if peer != rank
                 ),
+                t_start=t0,
+                duration_s=dt,
             ),
         )
 
@@ -429,8 +605,11 @@ class CommTracer:
         return self._comm.iprobe(source, tag)
 
     def barrier(self) -> None:
-        self._record("barrier", 0)
+        t0 = time.perf_counter()
         self._comm.barrier()
+        self._record(
+            "barrier", 0, t_start=t0, duration_s=time.perf_counter() - t0
+        )
 
     # -- uppercase buffer ops (delegate; account like their lowercase kin) --
     def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:

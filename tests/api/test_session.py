@@ -47,6 +47,7 @@ class TestApiSurface:
         update this snapshot deliberately."""
         assert repro.api.__all__ == [
             "BackendConfig",
+            "ObservabilityConfig",
             "RunConfig",
             "Session",
             "SessionResult",

@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import (
     BackendConfig,
+    ObservabilityConfig,
     RunConfig,
     SolverConfig,
     StreamConfig,
@@ -128,6 +129,43 @@ class TestStreamConfig:
             StreamConfig(**kwargs)
 
 
+class TestObservabilityConfig:
+    def test_defaults_off(self):
+        cfg = ObservabilityConfig()
+        assert cfg.metrics is False
+        assert cfg.trace is False
+        assert cfg.window_s == 60.0
+        assert cfg.enabled is False
+
+    @pytest.mark.parametrize(
+        "kwargs, expect",
+        [
+            ({"metrics": True}, True),
+            ({"trace": True}, True),
+            ({"metrics": True, "trace": True}, True),
+        ],
+    )
+    def test_enabled_when_any_component_on(self, kwargs, expect):
+        assert ObservabilityConfig(**kwargs).enabled is expect
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metrics": 1},
+            {"trace": "yes"},
+            {"window_s": 0.0},
+            {"window_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ObservabilityConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ObservabilityConfig().metrics = True
+
+
 class TestRunConfig:
     def test_sections_must_be_typed(self):
         with pytest.raises(ConfigurationError):
@@ -145,6 +183,7 @@ class TestRunConfig:
             ),
             backend=BackendConfig(name="threads", size=4, timeout=30.0),
             stream=StreamConfig(source="/data/snaps.npz", batch=25, prefetch=3),
+            obs=ObservabilityConfig(metrics=True, trace=True, window_s=10.0),
         )
         assert RunConfig.from_dict(cfg.to_dict()) == cfg
 
@@ -165,10 +204,28 @@ class TestRunConfig:
         assert cfg.solver.K == 5
         assert cfg.backend == BackendConfig()
         assert cfg.stream == StreamConfig()
+        assert cfg.obs == ObservabilityConfig()
+
+    def test_obs_section_round_trips(self):
+        cfg = RunConfig(obs=ObservabilityConfig(metrics=True))
+        payload = cfg.to_dict()
+        assert payload["obs"] == {
+            "metrics": True,
+            "trace": False,
+            "window_s": 60.0,
+        }
+        assert RunConfig.from_dict(payload) == cfg
 
     def test_unknown_section_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown section"):
             RunConfig.from_dict({"sovler": {}})
+
+    def test_invalid_value_names_the_section(self):
+        """`repro config validate` reports which section failed."""
+        with pytest.raises(ConfigurationError, match="'obs' section"):
+            RunConfig.from_dict({"obs": {"window_s": -5.0}})
+        with pytest.raises(ConfigurationError, match="'solver' section"):
+            RunConfig.from_dict({"solver": {"ff": 2.0}})
 
     def test_unknown_key_rejected_with_name(self):
         with pytest.raises(ConfigurationError, match="frobnicate"):

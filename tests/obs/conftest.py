@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability tests.
+
+The obs runtime is process-global (refcounted install, default
+registry/tracer singletons); every test must leave it pristine or the
+rest of the suite would silently run instrumented.
+"""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Unwind any leaked installs and clear the default sinks."""
+    yield
+    while runtime.installed():
+        runtime.uninstall()
+    runtime.reset()

@@ -1,0 +1,189 @@
+"""Span tracer: nesting, exports, Chrome-trace schema validation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    PHASES,
+    SpanTracer,
+    phases_per_rank,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_span_records_name_phase_rank(self):
+        tracer = SpanTracer()
+        with tracer.span("tsqr.local_qr", phase="qr", rank=2):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "tsqr.local_qr"
+        assert event["phase"] == "qr"
+        assert event["rank"] == 2
+        assert event["dur"] >= 0.0
+        assert event["parent"] is None
+
+    def test_nested_spans_record_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", phase="svd"):
+            with tracer.span("inner", phase="wait"):
+                pass
+        inner, outer = tracer.events()  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == "outer"
+        assert outer["parent"] is None
+
+    def test_sibling_threads_do_not_nest(self):
+        tracer = SpanTracer()
+
+        def worker():
+            with tracer.span("child", phase="qr"):
+                pass
+
+        with tracer.span("main", phase="svd"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        child = [e for e in tracer.events() if e["name"] == "child"][0]
+        assert child["parent"] is None  # different thread, fresh stack
+
+    def test_decorator_form(self):
+        tracer = SpanTracer()
+
+        @tracer.span("work", phase="svd", rank=0)
+        def work(x):
+            """Docstring survives."""
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        assert work.__doc__ == "Docstring survives."
+        events = tracer.events()
+        assert len(events) == 2
+        assert all(e["name"] == "work" for e in events)
+
+    def test_reset_clears_events(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.events() == []
+
+    def test_canonical_phases_exported(self):
+        assert PHASES == ("ingest", "qr", "tsqr_comm", "svd", "wait", "flush")
+
+
+class TestChromeTrace:
+    def _traced(self):
+        tracer = SpanTracer()
+        for rank in range(2):
+            with tracer.span("step", phase="svd", rank=rank):
+                with tracer.span("inner_wait", phase="wait", rank=rank):
+                    pass
+        return tracer
+
+    def test_export_passes_validation(self):
+        payload = self._traced().chrome_trace()
+        validate_chrome_trace(payload)
+
+    def test_one_pid_per_rank_with_metadata(self):
+        payload = self._traced().chrome_trace()
+        x_pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert x_pids == {0, 1}
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"rank 0", "rank 1"}
+
+    def test_timestamps_in_microseconds(self):
+        payload = self._traced().chrome_trace()
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+
+    def test_phases_per_rank(self):
+        payload = self._traced().chrome_trace()
+        assert phases_per_rank(payload) == {
+            0: {"svd", "wait"},
+            1: {"svd", "wait"},
+        }
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+
+    def test_parent_recorded_in_args(self):
+        payload = self._traced().chrome_trace()
+        inner = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "inner_wait"
+        ]
+        assert all(e["args"]["parent"] == "step" for e in inner)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"traceEvents": "nope"},
+            {"traceEvents": ["not-an-object"]},
+            {"traceEvents": [{"ph": "X", "pid": 0}]},  # missing name
+            {"traceEvents": [{"name": "a", "ph": "X", "pid": 0}]},  # no tid
+            {
+                "traceEvents": [
+                    {
+                        "name": "a",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": 1,
+                        "ts": -1.0,
+                        "dur": 0.0,
+                    }
+                ]
+            },
+            {"traceEvents": []},  # no complete events at all
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
+
+
+class TestPhaseSummary:
+    def test_summary_math(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("a", phase="qr"):
+                pass
+        with tracer.span("b"):  # no phase: excluded from the rollup
+            pass
+        summary = tracer.phase_summary()
+        assert set(summary) == {"qr"}
+        entry = summary["qr"]
+        assert entry["count"] == 3
+        assert entry["total_s"] == pytest.approx(
+            entry["mean_s"] * 3, rel=1e-9
+        )
+        assert entry["max_s"] <= entry["total_s"]
+
+    def test_summary_lines_table(self):
+        tracer = SpanTracer()
+        with tracer.span("a", phase="qr"):
+            pass
+        lines = tracer.summary_lines()
+        assert lines[0].startswith("phase")
+        assert any("qr" in line for line in lines[1:])
+
+    def test_empty_summary(self):
+        tracer = SpanTracer()
+        assert tracer.phase_summary() == {}
+        assert tracer.summary_lines() == []

@@ -118,3 +118,62 @@ class TestSummaryAndReset:
 
         results, _ = _traced(2, job)
         assert results == ["CommTracer", "CommTracer"]
+
+
+class TestTiming:
+    def test_blocking_records_carry_timing(self):
+        def job(comm):
+            comm.bcast(np.zeros(8) if comm.rank == 0 else None, root=0)
+            comm.allreduce(np.zeros(2), SUM)
+            comm.barrier()
+            return None
+
+        _, tracers = _traced(2, job)
+        for tracer in tracers:
+            assert len(tracer.records) == 3
+            for record in tracer.records:
+                assert record.t_start is not None
+                assert record.duration_s >= 0.0
+            # Collectives synchronize: at least one record on each rank
+            # blocked for a measurable interval.
+            assert any(r.duration_s > 0.0 for r in tracer.records)
+
+    def test_nonblocking_wait_time_lands_on_the_record(self):
+        def job(comm):
+            request = comm.ibcast(
+                np.ones(4) if comm.rank == 0 else None, root=0
+            )
+            result = request.wait()
+            return float(np.sum(result))
+
+        results, tracers = _traced(2, job)
+        assert results == [4.0, 4.0]
+        # The non-root record is written by the completing wait, carrying
+        # that wait's window; the root records at post time.
+        (record,) = [r for r in tracers[1].records if r.op == "bcast"]
+        assert record.t_start is not None
+        assert record.duration_s >= 0.0
+
+    def test_summary_rolls_up_seconds_per_op(self):
+        def job(comm):
+            comm.bcast(0 if comm.rank == 0 else None, root=0)
+            comm.barrier()
+            return None
+
+        _, tracers = _traced(2, job)
+        summary = tracers[1].summary()
+        assert summary.total_seconds >= 0.0
+        assert set(summary.seconds_by_op) == {"bcast", "barrier"}
+        assert abs(
+            sum(summary.seconds_by_op.values()) - summary.total_seconds
+        ) < 1e-12
+
+    def test_pre_timing_constructor_signatures_still_work(self):
+        from repro.smpi.tracer import CommRecord, TrafficSummary
+
+        record = CommRecord(op="bcast", nbytes=8)
+        assert record.t_start is None
+        assert record.duration_s == 0.0
+        summary = TrafficSummary(events=1, total_bytes=8, by_op={"bcast": 8})
+        assert summary.total_seconds == 0.0
+        assert summary.seconds_by_op == {}
