@@ -1,0 +1,152 @@
+"""Recovery overhead: fault-free streaming vs crash + restart + replay.
+
+A seeded single-rank crash mid-stream forces ``Session.run`` (with a
+``RestartPolicy``) to tear the SPMD world down, rebuild it and replay
+from the last auto-checkpoint.  This bench times both lanes over the
+same synthetic stream and reports the recovery tax: extra wall time,
+restarts taken and batches replayed — while asserting the recovered
+results match the fault-free ones exactly (the recovery contract).
+
+Expected shape: recovery costs roughly one backoff plus the replayed
+prefix; the recovered singular values and modes are bit-identical to
+the uninterrupted run, so the overhead buys fault tolerance, not a
+different answer.
+
+Artifacts: ``chaos_recovery.json`` (timings + counters) and
+``chaos_recovery.txt`` (table).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.api import (
+    BackendConfig,
+    FaultConfig,
+    FaultSpec,
+    ObservabilityConfig,
+    RestartPolicy,
+    RunConfig,
+    Session,
+    SolverConfig,
+    StreamConfig,
+)
+from repro.obs import runtime as obs_rt
+from repro.postprocessing.report import format_table
+
+NDOF, NT, BATCH, K, RANKS = 512, 96, 8, 8, 4
+CRASH_AT = 40  # mid-stream comm-op ordinal on the victim rank
+
+
+def make_stream():
+    rng = np.random.default_rng(11)
+    x = np.linspace(0.0, 1.0, NDOF)
+    t = np.linspace(0.0, 1.0, NT)
+    basis = np.column_stack([np.sin((i + 1) * np.pi * x) for i in range(6)])
+    weights = np.column_stack(
+        [np.cos((i + 1) * 2.0 * np.pi * t) / (i + 1.0) for i in range(6)]
+    )
+    return basis @ weights.T + 0.01 * rng.standard_normal((NDOF, NT))
+
+
+DATA = make_stream()
+
+
+def job(session):
+    result = session.fit_stream(DATA).result()
+    return result.singular_values, result.modes
+
+
+def base_config():
+    return RunConfig(
+        solver=SolverConfig(K=K, ff=0.95, qr_variant="gather", overlap=True),
+        backend=BackendConfig(name="threads", size=RANKS, timeout=30.0),
+        stream=StreamConfig(batch=BATCH),
+        obs=ObservabilityConfig(metrics=True),
+    )
+
+
+def run_fault_free():
+    start = time.perf_counter()
+    results = Session.run(base_config(), job)
+    return time.perf_counter() - start, results
+
+
+def run_with_crash():
+    cfg = base_config().replace(
+        faults=FaultConfig(
+            enabled=True,
+            seed=1234,
+            schedule=(FaultSpec(kind="crash", rank=1, op="*", at=CRASH_AT),),
+        )
+    )
+    policy = RestartPolicy(max_restarts=2, backoff_s=0.01, checkpoint_every=1)
+    obs_rt.reset()
+    start = time.perf_counter()
+    results = Session.run(cfg, job, restart_policy=policy)
+    elapsed = time.perf_counter() - start
+    counters = obs_rt.default_registry().snapshot()["counters"]
+
+    def count(name):
+        meter = counters.get(name)
+        return int(meter["value"]) if meter else 0
+
+    return elapsed, results, {
+        "restarts": count("repro.recovery.restarts"),
+        "replayed_batches": count("repro.recovery.replayed_batches"),
+        "injected_crashes": count("repro.faults.injected.crash"),
+    }
+
+
+def test_chaos_recovery_overhead(benchmark, artifacts_dir):
+    clean_s, clean = run_fault_free()
+    chaos_s, recovered, counters = run_with_crash()
+
+    # The recovery contract: same answer, despite the crash.
+    assert counters["injected_crashes"] >= 1
+    assert counters["restarts"] >= 1
+    for (rsv, rmodes), (csv, cmodes) in zip(recovered, clean):
+        assert float(np.max(np.abs(rsv - csv))) < 1e-12
+        assert float(np.max(np.abs(np.abs(rmodes) - np.abs(cmodes)))) < 1e-12
+
+    benchmark(lambda: run_with_crash())
+
+    overhead = chaos_s / max(clean_s, 1e-9)
+    payload = {
+        "bench": "chaos_recovery",
+        "ndof": NDOF,
+        "nt": NT,
+        "batch": BATCH,
+        "modes": K,
+        "ranks": RANKS,
+        "backend": "threads",
+        "crash_at": CRASH_AT,
+        "fault_free_s": clean_s,
+        "recovered_s": chaos_s,
+        "overhead_x": overhead,
+        **counters,
+    }
+    (artifacts_dir / "chaos_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit(
+        artifacts_dir,
+        "chaos_recovery.txt",
+        f"Crash + restart recovery tax ({NDOF}x{NT} stream, K={K}, "
+        f"{RANKS} ranks, crash at op #{CRASH_AT})\n"
+        + format_table(
+            ["lane", "wall_s", "restarts", "replayed_batches"],
+            [
+                ["fault-free", f"{clean_s:.3f}", 0, 0],
+                [
+                    "crash+recover",
+                    f"{chaos_s:.3f}",
+                    counters["restarts"],
+                    counters["replayed_batches"],
+                ],
+            ],
+        )
+        + f"\noverhead: {overhead:.2f}x",
+    )

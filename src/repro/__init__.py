@@ -60,7 +60,10 @@ Quickstart
 from .api import Session, SessionResult
 from .config import (
     BackendConfig,
+    FaultConfig,
+    FaultSpec,
     ObservabilityConfig,
+    RestartPolicy,
     RunConfig,
     SolverConfig,
     StreamConfig,
@@ -99,6 +102,9 @@ __all__ = [
     "BackendConfig",
     "StreamConfig",
     "ObservabilityConfig",
+    "FaultConfig",
+    "FaultSpec",
+    "RestartPolicy",
     "SVDConfig",
     "ParSVDBase",
     "ParSVDSerial",

@@ -51,13 +51,19 @@ from __future__ import annotations
 
 import dataclasses
 import pathlib
-from typing import Any, Callable, Iterable, List, Optional, Union
+import random
+import tempfile
+import time
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .config import (
     BackendConfig,
+    FaultConfig,
+    FaultSpec,
     ObservabilityConfig,
+    RestartPolicy,
     RunConfig,
     SolverConfig,
     StreamConfig,
@@ -69,14 +75,21 @@ from .core.checkpoint import (
 )
 from .core.parallel import ParSVDParallel
 from .data.streams import PrefetchStream, SnapshotStream, array_stream, dataset_stream
-from .exceptions import ConfigurationError, DataFormatError
+from .exceptions import CommunicatorError, ConfigurationError, DataFormatError
+from .faults import runtime as _faults
+from .faults.comm import FaultyCommunicator
+from .faults.controller import FaultController
 from .obs import runtime as _obs
+from .smpi.executor import ParallelFailure
 from .smpi.factory import create_communicator, run_backend
 from .utils.partition import block_partition
 
 __all__ = [
     "BackendConfig",
+    "FaultConfig",
+    "FaultSpec",
     "ObservabilityConfig",
+    "RestartPolicy",
     "RunConfig",
     "Session",
     "SessionResult",
@@ -227,6 +240,14 @@ class Session:
             # observer hook meters it; uninstalled (refcounted) on close.
             _obs.install(metrics=cfg.obs.metrics, trace=cfg.obs.trace)
             self._obs_installed = True
+        self._faults_installed = False
+        if cfg.faults.active:
+            # Same refcounted pattern as obs: the first install builds the
+            # controller, per-rank siblings share it.  Session.run's retry
+            # loop pins a controller *before* the sessions exist, so their
+            # installs here just add references to it.
+            _faults.install(cfg.faults)
+            self._faults_installed = True
         self._owns_comm = comm is None
         try:
             if comm is None:
@@ -243,19 +264,33 @@ class Session:
                     timeout=bcfg.timeout,
                     irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
                 )
-            else:
+            elif not isinstance(comm, FaultyCommunicator):
                 # Adopted communicators (the per-rank Session.run form, an
-                # mpi4py world) predate this session's install — wrap them
-                # now; a no-op when metrics are off, idempotent otherwise.
-                comm = _obs.observe_communicator(comm)
+                # mpi4py world) may predate this session's installs — wrap
+                # them now, observer inside, injector outside (the factory
+                # layering).  No-ops when the runtimes are off; a comm the
+                # factory already wrapped is adopted as-is.
+                comm = _faults.inject_communicator(
+                    _obs.observe_communicator(comm)
+                )
         except BaseException:
             if self._obs_installed:
                 self._obs_installed = False
                 _obs.uninstall()
+            if self._faults_installed:
+                self._faults_installed = False
+                _faults.uninstall()
             raise
         self._comm = comm
         self._driver: Optional[ParSVDParallel] = None
         self._closed = False
+        # Live PrefetchStreams handed to fit_stream — aborted on
+        # close(drop_pending=True) so no producer thread outlives a
+        # crashed session.
+        self._prefetch_streams: List[PrefetchStream] = []
+        # (path, every) set by Session.run's restart loop: fit_stream then
+        # writes a gathered checkpoint every `every` ingested batches.
+        self._auto_checkpoint: Optional[Tuple[pathlib.Path, int]] = None
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "Session":
@@ -271,23 +306,36 @@ class Session:
         Safe to call twice.  On a clean exit a pending pipelined step is
         finalised so no peer is left waiting; with ``drop_pending=True``
         (what ``__exit__`` passes while an exception is unwinding) the
-        pending state is dropped instead — waiting on peers that are
-        themselves unwinding could only block until the mailbox timeout
-        and mask the original error.
+        pending state is *aborted* instead — its in-flight requests are
+        cancelled (waiting on peers that are themselves unwinding could
+        only block until the mailbox timeout and mask the original
+        error) and any background :class:`~repro.data.streams.
+        PrefetchStream` producers this session started are stopped and
+        joined, so a crashed session leaks neither requests nor threads.
         """
         if self._closed:
             return
         driver, self._driver = self._driver, None
+        streams, self._prefetch_streams = self._prefetch_streams, []
         self._closed = True
         try:
-            if driver is not None and driver.pending_update and not drop_pending:
-                driver._finalize_pending()
+            if driver is not None and driver.pending_update:
+                if drop_pending:
+                    driver.abort_pending()
+                else:
+                    driver._finalize_pending()
         finally:
+            if drop_pending:
+                for stream in streams:
+                    stream.abort()
             if self._owns_comm:
                 self._comm = None
             if self._obs_installed:
                 self._obs_installed = False
                 _obs.uninstall()
+            if self._faults_installed:
+                self._faults_installed = False
+                _faults.uninstall()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -366,9 +414,18 @@ class Session:
             stream = stream.restrict_rows(part.slice_of(self._comm.rank))
         if scfg.prefetch > 0:
             stream = PrefetchStream(stream, depth=scfg.prefetch)
+            # Tracked so close(drop_pending=True) can stop the producer
+            # thread of an iteration abandoned mid-stream by a crash.
+            self._prefetch_streams.append(stream)
         return stream
 
-    def fit_stream(self, source: Any = None, *, partition: bool = True) -> "Session":
+    def fit_stream(
+        self,
+        source: Any = None,
+        *,
+        partition: bool = True,
+        replay: Optional[bool] = None,
+    ) -> "Session":
         """Stream a whole data source through the driver.
 
         Parameters
@@ -387,20 +444,62 @@ class Session:
         A fresh session initialises on the first batch; a resumed (or
         previously fitted) one keeps incorporating — so checkpoint /
         resume / ``fit_stream`` composes into one continuous stream.
-        ``config.stream.prefetch`` wraps the rank-local stream in a
-        background :class:`~repro.data.streams.PrefetchStream`;
-        ``config.solver.overlap`` keeps each step's collectives in
-        flight while the next batch arrives.
+        ``replay`` declares what the source covers relative to the
+        restored state: ``False`` (the plain-resume contract), the
+        stream holds only *new* columns and every batch is ingested;
+        ``True``, the stream is the FULL run replayed from the start
+        and batches the restored state already covers are skipped, not
+        re-ingested — checkpoints land on batch boundaries, so whole
+        batches skip exactly and the replayed run stays bit-identical
+        to an uninterrupted one.  The default (``None``) is ``False``
+        except under ``Session.run(restart_policy=...)``, whose job
+        functions stream the whole run every attempt and recover from
+        the auto-checkpoint.  ``config.stream.prefetch`` wraps the
+        rank-local stream in a background :class:`~repro.data.streams.
+        PrefetchStream`; ``config.solver.overlap`` keeps each step's
+        collectives in flight while the next batch arrives.
         """
         self._require_open()
         driver = self.driver
         got_any = driver.initialized
-        for batch in self._resolve_stream(source, partition):
-            if not got_any:
-                driver.initialize(batch)
-                got_any = True
-            else:
-                driver.incorporate_data(batch)
+        if replay is None:
+            replay = self._auto_checkpoint is not None
+        already_seen = driver.n_seen if (got_any and replay) else 0
+        seen = 0
+        ingested = 0
+        stream = self._resolve_stream(source, partition)
+        try:
+            for batch in stream:
+                width = batch.shape[1]
+                if already_seen and seen + width <= already_seen:
+                    # Restart replay: this batch is inside the restored
+                    # state already.
+                    seen += width
+                    st = _obs.state()
+                    if st is not None and st.registry is not None:
+                        st.registry.counter(
+                            "repro.recovery.replayed_batches"
+                        ).inc()
+                    continue
+                seen += width
+                if not got_any:
+                    driver.initialize(batch)
+                    got_any = True
+                else:
+                    driver.incorporate_data(batch)
+                ingested += 1
+                if self._auto_checkpoint is not None:
+                    path, every = self._auto_checkpoint
+                    if every > 0 and ingested % every == 0:
+                        # Collective, but in lockstep: every rank ingests
+                        # the same batch schedule, so the counters agree.
+                        self.save_checkpoint(path, gathered=True)
+        except BaseException:
+            # Stop the background producer promptly (close(drop_pending)
+            # aborts too — this covers bare fit_stream callers).
+            if isinstance(stream, PrefetchStream):
+                stream.abort()
+            raise
         if not got_any:
             raise ConfigurationError("fit_stream received an empty batch stream")
         return self
@@ -540,6 +639,7 @@ class Session:
         *args: Any,
         resume: Optional[PathLike] = None,
         trace: bool = False,
+        restart_policy: Optional[RestartPolicy] = None,
         **kwargs: Any,
     ) -> List[Any]:
         """Run ``fn(session, *args, **kwargs)`` SPMD-style on the
@@ -553,6 +653,23 @@ class Session:
         embedded config).  Returns the rank-ordered list of per-rank
         results (``trace=True`` additionally returns the communication
         tracers, as :func:`repro.smpi.run_backend` does).
+
+        With ``restart_policy=`` the run becomes *elastic*: every rank's
+        ``fit_stream`` auto-checkpoints (gathered) every
+        ``checkpoint_every`` ingested batches, and when the attempt dies
+        — a rank crash (:class:`~repro.smpi.executor.ParallelFailure`) or
+        a communicator fault — the whole SPMD step is torn down
+        (pipelined requests aborted, prefetch producers stopped), the
+        backend is rebuilt and the run replayed from the last
+        checkpoint, after an exponential backoff.  ``shrink=True``
+        additionally drops one rank per restart (never below
+        ``min_size``) — gathered checkpoints restart at any rank count.
+        Replay is exact: resume is bit-identical and already-seen
+        batches are skipped whole, so a recovered run matches an
+        uninterrupted one to machine precision.  When
+        ``config.faults.active`` the fault controller is pinned *across*
+        attempts, so a fire-once injected crash stays fired and the
+        replay runs clean.
         """
         if config is None:
             if resume is None:
@@ -565,6 +682,38 @@ class Session:
             raise ConfigurationError(
                 f"config must be a RunConfig, got {type(config).__name__}"
             )
+        if restart_policy is None:
+            return cls._dispatch(
+                config, fn, args, kwargs, resume=resume, trace=trace
+            )
+        if not isinstance(restart_policy, RestartPolicy):
+            raise ConfigurationError(
+                f"restart_policy must be a RestartPolicy, "
+                f"got {type(restart_policy).__name__}"
+            )
+        return cls._run_with_restarts(
+            config,
+            fn,
+            args,
+            kwargs,
+            resume=resume,
+            trace=trace,
+            policy=restart_policy,
+        )
+
+    @classmethod
+    def _dispatch(
+        cls,
+        config: RunConfig,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        *,
+        resume: Optional[PathLike],
+        trace: bool,
+        auto_checkpoint: Optional[Tuple[pathlib.Path, int]] = None,
+    ) -> List[Any]:
+        """One SPMD attempt: build per-rank sessions and run ``fn``."""
         bcfg = config.backend
 
         def job(comm):
@@ -572,6 +721,7 @@ class Session:
                 session = cls.resume(resume, comm=comm, config=config)
             else:
                 session = cls(config, comm=comm)
+            session._auto_checkpoint = auto_checkpoint
             with session:
                 return fn(session, *args, **kwargs)
 
@@ -583,6 +733,89 @@ class Session:
             trace=trace,
             irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
         )
+
+    @classmethod
+    def _run_with_restarts(
+        cls,
+        config: RunConfig,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        *,
+        resume: Optional[PathLike],
+        trace: bool,
+        policy: RestartPolicy,
+    ) -> List[Any]:
+        """The elastic retry loop behind ``Session.run(restart_policy=)``."""
+        pinned = False
+        if config.faults.active:
+            # Pin ONE controller for every attempt: fire-once crash specs
+            # stay fired, so the replay after a restart runs clean instead
+            # of crashing at the same step forever.
+            _faults.install(controller=FaultController(config.faults))
+            pinned = True
+        obs_held = False
+        if config.obs.enabled:
+            # Hold one obs reference across attempts: the per-rank
+            # sessions' refcount drops to zero between attempts, and the
+            # restart counter below must land in the same registry the
+            # attempts report into.
+            _obs.install(metrics=config.obs.metrics, trace=config.obs.trace)
+            obs_held = True
+        tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        try:
+            if policy.checkpoint_path is not None:
+                ckpt_dir = pathlib.Path(policy.checkpoint_path)
+                ckpt_dir.mkdir(parents=True, exist_ok=True)
+            else:
+                tmpdir = tempfile.TemporaryDirectory(prefix="repro-recovery-")
+                ckpt_dir = pathlib.Path(tmpdir.name)
+            ckpt_path = ckpt_dir / "recovery"
+            rng = random.Random((config.faults.seed + 1) * 7919)
+            size = config.backend.size
+            restarts = 0
+            while True:
+                attempt_resume: Optional[PathLike] = resume
+                if normalize_checkpoint_path(ckpt_path).exists():
+                    try:
+                        # Unreadable (e.g. half-written) recovery state
+                        # falls back to the original starting point.
+                        checkpoint_run_config(ckpt_path)
+                        attempt_resume = ckpt_path
+                    except DataFormatError:
+                        pass
+                run_cfg = config
+                if size != config.backend.size:
+                    run_cfg = config.replace(
+                        backend=config.backend.replace(size=size)
+                    )
+                try:
+                    return cls._dispatch(
+                        run_cfg,
+                        fn,
+                        args,
+                        kwargs,
+                        resume=attempt_resume,
+                        trace=trace,
+                        auto_checkpoint=(ckpt_path, policy.checkpoint_every),
+                    )
+                except (ParallelFailure, CommunicatorError):
+                    restarts += 1
+                    if restarts > policy.max_restarts:
+                        raise
+                    st = _obs.state()
+                    if st is not None and st.registry is not None:
+                        st.registry.counter("repro.recovery.restarts").inc()
+                    if policy.shrink and size > policy.min_size:
+                        size -= 1
+                    time.sleep(policy.backoff_for(restarts, rng))
+        finally:
+            if obs_held:
+                _obs.uninstall()
+            if pinned:
+                _faults.uninstall()
+            if tmpdir is not None:
+                tmpdir.cleanup()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else (

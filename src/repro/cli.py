@@ -7,6 +7,7 @@ Usage::
     python -m repro scaling     [--mode weak|strong --max-nodes 256]
     python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
     python -m repro profile     [--ranks 4 --steps 6 --trace out.json]
+    python -m repro chaos       [--ranks 4 --seed 1234 --max-restarts 2]
     python -m repro verify      [paths ...] [--schedule]
     python -m repro config      dump [run flags] | validate FILE
     python -m repro info
@@ -350,6 +351,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_option(p_profile)
     _add_obs_options(p_profile)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: stream a synthetic matrix under a "
+        "seeded fault schedule (rank crash + delays) with a restart "
+        "policy, then print a recovery report comparing the recovered "
+        "run against the fault-free one",
+    )
+    p_chaos.add_argument("--ranks", type=int, default=4)
+    p_chaos.add_argument("--modes", type=int, default=8)
+    p_chaos.add_argument(
+        "--ndof", type=int, default=256, help="rows of the synthetic stream"
+    )
+    p_chaos.add_argument("--batch", type=int, default=16)
+    p_chaos.add_argument(
+        "--steps", type=int, default=8, help="number of streamed batches"
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=1234,
+        help="fault-schedule seed: picks the crashing rank, the crash "
+        "step, and the injection RNG (same seed = same faults)",
+    )
+    p_chaos.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="RestartPolicy.max_restarts for the recovery run",
+    )
+    p_chaos.add_argument(
+        "--qr-variant", choices=("gather", "tree"), default="gather"
+    )
+    p_chaos.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable the pipelined streaming update",
+    )
+    p_chaos.add_argument(
+        "--prefetch",
+        type=int,
+        default=2,
+        metavar="DEPTH",
+        help="background prefetch depth for the synthetic stream (0 = off)",
+    )
+    p_chaos.add_argument(
+        "--tol",
+        type=float,
+        default=1e-12,
+        help="max allowed |recovered - fault-free| deviation in singular "
+        "values and modes",
+    )
+    _add_backend_option(p_chaos)
+    _add_obs_options(p_chaos)
+
     p_verify = sub.add_parser(
         "verify",
         help="SPMD collective-correctness analyzer: static lint over "
@@ -692,6 +747,148 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.api import (
+        FaultConfig,
+        FaultSpec,
+        ObservabilityConfig,
+        RestartPolicy,
+        RunConfig,
+        Session,
+        SolverConfig,
+        StreamConfig,
+    )
+    from repro.obs import runtime as obs_runtime
+    from repro.smpi import provenance
+
+    ranks = _resolve_ranks(args)
+    nt = args.batch * args.steps
+    # Same synthetic low-rank stream as `repro profile`: smooth spatial
+    # modes modulated in time plus noise.
+    rng = np.random.default_rng(7)
+    x = np.linspace(0.0, 1.0, args.ndof)
+    t = np.linspace(0.0, 1.0, nt)
+    rank = min(5, args.modes)
+    basis = np.column_stack(
+        [np.sin((i + 1) * np.pi * x) for i in range(rank)]
+    )
+    weights = np.column_stack(
+        [np.cos((i + 1) * 2.0 * np.pi * t) / (i + 1.0) for i in range(rank)]
+    )
+    data = basis @ weights.T
+    data += 0.01 * rng.standard_normal(data.shape)
+
+    base = RunConfig(
+        solver=SolverConfig(
+            K=args.modes,
+            ff=0.95,
+            qr_variant=args.qr_variant,
+            overlap=not args.no_overlap,
+        ),
+        backend=_backend_config(args),
+        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+        obs=ObservabilityConfig(metrics=True),
+    )
+
+    def job(session: Session):
+        result = session.fit_stream(data).result()
+        return result.singular_values, result.modes
+
+    print(
+        f"chaos: {args.ndof}x{nt} synthetic stream, K={base.solver.K}, "
+        f"{ranks} ranks, backend={base.backend.name}, "
+        f"qr_variant={base.solver.qr_variant}, seed={args.seed}"
+    )
+    print("fault-free reference run ...")
+    clean = Session.run(base, job)
+
+    # Seeded schedule: one rank dies at a random (but reproducible) op,
+    # another gets a few injected delays so slow-and-dead coexist.
+    frng = np.random.default_rng(args.seed)
+    crash_rank = int(frng.integers(0, ranks))
+    crash_at = int(frng.integers(5, 30))
+    delay_rank = int(frng.integers(0, ranks))
+    schedule = (
+        FaultSpec(kind="crash", rank=crash_rank, op="*", at=crash_at),
+        FaultSpec(
+            kind="delay",
+            rank=delay_rank,
+            op="bcast",
+            at=0,
+            count=3,
+            delay_s=0.002,
+        ),
+    )
+    for spec in schedule:
+        print(
+            f"injecting: {spec.kind}(rank={spec.rank}, op={spec.op!r}, "
+            f"at={spec.at}, count={spec.count})"
+        )
+    cfg = base.replace(
+        faults=FaultConfig(enabled=True, seed=args.seed, schedule=schedule)
+    )
+    policy = RestartPolicy(
+        max_restarts=args.max_restarts, backoff_s=0.05, checkpoint_every=1
+    )
+    obs_runtime.reset()
+    print(f"chaos run with restart policy (max_restarts={policy.max_restarts}) ...")
+    with provenance.track() as scope:
+        recovered = Session.run(cfg, job, restart_policy=policy)
+    leaked = scope.pending_requests()
+
+    counters = obs_runtime.default_registry().snapshot()["counters"]
+
+    def count(name: str) -> int:
+        meter = counters.get(name)
+        return int(meter["value"]) if meter else 0
+
+    restarts = count("repro.recovery.restarts")
+    replayed = count("repro.recovery.replayed_batches")
+    injected = {
+        kind: count(f"repro.faults.injected.{kind}")
+        for kind in ("crash", "delay", "jitter", "drop")
+    }
+    dsv = max(
+        float(np.abs(c[0] - r[0]).max()) for c, r in zip(clean, recovered)
+    )
+    dmodes = max(
+        float(np.abs(np.abs(c[1]) - np.abs(r[1])).max())
+        for c, r in zip(clean, recovered)
+        if c[1] is not None and r[1] is not None
+    )
+
+    print()
+    print("recovery report")
+    print(f"  restarts:         {restarts}")
+    print(f"  replayed batches: {replayed}")
+    print(
+        "  injected:         "
+        + " ".join(f"{kind}={n}" for kind, n in injected.items())
+    )
+    print(f"  leaked requests:  {len(leaked)}")
+    for leak in leaked[:8]:
+        print(f"    - {leak.describe()}")
+    print(f"  max |dsigma| vs fault-free: {dsv:.3e}")
+    print(f"  max |dmodes| vs fault-free: {dmodes:.3e}")
+
+    failed = []
+    if injected["crash"] > 0 and restarts < 1:
+        failed.append("a crash was injected but no restart happened")
+    if dsv > args.tol or dmodes > args.tol:
+        failed.append(
+            f"recovered run deviates from the fault-free run (tol {args.tol})"
+        )
+    if leaked:
+        failed.append(f"{len(leaked)} request(s) leaked across recovery")
+    _write_obs_outputs(args)
+    if failed:
+        for reason in failed:
+            print(f"error: {reason}", file=sys.stderr)
+        return 1
+    print("recovery OK: recovered run matches the fault-free run")
+    return 0
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.perf.machine import THETA_KNL
     from repro.perf.scaling import StrongScalingStudy, WeakScalingStudy
@@ -765,6 +962,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve_query(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "verify":
             from repro.verify.cli import run_verify
 

@@ -37,6 +37,7 @@ import pathlib
 from typing import Optional, Union
 
 from .exceptions import ConfigurationError
+from .smpi.mailbox import DEFAULT_TIMEOUT
 
 __all__ = [
     "SVDConfig",
@@ -44,10 +45,14 @@ __all__ = [
     "BackendConfig",
     "StreamConfig",
     "ObservabilityConfig",
+    "FaultSpec",
+    "FaultConfig",
+    "RestartPolicy",
     "RunConfig",
     "DEFAULT_FORGET_FACTOR",
     "DEFAULT_R1",
     "DEFAULT_R2",
+    "FAULT_KINDS",
     "GATHER_POLICIES",
     "QR_VARIANTS",
     "validate_parallel_options",
@@ -304,7 +309,7 @@ class BackendConfig(_SectionMixin):
 
     name: str = "threads"
     size: int = 1
-    timeout: float = 120.0
+    timeout: float = DEFAULT_TIMEOUT
     irecv_buffer_bytes: int = 1 << 24
 
     def __post_init__(self) -> None:
@@ -446,6 +451,276 @@ class ObservabilityConfig(_SectionMixin):
         return self.metrics or self.trace
 
 
+#: Fault kinds the :mod:`repro.faults` injector understands.
+FAULT_KINDS = ("delay", "jitter", "drop", "crash")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec(_SectionMixin):
+    """One scheduled fault: what to inject, where, and when.
+
+    A spec matches a communicator operation when the op name matches
+    ``op`` (``"*"`` = any), the calling rank matches ``rank`` (``-1`` =
+    any rank) and the rank's per-spec match counter has reached ``at``.
+    From then on it fires on ``count`` consecutive matching calls
+    (``-1`` = every subsequent one; ``crash`` always fires exactly once
+    per run).
+
+    Parameters
+    ----------
+    kind:
+        ``"delay"`` (sleep ``delay_s`` before the op), ``"jitter"``
+        (sleep a seeded-uniform draw from ``[0, delay_s]`` — the
+        slow-rank model), ``"drop"`` (swallow a send: the message is
+        never delivered) or ``"crash"`` (raise
+        :class:`repro.faults.InjectedCrash` — the rank dies).
+    rank:
+        World rank the fault applies to, or ``-1`` for every rank.
+    op:
+        Communicator op name (``"bcast"``, ``"isend"``, ...) or ``"*"``.
+    at:
+        Zero-based index of the first matching call that fires.
+    count:
+        Number of firings from ``at`` on (``-1`` = unlimited).
+    delay_s:
+        Sleep magnitude for ``delay``/``jitter``.
+    probability:
+        Per-call firing probability in ``(0, 1]``, drawn from the
+        deterministic per-rank stream seeded by ``FaultConfig.seed``.
+    """
+
+    kind: str = "delay"
+    rank: int = -1
+    op: str = "*"
+    at: int = 0
+    count: int = 1
+    delay_s: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.rank, int) or isinstance(self.rank, bool):
+            raise ConfigurationError(
+                f"fault rank must be an int, got {self.rank!r}"
+            )
+        if self.rank < -1:
+            raise ConfigurationError(
+                f"fault rank must be >= -1 (-1 = any rank), got {self.rank}"
+            )
+        if not isinstance(self.op, str) or not self.op:
+            raise ConfigurationError(
+                f"fault op must be an op name or '*', got {self.op!r}"
+            )
+        if (
+            not isinstance(self.at, int)
+            or isinstance(self.at, bool)
+            or self.at < 0
+        ):
+            raise ConfigurationError(
+                f"fault at must be an int >= 0, got {self.at!r}"
+            )
+        if (
+            not isinstance(self.count, int)
+            or isinstance(self.count, bool)
+            or (self.count < 1 and self.count != -1)
+        ):
+            raise ConfigurationError(
+                f"fault count must be >= 1 or -1 (unlimited), got {self.count!r}"
+            )
+        if (
+            not isinstance(self.delay_s, (int, float))
+            or isinstance(self.delay_s, bool)
+            or self.delay_s < 0.0
+        ):
+            raise ConfigurationError(
+                f"fault delay_s must be a number >= 0, got {self.delay_s!r}"
+            )
+        if self.kind in ("delay", "jitter") and not self.delay_s > 0.0:
+            raise ConfigurationError(
+                f"a {self.kind!r} fault needs delay_s > 0, got {self.delay_s}"
+            )
+        if (
+            not isinstance(self.probability, (int, float))
+            or isinstance(self.probability, bool)
+            or not (0.0 < float(self.probability) <= 1.0)
+        ):
+            raise ConfigurationError(
+                f"fault probability must lie in (0, 1], got {self.probability!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultConfig(_SectionMixin):
+    """Deterministic fault-injection plan (the :mod:`repro.faults` layer).
+
+    Disabled by default: with ``enabled=False`` (or an empty schedule)
+    communicators are handed out unwrapped and the run is untouched.
+    Enabled, every communicator the factories create is wrapped in a
+    :class:`repro.faults.FaultyCommunicator` sharing one seeded
+    controller, so a schedule replays identically for a fixed
+    ``(seed, schedule, rank count)``.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for injection.
+    seed:
+        Seed of the per-rank random streams deciding probabilistic
+        faults and jitter magnitudes.
+    schedule:
+        Tuple of :class:`FaultSpec` (plain dicts are coerced, so the
+        section round-trips through JSON).
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    schedule: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigurationError(
+                f"faults enabled must be a bool, got {self.enabled!r}"
+            )
+        if (
+            not isinstance(self.seed, int)
+            or isinstance(self.seed, bool)
+            or self.seed < 0
+        ):
+            raise ConfigurationError(
+                f"faults seed must be an int >= 0, got {self.seed!r}"
+            )
+        if not isinstance(self.schedule, (list, tuple)):
+            raise ConfigurationError(
+                f"faults schedule must be a sequence of fault specs, got "
+                f"{type(self.schedule).__name__}"
+            )
+        specs = []
+        for index, entry in enumerate(self.schedule):
+            if isinstance(entry, FaultSpec):
+                specs.append(entry)
+            elif isinstance(entry, dict):
+                specs.append(
+                    _from_section_dict(FaultSpec, f"faults.schedule[{index}]", entry)
+                )
+            else:
+                raise ConfigurationError(
+                    f"faults.schedule[{index}] must be a FaultSpec or "
+                    f"mapping, got {type(entry).__name__}"
+                )
+        object.__setattr__(self, "schedule", tuple(specs))
+
+    @property
+    def active(self) -> bool:
+        """Whether injection is actually requested (enabled + nonempty)."""
+        return self.enabled and bool(self.schedule)
+
+
+@dataclasses.dataclass(frozen=True)
+class RestartPolicy(_SectionMixin):
+    """How :meth:`repro.api.Session.run` survives a failed SPMD attempt.
+
+    Parameters
+    ----------
+    max_restarts:
+        Restart budget; attempt ``max_restarts + 1`` runs in total before
+        re-raising the last failure.
+    backoff_s:
+        Sleep before restart ``n`` is ``backoff_s * backoff_factor**(n-1)
+        + U[0, jitter_s)`` seconds (exponential backoff, seeded jitter).
+    backoff_factor:
+        Exponential growth factor (``>= 1``).
+    jitter_s:
+        Uniform random extra sleep bound (decorrelates herds).
+    checkpoint_every:
+        Auto-checkpoint period in batches during ``fit_stream`` (gathered
+        checkpoints, restartable at any rank count).
+    checkpoint_path:
+        Directory for the recovery checkpoints; ``None`` uses a private
+        temporary directory for the duration of the call.
+    shrink:
+        Allow elastic shrink: each restart may rebuild the communicator
+        with one rank fewer (never below ``min_size``) — the gathered
+        checkpoint restarts at any rank count.
+    min_size:
+        Smallest rank count elastic shrink may fall back to.
+    """
+
+    max_restarts: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_s: float = 0.0
+    checkpoint_every: int = 1
+    checkpoint_path: Optional[str] = None
+    shrink: bool = False
+    min_size: int = 1
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_restarts, int)
+            or isinstance(self.max_restarts, bool)
+            or self.max_restarts < 0
+        ):
+            raise ConfigurationError(
+                f"max_restarts must be an int >= 0, got {self.max_restarts!r}"
+            )
+        for name in ("backoff_s", "jitter_s"):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0.0
+            ):
+                raise ConfigurationError(
+                    f"{name} must be a number >= 0, got {value!r}"
+                )
+        if (
+            not isinstance(self.backoff_factor, (int, float))
+            or isinstance(self.backoff_factor, bool)
+            or not self.backoff_factor >= 1.0
+        ):
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if (
+            not isinstance(self.checkpoint_every, int)
+            or isinstance(self.checkpoint_every, bool)
+            or self.checkpoint_every < 1
+        ):
+            raise ConfigurationError(
+                f"checkpoint_every must be an int >= 1, got "
+                f"{self.checkpoint_every!r}"
+            )
+        if self.checkpoint_path is not None and not isinstance(
+            self.checkpoint_path, str
+        ):
+            raise ConfigurationError(
+                f"checkpoint_path must be a path string or None, got "
+                f"{self.checkpoint_path!r}"
+            )
+        if not isinstance(self.shrink, bool):
+            raise ConfigurationError(
+                f"shrink must be a bool, got {self.shrink!r}"
+            )
+        if (
+            not isinstance(self.min_size, int)
+            or isinstance(self.min_size, bool)
+            or self.min_size < 1
+        ):
+            raise ConfigurationError(
+                f"min_size must be an int >= 1, got {self.min_size!r}"
+            )
+
+    def backoff_for(self, restart: int, rng=None) -> float:
+        """Sleep (seconds) before the ``restart``-th restart (1-based)."""
+        base = self.backoff_s * self.backoff_factor ** max(restart - 1, 0)
+        if self.jitter_s > 0.0 and rng is not None:
+            base += float(rng.uniform(0.0, self.jitter_s))
+        return base
+
+
 @dataclasses.dataclass(frozen=True)
 class RunConfig(_SectionMixin):
     """The complete, typed description of one SVD run.
@@ -474,6 +749,7 @@ class RunConfig(_SectionMixin):
     obs: ObservabilityConfig = dataclasses.field(
         default_factory=ObservabilityConfig
     )
+    faults: FaultConfig = dataclasses.field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, SolverConfig):
@@ -492,16 +768,25 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"obs must be an ObservabilityConfig, got {type(self.obs).__name__}"
             )
+        if not isinstance(self.faults, FaultConfig):
+            raise ConfigurationError(
+                f"faults must be a FaultConfig, got {type(self.faults).__name__}"
+            )
 
     # -- dict / JSON round-trip -------------------------------------------
     def to_dict(self) -> dict:
         """Nested plain-dict form (JSON-serialisable)."""
-        return {
+        payload = {
             "solver": dataclasses.asdict(self.solver),
             "backend": dataclasses.asdict(self.backend),
             "stream": dataclasses.asdict(self.stream),
             "obs": dataclasses.asdict(self.obs),
+            "faults": dataclasses.asdict(self.faults),
         }
+        # JSON round-trip: the schedule tuple (of FaultSpec dicts, after
+        # asdict) serialises as a list; from_dict coerces it back.
+        payload["faults"]["schedule"] = list(payload["faults"]["schedule"])
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunConfig":
@@ -512,11 +797,13 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"run config must be a mapping, got {type(payload).__name__}"
             )
-        unknown = sorted(set(payload) - {"solver", "backend", "stream", "obs"})
+        unknown = sorted(
+            set(payload) - {"solver", "backend", "stream", "obs", "faults"}
+        )
         if unknown:
             raise ConfigurationError(
                 f"unknown section(s) {unknown} in run config; valid "
-                f"sections: ['backend', 'obs', 'solver', 'stream']"
+                f"sections: ['backend', 'faults', 'obs', 'solver', 'stream']"
             )
         return cls(
             solver=_from_section_dict(
@@ -530,6 +817,9 @@ class RunConfig(_SectionMixin):
             ),
             obs=_from_section_dict(
                 ObservabilityConfig, "obs", payload.get("obs", {})
+            ),
+            faults=_from_section_dict(
+                FaultConfig, "faults", payload.get("faults", {})
             ),
         )
 

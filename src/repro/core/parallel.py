@@ -555,6 +555,24 @@ class ParSVDParallel(ParSVDBase):
         completion will run on the next update or result access)."""
         return self._pending is not None
 
+    def abort_pending(self) -> None:
+        """Drop the in-flight pipelined step without completing it.
+
+        The recovery path (a peer died mid-step; ``Session.run`` is about
+        to rebuild the communicator and replay from a checkpoint): the
+        step's preposted receives are cancelled and its outbox released,
+        so the abandoned attempt neither leaks requests nor warns.  Also
+        clears a pending-failure poisoning — the caller is explicitly
+        abandoning the stale state, not accessing it.
+        """
+        pending, self._pending = self._pending, None
+        self._pending_posted_t = None
+        self._pending_error = None
+        if pending is not None:
+            abort = getattr(pending, "abort", None)
+            if abort is not None:
+                abort()
+
     # -- results layout ---------------------------------------------------------
     @property
     def local_modes(self) -> np.ndarray:

@@ -336,6 +336,22 @@ def tsqr_tree(
     return q_local, r_final
 
 
+def _abort_request(request: object) -> None:
+    """Best-effort cancel of one in-flight request during an abort/drain.
+
+    Receives that already completed (or foreign request objects without a
+    ``cancel``) are simply left alone — abort is about releasing the
+    *pending* ones so a crashed step never trips the leak detector or
+    emits un-awaited ResourceWarnings."""
+    cancel = getattr(request, "cancel", None)
+    if cancel is None:
+        return
+    try:
+        cancel()
+    except Exception:  # already done / backend-specific refusal
+        pass
+
+
 def _frozen_copy(block: np.ndarray) -> np.ndarray:
     """An owning, read-only snapshot of ``block`` — the communicator's
     zero-copy lane ships such snapshots without a second copy, even
@@ -444,6 +460,21 @@ class PipelinedGatherStep:
         self._outbox = []
         return (self._q1, fused) + rest
 
+    def abort(self) -> None:
+        """Abandon the in-flight step: cancel pending receives, drop the
+        outbox.  Called on the recovery path (a peer died mid-step) —
+        afterwards the step must not be finished."""
+        for request in getattr(self, "_up", []) or []:
+            _abort_request(request)
+        self._up = []
+        reply = getattr(self, "_reply", None)
+        if reply is not None:
+            _abort_request(reply)
+            self._reply = None
+        for request in getattr(self, "_outbox", []):
+            _abort_request(request)
+        self._outbox = []
+
 
 class PipelinedTreeStep:
     """One in-flight tree-variant TSQR + reduce step.
@@ -549,6 +580,21 @@ class PipelinedTreeStep:
             request.wait()
         self._outbox = []
         return (self._q1, fused) + rest
+
+    def abort(self) -> None:
+        """Abandon the in-flight step: cancel the upsweep schedule, the
+        downsweep receive and the outbox (see
+        :meth:`PipelinedGatherStep.abort`)."""
+        for request in (getattr(self, "_up", None) or {}).values():
+            _abort_request(request)
+        self._up = {}
+        down = getattr(self, "_down", None)
+        if down is not None:
+            _abort_request(down)
+            self._down = None
+        for request in getattr(self, "_outbox", []):
+            _abort_request(request)
+        self._outbox = []
 
 
 def level_of_absorption(rank: int) -> int:

@@ -144,11 +144,36 @@ class PrefetchStream(SnapshotStream):
             raise ShapeError(f"prefetch depth must be >= 1, got {depth}")
         self._stream = stream
         self._depth = int(depth)
+        # Live producers of in-progress iterations: (stop event, thread).
+        # An interrupted consumer (crash mid-fit, Session.close with
+        # drop_pending) calls abort() to stop them promptly instead of
+        # relying on generator finalisation.
+        self._active: list = []
+        self._active_lock = threading.Lock()
         super().__init__(
             self._prefetched,
             n_dof=stream.n_dof,
             n_snapshots=stream.n_snapshots,
         )
+
+    def abort(self, join_timeout: float = 2.0) -> None:
+        """Stop every live producer thread and wait for it to exit.
+
+        Idempotent and safe concurrently with a consumer: producers check
+        their stop event on every bounded put, so they exit within one
+        poll interval.  After an abort the stream remains usable — the
+        next iteration spawns a fresh producer.
+        """
+        with self._active_lock:
+            active = list(self._active)
+        for stop, producer in active:
+            stop.set()
+        for stop, producer in active:
+            producer.join(timeout=join_timeout)
+        with self._active_lock:
+            self._active = [
+                entry for entry in self._active if entry[1].is_alive()
+            ]
 
     def _prefetched(self) -> Iterator[np.ndarray]:
         slots: "queue.Queue" = queue.Queue(maxsize=self._depth)
@@ -182,6 +207,9 @@ class PrefetchStream(SnapshotStream):
         producer = threading.Thread(
             target=produce, name="snapshot-prefetch", daemon=True
         )
+        entry = (stop, producer)
+        with self._active_lock:
+            self._active.append(entry)
         producer.start()
         try:
             while True:
@@ -208,6 +236,9 @@ class PrefetchStream(SnapshotStream):
                 yield item
         finally:
             stop.set()
+            with self._active_lock:
+                if entry in self._active:
+                    self._active.remove(entry)
 
 
 def array_stream(matrix: np.ndarray, batch_size: int) -> SnapshotStream:

@@ -33,9 +33,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.workspace import Workspace
-from ..exceptions import BasisNotFoundError, ServingError, ShapeError
+from ..exceptions import BasisNotFoundError, CommunicatorError, ServingError, ShapeError
 from ..obs import runtime as _obs
+from ..smpi.exceptions import SmpiError
 from ..smpi.reduction import SUM
+from ..smpi.selfcomm import SelfCommunicator
 from ..utils.partition import block_partition
 from .sharded import ShardedBasis
 
@@ -51,14 +53,21 @@ _MEM_VERSION = 0
 
 class QueryTicket:
     """Handle to one submitted query; redeem with :meth:`result` after the
-    engine flushed."""
+    engine flushed.
 
-    __slots__ = ("kind", "basis", "version", "_value", "_done")
+    ``degraded`` is ``True`` when the answer came from a local replica
+    after the primary shard group stopped answering (see
+    :meth:`QueryEngine.flush` failover) — the value is still exact, but
+    it was served without the shard group's parallelism.
+    """
+
+    __slots__ = ("kind", "basis", "version", "degraded", "_value", "_done")
 
     def __init__(self, kind: str, basis: str, version: int) -> None:
         self.kind = kind
         self.basis = basis
         self.version = version
+        self.degraded = False
         self._value = None
         self._done = False
 
@@ -76,12 +85,15 @@ class QueryTicket:
             )
         return self._value
 
-    def _fulfil(self, value) -> None:
+    def _fulfil(self, value, degraded: bool = False) -> None:
         self._value = value
+        self.degraded = degraded
         self._done = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self._done else "pending"
+        if self._done and self.degraded:
+            state = "done, degraded"
         return f"QueryTicket({self.kind}, {self.basis!r}, {state})"
 
 
@@ -103,6 +115,19 @@ class QueryEngine:
     flush_threshold:
         Auto-flush once this many queries are pending — bounds the batch
         latency without the caller managing flushes.
+    replicate:
+        Keep a full-copy *replica* of every registered/loaded basis on
+        this rank (a :class:`ShardedBasis` over a single-rank
+        communicator).  When a flush against the primary shard group
+        fails with a communicator error — a rank crashed, a collective
+        deadlocked — the engine re-runs the group against the replica,
+        fulfils the outstanding tickets with ``degraded=True``, marks
+        the shard group down, and serves every later flush from
+        replicas too.  Store-backed bases can always fail over (the
+        replica is rebuilt from the store on demand); in-memory bases
+        need ``replicate`` on.  Queries submitted with ``local=True``
+        cannot fail over — their payloads only cover the primary
+        partition's row block.
     """
 
     def __init__(
@@ -112,6 +137,7 @@ class QueryEngine:
         *,
         max_cached_bases: int = 8,
         flush_threshold: int = 64,
+        replicate: bool = False,
     ) -> None:
         if max_cached_bases < 1:
             raise ServingError(
@@ -125,10 +151,19 @@ class QueryEngine:
         self.store = store
         self.max_cached_bases = max_cached_bases
         self.flush_threshold = flush_threshold
+        self.replicate = replicate
         self._cache: "collections.OrderedDict[Tuple[str, int], ShardedBasis]" = (
             collections.OrderedDict()
         )
         self._pinned: set = set()  # in-memory bases are not evictable
+        # Full-copy failover replicas, keyed like the cache.  Kept outside
+        # the LRU: a replica must survive exactly as long as failing over
+        # to it is possible.
+        self._replicas: Dict[Tuple[str, int], ShardedBasis] = {}
+        # Set after the first failover: the primary shard group is down,
+        # so every later flush goes straight to replicas (no point paying
+        # another deadlock timeout per flush).
+        self._shard_group_down = False
         self._pending: List[Tuple[QueryTicket, np.ndarray, bool]] = []
         # Reusable column-stacking buffer for flush batches: the stacked
         # payload only feeds the distributed GEMM (which snapshots/copies),
@@ -142,6 +177,7 @@ class QueryEngine:
             "cache_hits": 0,
             "cache_misses": 0,
             "evictions": 0,
+            "failovers": 0,
         }
 
     # -- basis resolution --------------------------------------------------
@@ -150,20 +186,35 @@ class QueryEngine:
         name: str,
         modes_or_basis,
         singular_values: Optional[np.ndarray] = None,
+        replicate: Optional[bool] = None,
     ) -> ShardedBasis:
         """Register an in-memory basis under ``name`` (pseudo-version 0).
 
         Accepts a ready :class:`ShardedBasis` or a globally replicated
         modes matrix (sharded via :meth:`ShardedBasis.from_global`).
         In-memory bases are pinned: the LRU never evicts them, since there
-        is no store to reload them from.
+        is no store to reload them from.  ``replicate`` (default: the
+        engine's setting) additionally keeps a full local replica for
+        failover — only possible when the global modes matrix is given,
+        since a pre-sharded basis cannot be reassembled without the very
+        shard group the replica is there to replace.
         """
+        replicate = self.replicate if replicate is None else replicate
         if isinstance(modes_or_basis, ShardedBasis):
+            if replicate:
+                raise ServingError(
+                    f"cannot replicate basis {name!r} from a pre-sharded "
+                    f"ShardedBasis; pass the global modes matrix instead"
+                )
             basis = modes_or_basis
         else:
             basis = ShardedBasis.from_global(
                 self.comm, modes_or_basis, singular_values
             )
+            if replicate:
+                self._replicas[(name, _MEM_VERSION)] = ShardedBasis.from_global(
+                    SelfCommunicator(), modes_or_basis, singular_values
+                )
         key = (name, _MEM_VERSION)
         self._cache[key] = basis
         self._cache.move_to_end(key)
@@ -222,8 +273,30 @@ class QueryEngine:
         if st is not None and st.registry is not None:
             st.registry.counter("repro.serving.cache_misses").inc()
         self._cache[key] = basis
+        if self.replicate and key not in self._replicas:
+            self._replicas[key] = ShardedBasis.from_store(
+                SelfCommunicator(), self.store, name, version
+            )
         self._evict()
         return basis
+
+    def _replica(self, name: str, version: int) -> Optional[ShardedBasis]:
+        """The failover replica for ``name``/``version``, building one from
+        the store on demand (store bases can always fail over)."""
+        key = (name, version)
+        replica = self._replicas.get(key)
+        if replica is not None:
+            return replica
+        if self.store is None or version == _MEM_VERSION:
+            return None
+        try:
+            replica = ShardedBasis.from_store(
+                SelfCommunicator(), self.store, name, version
+            )
+        except BasisNotFoundError:
+            return None
+        self._replicas[key] = replica
+        return replica
 
     def _evict(self) -> None:
         # Capacity governs the *evictable* population only: pinned
@@ -232,6 +305,9 @@ class QueryEngine:
         while len(evictable) > self.max_cached_bases:
             oldest = evictable.pop(0)
             del self._cache[oldest]
+            # The replica follows its basis out (store replicas rebuild
+            # on demand, so failover capability is preserved).
+            self._replicas.pop(oldest, None)
             self._stats["evictions"] += 1
 
     @property
@@ -339,6 +415,15 @@ class QueryEngine:
         group's payloads are concatenated column-wise and answered by a
         single distributed GEMM (plus one scalar-vector reduction for the
         error kind), then split back onto the tickets.
+
+        **Failover**: when a group's collective fails — a shard rank
+        crashed, or this rank timed out waiting on one — the group is
+        re-run against the basis's local full-copy replica (see
+        ``replicate``) and its tickets are fulfilled with
+        ``degraded=True``; the shard group is then marked down and every
+        later flush serves from replicas directly.  A group that cannot
+        fail over (no replica, or ``local=True`` payloads) re-raises as
+        :class:`ServingError` with the original failure chained.
         """
         pending, self._pending = self._pending, []
         if not pending:
@@ -355,13 +440,26 @@ class QueryEngine:
                 key = (ticket.basis, ticket.version, ticket.kind, local)
                 groups.setdefault(key, []).append((ticket, payload))
             for (name, version, kind, local), items in groups.items():
+                if self._shard_group_down:
+                    self._flush_degraded(name, version, kind, items, local)
+                    continue
                 basis = self.load(name, version)
-                if kind == "project":
-                    self._flush_project(basis, items, local)
-                elif kind == "reconstruct":
-                    self._flush_reconstruct(basis, items)
-                else:
-                    self._flush_error(basis, items, local)
+                try:
+                    if kind == "project":
+                        self._flush_project(basis, items, local)
+                    elif kind == "reconstruct":
+                        self._flush_reconstruct(basis, items)
+                    else:
+                        self._flush_error(basis, items, local)
+                except (CommunicatorError, SmpiError) as exc:
+                    # The shard group stopped answering mid-flush.  No
+                    # ticket of this group has been fulfilled yet (tickets
+                    # are only fulfilled after the collectives complete),
+                    # so the whole group re-runs against the replica.
+                    self._shard_group_down = True
+                    self._flush_degraded(
+                        name, version, kind, items, local, cause=exc
+                    )
         if st is not None and st.registry is not None:
             st.registry.histogram("repro.serving.flush_batch").observe(
                 float(len(pending))
@@ -370,6 +468,39 @@ class QueryEngine:
                 time.perf_counter() - t0
             )
         return len(pending)
+
+    def _flush_degraded(
+        self,
+        name: str,
+        version: int,
+        kind: str,
+        items: List[Tuple[QueryTicket, np.ndarray]],
+        local: bool,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        """Serve one flush group from the local replica (shard group down)."""
+        replica = None if local else self._replica(name, version)
+        if replica is None:
+            reason = (
+                "its payloads are rank-local blocks of the down shard group"
+                if local
+                else "no replica is available (register with replicate=True,"
+                " or serve from a store)"
+            )
+            raise ServingError(
+                f"cannot fail over {kind} queries on basis {name!r} "
+                f"v{version}: {reason}"
+            ) from cause
+        self._stats["failovers"] += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.recovery.failovers").inc()
+        if kind == "project":
+            self._flush_project(replica, items, local=False, degraded=True)
+        elif kind == "reconstruct":
+            self._flush_reconstruct(replica, items, degraded=True)
+        else:
+            self._flush_error(replica, items, local=False, degraded=True)
 
     @staticmethod
     def _spans(payloads: List[np.ndarray]) -> List[Tuple[int, int]]:
@@ -399,7 +530,7 @@ class QueryEngine:
             offset += block.shape[1]
         return stacked
 
-    def _flush_project(self, basis, items, local) -> None:
+    def _flush_project(self, basis, items, local, degraded=False) -> None:
         payloads = [p for _, p in items]
         stacked = self._stack_columns(
             [basis._resolve_local(p, local) for p in payloads]
@@ -412,17 +543,17 @@ class QueryEngine:
             # through uncopied): tickets must own writable storage — never
             # alias the batch array (mutation bleed-through, whole-batch
             # retention) or a read-only broadcast snapshot.
-            ticket._fulfil(np.array(coeffs[:, a:b]))
+            ticket._fulfil(np.array(coeffs[:, a:b]), degraded)
 
-    def _flush_reconstruct(self, basis, items) -> None:
+    def _flush_reconstruct(self, basis, items, degraded=False) -> None:
         payloads = [p for _, p in items]
         stacked = basis.reconstruct(self._stack_columns(payloads))
         self._stats["gemms"] += 1
         self._stats["collectives"] += 2  # gatherv_rows + bcast
         for (ticket, _), (a, b) in zip(items, self._spans(payloads)):
-            ticket._fulfil(np.array(stacked[:, a:b]))
+            ticket._fulfil(np.array(stacked[:, a:b]), degraded)
 
-    def _flush_error(self, basis, items, local) -> None:
+    def _flush_error(self, basis, items, local, degraded=False) -> None:
         payloads = [p for _, p in items]
         rows = [basis._resolve_local(p, local) for p in payloads]
         coeffs = basis.project(self._stack_columns(rows), local=True)
@@ -446,11 +577,13 @@ class QueryEngine:
             items, self._spans(payloads), total_sq
         ):
             if tot <= 0.0:
-                ticket._fulfil(0.0)
+                ticket._fulfil(0.0, degraded)
                 continue
             captured = float(np.sum(coeffs[:, a:b] ** 2))
             residual = max(float(tot) - captured, 0.0)
-            ticket._fulfil(float(np.sqrt(residual) / np.sqrt(float(tot))))
+            ticket._fulfil(
+                float(np.sqrt(residual) / np.sqrt(float(tot))), degraded
+            )
 
     # -- instrumentation ---------------------------------------------------
     @property
@@ -459,8 +592,14 @@ class QueryEngine:
         return len(self._pending)
 
     @property
+    def shard_group_down(self) -> bool:
+        """Whether a failover has marked the primary shard group down
+        (all flushes now serve degraded, from replicas)."""
+        return self._shard_group_down
+
+    @property
     def stats(self) -> dict:
         """Counters: queries, flushes, gemms, collectives, cache hits/
-        misses, evictions (a copy; mutating it does not affect the
-        engine)."""
+        misses, evictions, failovers (a copy; mutating it does not
+        affect the engine)."""
         return dict(self._stats)

@@ -33,12 +33,19 @@ used to reproduce the paper's weak-scaling figure.
 """
 
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator, SelfComm
-from .exceptions import DeadlockError, SmpiError, RankError, TagError
+from .exceptions import (
+    DeadlockError,
+    FailedRankError,
+    SmpiError,
+    RankError,
+    TagError,
+)
 from .executor import ParallelFailure, run_spmd
 from .factory import BACKENDS, DEFAULT_BACKEND, create_communicator, run_backend
+from .mailbox import DEFAULT_TIMEOUT
 from .mpi import HAVE_MPI4PY
 from .nonblocking import NB_TAG_BASE
-from .provenance import Leak, RequestTracker, TRACKER, track
+from .provenance import Leak, RequestTracker, TRACKER, pending_summary, track
 from .reduction import LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
 from .request import CollectiveRequest, RecvRequest, Request, SendRequest, waitall
 from .selfcomm import SelfCommunicator
@@ -58,6 +65,8 @@ __all__ = [
     "RankError",
     "TagError",
     "DeadlockError",
+    "FailedRankError",
+    "DEFAULT_TIMEOUT",
     "ParallelFailure",
     "Request",
     "SendRequest",
@@ -84,4 +93,5 @@ __all__ = [
     "RequestTracker",
     "TRACKER",
     "track",
+    "pending_summary",
 ]

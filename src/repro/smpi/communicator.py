@@ -31,6 +31,7 @@ import numpy as np
 from .buffered import BufferedOpsMixin
 from .derived import DerivedCollectivesMixin, rows_output_buffer
 from .exceptions import RankError, SmpiError, TagError
+from .mailbox import DEFAULT_TIMEOUT
 from .message import Envelope, copy_payload, freeze_payload, take_payload
 from .nonblocking import NonblockingCollectivesMixin
 from .reduction import ReduceOp
@@ -419,5 +420,8 @@ class SelfComm(Communicator):
     executor: every collective degenerates to the identity.
     """
 
-    def __init__(self, timeout: float = 60.0) -> None:
-        super().__init__(World(1, timeout=timeout), World.WORLD_CONTEXT, (0,), 0)
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        effective = DEFAULT_TIMEOUT if timeout is None else timeout
+        super().__init__(
+            World(1, timeout=effective), World.WORLD_CONTEXT, (0,), 0
+        )

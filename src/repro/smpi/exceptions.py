@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from ..exceptions import CommunicatorError
 
-__all__ = ["SmpiError", "RankError", "TagError", "DeadlockError"]
+__all__ = [
+    "SmpiError",
+    "RankError",
+    "TagError",
+    "DeadlockError",
+    "FailedRankError",
+]
 
 
 class SmpiError(CommunicatorError):
@@ -27,3 +33,24 @@ class DeadlockError(SmpiError):
     Real MPI would hang; the simulator turns an apparent deadlock into a
     diagnosable failure after a configurable timeout.
     """
+
+
+class FailedRankError(SmpiError):
+    """A peer rank died, so this blocking operation can never complete.
+
+    Distinct from :class:`DeadlockError` — the pattern was fine, a
+    participant crashed.  The :class:`~repro.smpi.world.World` records which
+    ranks failed (see ``World.fail_rank``) and every blocked receiver is
+    woken immediately with this error naming them, instead of spinning out
+    the full deadlock timeout.  Recovery layers key on this type to decide
+    a restart is worthwhile.
+
+    Attributes
+    ----------
+    failed_ranks:
+        Sorted world ranks known dead when the error was raised.
+    """
+
+    def __init__(self, message: str, failed_ranks: tuple = ()) -> None:
+        super().__init__(message)
+        self.failed_ranks = tuple(sorted(failed_ranks))

@@ -18,7 +18,8 @@ import traceback
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .communicator import Communicator
-from .exceptions import SmpiError
+from .exceptions import FailedRankError, SmpiError
+from .mailbox import DEFAULT_TIMEOUT
 from .tracer import CommTracer
 from .world import World
 
@@ -55,8 +56,20 @@ class ParallelFailure(SmpiError):
                 f"  rank {failure.rank}: "
                 f"{type(failure.exception).__name__}: {first[0]}"
             )
-        lines.append("--- first failing rank traceback ---")
-        lines.append(self.failures[0].traceback)
+        # Prefer a root-cause traceback: when one rank dies its peers all
+        # unwind with secondary FailedRankErrors — show the original crash.
+        primary = next(
+            (
+                f
+                for f in self.failures
+                if not isinstance(f.exception, FailedRankError)
+            ),
+            self.failures[0],
+        )
+        lines.append(
+            f"--- rank {primary.rank} traceback (root cause) ---"
+        )
+        lines.append(primary.traceback)
         super().__init__("\n".join(lines))
 
 
@@ -64,7 +77,7 @@ def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
     trace: bool = False,
     **kwargs: Any,
 ) -> Any:
@@ -102,11 +115,16 @@ def run_spmd(
     # Same observer hook as create_communicator: a no-op unless
     # repro.obs is installed with metrics, in which case every rank's
     # communicator reports per-op metrics (CommTracer stacks on top).
+    from ..faults.runtime import inject_communicator
     from ..obs.runtime import observe_communicator
 
+    # Fault injection wraps *outside* the observer so injected delays are
+    # metered like genuine slowness; both are no-ops unless installed.
     comms: List[Any] = [
-        observe_communicator(
-            Communicator(world, World.WORLD_CONTEXT, group, rank)
+        inject_communicator(
+            observe_communicator(
+                Communicator(world, World.WORLD_CONTEXT, group, rank)
+            )
         )
         for rank in range(nprocs)
     ]
@@ -133,6 +151,13 @@ def run_spmd(
             results[rank] = fn(comms[rank], *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - collected below
             failures[rank] = RankFailure(rank, exc, traceback.format_exc())
+            # Fail fast: wake every peer blocked on a receive so they
+            # raise FailedRankError naming this rank instead of waiting
+            # out the deadlock timeout.  Secondary FailedRankErrors (a
+            # rank unwinding because a *peer* died) don't re-mark — the
+            # unwinding rank is healthy, just cascaded.
+            if not isinstance(exc, FailedRankError):
+                world.fail_rank(rank, exc)
 
     threads = [
         threading.Thread(target=worker, args=(rank,), name=f"smpi-rank-{rank}")

@@ -127,6 +127,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 from .communicator import Communicator
 from .exceptions import SmpiError
 from .executor import run_spmd
+from .mailbox import DEFAULT_TIMEOUT
 from .selfcomm import SelfCommunicator
 from .tracer import CommTracer
 from .world import World
@@ -152,7 +153,7 @@ def create_communicator(
     name: str = DEFAULT_BACKEND,
     size: int = 1,
     *,
-    timeout: float = 60.0,
+    timeout: float = DEFAULT_TIMEOUT,
     mpi_comm: Any = None,
     irecv_buffer_bytes: Optional[int] = None,
 ) -> Union[Any, Tuple[Any, ...]]:
@@ -194,6 +195,7 @@ def create_communicator(
     # every communicator this factory hands out reports per-op call/byte/
     # latency metrics — regardless of backend, without the CommTracer
     # proxy.  A no-op returning the raw communicator otherwise.
+    from ..faults.runtime import inject_communicator
     from ..obs.runtime import observe_communicator
 
     if name == "self":
@@ -202,7 +204,7 @@ def create_communicator(
                 f"the 'self' backend is single-rank; got size {size} "
                 f"(use 'threads' or 'mpi4py' for multi-rank runs)"
             )
-        return observe_communicator(SelfCommunicator())
+        return inject_communicator(observe_communicator(SelfCommunicator()))
     if name == "mpi4py":
         from .mpi import Mpi4pyCommunicator
 
@@ -215,12 +217,16 @@ def create_communicator(
                 f"requested {size} ranks but the MPI communicator has "
                 f"{comm.size}; launch with 'mpiexec -n {size}'"
             )
-        return observe_communicator(comm)
+        return inject_communicator(observe_communicator(comm))
     world = World(size, timeout=timeout)
     group = tuple(range(size))
+    # Fault injection wraps *outside* the observer so injected delays are
+    # metered like genuine slowness; both are no-ops unless installed.
     comms = tuple(
-        observe_communicator(
-            Communicator(world, World.WORLD_CONTEXT, group, rank)
+        inject_communicator(
+            observe_communicator(
+                Communicator(world, World.WORLD_CONTEXT, group, rank)
+            )
         )
         for rank in range(size)
     )
@@ -232,7 +238,7 @@ def run_backend(
     size: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
     trace: bool = False,
     irecv_buffer_bytes: Optional[int] = None,
     **kwargs: Any,

@@ -13,12 +13,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Dict, Optional
 
-from .exceptions import DeadlockError
+from . import provenance
+from .exceptions import DeadlockError, FailedRankError
 from .message import Envelope
 
-__all__ = ["Mailbox"]
+__all__ = ["Mailbox", "DEFAULT_TIMEOUT"]
+
+#: The one blocking-wait default for the whole substrate.  Matches
+#: ``repro.config.BackendConfig.timeout`` so a configured value and an
+#: unconfigured path agree; every constructor defaulting a timeout
+#: (``World``, ``create_communicator``, ``run_spmd``, ``SelfComm``)
+#: references this constant instead of a private literal.
+DEFAULT_TIMEOUT: float = 120.0
 
 
 class Mailbox:
@@ -32,11 +40,47 @@ class Mailbox:
         Seconds a blocking receive waits before declaring a deadlock.
     """
 
-    def __init__(self, owner: int, timeout: float = 60.0) -> None:
+    def __init__(self, owner: int, timeout: float = DEFAULT_TIMEOUT) -> None:
         self.owner = owner
         self.timeout = timeout
         self._queue: Deque[Envelope] = deque()
         self._cond = threading.Condition()
+        self._failure_probe: Optional[
+            Callable[[], Dict[int, BaseException]]
+        ] = None
+
+    def attach_failure_probe(
+        self, probe: Callable[[], Dict[int, BaseException]]
+    ) -> None:
+        """Install the world's failed-rank snapshot callable.
+
+        With a probe attached, a blocked :meth:`get` raises
+        :class:`FailedRankError` as soon as any world rank is declared
+        dead (see ``World.fail_rank``) instead of waiting out the full
+        deadlock timeout.
+        """
+        self._failure_probe = probe
+
+    def notify_failure(self) -> None:
+        """Wake any blocked receiver so it can observe a rank failure."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _check_failed(self) -> None:
+        if self._failure_probe is None:
+            return
+        failed = self._failure_probe()
+        if failed:
+            ranks = sorted(failed)
+            causes = "; ".join(
+                f"rank {r}: {type(failed[r]).__name__}: {failed[r]}"
+                for r in ranks
+            )
+            raise FailedRankError(
+                f"rank {self.owner}: peer rank(s) {ranks} failed while "
+                f"this rank was blocked in recv ({causes})",
+                failed_ranks=ranks,
+            )
 
     def put(self, envelope: Envelope) -> None:
         """Deposit an envelope and wake any waiting receiver."""
@@ -68,13 +112,19 @@ class Mailbox:
         with self._cond:
             envelope = self._find(source, tag)
             while envelope is None:
+                self._check_failed()
                 remaining = deadline - time.monotonic()
                 if remaining <= 0.0 or not self._cond.wait(timeout=remaining):
-                    raise DeadlockError(
+                    self._check_failed()
+                    message = (
                         f"rank {self.owner}: recv(source={source}, tag={tag}) "
                         f"timed out after {effective}s "
                         f"({len(self._queue)} unmatched messages queued)"
                     )
+                    dump = provenance.pending_summary()
+                    if dump:
+                        message += "\n" + dump
+                    raise DeadlockError(message)
                 envelope = self._find(source, tag)
             return envelope
 

@@ -46,6 +46,7 @@ __all__ = [
     "RequestTracker",
     "TRACKER",
     "track",
+    "pending_summary",
 ]
 
 
@@ -224,6 +225,45 @@ class RequestTracker:
 
 #: The process-wide tracker the smpi hooks report into.
 TRACKER = RequestTracker()
+
+
+def _origin_site(origin: Optional[str]) -> Optional[str]:
+    """The innermost ``File "...", line N, in fn`` line of a captured
+    creating stack — the one-line creation site for compact dumps."""
+    if not origin:
+        return None
+    site = None
+    for line in origin.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("File "):
+            site = stripped
+    return site
+
+
+def pending_summary(limit: int = 8) -> str:
+    """One-line-per-request dump of every currently pending request.
+
+    Used to enrich :class:`~repro.smpi.exceptions.DeadlockError` messages:
+    when a blocking receive times out, the requests still in flight (op,
+    peer, tag and — with traceback capture on — their creation site) are
+    usually the whole diagnosis.  Returns ``""`` when the tracker is
+    disabled or nothing is pending, so callers can append unconditionally.
+    """
+    if not TRACKER.enabled:
+        return ""
+    leaks = TRACKER.pending_requests(0)
+    if not leaks:
+        return ""
+    lines = [f"{len(leaks)} request(s) still pending:"]
+    for leak in leaks[:limit]:
+        line = f"  - {leak.kind}: {leak.detail}"
+        site = _origin_site(leak.origin)
+        if site:
+            line += f" [{site}]"
+        lines.append(line)
+    if len(leaks) > limit:
+        lines.append(f"  ... and {len(leaks) - limit} more")
+    return "\n".join(lines)
 
 
 class TrackScope:

@@ -27,7 +27,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from .exceptions import DeadlockError, SmpiError
 from .mailbox import Mailbox
 from .message import take_payload
-from .provenance import TRACKER
+from .provenance import TRACKER, pending_summary
 
 __all__ = [
     "Request",
@@ -152,12 +152,16 @@ class RecvRequest(Request):
                 effective = (
                     timeout if timeout is not None else self._mailbox.timeout
                 )
-                raise DeadlockError(
+                message = (
                     f"RecvRequest.wait(source={self._source}, "
                     f"tag={self._tag}) timed out after {effective}s on rank "
                     f"{self._mailbox.owner}: the matching send was never "
                     f"posted (deadlocked nonblocking receive)"
-                ) from exc
+                )
+                dump = pending_summary()
+                if dump:
+                    message += "\n" + dump
+                raise DeadlockError(message) from exc
             self._payload = take_payload(envelope)
             self._done = True
         return self._payload
@@ -301,6 +305,30 @@ class CollectiveRequest(Request):
             self._payloads[index] = payload
         self._complete(self._payloads)
         return True, self._result
+
+    def cancel(self) -> None:
+        """Abandon the collective: cancel still-pending child receives and
+        mark this handle done (without running ``finalize``).
+
+        The abort path for a crashed pipelined step — peers are unwinding
+        too, so the children can never complete; cancelling keeps the
+        abandoned requests out of leak reports and silences their
+        unawaited-request warnings.  Waiting afterwards returns ``None``.
+        """
+        if self._done:
+            raise SmpiError("cannot cancel a completed collective request")
+        for index, child in enumerate(self._children):
+            if self._collected[index]:
+                continue
+            cancel = getattr(child, "cancel", None)
+            if cancel is None:
+                continue
+            try:
+                cancel()
+            except SmpiError:
+                pass  # child completed concurrently — nothing to abandon
+        self._done = True
+        self._result = None
 
     @staticmethod
     def waitall(

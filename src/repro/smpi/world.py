@@ -11,10 +11,10 @@ differ.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .exceptions import SmpiError
-from .mailbox import Mailbox
+from .mailbox import DEFAULT_TIMEOUT, Mailbox
 
 __all__ = ["World"]
 
@@ -35,7 +35,7 @@ class World:
     #: Context id of the initial world communicator.
     WORLD_CONTEXT = 0
 
-    def __init__(self, size: int, timeout: float = 60.0) -> None:
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
         if size <= 0:
             raise SmpiError(f"world size must be positive, got {size}")
         self.size = size
@@ -43,6 +43,7 @@ class World:
         self._mailboxes: Dict[Tuple[int, int], Mailbox] = {}
         self._lock = threading.Lock()
         self._next_context = World.WORLD_CONTEXT + 1
+        self._failed: Dict[int, BaseException] = {}
 
     def mailbox(self, context: int, world_rank: int) -> Mailbox:
         """Mailbox of ``world_rank`` within ``context`` (created lazily)."""
@@ -55,8 +56,34 @@ class World:
             box = self._mailboxes.get(key)
             if box is None:
                 box = Mailbox(owner=world_rank, timeout=self.timeout)
+                box.attach_failure_probe(self.failed_ranks)
                 self._mailboxes[key] = box
             return box
+
+    # -- rank failure (fail-fast peer wakeup) ------------------------------
+    def fail_rank(self, world_rank: int, exc: Optional[BaseException] = None) -> None:
+        """Declare ``world_rank`` dead and wake every blocked receiver.
+
+        Peers waiting in ``Mailbox.get`` then raise
+        :class:`~repro.smpi.exceptions.FailedRankError` naming the dead
+        rank(s) immediately, instead of spinning out the full deadlock
+        timeout.  Idempotent; the first recorded exception per rank wins.
+        """
+        with self._lock:
+            if world_rank not in self._failed:
+                self._failed[world_rank] = (
+                    exc
+                    if exc is not None
+                    else RuntimeError(f"rank {world_rank} failed")
+                )
+            boxes = list(self._mailboxes.values())
+        for box in boxes:
+            box.notify_failure()
+
+    def failed_ranks(self) -> Dict[int, BaseException]:
+        """Snapshot of dead world ranks (rank -> causing exception)."""
+        with self._lock:
+            return dict(self._failed)
 
     def allocate_contexts(self, count: int) -> List[int]:
         """Reserve ``count`` fresh context ids (used by ``split``/``dup``).

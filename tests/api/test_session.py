@@ -47,7 +47,10 @@ class TestApiSurface:
         update this snapshot deliberately."""
         assert repro.api.__all__ == [
             "BackendConfig",
+            "FaultConfig",
+            "FaultSpec",
             "ObservabilityConfig",
+            "RestartPolicy",
             "RunConfig",
             "Session",
             "SessionResult",

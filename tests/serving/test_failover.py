@@ -1,0 +1,179 @@
+"""QueryEngine failover: when the shard group dies mid-flush, pending
+groups re-run against local full-copy replicas and tickets come back
+``degraded`` — every query is still answered."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reconstruction import project_coefficients
+from repro.config import FaultConfig, FaultSpec
+from repro.exceptions import CommunicatorError, ServingError
+from repro.faults import runtime as faults_rt
+from repro.serving import ModeBaseStore, QueryEngine, ShardedBasis
+from repro.smpi import create_communicator, run_spmd
+
+M, K = 80, 4
+
+
+def make_basis(seed, n_dof=M, k=K):
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n_dof, k)))
+    return u, np.linspace(1.0, 0.1, k)
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ModeBaseStore(tmp_path / "store")
+    u, s = make_basis(0)
+    store.publish("alpha", u, s)
+    return store
+
+
+class TestReplicaRegistration:
+    def test_add_basis_array_form_builds_replica(self, rng):
+        comm = create_communicator("self")
+        engine = QueryEngine(comm, replicate=True)
+        u, s = make_basis(1)
+        engine.add_basis("mem", u, s)
+        data = rng.standard_normal((M, 2))
+        # Force the degraded path: with the shard group marked down,
+        # the flush must answer from the replica.
+        engine._shard_group_down = True
+        coeffs = engine.project("mem", data)
+        assert np.allclose(coeffs, project_coefficients(u, data))
+        assert engine.stats["failovers"] == 1
+        assert engine.shard_group_down
+
+    def test_presharded_basis_cannot_replicate(self):
+        comm = create_communicator("self")
+        engine = QueryEngine(comm)
+        u, s = make_basis(1)
+        sharded = ShardedBasis.from_global(comm, u, s)
+        with pytest.raises(ServingError, match="pre-sharded"):
+            engine.add_basis("mem", sharded, replicate=True)
+
+    def test_no_replica_no_failover(self, rng):
+        comm = create_communicator("self")
+        engine = QueryEngine(comm)  # storeless, replicate off
+        u, s = make_basis(1)
+        engine.add_basis("mem", ShardedBasis.from_global(comm, u, s))
+        engine.submit_project("mem", rng.standard_normal((M, 1)))
+        engine._shard_group_down = True
+        with pytest.raises(ServingError, match="no replica"):
+            engine.flush()
+
+    def test_local_queries_cannot_fail_over(self, store, rng):
+        engine = QueryEngine(create_communicator("self"), store, replicate=True)
+        engine.submit_project("alpha", rng.standard_normal((M, 1)), local=True)
+        engine._shard_group_down = True
+        with pytest.raises(ServingError, match="rank-local"):
+            engine.flush()
+
+
+class TestStoreBackedFailover:
+    def test_on_demand_replica_from_store(self, store, rng):
+        """A store-backed engine fails over even without replicate=True
+        at construction: the replica is rebuilt from the store."""
+        engine = QueryEngine(create_communicator("self"), store)
+        data = rng.standard_normal((M, 3))
+        u, _ = make_basis(0)
+
+        primary = engine.load("alpha")
+
+        def dead_project(*args, **kwargs):
+            raise CommunicatorError("synthetic shard failure")
+
+        primary.project = dead_project
+
+        ticket = engine.submit_project("alpha", data)
+        engine.flush()
+        assert ticket.done and ticket.degraded
+        assert np.allclose(ticket.result(), project_coefficients(u, data))
+        assert engine.stats["failovers"] == 1
+        assert engine.shard_group_down
+
+        # Later flushes route straight to the replica — the dead primary
+        # is never touched again.
+        again = engine.submit_project("alpha", data)
+        engine.flush()
+        assert again.degraded
+        assert engine.stats["failovers"] == 2
+
+    def test_failover_is_metered(self, store, rng):
+        from repro.obs import runtime as obs_rt
+
+        engine = QueryEngine(create_communicator("self"), store)
+        primary = engine.load("alpha")
+        primary.project = lambda *a, **k: (_ for _ in ()).throw(
+            CommunicatorError("down")
+        )
+        obs_rt.reset()
+        obs_rt.install(metrics=True)
+        try:
+            engine.project("alpha", rng.standard_normal((M, 1)))
+            snap = obs_rt.current_registry().snapshot()
+            assert (
+                snap["counters"]["repro.recovery.failovers"]["value"] == 1.0
+            )
+        finally:
+            obs_rt.uninstall()
+
+
+class TestSpmdFailover:
+    def test_two_rank_engine_answers_despite_crashed_replica(
+        self, store, rng
+    ):
+        """Acceptance: a 2-rank serving job with one rank injected to
+        crash mid-flush still answers every ticket on both ranks."""
+        data = rng.standard_normal((M, 3))
+        u, _ = make_basis(0)
+        ref = project_coefficients(u, data)
+
+        # The second allreduce (per rank) dies: the first project group
+        # completes cleanly, then the error group's reduction kills
+        # rank 1 mid-flush.
+        faults_rt.install(
+            FaultConfig(
+                enabled=True,
+                schedule=(
+                    FaultSpec(kind="crash", rank=1, op="allreduce", at=1),
+                ),
+            )
+        )
+        try:
+
+            def job(comm):
+                engine = QueryEngine(comm, store, replicate=True)
+                t_clean = engine.submit_project("alpha", data)
+                engine.flush()
+                t_err = engine.submit_error("alpha", data)
+                t_rec = engine.submit_reconstruct("alpha", t_clean.result())
+                engine.flush()
+                t_after = engine.submit_project("alpha", data)
+                engine.flush()
+                tickets = (t_clean, t_err, t_rec, t_after)
+                assert all(t.done for t in tickets)
+                return (
+                    [t.result() for t in tickets],
+                    [t.degraded for t in tickets],
+                    engine.stats["failovers"],
+                    engine.shard_group_down,
+                )
+
+            # The surviving rank detects the dead peer by timing out its
+            # collective, so keep the deadlock timeout short.
+            results = run_spmd(2, job, timeout=2.0)
+        finally:
+            faults_rt.uninstall()
+
+        for values, degraded, failovers, down in results:
+            coeffs, err, field, after = values
+            assert np.max(np.abs(coeffs - ref)) < 1e-10
+            assert np.max(np.abs(after - ref)) < 1e-10
+            assert np.isfinite(err)
+            assert field.shape == (M, 3)
+            # The pre-crash group answered clean; everything after the
+            # crash is served degraded from the replica.
+            assert degraded == [False, True, True, True]
+            assert failovers == 3
+            assert down

@@ -10,13 +10,14 @@ import numpy as np
 import pytest
 
 from repro.smpi import SUM, ParallelFailure, run_spmd
-from repro.smpi.exceptions import DeadlockError
+from repro.smpi.exceptions import FailedRankError
 
 
 class TestCrashBeforeCollective:
-    def test_peers_deadlock_is_reported(self):
-        """Rank 1 dies before the barrier; the others must time out with a
-        DeadlockError instead of hanging."""
+    def test_peers_fail_fast_with_failed_rank(self):
+        """Rank 1 dies before the barrier; the others are woken immediately
+        with a FailedRankError naming the dead rank — not a generic
+        deadlock timeout."""
 
         def job(comm):
             if comm.rank == 1:
@@ -24,15 +25,19 @@ class TestCrashBeforeCollective:
             comm.barrier()
 
         with pytest.raises(ParallelFailure) as info:
-            run_spmd(3, job, timeout=1.5)
+            run_spmd(3, job, timeout=30.0)
         by_rank = {f.rank: f.exception for f in info.value.failures}
         assert isinstance(by_rank[1], RuntimeError)
-        # at least rank 0 (barrier root) is stuck waiting on rank 1
-        assert any(
-            isinstance(exc, DeadlockError)
+        # at least rank 0 (barrier root) was stuck waiting on rank 1
+        stuck = [
+            exc
             for rank, exc in by_rank.items()
-            if rank != 1
-        )
+            if rank != 1 and isinstance(exc, FailedRankError)
+        ]
+        assert stuck
+        for exc in stuck:
+            assert exc.failed_ranks == (1,)
+            assert "rank(s) [1] failed" in str(exc)
 
     def test_crash_during_gather_root_stuck(self):
         def job(comm):
@@ -41,10 +46,11 @@ class TestCrashBeforeCollective:
             comm.gather(comm.rank, root=0)
 
         with pytest.raises(ParallelFailure) as info:
-            run_spmd(3, job, timeout=1.5)
+            run_spmd(3, job, timeout=30.0)
         by_rank = {f.rank: f.exception for f in info.value.failures}
         assert isinstance(by_rank[2], ValueError)
-        assert isinstance(by_rank.get(0), DeadlockError)
+        assert isinstance(by_rank.get(0), FailedRankError)
+        assert by_rank[0].failed_ranks == (2,)
 
     def test_nonroot_ranks_survive_root_crash_in_bcast(self):
         def job(comm):

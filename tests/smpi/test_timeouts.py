@@ -1,0 +1,61 @@
+"""One deadlock-timeout default for the whole stack: ``DEFAULT_TIMEOUT``
+flows from the mailbox through World, the factory, the executor and
+``BackendConfig`` — so ``BackendConfig.timeout`` is THE knob."""
+
+import inspect
+
+import pytest
+
+from repro.config import BackendConfig
+from repro.smpi import DEFAULT_TIMEOUT, create_communicator, run_spmd
+from repro.smpi.exceptions import DeadlockError
+from repro.smpi.factory import run_backend
+from repro.smpi.mailbox import Mailbox
+from repro.smpi.world import World
+
+
+def test_backend_config_shares_the_mailbox_default():
+    assert BackendConfig().timeout == DEFAULT_TIMEOUT
+
+
+def test_mailbox_and_world_inherit_default():
+    assert Mailbox(0).timeout == DEFAULT_TIMEOUT
+    world = World(2)
+    assert world.mailbox(0, 0).timeout == DEFAULT_TIMEOUT
+
+
+@pytest.mark.parametrize(
+    "fn", [create_communicator, run_backend, run_spmd], ids=lambda f: f.__name__
+)
+def test_entry_point_signatures_default_to_default_timeout(fn):
+    assert inspect.signature(fn).parameters["timeout"].default == DEFAULT_TIMEOUT
+
+
+def test_factory_timeout_reaches_the_mailboxes():
+    comms = create_communicator("threads", 2, timeout=0.125)
+    try:
+        for comm in comms:
+            with pytest.raises(DeadlockError, match="0.125"):
+                comm.recv(source=(comm.rank + 1) % 2, tag=99)
+            break  # one rank suffices; the peers share the World
+    finally:
+        pass
+
+
+def test_run_spmd_timeout_bounds_a_deadlock():
+    def job(comm):
+        if comm.rank == 0:
+            with pytest.raises(DeadlockError):
+                comm.recv(source=1, tag=42)  # never sent
+        return comm.rank
+
+    assert run_spmd(2, job, timeout=0.2) == [0, 1]
+
+
+def test_per_wait_timeout_overrides_the_default():
+    comms = create_communicator("threads", 2, timeout=30.0)
+    comm = comms[0]
+    request = comm.irecv(source=1, tag=7)
+    with pytest.raises(DeadlockError, match="0.1"):
+        request.wait(timeout=0.1)
+    request.cancel()
