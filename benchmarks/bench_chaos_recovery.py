@@ -12,6 +12,13 @@ prefix; the recovered singular values and modes are bit-identical to
 the uninterrupted run, so the overhead buys fault tolerance, not a
 different answer.
 
+A third lane runs the same crash under ``RestartPolicy(mode="live")``:
+the health monitor declares the crashed rank dead and the world shrinks
+in place — factors are gathered in memory, rows re-partitioned, the
+stream resumed where it left off.  No restart, zero replayed batches,
+same 1e-12 answer; the live tax is the drain + re-partition instead of
+the replayed prefix.
+
 Artifacts: ``chaos_recovery.json`` (timings + counters) and
 ``chaos_recovery.txt`` (table).
 """
@@ -26,6 +33,7 @@ from repro.api import (
     BackendConfig,
     FaultConfig,
     FaultSpec,
+    HealthConfig,
     ObservabilityConfig,
     RestartPolicy,
     RunConfig,
@@ -38,6 +46,10 @@ from repro.postprocessing.report import format_table
 
 NDOF, NT, BATCH, K, RANKS = 512, 96, 8, 8, 4
 CRASH_AT = 40  # mid-stream comm-op ordinal on the victim rank
+# The live lane issues no per-batch checkpoint collectives, so each rank
+# executes far fewer comm ops — its crash ordinal must sit in that
+# smaller window to actually fire mid-stream.
+LIVE_CRASH_AT = 9
 
 
 def make_stream():
@@ -100,9 +112,41 @@ def run_with_crash():
     }
 
 
+def run_with_live_crash():
+    cfg = base_config().replace(
+        faults=FaultConfig(
+            enabled=True,
+            seed=1234,
+            schedule=(FaultSpec(kind="crash", rank=1, op="*", at=LIVE_CRASH_AT),),
+        ),
+        health=HealthConfig(
+            enabled=True, heartbeat_interval=0.01, suspect_after=0.1
+        ),
+    )
+    policy = RestartPolicy(
+        mode="live", max_restarts=2, checkpoint_every=1, min_size=2
+    )
+    obs_rt.reset()
+    start = time.perf_counter()
+    results = Session.run(cfg, job, restart_policy=policy)
+    elapsed = time.perf_counter() - start
+    counters = obs_rt.default_registry().snapshot()["counters"]
+
+    def count(name):
+        meter = counters.get(name)
+        return int(meter["value"]) if meter else 0
+
+    return elapsed, results, {
+        "live_rescales": count("repro.recovery.live_rescales"),
+        "live_replayed_batches": count("repro.recovery.replayed_batches"),
+        "live_injected_crashes": count("repro.faults.injected.crash"),
+    }
+
+
 def test_chaos_recovery_overhead(benchmark, artifacts_dir):
     clean_s, clean = run_fault_free()
     chaos_s, recovered, counters = run_with_crash()
+    live_s, live, live_counters = run_with_live_crash()
 
     # The recovery contract: same answer, despite the crash.
     assert counters["injected_crashes"] >= 1
@@ -111,9 +155,19 @@ def test_chaos_recovery_overhead(benchmark, artifacts_dir):
         assert float(np.max(np.abs(rsv - csv))) < 1e-12
         assert float(np.max(np.abs(np.abs(rmodes) - np.abs(cmodes)))) < 1e-12
 
+    # The live-elasticity contract: same answer again, but via in-place
+    # shrink — no restart, no stream replay.
+    assert live_counters["live_injected_crashes"] >= 1
+    assert live_counters["live_rescales"] >= 1
+    assert live_counters["live_replayed_batches"] == 0
+    for (rsv, rmodes), (csv, cmodes) in zip(live, clean):
+        assert float(np.max(np.abs(rsv - csv))) < 1e-12
+        assert float(np.max(np.abs(np.abs(rmodes) - np.abs(cmodes)))) < 1e-12
+
     benchmark(lambda: run_with_crash())
 
     overhead = chaos_s / max(clean_s, 1e-9)
+    live_overhead = live_s / max(clean_s, 1e-9)
     payload = {
         "bench": "chaos_recovery",
         "ndof": NDOF,
@@ -123,10 +177,14 @@ def test_chaos_recovery_overhead(benchmark, artifacts_dir):
         "ranks": RANKS,
         "backend": "threads",
         "crash_at": CRASH_AT,
+        "live_crash_at": LIVE_CRASH_AT,
         "fault_free_s": clean_s,
         "recovered_s": chaos_s,
+        "live_rescaled_s": live_s,
         "overhead_x": overhead,
+        "live_overhead_x": live_overhead,
         **counters,
+        **live_counters,
     }
     (artifacts_dir / "chaos_recovery.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -135,18 +193,26 @@ def test_chaos_recovery_overhead(benchmark, artifacts_dir):
         artifacts_dir,
         "chaos_recovery.txt",
         f"Crash + restart recovery tax ({NDOF}x{NT} stream, K={K}, "
-        f"{RANKS} ranks, crash at op #{CRASH_AT})\n"
+        f"{RANKS} ranks, crash at op #{CRASH_AT}, live at #{LIVE_CRASH_AT})\n"
         + format_table(
-            ["lane", "wall_s", "restarts", "replayed_batches"],
+            ["lane", "wall_s", "restarts", "rescales", "replayed_batches"],
             [
-                ["fault-free", f"{clean_s:.3f}", 0, 0],
+                ["fault-free", f"{clean_s:.3f}", 0, 0, 0],
                 [
                     "crash+recover",
                     f"{chaos_s:.3f}",
                     counters["restarts"],
+                    0,
                     counters["replayed_batches"],
+                ],
+                [
+                    "crash+live-shrink",
+                    f"{live_s:.3f}",
+                    0,
+                    live_counters["live_rescales"],
+                    live_counters["live_replayed_batches"],
                 ],
             ],
         )
-        + f"\noverhead: {overhead:.2f}x",
+        + f"\noverhead: restart {overhead:.2f}x, live {live_overhead:.2f}x",
     )

@@ -62,6 +62,7 @@ from .config import (
     BackendConfig,
     FaultConfig,
     FaultSpec,
+    HealthConfig,
     ObservabilityConfig,
     RestartPolicy,
     RunConfig,
@@ -84,15 +85,25 @@ from .exceptions import (
     BasisNotFoundError,
     ConfigurationError,
     DataFormatError,
+    HealthError,
     NotInitializedError,
     ReproError,
+    RescaleError,
     ServingError,
     ShapeError,
 )
+from .health import ElasticSession, HealthMonitor, ProgressDaemon
 from .serving import ModeBase, ModeBaseStore, QueryEngine, ShardedBasis
-from .smpi import SelfCommunicator, create_communicator, run_backend, run_spmd
+from .smpi import (
+    DeadlockError,
+    FailedRankError,
+    SelfCommunicator,
+    create_communicator,
+    run_backend,
+    run_spmd,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Session",
@@ -104,6 +115,7 @@ __all__ = [
     "ObservabilityConfig",
     "FaultConfig",
     "FaultSpec",
+    "HealthConfig",
     "RestartPolicy",
     "SVDConfig",
     "ParSVDBase",
@@ -130,5 +142,12 @@ __all__ = [
     "DataFormatError",
     "ServingError",
     "BasisNotFoundError",
+    "HealthError",
+    "RescaleError",
+    "DeadlockError",
+    "FailedRankError",
+    "HealthMonitor",
+    "ProgressDaemon",
+    "ElasticSession",
     "__version__",
 ]

@@ -62,6 +62,7 @@ from .config import (
     BackendConfig,
     FaultConfig,
     FaultSpec,
+    HealthConfig,
     ObservabilityConfig,
     RestartPolicy,
     RunConfig,
@@ -88,6 +89,7 @@ __all__ = [
     "BackendConfig",
     "FaultConfig",
     "FaultSpec",
+    "HealthConfig",
     "ObservabilityConfig",
     "RestartPolicy",
     "RunConfig",
@@ -249,6 +251,7 @@ class Session:
             _faults.install(cfg.faults)
             self._faults_installed = True
         self._owns_comm = comm is None
+        self._health_daemon = None
         try:
             if comm is None:
                 bcfg = cfg.backend
@@ -273,7 +276,12 @@ class Session:
                 comm = _faults.inject_communicator(
                     _obs.observe_communicator(comm)
                 )
+            if cfg.health.enabled:
+                self._start_health_daemon(comm)
         except BaseException:
+            if self._health_daemon is not None:
+                self._health_daemon.stop(retire=False)
+                self._health_daemon = None
             if self._obs_installed:
                 self._obs_installed = False
                 _obs.uninstall()
@@ -291,6 +299,41 @@ class Session:
         # (path, every) set by Session.run's restart loop: fit_stream then
         # writes a gathered checkpoint every `every` ingested batches.
         self._auto_checkpoint: Optional[Tuple[pathlib.Path, int]] = None
+
+    def _start_health_daemon(self, comm: Any) -> None:
+        """Start this rank's heartbeat/progress daemon (``health.enabled``).
+
+        The daemon beats this rank's world mailbox, opportunistically
+        completes the driver's in-flight overlapped step, and (one per
+        world) runs the :class:`~repro.health.monitor.HealthMonitor` that
+        escalates silent peers to ``World.fail_rank``.  Imported lazily —
+        :mod:`repro.health` sits above this module.
+        """
+        from .health.daemon import ProgressDaemon, communicator_world
+        from .health.monitor import HealthMonitor
+
+        world, world_rank = communicator_world(comm)
+        monitor = None
+        if world is not None:
+            # One monitor per world: the first rank's session builds it,
+            # siblings reuse it (fail_rank is idempotent either way).
+            monitor = world.health
+            if monitor is None:
+                monitor = HealthMonitor(world, self._config.health)
+
+        def advance() -> bool:
+            driver = self._driver
+            if driver is None:
+                return False
+            return driver.try_finalize_pending()
+
+        self._health_daemon = ProgressDaemon(
+            self._config.health.heartbeat_interval,
+            world=world,
+            world_rank=world_rank,
+            advance=advance,
+            monitor=monitor,
+        ).start()
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "Session":
@@ -315,6 +358,12 @@ class Session:
         """
         if self._closed:
             return
+        daemon, self._health_daemon = self._health_daemon, None
+        if daemon is not None:
+            # Stopped before the final drain (no daemon racing it) and
+            # retired, so peer monitors treat the silence as a clean
+            # departure rather than a death.
+            daemon.stop(retire=True)
         driver, self._driver = self._driver, None
         streams, self._prefetch_streams = self._prefetch_streams, []
         self._closed = True
@@ -546,6 +595,22 @@ class Session:
         """Current singular values."""
         return self._require_fitted().singular_values
 
+    def rescale(self, new_size: int) -> "Session":
+        """Live mid-stream rescale — elastic sessions only.
+
+        A plain session is one rank of a fixed-size world and cannot
+        resize it; run under ``Session.run(...,
+        restart_policy=RestartPolicy(mode="live"))`` (or construct a
+        :class:`~repro.health.ElasticSession` directly) to rescale.
+        """
+        from .exceptions import RescaleError
+
+        raise RescaleError(
+            f"this Session is one rank of a fixed-size world and cannot "
+            f"rescale to {new_size}; use RestartPolicy(mode='live') with "
+            f"Session.run, or repro.health.ElasticSession"
+        )
+
     # -- observability -----------------------------------------------------
     @property
     def metrics(self) -> dict:
@@ -691,6 +756,15 @@ class Session:
                 f"restart_policy must be a RestartPolicy, "
                 f"got {type(restart_policy).__name__}"
             )
+        if restart_policy.mode == "live":
+            return cls._run_live(
+                config,
+                fn,
+                args,
+                kwargs,
+                resume=resume,
+                policy=restart_policy,
+            )
         return cls._run_with_restarts(
             config,
             fn,
@@ -733,6 +807,41 @@ class Session:
             trace=trace,
             irecv_buffer_bytes=bcfg.irecv_buffer_bytes,
         )
+
+    @classmethod
+    def _run_live(
+        cls,
+        config: RunConfig,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        *,
+        resume: Optional[PathLike],
+        policy: RestartPolicy,
+    ) -> List[Any]:
+        """``RestartPolicy(mode="live")``: one elastic in-process session
+        instead of restart-and-replay.
+
+        ``fn`` runs once against a :class:`~repro.health.ElasticSession`
+        owning every rank; a detected dead rank triggers an in-place
+        shrink (snapshot restore + communicator rebuild one rank smaller,
+        metered as ``repro.recovery.live_rescales``) and the stream
+        continues without replay.  Returns the single result replicated
+        to the final rank count, mirroring the per-rank shape of the
+        restart path.
+        """
+        from .health.elastic import ElasticSession
+
+        if resume is not None:
+            session = ElasticSession.resume(
+                resume, config=config, policy=policy
+            )
+        else:
+            session = ElasticSession(config, policy=policy)
+        with session:
+            result = fn(session, *args, **kwargs)
+            size = session.size
+        return [result] * size
 
     @classmethod
     def _run_with_restarts(

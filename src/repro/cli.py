@@ -190,6 +190,14 @@ _CONFIG_OVERRIDES = {
         "ranks": ("backend", "size"),
         "batch": ("stream", "batch"),
     },
+    "chaos": {
+        "modes": ("solver", "K"),
+        "qr_variant": ("solver", "qr_variant"),
+        "backend": ("backend", "name"),
+        "ranks": ("backend", "size"),
+        "batch": ("stream", "batch"),
+        "prefetch": ("stream", "prefetch"),
+    },
 }
 
 
@@ -402,8 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="max allowed |recovered - fault-free| deviation in singular "
         "values and modes",
     )
+    p_chaos.add_argument(
+        "--live",
+        action="store_true",
+        help="recover with RestartPolicy(mode='live'): the crash triggers "
+        "an in-place elastic shrink (in-memory snapshot, no stream "
+        "replay) instead of restart-and-replay",
+    )
     _add_backend_option(p_chaos)
     _add_obs_options(p_chaos)
+    _add_config_option(p_chaos)
 
     p_verify = sub.add_parser(
         "verify",
@@ -451,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         "burgers": p_burgers,
         "era5": p_era5,
         "serve-query": p_serve,
+        "chaos": p_chaos,
     }
     return parser
 
@@ -748,6 +765,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.api import (
         FaultConfig,
         FaultSpec,
@@ -761,14 +780,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs import runtime as obs_runtime
     from repro.smpi import provenance
 
-    ranks = _resolve_ranks(args)
-    nt = args.batch * args.steps
+    if args.config:
+        base = _config_from_file(args, "chaos")
+        if not base.obs.metrics:
+            # The recovery report reads repro.recovery.* counters.
+            base = base.replace(
+                obs=dataclasses.replace(base.obs, metrics=True)
+            )
+        if args.no_overlap:
+            base = base.replace(
+                solver=dataclasses.replace(base.solver, overlap=False)
+            )
+        if base.stream.batch is None:
+            base = base.replace(
+                stream=dataclasses.replace(base.stream, batch=args.batch)
+            )
+    else:
+        base = RunConfig(
+            solver=SolverConfig(
+                K=args.modes,
+                ff=0.95,
+                qr_variant=args.qr_variant,
+                overlap=not args.no_overlap,
+            ),
+            backend=_backend_config(args),
+            stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+            obs=ObservabilityConfig(metrics=True),
+        )
+    ranks = base.backend.size
+    batch = base.stream.batch
+    nt = batch * args.steps
     # Same synthetic low-rank stream as `repro profile`: smooth spatial
     # modes modulated in time plus noise.
     rng = np.random.default_rng(7)
     x = np.linspace(0.0, 1.0, args.ndof)
     t = np.linspace(0.0, 1.0, nt)
-    rank = min(5, args.modes)
+    rank = min(5, base.solver.K)
     basis = np.column_stack(
         [np.sin((i + 1) * np.pi * x) for i in range(rank)]
     )
@@ -777,18 +824,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     data = basis @ weights.T
     data += 0.01 * rng.standard_normal(data.shape)
-
-    base = RunConfig(
-        solver=SolverConfig(
-            K=args.modes,
-            ff=0.95,
-            qr_variant=args.qr_variant,
-            overlap=not args.no_overlap,
-        ),
-        backend=_backend_config(args),
-        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
-        obs=ObservabilityConfig(metrics=True),
-    )
 
     def job(session: Session):
         result = session.fit_stream(data).result()
@@ -806,7 +841,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # another gets a few injected delays so slow-and-dead coexist.
     frng = np.random.default_rng(args.seed)
     crash_rank = int(frng.integers(0, ranks))
-    crash_at = int(frng.integers(5, 30))
+    # The live path gathers its snapshots in memory (no per-batch
+    # checkpoint collectives), so each rank executes fewer communicator
+    # ops per stream — keep the crash ordinal inside the live op window.
+    crash_high = max(7, 2 * args.steps - 2) if args.live else 30
+    crash_at = int(frng.integers(5, crash_high))
     delay_rank = int(frng.integers(0, ranks))
     schedule = (
         FaultSpec(kind="crash", rank=crash_rank, op="*", at=crash_at),
@@ -827,11 +866,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     cfg = base.replace(
         faults=FaultConfig(enabled=True, seed=args.seed, schedule=schedule)
     )
-    policy = RestartPolicy(
-        max_restarts=args.max_restarts, backoff_s=0.05, checkpoint_every=1
-    )
+    if args.live:
+        # Live elasticity needs a heartbeat-monitored world.
+        from repro.config import HealthConfig
+
+        cfg = cfg.replace(
+            health=HealthConfig(
+                enabled=True, heartbeat_interval=0.01, suspect_after=0.1
+            )
+        )
+        policy = RestartPolicy(
+            mode="live", max_restarts=args.max_restarts, checkpoint_every=1
+        )
+        print(
+            f"chaos run with live elasticity "
+            f"(max_restarts={policy.max_restarts}) ..."
+        )
+    else:
+        policy = RestartPolicy(
+            max_restarts=args.max_restarts, backoff_s=0.05, checkpoint_every=1
+        )
+        print(
+            f"chaos run with restart policy "
+            f"(max_restarts={policy.max_restarts}) ..."
+        )
     obs_runtime.reset()
-    print(f"chaos run with restart policy (max_restarts={policy.max_restarts}) ...")
     with provenance.track() as scope:
         recovered = Session.run(cfg, job, restart_policy=policy)
     leaked = scope.pending_requests()
@@ -844,6 +903,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     restarts = count("repro.recovery.restarts")
     replayed = count("repro.recovery.replayed_batches")
+    live_rescales = count("repro.recovery.live_rescales")
     injected = {
         kind: count(f"repro.faults.injected.{kind}")
         for kind in ("crash", "delay", "jitter", "drop")
@@ -861,6 +921,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print("recovery report")
     print(f"  restarts:         {restarts}")
     print(f"  replayed batches: {replayed}")
+    print(f"  live rescales:    {live_rescales}")
     print(
         "  injected:         "
         + " ".join(f"{kind}={n}" for kind, n in injected.items())
@@ -872,7 +933,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"  max |dmodes| vs fault-free: {dmodes:.3e}")
 
     failed = []
-    if injected["crash"] > 0 and restarts < 1:
+    if args.live:
+        if injected["crash"] > 0 and live_rescales < 1:
+            failed.append(
+                "a crash was injected but no live rescale happened"
+            )
+        if replayed > 0:
+            failed.append(
+                f"live recovery must not replay the stream "
+                f"({replayed} batch(es) replayed)"
+            )
+    elif injected["crash"] > 0 and restarts < 1:
         failed.append("a crash was injected but no restart happened")
     if dsv > args.tol or dmodes > args.tol:
         failed.append(

@@ -47,8 +47,10 @@ __all__ = [
     "ObservabilityConfig",
     "FaultSpec",
     "FaultConfig",
+    "HealthConfig",
     "RestartPolicy",
     "RunConfig",
+    "RESTART_MODES",
     "DEFAULT_FORGET_FACTOR",
     "DEFAULT_R1",
     "DEFAULT_R2",
@@ -619,6 +621,99 @@ class FaultConfig(_SectionMixin):
 
 
 @dataclasses.dataclass(frozen=True)
+class HealthConfig(_SectionMixin):
+    """Liveness monitoring of a running SPMD job (the :mod:`repro.health`
+    layer).
+
+    Disabled by default: nothing beats, nothing polls, the hot path is
+    untouched.  Enabled, every :class:`~repro.api.Session` starts a
+    background progress daemon that publishes a monotonic heartbeat on
+    this rank's mailbox, advances in-flight overlapped collectives, and
+    classifies its peers from their beat ages:
+
+    ``alive``
+        beat age ``<= straggler_factor * heartbeat_interval``.
+    ``straggler``
+        late, but within ``suspect_after`` — the slow-rank signal.
+    ``suspect``
+        beat age ``> suspect_after`` — serving routes flushes away from
+        shard groups containing such ranks.
+    ``dead``
+        beat age ``> dead_after`` — the monitor drives
+        :meth:`~repro.smpi.world.World.fail_rank` proactively, waking
+        blocked collectives long before the mailbox ``DeadlockError``
+        timeout.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for heartbeat publication and monitoring.
+    heartbeat_interval:
+        Target period (seconds) between a rank's liveness beats; also
+        the progress daemon's minimum polling period.
+    suspect_after:
+        Beat age (seconds) past which a peer is classified ``suspect``.
+    straggler_factor:
+        Multiple of ``heartbeat_interval`` a beat may lag before the
+        peer counts as a ``straggler``.
+    dead_after:
+        Beat age (seconds) past which a peer is declared ``dead`` and
+        failed; ``None`` (default) derives ``2 * suspect_after``.
+    """
+
+    enabled: bool = False
+    heartbeat_interval: float = 0.05
+    suspect_after: float = 1.0
+    straggler_factor: float = 4.0
+    dead_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigurationError(
+                f"health enabled must be a bool, got {self.enabled!r}"
+            )
+        for name in ("heartbeat_interval", "suspect_after", "straggler_factor"):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not value > 0.0
+            ):
+                raise ConfigurationError(
+                    f"health {name} must be a positive number, got {value!r}"
+                )
+        if self.dead_after is not None and (
+            not isinstance(self.dead_after, (int, float))
+            or isinstance(self.dead_after, bool)
+            or not self.dead_after > 0.0
+        ):
+            raise ConfigurationError(
+                f"health dead_after must be a positive number or None, got "
+                f"{self.dead_after!r}"
+            )
+        if (
+            self.dead_after is not None
+            and self.dead_after < self.suspect_after
+        ):
+            raise ConfigurationError(
+                f"health dead_after ({self.dead_after}) must be >= "
+                f"suspect_after ({self.suspect_after})"
+            )
+
+    @property
+    def effective_dead_after(self) -> float:
+        """The death threshold, deriving ``2 * suspect_after`` from
+        ``dead_after=None``."""
+        if self.dead_after is not None:
+            return float(self.dead_after)
+        return 2.0 * float(self.suspect_after)
+
+
+#: Recovery modes of :class:`RestartPolicy`.
+RESTART_MODES = ("restart", "live")
+
+
+@dataclasses.dataclass(frozen=True)
 class RestartPolicy(_SectionMixin):
     """How :meth:`repro.api.Session.run` survives a failed SPMD attempt.
 
@@ -646,6 +741,15 @@ class RestartPolicy(_SectionMixin):
         checkpoint restarts at any rank count.
     min_size:
         Smallest rank count elastic shrink may fall back to.
+    mode:
+        ``"restart"`` (default): a failed attempt tears the run down and
+        replays the stream from the last gathered checkpoint.
+        ``"live"``: the run executes on an elastic in-process session and
+        a detected dead rank triggers an in-place shrink —
+        the pending pipelined step is aborted, the factors are restored
+        from the last in-memory snapshot, the communicator is rebuilt
+        one rank smaller, and the stream continues without replay
+        (metered as ``repro.recovery.live_rescales``).
     """
 
     max_restarts: int = 2
@@ -656,8 +760,13 @@ class RestartPolicy(_SectionMixin):
     checkpoint_path: Optional[str] = None
     shrink: bool = False
     min_size: int = 1
+    mode: str = "restart"
 
     def __post_init__(self) -> None:
+        if self.mode not in RESTART_MODES:
+            raise ConfigurationError(
+                f"restart mode must be one of {RESTART_MODES}, got {self.mode!r}"
+            )
         if (
             not isinstance(self.max_restarts, int)
             or isinstance(self.max_restarts, bool)
@@ -750,6 +859,7 @@ class RunConfig(_SectionMixin):
         default_factory=ObservabilityConfig
     )
     faults: FaultConfig = dataclasses.field(default_factory=FaultConfig)
+    health: HealthConfig = dataclasses.field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, SolverConfig):
@@ -772,6 +882,10 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"faults must be a FaultConfig, got {type(self.faults).__name__}"
             )
+        if not isinstance(self.health, HealthConfig):
+            raise ConfigurationError(
+                f"health must be a HealthConfig, got {type(self.health).__name__}"
+            )
 
     # -- dict / JSON round-trip -------------------------------------------
     def to_dict(self) -> dict:
@@ -782,6 +896,7 @@ class RunConfig(_SectionMixin):
             "stream": dataclasses.asdict(self.stream),
             "obs": dataclasses.asdict(self.obs),
             "faults": dataclasses.asdict(self.faults),
+            "health": dataclasses.asdict(self.health),
         }
         # JSON round-trip: the schedule tuple (of FaultSpec dicts, after
         # asdict) serialises as a list; from_dict coerces it back.
@@ -798,12 +913,14 @@ class RunConfig(_SectionMixin):
                 f"run config must be a mapping, got {type(payload).__name__}"
             )
         unknown = sorted(
-            set(payload) - {"solver", "backend", "stream", "obs", "faults"}
+            set(payload)
+            - {"solver", "backend", "stream", "obs", "faults", "health"}
         )
         if unknown:
             raise ConfigurationError(
                 f"unknown section(s) {unknown} in run config; valid "
-                f"sections: ['backend', 'faults', 'obs', 'solver', 'stream']"
+                f"sections: ['backend', 'faults', 'health', 'obs', "
+                f"'solver', 'stream']"
             )
         return cls(
             solver=_from_section_dict(
@@ -820,6 +937,9 @@ class RunConfig(_SectionMixin):
             ),
             faults=_from_section_dict(
                 FaultConfig, "faults", payload.get("faults", {})
+            ),
+            health=_from_section_dict(
+                HealthConfig, "health", payload.get("health", {})
             ),
         )
 

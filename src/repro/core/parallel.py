@@ -27,6 +27,7 @@ Fidelity notes
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from typing import Optional, Tuple
@@ -284,6 +285,12 @@ class ParSVDParallel(ParSVDBase):
         # failed completion — its state no longer reflects the counters.
         self._pending = None
         self._pending_error: Optional[BaseException] = None
+        # Serialises pending-step completion between this driver's thread
+        # and a background progress daemon (repro.health): finalize /
+        # abort take it blocking, the daemon's try_finalize_pending only
+        # opportunistically (never stalls the hot path).  Reentrant so
+        # try_finalize_pending can call _finalize_pending under it.
+        self._pending_lock = threading.RLock()
         # Observability: perf_counter stamp of the in-flight step's post
         # (None while observability is off — the disabled path must not
         # allocate).
@@ -513,41 +520,72 @@ class ParSVDParallel(ParSVDBase):
         its update is lost, so every later access re-raises instead of
         quietly serving the stale pre-step factorization.
         """
-        if self._pending_error is not None:
-            raise CommunicatorError(
-                f"a previously posted overlapped step failed to complete "
-                f"({type(self._pending_error).__name__}: "
-                f"{self._pending_error}); the factorization is stale "
-                f"relative to iteration/n_seen — restart from a checkpoint"
-            ) from self._pending_error
+        with self._pending_lock:
+            if self._pending_error is not None:
+                raise CommunicatorError(
+                    f"a previously posted overlapped step failed to complete "
+                    f"({type(self._pending_error).__name__}: "
+                    f"{self._pending_error}); the factorization is stale "
+                    f"relative to iteration/n_seen — restart from a checkpoint"
+                ) from self._pending_error
+            if self._pending is None:
+                return
+            pending, self._pending = self._pending, None
+            posted_t, self._pending_posted_t = self._pending_posted_t, None
+            st = _obs.state()
+            t0 = time.perf_counter() if st is not None else 0.0
+            try:
+                q1, fused, s_new = pending.finish(self._reduce_truncated)
+            except BaseException as exc:
+                self._pending_error = exc
+                raise
+            if st is not None and st.registry is not None:
+                # Overlap efficiency: the fraction of the step's wall time
+                # (post -> completion) spent blocked completing it.  With
+                # perfect overlap finish() returns instantly and the gauge
+                # tends to 0; without overlap it tends to 1.
+                now = time.perf_counter()
+                wait_s = now - t0
+                step_s = (now - posted_t) if posted_t is not None else wait_s
+                if step_s > 0.0:
+                    st.registry.gauge("repro.core.overlap_efficiency").set(
+                        wait_s / step_s
+                    )
+                st.registry.histogram(
+                    "repro.core.step_seconds"
+                ).observe(step_s)
+                st.registry.histogram(
+                    "repro.core.finish_seconds"
+                ).observe(wait_s)
+            self._apply_update(q1, fused, s_new)
+
+    def try_finalize_pending(self) -> bool:
+        """Opportunistically complete the in-flight step — the progress
+        daemon's hook.
+
+        Non-blocking on both axes: the pending lock is taken with
+        ``blocking=False`` (the driver's own thread may be mid-finalize),
+        and the step is completed only when its ``advance()`` poll says
+        ``finish`` can run without waiting on any peer.  Returns ``True``
+        when a step was completed.  A completion *failure* poisons the
+        driver exactly as an explicit access would (and re-raises, so the
+        daemon can record it).
+        """
         if self._pending is None:
-            return
-        pending, self._pending = self._pending, None
-        posted_t, self._pending_posted_t = self._pending_posted_t, None
-        st = _obs.state()
-        t0 = time.perf_counter() if st is not None else 0.0
+            return False
+        if not self._pending_lock.acquire(blocking=False):
+            return False
         try:
-            q1, fused, s_new = pending.finish(self._reduce_truncated)
-        except BaseException as exc:
-            self._pending_error = exc
-            raise
-        if st is not None and st.registry is not None:
-            # Overlap efficiency: the fraction of the step's wall time
-            # (post -> completion) spent blocked completing it.  With
-            # perfect overlap finish() returns instantly and the gauge
-            # tends to 0; without overlap it tends to 1.
-            now = time.perf_counter()
-            wait_s = now - t0
-            step_s = (now - posted_t) if posted_t is not None else wait_s
-            if step_s > 0.0:
-                st.registry.gauge("repro.core.overlap_efficiency").set(
-                    wait_s / step_s
-                )
-            st.registry.histogram("repro.core.step_seconds").observe(step_s)
-            st.registry.histogram(
-                "repro.core.finish_seconds"
-            ).observe(wait_s)
-        self._apply_update(q1, fused, s_new)
+            pending = self._pending
+            if pending is None or self._pending_error is not None:
+                return False
+            advance = getattr(pending, "advance", None)
+            if advance is None or not advance():
+                return False
+            self._finalize_pending()
+            return True
+        finally:
+            self._pending_lock.release()
 
     @property
     def pending_update(self) -> bool:
@@ -565,13 +603,14 @@ class ParSVDParallel(ParSVDBase):
         clears a pending-failure poisoning — the caller is explicitly
         abandoning the stale state, not accessing it.
         """
-        pending, self._pending = self._pending, None
-        self._pending_posted_t = None
-        self._pending_error = None
-        if pending is not None:
-            abort = getattr(pending, "abort", None)
-            if abort is not None:
-                abort()
+        with self._pending_lock:
+            pending, self._pending = self._pending, None
+            self._pending_posted_t = None
+            self._pending_error = None
+            if pending is not None:
+                abort = getattr(pending, "abort", None)
+                if abort is not None:
+                    abort()
 
     # -- results layout ---------------------------------------------------------
     @property

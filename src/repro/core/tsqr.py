@@ -413,6 +413,23 @@ class PipelinedGatherStep:
             self._outbox.append(comm.isend(self._r1, 0, _TAG_PIPE_UP))
             self._reply = comm.irecv(0, _TAG_PIPE_DOWN)
 
+    def advance(self) -> bool:
+        """Non-blocking progress poll: ``True`` when :meth:`finish` can
+        run without waiting on any peer.
+
+        The root is ready once every preposted per-peer ``R`` receive has
+        arrived (``test()`` banks the payload, so the later ``wait`` in
+        ``finish`` is instant); a non-root is ready once the fused reply
+        landed.  The progress daemon calls this with backoff so
+        ``overlap=True`` steps complete in the background.
+        """
+        comm = self._comm
+        if comm.rank == 0:
+            if comm.size == 1:
+                return True
+            return all(request.test()[0] for request in self._up)
+        return bool(self._reply.test()[0])
+
     def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         """Complete the step; ``reduce_fn`` runs on rank 0 only."""
         with _obs.span(
@@ -520,6 +537,48 @@ class PipelinedTreeStep:
             self._outbox.append(
                 comm.isend(self._r1, rank - 1, _TAG_PTREE_UP + 0)
             )
+        # Cached upsweep result, populated either by finish() or eagerly
+        # by advance() — running the upsweep as soon as the partner R
+        # factors arrive ships this rank's merged R up the tree without
+        # waiting for an explicit finish, which is what lets background
+        # progress daemons complete tree steps on every rank: the root's
+        # readiness depends on its children's upsweeps having run.
+        self._upswept = None
+
+    def _run_upsweep(self):
+        if self._upswept is None:
+            self._upswept = _tree_upsweep(
+                self._comm,
+                self._r1,
+                self._up,
+                self._workspace,
+                self._n,
+                _TAG_PTREE_UP,
+                skip_first_send=self._sent_leaf,
+            )
+        return self._upswept
+
+    def advance(self) -> bool:
+        """Non-blocking progress poll: ``True`` when :meth:`finish` can
+        run without waiting on any peer.
+
+        Two stages.  First, once every upsweep receive in this rank's
+        static schedule has arrived, the upsweep runs *eagerly* — merging
+        the R factors and shipping the result toward the root (pure
+        ``test()`` polling would deadlock here: the root's last upsweep
+        receive only arrives when its child runs *its* upsweep, which
+        plain ``finish`` defers).  Second, a non-root is ready once the
+        fused downsweep payload landed; the root is ready as soon as its
+        upsweep is done.
+        """
+        if self._upswept is None:
+            if not all(request.test()[0] for request in self._up.values()):
+                return False
+            self._run_upsweep()
+        if self._comm.rank == 0:
+            return True
+        down = self._down
+        return down is not None and bool(down.test()[0])
 
     def finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
         """Complete the step; ``reduce_fn`` runs on rank 0 only."""
@@ -529,17 +588,9 @@ class PipelinedTreeStep:
             return self._finish(reduce_fn)
 
     def _finish(self, reduce_fn: Callable[[np.ndarray], tuple]) -> tuple:
-        comm, workspace, n = self._comm, self._workspace, self._n
+        comm = self._comm
         rank = comm.rank
-        r_current, q_factors, merge_meta = _tree_upsweep(
-            comm,
-            self._r1,
-            self._up,
-            workspace,
-            n,
-            _TAG_PTREE_UP,
-            skip_first_send=self._sent_leaf,
-        )
+        r_current, q_factors, merge_meta = self._run_upsweep()
         if rank == 0:
             # The identity seed depends only on R's shape/dtype; build it
             # before reduce_fn, which may consume R in place.

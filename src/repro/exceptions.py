@@ -16,6 +16,13 @@ __all__ = [
     "CommunicatorError",
     "ServingError",
     "BasisNotFoundError",
+    "HealthError",
+    "RescaleError",
+    # Re-exported lazily from repro.smpi.exceptions (which imports this
+    # module, so a top-level import here would be circular).
+    "SmpiError",
+    "DeadlockError",
+    "FailedRankError",
 ]
 
 
@@ -60,3 +67,29 @@ class ServingError(ReproError, RuntimeError):
 class BasisNotFoundError(ServingError):
     """A :class:`~repro.serving.ModeBaseStore` lookup named a basis or
     version that the store does not hold."""
+
+
+class HealthError(ReproError, RuntimeError):
+    """A liveness/health failure detected by :mod:`repro.health` — e.g. a
+    peer rank stopped heartbeating and was declared dead."""
+
+
+class RescaleError(HealthError):
+    """A live mid-stream rescale could not be performed (invalid target
+    size, no elastic capability, or the shrink floor was reached)."""
+
+
+# ``DeadlockError``/``FailedRankError``/``SmpiError`` live in
+# ``repro.smpi.exceptions`` (which subclasses ``CommunicatorError`` from
+# this module — importing them eagerly here would be circular).  PEP 562
+# module __getattr__ re-exports them so ``from repro.exceptions import
+# FailedRankError`` works alongside the native classes above.
+_SMPI_EXPORTS = ("SmpiError", "DeadlockError", "FailedRankError")
+
+
+def __getattr__(name: str):
+    if name in _SMPI_EXPORTS:
+        from .smpi import exceptions as _smpi_exceptions
+
+        return getattr(_smpi_exceptions, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

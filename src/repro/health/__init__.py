@@ -1,0 +1,48 @@
+"""repro.health — liveness monitoring and live elasticity.
+
+Three pieces turn elasticity from a restart-time property into a live
+property of a running :class:`~repro.api.Session`:
+
+* :class:`HealthMonitor` — classifies peer ranks from the monotonic
+  heartbeat each rank's mailbox publishes (``alive`` / ``straggler`` /
+  ``suspect`` / ``dead``) and drives
+  :meth:`~repro.smpi.world.World.fail_rank` proactively, so blocked
+  collectives wake as soon as a peer is declared dead instead of waiting
+  out the ``DeadlockError`` timeout.
+* :class:`ProgressDaemon` — a per-session background thread that beats
+  this rank's heartbeat, advances in-flight overlapped pipelined steps
+  (``test()`` polling with backoff — ``overlap=True`` steps complete
+  without an explicit access), runs the monitor, and reports
+  ``repro.health.*`` gauges/counters through :mod:`repro.obs`.
+* :class:`ElasticSession` — a multi-rank in-process session that can
+  :meth:`~ElasticSession.rescale` mid-stream: the pending pipelined step
+  is drained, the distributed factors are gathered in memory (no disk
+  checkpoint), rows are re-partitioned, the communicator is rebuilt at
+  the new size, and ``fit_stream`` resumes exactly where it left off.
+  ``RestartPolicy(mode="live")`` routes crash recovery through an
+  in-place shrink on this session instead of restart-and-replay.
+
+Everything here is off by default (``HealthConfig.enabled=False``) and
+costs nothing while disabled.
+"""
+
+from .daemon import ProgressDaemon, communicator_world
+from .elastic import ElasticSession
+from .monitor import (
+    RANK_ALIVE,
+    RANK_DEAD,
+    RANK_STRAGGLER,
+    RANK_SUSPECT,
+    HealthMonitor,
+)
+
+__all__ = [
+    "HealthMonitor",
+    "ProgressDaemon",
+    "ElasticSession",
+    "communicator_world",
+    "RANK_ALIVE",
+    "RANK_STRAGGLER",
+    "RANK_SUSPECT",
+    "RANK_DEAD",
+]

@@ -1,0 +1,178 @@
+"""Per-session background progress daemon.
+
+One daemon thread per :class:`~repro.api.Session` (when
+``HealthConfig.enabled``), doing three things each tick:
+
+1. **Heartbeat** — publish this rank's liveness beat on its world
+   mailbox, so peers' monitors see it alive even while its main thread
+   is deep in a BLAS call.
+2. **Progress** — opportunistically complete the driver's in-flight
+   overlapped pipelined step (:meth:`~repro.core.parallel.ParSVDParallel.
+   try_finalize_pending`, itself ``test()``-polling the step's preposted
+   requests), so ``overlap=True`` steps finish without an explicit
+   access.
+3. **Monitoring** — run the :class:`~repro.health.monitor.HealthMonitor`
+   check, escalating peers whose beats went stale.
+
+Polling backs off exponentially while idle (up to 8x the heartbeat
+interval) and snaps back to the base interval whenever a step completes.
+All ``repro.health.*`` metrics flow through :mod:`repro.obs` and cost
+nothing while observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Tuple
+
+from ..obs import runtime as _obs
+from .monitor import HealthMonitor
+
+__all__ = ["ProgressDaemon", "communicator_world"]
+
+
+def communicator_world(comm: Any) -> Tuple[Optional[Any], Optional[int]]:
+    """Resolve ``(world, world_rank)`` behind a possibly-wrapped
+    communicator.
+
+    Unwraps the fault-injection / observability proxy chain via their
+    ``inner`` attributes.  Backends without a shared world (``SelfComm``,
+    the mpi4py adapter) yield ``(None, None)`` — heartbeat monitoring
+    degrades to a no-op there.
+    """
+    seen = set()
+    while True:
+        inner = getattr(comm, "inner", None)
+        if inner is None or inner is comm or id(comm) in seen:
+            break
+        seen.add(id(comm))
+        comm = inner
+    world = getattr(comm, "world", None)
+    if world is None:
+        return None, None
+    try:
+        world_rank = comm.world_rank
+    except AttributeError:  # pragma: no cover - foreign communicator
+        return None, None
+    return world, int(world_rank)
+
+
+class ProgressDaemon:
+    """Background heartbeat + progress thread for one session rank.
+
+    Parameters
+    ----------
+    interval:
+        Base tick period (``HealthConfig.heartbeat_interval``).
+    world, world_rank:
+        The shared world and this rank's world rank (from
+        :func:`communicator_world`); ``None`` disables heartbeating.
+    advance:
+        Zero-argument callable advancing the owner's in-flight work
+        (returns ``True`` when it completed something); typically a
+        closure over the driver's ``try_finalize_pending``.
+    monitor:
+        Optional :class:`HealthMonitor` to run each tick.
+    """
+
+    #: Idle backoff ceiling, as a multiple of the base interval.
+    MAX_BACKOFF = 8.0
+
+    def __init__(
+        self,
+        interval: float,
+        *,
+        world: Optional[Any] = None,
+        world_rank: Optional[int] = None,
+        advance: Optional[Callable[[], bool]] = None,
+        monitor: Optional[HealthMonitor] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self._interval = max(float(interval), 1e-4)
+        self._world = world
+        self._world_rank = world_rank
+        self._advance = advance
+        self._monitor = monitor
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        rank_tag = "?" if world_rank is None else str(world_rank)
+        self._thread = threading.Thread(
+            target=self._run,
+            name=name or f"repro-health-{rank_tag}",
+            daemon=True,
+        )
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ProgressDaemon":
+        if not self._started:
+            self._started = True
+            self._beat()
+            self._thread.start()
+        return self
+
+    def stop(self, *, retire: bool = True) -> None:
+        """Stop the daemon and (by default) retire this rank.
+
+        Retiring tells peer monitors the silence that follows is a clean
+        departure, not a death — a rank that finishes its job early must
+        not be escalated to ``fail_rank`` while its siblings drain.
+        """
+        if not self._started:
+            return
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+        if retire and self._world is not None and self._world_rank is not None:
+            self._world.retire_rank(self._world_rank)
+
+    @property
+    def running(self) -> bool:
+        return self._started and self._thread.is_alive()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception that stopped background progress, if any (the
+        driver is poisoned too, so the owner's next access re-raises)."""
+        return self._error
+
+    # -- the tick loop -----------------------------------------------------
+    def _beat(self) -> None:
+        if self._world is not None and self._world_rank is not None:
+            self._world.heartbeat(self._world_rank)
+            st = _obs.state()
+            if st is not None and st.registry is not None:
+                st.registry.counter("repro.health.beats").inc()
+
+    def _run(self) -> None:
+        delay = self._interval
+        while not self._stop.wait(delay):
+            self._beat()
+            advanced = False
+            if self._advance is not None and self._error is None:
+                try:
+                    advanced = bool(self._advance())
+                except BaseException as exc:
+                    # The driver poisons itself on a failed completion;
+                    # record the cause, stop advancing, keep beating (this
+                    # rank is alive — its *step* failed).
+                    self._error = exc
+            if advanced:
+                st = _obs.state()
+                if st is not None and st.registry is not None:
+                    st.registry.counter(
+                        "repro.health.steps_advanced"
+                    ).inc()
+            if self._monitor is not None:
+                try:
+                    self._monitor.check()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            if advanced:
+                delay = self._interval
+            else:
+                delay = min(delay * 2.0, self._interval * self.MAX_BACKOFF)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else "stopped"
+        return f"ProgressDaemon(rank={self._world_rank}, {state})"

@@ -1,0 +1,170 @@
+"""Heartbeat-based peer health classification.
+
+Each rank's world-context :class:`~repro.smpi.mailbox.Mailbox` carries a
+monotonic liveness beat (``Mailbox.beat``), published by the rank's
+:class:`~repro.health.daemon.ProgressDaemon`.  A :class:`HealthMonitor`
+reads the beat ages of every world rank and classifies them:
+
+========== =====================================================
+state      beat age
+========== =====================================================
+alive      ``<= straggler_factor * heartbeat_interval``
+straggler  ``<= suspect_after``
+suspect    ``<= dead_after`` (default ``2 * suspect_after``)
+dead       older — escalated to ``World.fail_rank``
+========== =====================================================
+
+Escalation is the point: a dead rank's peers are typically *blocked* in a
+collective waiting for traffic that will never arrive.  ``fail_rank``
+wakes them with :class:`~repro.smpi.exceptions.FailedRankError`
+immediately, instead of letting the mailbox deadlock timeout (minutes)
+expire.  Ranks that finish their job cleanly are *retired*
+(``World.retire_rank``) and never escalated, however stale their beat.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..config import HealthConfig
+from ..exceptions import HealthError
+from ..obs import runtime as _obs
+from ..smpi.world import World
+
+__all__ = [
+    "HealthMonitor",
+    "RANK_ALIVE",
+    "RANK_STRAGGLER",
+    "RANK_SUSPECT",
+    "RANK_DEAD",
+]
+
+#: Peer classifications, ordered by severity.
+RANK_ALIVE = "alive"
+RANK_STRAGGLER = "straggler"
+RANK_SUSPECT = "suspect"
+RANK_DEAD = "dead"
+
+
+class HealthMonitor:
+    """Classifies the ranks of one :class:`~repro.smpi.world.World` from
+    their heartbeat ages and escalates dead ones.
+
+    Parameters
+    ----------
+    world:
+        The world whose ranks to watch.  The monitor attaches itself as
+        ``world.health`` so other subsystems (e.g. serving) can consult
+        peer health before committing to a collective.
+    config:
+        The :class:`~repro.config.HealthConfig` thresholds.
+    """
+
+    def __init__(self, world: World, config: HealthConfig) -> None:
+        self._world = world
+        self._config = config
+        world.health = self
+
+    @property
+    def world(self) -> World:
+        return self._world
+
+    @property
+    def config(self) -> HealthConfig:
+        return self._config
+
+    # -- classification ----------------------------------------------------
+    def observe(self, now: Optional[float] = None) -> Dict[int, str]:
+        """Classify every world rank (no side effects).
+
+        Already-failed ranks are ``dead``; retired (cleanly departed)
+        ranks are ``alive`` regardless of beat age.
+        """
+        if now is None:
+            now = time.monotonic()
+        cfg = self._config
+        alive_age = cfg.straggler_factor * cfg.heartbeat_interval
+        dead_age = cfg.effective_dead_after
+        failed = self._world.failed_ranks()
+        retired = self._world.retired_ranks()
+        states: Dict[int, str] = {}
+        for rank in range(self._world.size):
+            if rank in failed:
+                states[rank] = RANK_DEAD
+            elif rank in retired:
+                states[rank] = RANK_ALIVE
+            else:
+                age = now - self._world.last_beat(rank)
+                if age <= alive_age:
+                    states[rank] = RANK_ALIVE
+                elif age <= cfg.suspect_after:
+                    states[rank] = RANK_STRAGGLER
+                elif age <= dead_age:
+                    states[rank] = RANK_SUSPECT
+                else:
+                    states[rank] = RANK_DEAD
+        return states
+
+    def has_unhealthy(self) -> bool:
+        """Whether any rank is currently suspect or dead — the signal
+        serving uses to route flushes away from a shard group *before*
+        its collective fails."""
+        states = self.observe()
+        return any(
+            state in (RANK_SUSPECT, RANK_DEAD) for state in states.values()
+        )
+
+    # -- escalation --------------------------------------------------------
+    def check(self, now: Optional[float] = None) -> Dict[int, str]:
+        """Classify, escalate newly-dead ranks, publish metrics.
+
+        A rank whose beat age exceeds ``dead_after`` is failed in the
+        world (``World.fail_rank``) with a :class:`~repro.exceptions.
+        HealthError` naming the monitor — idempotent, so concurrent
+        monitors on several ranks may race to declare the same death.
+        """
+        states = self.observe(now)
+        already_failed = self._world.failed_ranks()
+        declared = 0
+        for rank, state in states.items():
+            if state == RANK_DEAD and rank not in already_failed:
+                self._world.fail_rank(
+                    rank,
+                    HealthError(
+                        f"rank {rank} missed heartbeats for more than "
+                        f"{self._config.effective_dead_after:.3f}s and was "
+                        f"declared dead by the health monitor"
+                    ),
+                )
+                declared += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            registry = st.registry
+            registry.counter("repro.health.checks").inc()
+            if declared:
+                registry.counter("repro.health.deaths_declared").inc(declared)
+            counts = {
+                RANK_ALIVE: 0,
+                RANK_STRAGGLER: 0,
+                RANK_SUSPECT: 0,
+                RANK_DEAD: 0,
+            }
+            for state in states.values():
+                counts[state] += 1
+            registry.gauge("repro.health.alive_ranks").set(counts[RANK_ALIVE])
+            registry.gauge("repro.health.straggler_ranks").set(
+                counts[RANK_STRAGGLER]
+            )
+            registry.gauge("repro.health.suspect_ranks").set(
+                counts[RANK_SUSPECT]
+            )
+            registry.gauge("repro.health.dead_ranks").set(counts[RANK_DEAD])
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HealthMonitor(size={self._world.size}, "
+            f"suspect_after={self._config.suspect_after}, "
+            f"dead_after={self._config.effective_dead_after})"
+        )

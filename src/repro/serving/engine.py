@@ -178,6 +178,7 @@ class QueryEngine:
             "cache_misses": 0,
             "evictions": 0,
             "failovers": 0,
+            "health_reroutes": 0,
         }
 
     # -- basis resolution --------------------------------------------------
@@ -439,6 +440,17 @@ class QueryEngine:
             for ticket, payload, local in pending:
                 key = (ticket.basis, ticket.version, ticket.kind, local)
                 groups.setdefault(key, []).append((ticket, payload))
+            if not self._shard_group_down and self._shard_group_unhealthy():
+                # Proactive routing: a peer of the shard group is already
+                # failed, suspect or dead per the health monitor — serve
+                # this flush from replicas instead of committing to a
+                # collective that can only time out or fail.
+                self._shard_group_down = True
+                self._stats["health_reroutes"] += 1
+                if st is not None and st.registry is not None:
+                    st.registry.counter(
+                        "repro.serving.health_reroutes"
+                    ).inc()
             for (name, version, kind, local), items in groups.items():
                 if self._shard_group_down:
                     self._flush_degraded(name, version, kind, items, local)
@@ -501,6 +513,22 @@ class QueryEngine:
             self._flush_reconstruct(replica, items, degraded=True)
         else:
             self._flush_error(replica, items, local=False, degraded=True)
+
+    def _shard_group_unhealthy(self) -> bool:
+        """Proactive probe of the shard group's health: any already-failed
+        world rank, or any peer the attached
+        :class:`~repro.health.monitor.HealthMonitor` classifies suspect or
+        dead.  ``False`` on worlds without health state (nothing to
+        consult) — the reactive failover path still covers those."""
+        from ..health.daemon import communicator_world
+
+        world, _ = communicator_world(self.comm)
+        if world is None:
+            return False
+        if world.failed_ranks():
+            return True
+        health = getattr(world, "health", None)
+        return health is not None and health.has_unhealthy()
 
     @staticmethod
     def _spans(payloads: List[np.ndarray]) -> List[Tuple[int, int]]:
@@ -600,6 +628,6 @@ class QueryEngine:
     @property
     def stats(self) -> dict:
         """Counters: queries, flushes, gemms, collectives, cache hits/
-        misses, evictions, failovers (a copy; mutating it does not
-        affect the engine)."""
+        misses, evictions, failovers, health_reroutes (a copy; mutating
+        it does not affect the engine)."""
         return dict(self._stats)

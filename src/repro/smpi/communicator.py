@@ -101,6 +101,18 @@ class Communicator(
         """mpi4py-compatible alias for :attr:`size`."""
         return self.size
 
+    # -- health plumbing ---------------------------------------------------
+    @property
+    def world(self) -> World:
+        """The shared :class:`World` backing this communicator — the
+        attachment point for heartbeat/health monitoring."""
+        return self._world
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's world rank (identity on the world communicator)."""
+        return self._group[self.rank]
+
     # -- helpers -----------------------------------------------------------
     def _check_peer(self, peer: int, what: str) -> None:
         if not (0 <= peer < self.size):

@@ -94,6 +94,26 @@ steady-state request churn allocates no envelope objects;
 raises a descriptive :class:`~repro.smpi.exceptions.DeadlockError` on
 deadlocked waits instead of hanging.
 
+Liveness and elasticity (threads backend)
+-----------------------------------------
+Each rank's mailbox doubles as a heartbeat publisher:
+:meth:`World.heartbeat(rank) <repro.smpi.world.World.heartbeat>` bumps a
+monotonic beat that :class:`~repro.health.HealthMonitor` reads to
+classify peers as *alive*/*straggler*/*suspect*/*dead*
+(:class:`~repro.config.HealthConfig` sets the thresholds).  A rank the
+monitor declares dead is failed **proactively** through
+:meth:`World.fail_rank <repro.smpi.world.World.fail_rank>` — blocked
+peers wake with :class:`~repro.smpi.exceptions.FailedRankError`
+immediately instead of waiting out the ``DeadlockError`` timeout — and a
+rank that exits cleanly calls :meth:`World.retire_rank
+<repro.smpi.world.World.retire_rank>` so its silence is never
+misread as death.  :class:`~repro.health.ProgressDaemon` services the
+beat in the background and ``test()``-polls in-flight
+:class:`~repro.smpi.request.CollectiveRequest` pipelines;
+:class:`~repro.health.ElasticSession` builds on both to rescale a
+running world mid-stream (``Session.rescale`` /
+``RestartPolicy(mode="live")``).
+
 Backends
 --------
 ============ ========================================================

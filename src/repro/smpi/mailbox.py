@@ -48,6 +48,29 @@ class Mailbox:
         self._failure_probe: Optional[
             Callable[[], Dict[int, BaseException]]
         ] = None
+        # Liveness heartbeat: the owning rank (its progress daemon, or
+        # any communicator op it performs) stamps a monotonic beat here;
+        # health monitors on peer ranks classify this rank from the beat
+        # age.  A bare float store/load is atomic under the GIL, so no
+        # lock is taken on the beat path.
+        self._last_beat: float = time.monotonic()
+        self._beats: int = 0
+
+    def beat(self) -> None:
+        """Publish a liveness beat (monotonic timestamp) for the owner."""
+        self._last_beat = time.monotonic()
+        self._beats += 1
+
+    @property
+    def last_beat(self) -> float:
+        """Monotonic timestamp of the owner's most recent beat (the
+        mailbox's creation time before the first explicit beat)."""
+        return self._last_beat
+
+    @property
+    def beats(self) -> int:
+        """Number of explicit beats published so far."""
+        return self._beats
 
     def attach_failure_probe(
         self, probe: Callable[[], Dict[int, BaseException]]

@@ -44,6 +44,11 @@ class World:
         self._lock = threading.Lock()
         self._next_context = World.WORLD_CONTEXT + 1
         self._failed: Dict[int, BaseException] = {}
+        self._retired: set = set()
+        #: The :class:`repro.health.HealthMonitor` attached to this world,
+        #: if any — consumers (e.g. serving) may consult it for peer
+        #: health before committing to a collective.
+        self.health: Optional[object] = None
 
     def mailbox(self, context: int, world_rank: int) -> Mailbox:
         """Mailbox of ``world_rank`` within ``context`` (created lazily)."""
@@ -84,6 +89,34 @@ class World:
         """Snapshot of dead world ranks (rank -> causing exception)."""
         with self._lock:
             return dict(self._failed)
+
+    # -- liveness heartbeat (repro.health) ---------------------------------
+    def heartbeat(self, world_rank: int) -> None:
+        """Publish a liveness beat for ``world_rank``.
+
+        Beats land on the rank's world-context mailbox; peers read them
+        through :meth:`last_beat` to classify this rank's health.
+        """
+        self.mailbox(World.WORLD_CONTEXT, world_rank).beat()
+
+    def last_beat(self, world_rank: int) -> float:
+        """Monotonic timestamp of ``world_rank``'s most recent beat."""
+        return self.mailbox(World.WORLD_CONTEXT, world_rank).last_beat
+
+    def retire_rank(self, world_rank: int) -> None:
+        """Mark ``world_rank`` as *cleanly departed*.
+
+        A rank that finishes its job and stops beating is not dead —
+        health monitors skip retired ranks instead of escalating their
+        growing beat age to a failure.  Idempotent.
+        """
+        with self._lock:
+            self._retired.add(world_rank)
+
+    def retired_ranks(self) -> set:
+        """Snapshot of ranks that departed cleanly (see :meth:`retire_rank`)."""
+        with self._lock:
+            return set(self._retired)
 
     def allocate_contexts(self, count: int) -> List[int]:
         """Reserve ``count`` fresh context ids (used by ``split``/``dup``).

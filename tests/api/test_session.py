@@ -49,6 +49,7 @@ class TestApiSurface:
             "BackendConfig",
             "FaultConfig",
             "FaultSpec",
+            "HealthConfig",
             "ObservabilityConfig",
             "RestartPolicy",
             "RunConfig",

@@ -1,0 +1,82 @@
+"""Import surface: the failure/health taxonomy is reachable from
+``repro.exceptions`` AND the package root, and the names are the same
+objects wherever they are imported from."""
+
+import repro
+import repro.api
+import repro.exceptions
+import repro.health
+import repro.smpi
+import repro.smpi.exceptions
+
+
+class TestExceptionSurface:
+    def test_smpi_errors_reexported_from_repro_exceptions(self):
+        assert (
+            repro.exceptions.DeadlockError
+            is repro.smpi.exceptions.DeadlockError
+        )
+        assert (
+            repro.exceptions.FailedRankError
+            is repro.smpi.exceptions.FailedRankError
+        )
+        assert repro.exceptions.SmpiError is repro.smpi.exceptions.SmpiError
+
+    def test_top_level_matches_repro_exceptions(self):
+        for name in (
+            "DeadlockError",
+            "FailedRankError",
+            "HealthError",
+            "RescaleError",
+        ):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(
+                repro.exceptions, name
+            ), name
+
+    def test_smpi_surface_still_exports_them(self):
+        assert repro.smpi.DeadlockError is repro.exceptions.DeadlockError
+        assert repro.smpi.FailedRankError is repro.exceptions.FailedRankError
+
+    def test_hierarchy(self):
+        exc = repro.exceptions
+        assert issubclass(exc.FailedRankError, exc.SmpiError)
+        assert issubclass(exc.DeadlockError, exc.SmpiError)
+        assert issubclass(exc.HealthError, exc.ReproError)
+        assert issubclass(exc.HealthError, RuntimeError)
+        assert issubclass(exc.RescaleError, exc.HealthError)
+
+    def test_failed_rank_error_carries_ranks(self):
+        err = repro.exceptions.FailedRankError("two down", failed_ranks=(1, 3))
+        assert err.failed_ranks == (1, 3)
+
+    def test_catching_communicator_error_covers_failures(self):
+        from repro.smpi.exceptions import CommunicatorError
+
+        assert issubclass(repro.exceptions.FailedRankError, CommunicatorError)
+        assert issubclass(repro.exceptions.DeadlockError, CommunicatorError)
+        # RescaleError is deliberately NOT recoverable-by-retry.
+        assert not issubclass(repro.exceptions.RescaleError, CommunicatorError)
+
+
+class TestHealthSurface:
+    def test_health_config_in_api_and_root(self):
+        assert "HealthConfig" in repro.api.__all__
+        assert "HealthConfig" in repro.__all__
+        assert repro.HealthConfig is repro.api.HealthConfig
+
+    def test_health_package_exports(self):
+        for name in ("HealthMonitor", "ProgressDaemon", "ElasticSession"):
+            assert name in repro.health.__all__, name
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(repro.health, name), name
+
+    def test_rank_states_exported(self):
+        assert repro.health.RANK_ALIVE == "alive"
+        assert repro.health.RANK_DEAD == "dead"
+        assert set(repro.health.__all__) >= {
+            "RANK_ALIVE",
+            "RANK_STRAGGLER",
+            "RANK_SUSPECT",
+            "RANK_DEAD",
+        }

@@ -1,0 +1,194 @@
+"""`repro.health.HealthMonitor`: beat-age classification, retired/failed
+rank handling, proactive escalation through ``World.fail_rank``, and the
+``repro.health.*`` metrics it publishes."""
+
+import time
+
+import pytest
+
+from repro.config import HealthConfig
+from repro.exceptions import HealthError
+from repro.health import (
+    RANK_ALIVE,
+    RANK_DEAD,
+    RANK_STRAGGLER,
+    RANK_SUSPECT,
+    HealthMonitor,
+)
+from repro.obs import runtime as obs_rt
+from repro.smpi.world import World
+
+# alive <= 0.2s, straggler <= 1.0s, suspect <= 3.0s, dead beyond.
+CFG = HealthConfig(
+    enabled=True,
+    heartbeat_interval=0.05,
+    suspect_after=1.0,
+    straggler_factor=4.0,
+    dead_after=3.0,
+)
+
+
+def beaten_world(size=4):
+    world = World(size)
+    for rank in range(size):
+        world.heartbeat(rank)
+    return world, time.monotonic()
+
+
+class TestConfig:
+    def test_effective_dead_after_defaults_to_twice_suspect(self):
+        assert HealthConfig(suspect_after=0.4).effective_dead_after == pytest.approx(0.8)
+        assert CFG.effective_dead_after == pytest.approx(3.0)
+
+    def test_thresholds_validated(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HealthConfig(heartbeat_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(suspect_after=-1.0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(straggler_factor=0.0)
+
+    def test_json_round_trip_carries_health_section(self):
+        from repro.config import RunConfig
+
+        cfg = RunConfig(health=CFG)
+        clone = RunConfig.from_dict(cfg.to_dict())
+        assert clone.health == CFG
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "age, expected",
+        [
+            (0.0, RANK_ALIVE),
+            (0.19, RANK_ALIVE),
+            (0.5, RANK_STRAGGLER),
+            (2.0, RANK_SUSPECT),
+            (10.0, RANK_DEAD),
+        ],
+    )
+    def test_beat_age_bands(self, age, expected):
+        world, t0 = beaten_world()
+        monitor = HealthMonitor(world, CFG)
+        states = monitor.observe(now=t0 + age)
+        assert states == {rank: expected for rank in range(4)}
+
+    def test_failed_rank_is_dead_regardless_of_beat(self):
+        world, t0 = beaten_world()
+        world.fail_rank(2, RuntimeError("boom"))
+        states = HealthMonitor(world, CFG).observe(now=t0)
+        assert states[2] == RANK_DEAD
+        assert all(states[r] == RANK_ALIVE for r in (0, 1, 3))
+
+    def test_retired_rank_is_alive_regardless_of_beat(self):
+        world, t0 = beaten_world()
+        world.retire_rank(1)
+        states = HealthMonitor(world, CFG).observe(now=t0 + 100.0)
+        assert states[1] == RANK_ALIVE
+        assert all(states[r] == RANK_DEAD for r in (0, 2, 3))
+
+    def test_observe_has_no_side_effects(self):
+        world, t0 = beaten_world()
+        HealthMonitor(world, CFG).observe(now=t0 + 100.0)
+        assert world.failed_ranks() == {}
+
+    def test_has_unhealthy(self):
+        world, t0 = beaten_world(2)
+        monitor = HealthMonitor(world, CFG)
+        assert not monitor.has_unhealthy()
+        world.fail_rank(1, RuntimeError("boom"))
+        assert monitor.has_unhealthy()
+
+    def test_monitor_attaches_as_world_health(self):
+        world, _ = beaten_world(2)
+        monitor = HealthMonitor(world, CFG)
+        assert world.health is monitor
+
+
+class TestEscalation:
+    def test_check_fails_newly_dead_rank_with_health_error(self):
+        world, t0 = beaten_world(3)
+        monitor = HealthMonitor(world, CFG)
+        # Ranks 0 and 1 departed cleanly; rank 2 just went silent.
+        world.retire_rank(0)
+        world.retire_rank(1)
+        monitor.check(now=t0 + 10.0)
+        failed = world.failed_ranks()
+        assert set(failed) == {2}
+        assert isinstance(failed[2], HealthError)
+        assert "declared dead" in str(failed[2])
+
+    def test_check_is_idempotent_for_already_failed_ranks(self):
+        world, t0 = beaten_world(2)
+        world.retire_rank(0)
+        monitor = HealthMonitor(world, CFG)
+        monitor.check(now=t0 + 10.0)
+        first = world.failed_ranks()[1]
+        monitor.check(now=t0 + 20.0)
+        assert world.failed_ranks()[1] is first
+
+    def test_escalation_wakes_blocked_peer_before_deadlock_timeout(self):
+        """The point of the monitor: a peer blocked on a dead rank wakes
+        in milliseconds, not after the (30s here) deadlock timeout."""
+        from repro.smpi import FailedRankError, create_communicator
+
+        comms = create_communicator("threads", 2, timeout=30.0)
+        comm = comms[0]
+        world = comm.world
+        cfg = HealthConfig(
+            enabled=True, heartbeat_interval=0.01, suspect_after=0.02,
+            dead_after=0.05,
+        )
+        monitor = HealthMonitor(world, cfg)
+        world.heartbeat(0)
+        world.heartbeat(1)
+
+        import threading
+
+        stop = threading.Event()
+
+        def keep_checking():
+            while not stop.is_set():
+                world.heartbeat(0)
+                monitor.check()
+                time.sleep(0.01)
+
+        checker = threading.Thread(target=keep_checking, daemon=True)
+        checker.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(FailedRankError, match="rank 1"):
+                comm.recv(source=1, tag=77)  # rank 1 never sends nor beats
+        finally:
+            stop.set()
+            checker.join(timeout=5.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0, f"woke after {elapsed:.3f}s — timeout burned"
+
+
+class TestMetrics:
+    def test_check_publishes_counters_and_gauges(self):
+        obs_rt.install(metrics=True)
+        try:
+            world, t0 = beaten_world(3)
+            monitor = HealthMonitor(world, CFG)
+            world.retire_rank(2)
+            monitor.check(now=t0 + 10.0)  # ranks 0,1 stale -> declared dead
+            snap = obs_rt.default_registry().snapshot()
+            counters, gauges = snap["counters"], snap["gauges"]
+            assert counters["repro.health.checks"]["value"] >= 1
+            assert counters["repro.health.deaths_declared"]["value"] == 2
+            assert gauges["repro.health.dead_ranks"] == 2
+            assert gauges["repro.health.alive_ranks"] == 1  # the retiree
+            assert gauges["repro.health.suspect_ranks"] == 0
+            assert gauges["repro.health.straggler_ranks"] == 0
+        finally:
+            obs_rt.uninstall()
+
+    def test_disabled_observability_costs_nothing(self):
+        assert obs_rt.state() is None
+        world, t0 = beaten_world(2)
+        monitor = HealthMonitor(world, CFG)
+        monitor.check(now=t0)  # must not raise without a registry

@@ -8,7 +8,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_facade_exports(self):
         """The typed api layer is reachable from the package root."""
