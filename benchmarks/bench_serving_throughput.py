@@ -51,7 +51,7 @@ def serve_log(store, queries, nranks, window):
         tickets = [engine.submit_project("burgers", q) for q in queries]
         engine.flush()
         elapsed = time.perf_counter() - start
-        return elapsed, engine.stats, [t.result() for t in tickets]
+        return elapsed, engine.stats(), [t.result() for t in tickets]
 
     cfg = RunConfig(backend=BackendConfig(name="threads", size=nranks))
     return Session.run(cfg, job)[0]

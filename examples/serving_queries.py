@@ -75,7 +75,7 @@ def main() -> None:
             proj = [engine.submit_project("burgers", q) for q in snapshots]
             errs = [engine.submit_error("burgers", q) for q in snapshots]
             served = engine.flush()  # ONE GEMM per (basis, kind) group
-            flush_gemms = engine.stats["gemms"]
+            flush_gemms = engine.stats()["gemms"]
             roundtrip = engine.reconstruct("burgers", proj[0].result())
             return (
                 [t.result() for t in proj],

@@ -66,9 +66,11 @@ from .config import (
     ObservabilityConfig,
     RestartPolicy,
     RunConfig,
+    ServingConfig,
     SolverConfig,
     StreamConfig,
     SVDConfig,
+    TenantSpec,
 )
 from .core import (
     ParSVDBase,
@@ -117,6 +119,8 @@ __all__ = [
     "FaultSpec",
     "HealthConfig",
     "RestartPolicy",
+    "ServingConfig",
+    "TenantSpec",
     "SVDConfig",
     "ParSVDBase",
     "ParSVDSerial",

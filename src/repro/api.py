@@ -66,8 +66,10 @@ from .config import (
     ObservabilityConfig,
     RestartPolicy,
     RunConfig,
+    ServingConfig,
     SolverConfig,
     StreamConfig,
+    TenantSpec,
 )
 from .core.checkpoint import (
     normalize_checkpoint_path,
@@ -93,10 +95,12 @@ __all__ = [
     "ObservabilityConfig",
     "RestartPolicy",
     "RunConfig",
+    "ServingConfig",
     "Session",
     "SessionResult",
     "SolverConfig",
     "StreamConfig",
+    "TenantSpec",
     "checkpoint_run_config",
     "load_run_config",
 ]

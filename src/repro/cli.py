@@ -6,6 +6,7 @@ Usage::
     python -m repro era5        [--nlat 24 --nlon 48 --nt 360 --ranks 4]
     python -m repro scaling     [--mode weak|strong --max-nodes 256]
     python -m repro serve-query [--nx 512 --queries 24 --ranks 2]
+    python -m repro serve       --store DIR [--port 8080 --deadline-ms 25]
     python -m repro profile     [--ranks 4 --steps 6 --trace out.json]
     python -m repro chaos       [--ranks 4 --seed 1234 --max-restarts 2]
     python -m repro verify      [paths ...] [--schedule]
@@ -21,10 +22,19 @@ config as JSON (pipe it to a file, edit, and ``validate`` it);
 :class:`~repro.exceptions.ConfigurationError` on any bad section, key or
 value.
 
-Every experiment subcommand also accepts ``--config FILE`` to load a
-saved :class:`~repro.config.RunConfig` JSON as the base configuration;
-flags passed explicitly on the command line override the file's values
-(flags left at their defaults do not).
+Every run subcommand (``burgers``, ``era5``, ``serve-query``, ``serve``,
+``profile``, ``chaos``) accepts ``--config FILE`` to load a saved
+:class:`~repro.config.RunConfig` JSON as the base configuration; flags
+passed explicitly on the command line override the file's values (flags
+left at their defaults do not).  ``scaling`` is the one exception: it
+drives the analytic performance model, not a run, and takes no
+RunConfig.
+
+``repro serve`` starts the :mod:`repro.net` HTTP serving frontend over a
+:class:`~repro.serving.ModeBaseStore`: ``POST /v1/query`` /
+``GET /v1/jobs/{id}`` job submission with deadline-driven flushing
+(``--deadline-ms``), a keyed result cache, per-tenant API keys
+(``--tenant NAME:KEY``), ``/metrics`` and ``/healthz``.
 
 Observability: the experiment subcommands accept ``--metrics-json PATH``
 (dump the :mod:`repro.obs` metrics registry after the run) and
@@ -198,6 +208,20 @@ _CONFIG_OVERRIDES = {
         "batch": ("stream", "batch"),
         "prefetch": ("stream", "prefetch"),
     },
+    "profile": {
+        "modes": ("solver", "K"),
+        "backend": ("backend", "name"),
+        "ranks": ("backend", "size"),
+        "batch": ("stream", "batch"),
+        "prefetch": ("stream", "prefetch"),
+    },
+    "serve": {
+        "host": ("serving", "host"),
+        "port": ("serving", "port"),
+        "deadline_ms": ("serving", "flush_deadline_ms"),
+        "max_batch": ("serving", "max_batch"),
+        "cache_entries": ("serving", "result_cache_entries"),
+    },
 }
 
 
@@ -234,7 +258,7 @@ def _config_from_file(args: argparse.Namespace, command: str):
     cfg = load_run_config(args.config)
     overrides = _CONFIG_OVERRIDES[command]
     explicit = getattr(args, "_explicit", set())
-    changes = {"solver": {}, "backend": {}, "stream": {}}
+    changes = {"solver": {}, "backend": {}, "stream": {}, "serving": {}}
     for dest, (section, field) in overrides.items():
         if dest in explicit:
             changes[section][field] = getattr(args, dest)
@@ -243,9 +267,11 @@ def _config_from_file(args: argparse.Namespace, command: str):
         changes["backend"]["size"] = 1
     return dataclasses.replace(
         cfg,
-        solver=dataclasses.replace(cfg.solver, **changes["solver"]),
-        backend=dataclasses.replace(cfg.backend, **changes["backend"]),
-        stream=dataclasses.replace(cfg.stream, **changes["stream"]),
+        **{
+            section: dataclasses.replace(getattr(cfg, section), **fields)
+            for section, fields in changes.items()
+            if fields
+        },
     )
 
 
@@ -328,6 +354,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_option(p_serve)
     _add_obs_options(p_serve)
 
+    p_net = sub.add_parser(
+        "serve",
+        help="HTTP serving frontend (repro.net): job-based query "
+        "submission over a mode-base store with deadline-driven "
+        "flushing, a keyed result cache, per-tenant API keys, "
+        "/metrics and /healthz",
+    )
+    p_net.add_argument(
+        "--store",
+        required=True,
+        help="ModeBaseStore directory to serve (see --seed-demo)",
+    )
+    p_net.add_argument("--host", default="127.0.0.1")
+    p_net.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    p_net.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=25.0,
+        help="flush-latency SLO: a pending query is flushed once it is "
+        "this old, even below the batch watermark",
+    )
+    p_net.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="size watermark: auto-flush once this many queries queue",
+    )
+    p_net.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="keyed result cache capacity (0 = off)",
+    )
+    p_net.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME:KEY",
+        help="register a tenant API key (repeatable); with no --tenant "
+        "the server is open (single-user mode)",
+    )
+    p_net.add_argument(
+        "--seed-demo",
+        action="store_true",
+        help="before serving, publish a small Burgers basis as 'burgers' "
+        "into the store (creates it if needed) — a self-contained demo "
+        "/ smoke-test target",
+    )
+    _add_config_option(p_net)
+    _add_obs_options(p_net)
+
     p_profile = sub.add_parser(
         "profile",
         help="stream a small synthetic low-rank matrix with observability "
@@ -357,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="background prefetch depth for the synthetic stream (0 = off)",
     )
     _add_backend_option(p_profile)
+    _add_config_option(p_profile)
     _add_obs_options(p_profile)
 
     p_chaos = sub.add_parser(
@@ -467,6 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
         "burgers": p_burgers,
         "era5": p_era5,
         "serve-query": p_serve,
+        "serve": p_net,
+        "profile": p_profile,
         "chaos": p_chaos,
     }
     return parser
@@ -659,7 +744,7 @@ def _run_serve_query(args, data, store) -> int:
         engine.flush()
         elapsed = time.perf_counter() - t0
         answers = [(tp.result(), te.result()) for tp, te in tickets]
-        return answers, engine.stats, elapsed
+        return answers, engine.stats(), elapsed
 
     answers, stats, elapsed = Session.run(cfg, serve)[0]
 
@@ -692,7 +777,96 @@ def _run_serve_query(args, data, store) -> int:
     return 0 if ok else 1
 
 
+def _parse_tenants(specs):
+    from repro.config import TenantSpec
+    from repro.exceptions import ConfigurationError
+
+    tenants = []
+    for spec in specs:
+        name, sep, key = spec.partition(":")
+        if not sep or not name or not key:
+            raise ConfigurationError(
+                f"--tenant expects NAME:KEY, got {spec!r}"
+            )
+        tenants.append(TenantSpec(name=name, key=key))
+    return tuple(tenants)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.api import (
+        BackendConfig,
+        ObservabilityConfig,
+        RunConfig,
+        Session,
+        SolverConfig,
+        StreamConfig,
+    )
+    from repro.config import ServingConfig
+    from repro.net import serve_forever
+    from repro.serving import ModeBaseStore
+
+    if args.config:
+        cfg = _config_from_file(args, "serve")
+        if cfg.backend.size > 1:
+            # The frontend owns a single-rank session; queries batch into
+            # GEMMs, they do not fan out across ranks.
+            cfg = cfg.replace(
+                backend=dataclasses.replace(cfg.backend, size=1)
+            )
+    else:
+        cfg = RunConfig(
+            backend=BackendConfig(name="self"),
+            serving=ServingConfig(
+                host=args.host,
+                port=args.port,
+                flush_deadline_ms=args.deadline_ms,
+                max_batch=args.max_batch,
+                result_cache_entries=args.cache_entries,
+            ),
+            # /metrics serves the repro.obs registry: metering on by
+            # default (override through --config).
+            obs=ObservabilityConfig(metrics=True),
+        )
+    if args.tenant:
+        cfg = cfg.replace(
+            serving=dataclasses.replace(
+                cfg.serving, tenants=_parse_tenants(args.tenant)
+            )
+        )
+    cfg = _apply_obs_flags(cfg, args)
+
+    store = ModeBaseStore(args.store)
+    if args.seed_demo:
+        from repro.data.burgers import BurgersProblem
+
+        data = BurgersProblem(nx=512, nt=120).snapshot_matrix()
+        seed_cfg = RunConfig(
+            solver=SolverConfig(K=8, ff=1.0, r1=50),
+            stream=StreamConfig(batch=30),
+        )
+        with Session(seed_cfg) as session:
+            version = session.fit_stream(data).export_to_store(
+                store, "burgers"
+            )
+        print(f"seeded demo basis 'burgers' v{version} into {args.store}")
+
+    scfg = cfg.serving
+    print(
+        f"serving {args.store} on {scfg.host}:{scfg.port} "
+        f"(deadline={scfg.flush_deadline_ms:g}ms, max_batch={scfg.max_batch}, "
+        f"cache={scfg.result_cache_entries}, "
+        f"tenants={len(scfg.tenants) or 'open'})"
+    )
+    serve_forever(store, cfg)
+    _write_obs_outputs(args)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.api import (
         ObservabilityConfig,
         RunConfig,
@@ -702,15 +876,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     from repro.obs import runtime as obs_runtime
 
-    ranks = _resolve_ranks(args)
-    nt = args.batch * args.steps
+    if args.config:
+        cfg = _config_from_file(args, "profile")
+        # Profiling is the whole point of the subcommand: metrics and
+        # trace are always on, whatever the file says.
+        cfg = cfg.replace(
+            solver=dataclasses.replace(
+                cfg.solver, overlap=cfg.solver.overlap and not args.no_overlap
+            ),
+            stream=dataclasses.replace(
+                cfg.stream,
+                batch=cfg.stream.batch or args.batch,
+                source=None,
+            ),
+            obs=ObservabilityConfig(metrics=True, trace=True),
+        )
+    else:
+        cfg = RunConfig(
+            solver=SolverConfig(
+                K=args.modes, ff=0.95, overlap=not args.no_overlap
+            ),
+            backend=_backend_config(args),
+            stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
+            obs=ObservabilityConfig(metrics=True, trace=True),
+        )
+    ranks = cfg.backend.size
+    nt = cfg.stream.batch * args.steps
     # Synthetic low-rank stream: a few smooth spatial modes modulated in
     # time, plus noise — enough structure for the solver to do real work
     # in every phase without needing a PDE solve.
     rng = np.random.default_rng(7)
     x = np.linspace(0.0, 1.0, args.ndof)
     t = np.linspace(0.0, 1.0, nt)
-    rank = min(5, args.modes)
+    rank = min(5, cfg.solver.K)
     basis = np.column_stack(
         [np.sin((i + 1) * np.pi * x) for i in range(rank)]
     )
@@ -719,15 +917,6 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     data = basis @ weights.T
     data += 0.01 * rng.standard_normal(data.shape)
-
-    cfg = RunConfig(
-        solver=SolverConfig(
-            K=args.modes, ff=0.95, overlap=not args.no_overlap
-        ),
-        backend=_backend_config(args),
-        stream=StreamConfig(batch=args.batch, prefetch=args.prefetch),
-        obs=ObservabilityConfig(metrics=True, trace=True),
-    )
     obs_runtime.reset()
     print(
         f"profile: {args.ndof}x{nt} synthetic stream, K={cfg.solver.K}, "
@@ -1031,6 +1220,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scaling(args)
         if args.command == "serve-query":
             return _cmd_serve_query(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "profile":
             return _cmd_profile(args)
         if args.command == "chaos":

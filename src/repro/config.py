@@ -50,6 +50,8 @@ __all__ = [
     "HealthConfig",
     "RestartPolicy",
     "RunConfig",
+    "ServingConfig",
+    "TenantSpec",
     "RESTART_MODES",
     "DEFAULT_FORGET_FACTOR",
     "DEFAULT_R1",
@@ -709,6 +711,158 @@ class HealthConfig(_SectionMixin):
         return 2.0 * float(self.suspect_after)
 
 
+@dataclasses.dataclass(frozen=True)
+class TenantSpec(_SectionMixin):
+    """One tenant of the network serving frontend (:mod:`repro.net`).
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier — appears in per-tenant request counters
+        (``repro.net.tenant.<name>.*``) and the ``/metrics`` snapshot.
+    key:
+        API key the tenant authenticates with (``Authorization: Bearer
+        <key>`` or ``X-API-Key: <key>``).
+    """
+
+    name: str = ""
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"tenant name must be a non-empty string, got {self.name!r}"
+            )
+        if not self.name.replace("_", "").replace("-", "").isalnum():
+            raise ConfigurationError(
+                f"tenant name must be alphanumeric (plus '_'/'-'), got "
+                f"{self.name!r}"
+            )
+        if not isinstance(self.key, str) or not self.key:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs a non-empty API key string, "
+                f"got {self.key!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig(_SectionMixin):
+    """The network serving frontend (:mod:`repro.net`) and its SLOs.
+
+    Governs ``repro serve``: an asyncio HTTP server whose lifespan owns a
+    :class:`~repro.api.Session`-backed :class:`~repro.serving.QueryEngine`
+    on a dedicated executor thread.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address of the HTTP listener.  ``port=0`` binds an ephemeral
+        port (the server reports the one chosen) — what tests and the
+        load bench use.
+    flush_deadline_ms:
+        The latency SLO of the deadline-driven flush scheduler: a
+        pending query is flushed no later than this many milliseconds
+        after submission, even when the batch-size watermark
+        (``max_batch``) has not been reached.
+    max_batch:
+        Batch-size watermark — the engine's ``flush_threshold``: this
+        many pending queries trigger an immediate flush.
+    result_cache_entries:
+        Capacity of the keyed result cache (basis name + version +
+        payload digest → result); ``0`` disables it.
+    tenants:
+        Tuple of :class:`TenantSpec` (plain dicts are coerced, so the
+        section round-trips through JSON).  Empty (the default) serves
+        unauthenticated single-tenant traffic under the ``"anonymous"``
+        tenant; non-empty enables per-request API-key auth.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    flush_deadline_ms: float = 25.0
+    max_batch: int = 64
+    result_cache_entries: int = 256
+    tenants: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError(
+                f"serving host must be a non-empty string, got {self.host!r}"
+            )
+        if (
+            not isinstance(self.port, int)
+            or isinstance(self.port, bool)
+            or not (0 <= self.port <= 65535)
+        ):
+            raise ConfigurationError(
+                f"serving port must be an int in [0, 65535], got {self.port!r}"
+            )
+        if (
+            not isinstance(self.flush_deadline_ms, (int, float))
+            or isinstance(self.flush_deadline_ms, bool)
+            or not self.flush_deadline_ms > 0.0
+        ):
+            raise ConfigurationError(
+                f"serving flush_deadline_ms must be a positive number, got "
+                f"{self.flush_deadline_ms!r}"
+            )
+        if (
+            not isinstance(self.max_batch, int)
+            or isinstance(self.max_batch, bool)
+            or self.max_batch < 1
+        ):
+            raise ConfigurationError(
+                f"serving max_batch must be an int >= 1, got {self.max_batch!r}"
+            )
+        if (
+            not isinstance(self.result_cache_entries, int)
+            or isinstance(self.result_cache_entries, bool)
+            or self.result_cache_entries < 0
+        ):
+            raise ConfigurationError(
+                f"serving result_cache_entries must be an int >= 0, got "
+                f"{self.result_cache_entries!r}"
+            )
+        if not isinstance(self.tenants, (list, tuple)):
+            raise ConfigurationError(
+                f"serving tenants must be a sequence of tenant specs, got "
+                f"{type(self.tenants).__name__}"
+            )
+        specs = []
+        for index, entry in enumerate(self.tenants):
+            if isinstance(entry, TenantSpec):
+                specs.append(entry)
+            elif isinstance(entry, dict):
+                specs.append(
+                    _from_section_dict(
+                        TenantSpec, f"serving.tenants[{index}]", entry
+                    )
+                )
+            else:
+                raise ConfigurationError(
+                    f"serving.tenants[{index}] must be a TenantSpec or "
+                    f"mapping, got {type(entry).__name__}"
+                )
+        names = [spec.name for spec in specs]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate serving tenant name(s) {duplicates}"
+            )
+        keys = [spec.key for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                "serving tenant API keys must be unique (a shared key "
+                "cannot attribute requests to one tenant)"
+            )
+        object.__setattr__(self, "tenants", tuple(specs))
+
+    @property
+    def auth_enabled(self) -> bool:
+        """Whether per-request API-key auth is on (any tenant declared)."""
+        return bool(self.tenants)
+
+
 #: Recovery modes of :class:`RestartPolicy`.
 RESTART_MODES = ("restart", "live")
 
@@ -860,6 +1014,7 @@ class RunConfig(_SectionMixin):
     )
     faults: FaultConfig = dataclasses.field(default_factory=FaultConfig)
     health: HealthConfig = dataclasses.field(default_factory=HealthConfig)
+    serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, SolverConfig):
@@ -886,6 +1041,11 @@ class RunConfig(_SectionMixin):
             raise ConfigurationError(
                 f"health must be a HealthConfig, got {type(self.health).__name__}"
             )
+        if not isinstance(self.serving, ServingConfig):
+            raise ConfigurationError(
+                f"serving must be a ServingConfig, got "
+                f"{type(self.serving).__name__}"
+            )
 
     # -- dict / JSON round-trip -------------------------------------------
     def to_dict(self) -> dict:
@@ -897,10 +1057,12 @@ class RunConfig(_SectionMixin):
             "obs": dataclasses.asdict(self.obs),
             "faults": dataclasses.asdict(self.faults),
             "health": dataclasses.asdict(self.health),
+            "serving": dataclasses.asdict(self.serving),
         }
-        # JSON round-trip: the schedule tuple (of FaultSpec dicts, after
-        # asdict) serialises as a list; from_dict coerces it back.
+        # JSON round-trip: the spec tuples (of dicts, after asdict)
+        # serialise as lists; from_dict coerces them back.
         payload["faults"]["schedule"] = list(payload["faults"]["schedule"])
+        payload["serving"]["tenants"] = list(payload["serving"]["tenants"])
         return payload
 
     @classmethod
@@ -914,13 +1076,21 @@ class RunConfig(_SectionMixin):
             )
         unknown = sorted(
             set(payload)
-            - {"solver", "backend", "stream", "obs", "faults", "health"}
+            - {
+                "solver",
+                "backend",
+                "stream",
+                "obs",
+                "faults",
+                "health",
+                "serving",
+            }
         )
         if unknown:
             raise ConfigurationError(
                 f"unknown section(s) {unknown} in run config; valid "
                 f"sections: ['backend', 'faults', 'health', 'obs', "
-                f"'solver', 'stream']"
+                f"'serving', 'solver', 'stream']"
             )
         return cls(
             solver=_from_section_dict(
@@ -940,6 +1110,9 @@ class RunConfig(_SectionMixin):
             ),
             health=_from_section_dict(
                 HealthConfig, "health", payload.get("health", {})
+            ),
+            serving=_from_section_dict(
+                ServingConfig, "serving", payload.get("serving", {})
             ),
         )
 

@@ -1,0 +1,93 @@
+"""Per-tenant API-key authentication for the serving frontend.
+
+Tenants come from :class:`repro.config.TenantSpec` entries of the
+``serving`` config section.  With no tenants configured, auth is *open*:
+every request is attributed to the pseudo-tenant ``"public"`` (the
+single-user / smoke-test mode).  With tenants configured, ``/v1/*``
+requests must present a configured key — ``Authorization: Bearer <key>``
+or ``X-API-Key: <key>`` — and are attributed (counted, job-isolated) to
+the owning tenant.
+
+Keys are matched with :func:`hmac.compare_digest`: constant-time
+comparison is cheap insurance even though these are capability tokens,
+not passwords.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..obs import runtime as _obs
+
+__all__ = ["TenantAuth", "PUBLIC_TENANT"]
+
+#: Tenant every request is attributed to when auth is disabled.
+PUBLIC_TENANT = "public"
+
+#: Per-tenant counter fields (also mirrored into the repro.obs registry
+#: as ``repro.net.tenant.<name>.<field>``).
+_FIELDS = ("requests", "queries", "errors")
+
+
+class TenantAuth:
+    """Authenticate requests against the configured tenant keys and keep
+    per-tenant request counters."""
+
+    def __init__(self, tenants: Tuple = ()) -> None:
+        self._keys: Dict[str, str] = {t.key: t.name for t in tenants}
+        self.enabled = bool(self._keys)
+        names = [t.name for t in tenants] if tenants else [PUBLIC_TENANT]
+        self._counters: Dict[str, Dict[str, int]] = {
+            name: {field: 0 for field in _FIELDS} for name in names
+        }
+        self._unauthorized = 0
+
+    @staticmethod
+    def _presented_key(headers: Mapping[str, str]) -> Optional[str]:
+        bearer = headers.get("authorization", "")
+        if bearer.lower().startswith("bearer "):
+            return bearer[7:].strip()
+        return headers.get("x-api-key")
+
+    def authenticate(self, headers: Mapping[str, str]) -> Optional[str]:
+        """The tenant name this request acts as, or ``None`` (reject).
+
+        Open mode (no tenants configured) admits everything as
+        ``"public"``; otherwise the presented key must match a configured
+        tenant's.
+        """
+        if not self.enabled:
+            return PUBLIC_TENANT
+        presented = self._presented_key(headers)
+        if presented:
+            for key, name in self._keys.items():
+                if hmac.compare_digest(presented, key):
+                    return name
+        self._unauthorized += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.net.unauthorized").inc()
+        return None
+
+    def count(self, tenant: str, field: str) -> None:
+        """Bump one per-tenant counter (and its obs mirror)."""
+        counters = self._counters.setdefault(
+            tenant, {f: 0 for f in _FIELDS}
+        )
+        counters[field] += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter(f"repro.net.tenant.{tenant}.{field}").inc()
+
+    def snapshot(self) -> dict:
+        """Per-tenant counters plus the global unauthorized count — the
+        ``tenants`` block of ``/metrics``."""
+        return {
+            "enabled": self.enabled,
+            "unauthorized": self._unauthorized,
+            "tenants": {
+                name: dict(fields)
+                for name, fields in sorted(self._counters.items())
+            },
+        }

@@ -1,0 +1,641 @@
+"""``repro.net`` server core — the async door onto a serving ``Session``.
+
+Architecture
+------------
+One :class:`NetServer` owns, for its lifespan:
+
+* a single-rank :class:`~repro.api.Session` and the
+  :class:`~repro.serving.QueryEngine` built over it — living on a
+  **dedicated single-thread executor**, so every engine operation
+  (submit, flush, stats) is serialised onto one thread and the engine
+  needs no locking of its own;
+* an asyncio HTTP/1.1 server (:mod:`repro.net.http`, stdlib only)
+  multiplexing client connections on the event loop;
+* a :class:`DeadlineScheduler` — a background thread that polls
+  :meth:`~repro.serving.QueryEngine.flush_due` *through the same
+  executor* and flushes once the oldest pending ticket has exhausted
+  its ``flush_deadline_ms`` latency budget.  The engine itself never
+  flushes spontaneously (flushing is collective in the SPMD contract);
+  the scheduler is the missing actor that turns size-watermark batching
+  into an SLO: a lone query is answered within its deadline instead of
+  waiting for ``max_batch - 1`` friends;
+* a :class:`~repro.net.jobs.JobTable` mapping job ids to tickets, with
+  asyncio events the long-poll handlers await — set on the loop thread
+  after each flush (``call_soon_threadsafe``), never from the engine
+  thread directly.
+
+Endpoints (JSON in / JSON out)::
+
+    POST /v1/query        {"basis", "kind", "payload", ["version"]}
+                          -> 202 {"job", "status": "pending"}  (queued)
+                             200 {"job", "status": "done", ...} (cache hit)
+    GET  /v1/jobs/{id}    ?wait=SECONDS long-polls until fulfilled
+    GET  /metrics         repro.obs registry + engine/tenant/job counters
+    GET  /healthz         repro.health rank states; 503 when degraded
+
+``/v1/*`` requests are authenticated per tenant
+(:class:`~repro.net.auth.TenantAuth`) when ``serving.tenants`` is
+configured; jobs are tenant-isolated (a tenant polling another tenant's
+job id gets 404, not 403 — existence is not leaked).  ``/metrics`` and
+``/healthz`` stay open: they are operator probes, not tenant surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api import RunConfig, Session
+from ..exceptions import (
+    BasisNotFoundError,
+    ConfigurationError,
+    ServingError,
+    ShapeError,
+)
+from ..obs import runtime as _obs
+from .auth import TenantAuth
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+)
+from .jobs import JobTable
+
+__all__ = ["DeadlineScheduler", "NetServer", "ServerHandle", "start_in_thread", "serve_forever"]
+
+#: Long-poll ``?wait=`` is capped here so a client typo cannot pin a
+#: handler for an hour.
+MAX_WAIT_S = 30.0
+
+
+class DeadlineScheduler:
+    """Background thread enforcing the flush-latency SLO.
+
+    Polls ``engine.flush_due()`` — and, when due, runs ``engine.flush()``
+    — **through the engine's dedicated executor**, so scheduler-driven
+    flushes serialise with request-driven submits instead of racing
+    them.  ``on_flush(n)`` fires (on the scheduler thread) after every
+    non-empty flush; :class:`NetServer` uses it to wake long-pollers via
+    ``call_soon_threadsafe``.
+
+    The poll interval defaults to a quarter of the engine's
+    ``flush_deadline_ms`` (clamped to [1 ms, 50 ms]): fine enough that a
+    deadline overshoots by at most ~25%, coarse enough that an idle
+    server burns no measurable CPU.
+    """
+
+    def __init__(
+        self,
+        engine,
+        executor: concurrent.futures.Executor,
+        *,
+        on_flush=None,
+        poll_interval_s: Optional[float] = None,
+    ) -> None:
+        if poll_interval_s is None:
+            deadline_ms = engine.flush_deadline_ms or 200.0
+            poll_interval_s = min(max(deadline_ms / 4000.0, 0.001), 0.05)
+        if not poll_interval_s > 0.0:
+            raise ServingError(
+                f"poll_interval_s must be positive, got {poll_interval_s}"
+            )
+        self.engine = engine
+        self.executor = executor
+        self.poll_interval_s = poll_interval_s
+        self.on_flush = on_flush
+        self.flushes = 0
+        self.queries_flushed = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _tick(self) -> int:
+        # Runs on the engine executor: flush_due + flush are one atomic
+        # step with respect to submits.
+        if self.engine.flush_due():
+            return self.engine.flush()
+        return 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            try:
+                flushed = self.executor.submit(self._tick).result()
+            except RuntimeError:
+                # Executor shut down under us — the server is stopping.
+                return
+            if flushed:
+                self.flushes += 1
+                self.queries_flushed += flushed
+                st = _obs.state()
+                if st is not None and st.registry is not None:
+                    st.registry.counter("repro.net.deadline_flushes").inc()
+                if self.on_flush is not None:
+                    self.on_flush(flushed)
+
+    def start(self) -> "DeadlineScheduler":
+        if self._thread is not None:
+            raise ServingError("DeadlineScheduler is already running")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-deadline", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def stats(self) -> dict:
+        return {
+            "poll_interval_s": self.poll_interval_s,
+            "flushes": self.flushes,
+            "queries_flushed": self.queries_flushed,
+        }
+
+
+class NetServer:
+    """The asyncio HTTP serving frontend over one engine-owning session.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serving.ModeBaseStore` (or ``None`` with a
+        ``session`` whose engine uses in-memory bases) queries resolve
+        against.
+    config:
+        A :class:`~repro.config.RunConfig`; its ``serving`` section
+        supplies host/port/deadline/batch/cache/tenant knobs, its other
+        sections configure the owned session (obs, health, ...).  The
+        backend must be single-rank — the frontend broadcasts nothing,
+        so a multi-rank engine would deadlock on its collectives.
+    session:
+        Adopt an existing (open, single-rank) session instead of owning
+        one.  The caller keeps responsibility for closing it.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        config: Optional[RunConfig] = None,
+        *,
+        session: Optional[Session] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        cfg = config if config is not None else RunConfig()
+        if not isinstance(cfg, RunConfig):
+            raise ConfigurationError(
+                f"config must be a RunConfig, got {type(cfg).__name__}"
+            )
+        if session is None and cfg.backend.size > 1:
+            raise ConfigurationError(
+                f"repro.net serves from a single-rank Session; backend "
+                f"{cfg.backend.name!r} has size {cfg.backend.size} — use "
+                f"size=1 (queries fan out as batched GEMMs, not ranks)"
+            )
+        self._config = cfg
+        self._scfg = cfg.serving
+        self._store = store
+        self._session = session
+        self._owns_session = session is None
+        self._max_body_bytes = max_body_bytes
+        self._engine = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._scheduler: Optional[DeadlineScheduler] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._auth = TenantAuth(self._scfg.tenants)
+        self._jobs = JobTable()
+        self._requests = 0
+        self._errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "NetServer":
+        """Bind the listener and bring up session, engine and scheduler."""
+        if self._server is not None:
+            raise ServingError("NetServer is already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-engine"
+        )
+
+        def build():
+            # Built on the engine thread so the session, its
+            # communicator and the engine live where they are used.
+            session = self._session
+            if session is None:
+                session = Session(self._config)
+            engine = session.query_engine(
+                self._store,
+                flush_threshold=self._scfg.max_batch,
+                flush_deadline_ms=self._scfg.flush_deadline_ms,
+                result_cache_entries=self._scfg.result_cache_entries,
+            )
+            return session, engine
+
+        try:
+            self._session, self._engine = await self._loop.run_in_executor(
+                self._executor, build
+            )
+            self._scheduler = DeadlineScheduler(
+                self._engine, self._executor, on_flush=self._flush_hook
+            ).start()
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self._scfg.host,
+                port=self._scfg.port,
+                limit=MAX_HEADER_BYTES,
+            )
+        except BaseException:
+            await self.stop()
+            raise
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.gauge("repro.net.serving").set(1.0)
+        return self
+
+    async def stop(self) -> None:
+        """Tear everything down in dependency order; idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.stop()
+        executor, self._executor = self._executor, None
+        session, engine = self._session, self._engine
+        self._engine = None
+        if executor is not None:
+            if self._owns_session and session is not None:
+                self._session = None
+                # Final flush answers still-queued tickets, then the
+                # session releases its communicator — both on the engine
+                # thread, like every other engine op.
+
+                def teardown():
+                    if engine is not None and engine.pending:
+                        with contextlib.suppress(Exception):
+                            engine.flush()
+                    session.close()
+
+                await self._loop.run_in_executor(executor, teardown)
+            executor.shutdown(wait=True)
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.gauge("repro.net.serving").set(0.0)
+
+    # -- addressing --------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``serving.port = 0`` to the actual
+        ephemeral port)."""
+        if self._server is None:
+            raise ServingError("NetServer is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._scfg.host
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- engine-thread plumbing --------------------------------------------
+    async def _on_engine(self, fn, *args):
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    def _flush_hook(self, _flushed: int) -> None:
+        # Scheduler thread -> loop thread: wake long-pollers.
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._jobs.signal_completed)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self._max_body_bytes
+                    )
+                except HttpError as exc:
+                    writer.write(
+                        json_response(
+                            exc.status,
+                            {"error": exc.message},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload = await self._dispatch(request)
+                writer.write(
+                    json_response(
+                        status, payload, keep_alive=request.keep_alive
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Request) -> Tuple[int, Any]:
+        """Route one request; exceptions become JSON error payloads."""
+        self._requests += 1
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.net.requests").inc()
+        tenant: Optional[str] = None
+        try:
+            if request.path == "/healthz":
+                self._require_method(request, "GET")
+                return await self._healthz()
+            if request.path == "/metrics":
+                self._require_method(request, "GET")
+                return await self._metrics()
+            if request.path == "/v1/query" or request.path.startswith(
+                "/v1/jobs/"
+            ):
+                tenant = self._auth.authenticate(request.headers)
+                if tenant is None:
+                    return 401, {
+                        "error": "missing or unknown API key (send "
+                        "'Authorization: Bearer <key>' or 'X-API-Key')"
+                    }
+                self._auth.count(tenant, "requests")
+                if request.path == "/v1/query":
+                    self._require_method(request, "POST")
+                    return await self._submit(tenant, request)
+                self._require_method(request, "GET")
+                return await self._job_status(
+                    tenant, request, request.path[len("/v1/jobs/") :]
+                )
+            return 404, {"error": f"no route {request.path!r}"}
+        except HttpError as exc:
+            self._count_error(tenant)
+            return exc.status, {"error": exc.message}
+        except BasisNotFoundError as exc:
+            self._count_error(tenant)
+            return 404, {"error": str(exc)}
+        except (ShapeError, ServingError, ConfigurationError) as exc:
+            self._count_error(tenant)
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            self._count_error(tenant)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} only accepts {method}"
+            )
+
+    def _count_error(self, tenant: Optional[str]) -> None:
+        self._errors += 1
+        if tenant is not None:
+            self._auth.count(tenant, "errors")
+        st = _obs.state()
+        if st is not None and st.registry is not None:
+            st.registry.counter("repro.net.errors").inc()
+
+    # -- endpoints ---------------------------------------------------------
+    async def _submit(self, tenant: str, request: Request) -> Tuple[int, Any]:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        basis = body.get("basis")
+        if not isinstance(basis, str) or not basis:
+            raise HttpError(400, "'basis' must be a non-empty string")
+        kind = body.get("kind", "project")
+        if not isinstance(kind, str):
+            raise HttpError(400, "'kind' must be a string")
+        version = body.get("version")
+        if version is not None and not isinstance(version, int):
+            raise HttpError(400, f"'version' must be an integer, got {version!r}")
+        raw = body.get("payload")
+        if raw is None:
+            raise HttpError(400, "'payload' (nested lists of numbers) is required")
+        try:
+            payload = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"'payload' is not numeric: {exc}")
+        ticket = await self._on_engine(
+            self._engine.submit, kind, basis, payload, version
+        )
+        job = self._jobs.create(tenant, ticket)
+        self._auth.count(tenant, "queries")
+        # The submit may have answered already (result-cache hit) or
+        # tripped the size watermark and flushed the whole queue.
+        self._jobs.signal_completed()
+        if ticket.done:
+            return 200, self._job_payload(job)
+        return 202, self._job_payload(job)
+
+    async def _job_status(
+        self, tenant: str, request: Request, job_id: str
+    ) -> Tuple[int, Any]:
+        if not job_id or "/" in job_id:
+            raise HttpError(404, f"no route {request.path!r}")
+        job = self._jobs.get(job_id)
+        if job is None or job.tenant != tenant:
+            # Tenant isolation: another tenant's job id answers exactly
+            # like a nonexistent one.
+            return 404, {"error": f"no job {job_id!r}"}
+        wait = request.query_float("wait")
+        if wait and not job.ticket.done:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    job.event.wait(), min(wait, MAX_WAIT_S)
+                )
+        return 200, self._job_payload(job)
+
+    def _job_payload(self, job) -> dict:
+        ticket = job.ticket
+        payload = {
+            "job": job.id,
+            "status": "done" if ticket.done else "pending",
+            "kind": ticket.kind,
+            "basis": ticket.basis,
+            "version": ticket.version,
+        }
+        if ticket.done:
+            value = ticket.result()
+            payload["result"] = (
+                value.tolist() if isinstance(value, np.ndarray) else value
+            )
+            payload["degraded"] = ticket.degraded
+            payload["cached"] = ticket.cached
+        return payload
+
+    async def _metrics(self) -> Tuple[int, Any]:
+        engine_stats = await self._on_engine(self._engine.stats)
+        scheduler = self._scheduler
+        return 200, {
+            "registry": _obs.current_registry().snapshot(),
+            "engine": engine_stats,
+            "scheduler": scheduler.stats() if scheduler is not None else {},
+            "tenants": self._auth.snapshot(),
+            "jobs": self._jobs.stats(),
+            "server": {"requests": self._requests, "errors": self._errors},
+        }
+
+    async def _healthz(self) -> Tuple[int, Any]:
+        def probe() -> Tuple[list, Dict[str, str], bool]:
+            from ..health.daemon import communicator_world
+
+            world, _ = communicator_world(self._session.comm)
+            failed: list = []
+            states: Dict[str, str] = {}
+            if world is not None:
+                failed = sorted(world.failed_ranks())
+                monitor = getattr(world, "health", None)
+                if monitor is not None:
+                    states = {
+                        str(rank): state
+                        for rank, state in monitor.observe().items()
+                    }
+            return failed, states, bool(self._engine.shard_group_down)
+
+        failed, states, shard_down = await self._on_engine(probe)
+        unhealthy = bool(failed) or shard_down or any(
+            state in ("suspect", "dead") for state in states.values()
+        )
+        payload = {
+            "status": "degraded" if unhealthy else "ok",
+            "ranks": states,
+            "failed_ranks": failed,
+            "shard_group_down": shard_down,
+            "pending": self._jobs.stats()["pending"],
+        }
+        return (503 if unhealthy else 200), payload
+
+
+class ServerHandle:
+    """A running :class:`NetServer` on a background thread — what tests,
+    benchmarks and examples drive.  Context-manageable; :meth:`stop` is
+    idempotent."""
+
+    def __init__(self, thread, loop, server, stop_event, failure) -> None:
+        self._thread = thread
+        self._loop = loop
+        self.server = server
+        self._stop_event = stop_event
+        self._failure = failure
+        self.url = server.url
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        thread, self._thread = self._thread, None
+        if not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        thread.join(timeout=timeout)
+        if thread.is_alive():  # pragma: no cover - diagnostics only
+            raise ServingError("repro.net server thread did not stop")
+        if self._failure:
+            raise self._failure[0]
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    store: Any,
+    config: Optional[RunConfig] = None,
+    *,
+    session: Optional[Session] = None,
+    startup_timeout_s: float = 60.0,
+) -> ServerHandle:
+    """Start a :class:`NetServer` on a daemon thread and return its
+    handle once the listener is bound (so ``handle.url`` is usable
+    immediately; combine with ``serving.port = 0`` for tests)."""
+    ready = threading.Event()
+    state: Dict[str, Any] = {}
+    failure: list = []
+
+    def runner() -> None:
+        async def main() -> None:
+            server = NetServer(store, config, session=session)
+            await server.start()
+            stop_event = asyncio.Event()
+            state.update(
+                loop=asyncio.get_running_loop(),
+                server=server,
+                stop_event=stop_event,
+            )
+            ready.set()
+            try:
+                await stop_event.wait()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failure.append(exc)
+        finally:
+            ready.set()
+
+    thread = threading.Thread(
+        target=runner, name="repro-net-server", daemon=True
+    )
+    thread.start()
+    if not ready.wait(startup_timeout_s):
+        raise ServingError(
+            f"repro.net server did not start within {startup_timeout_s:g}s"
+        )
+    if failure:
+        thread.join(timeout=5.0)
+        raise failure[0]
+    return ServerHandle(
+        thread, state["loop"], state["server"], state["stop_event"], failure
+    )
+
+
+def serve_forever(
+    store: Any,
+    config: Optional[RunConfig] = None,
+    *,
+    announce=print,
+) -> None:
+    """Blocking serve loop — what ``repro serve`` runs.  Announces the
+    bound address once listening; returns cleanly on Ctrl-C."""
+
+    async def main() -> None:
+        server = NetServer(store, config)
+        await server.start()
+        announce(f"repro.net serving on {server.url}")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        announce("repro.net shutting down")

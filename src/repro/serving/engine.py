@@ -27,8 +27,10 @@ request log to all serving ranks); results are replicated on every rank.
 from __future__ import annotations
 
 import collections
+import hashlib
+import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -58,43 +60,105 @@ class QueryTicket:
     ``degraded`` is ``True`` when the answer came from a local replica
     after the primary shard group stopped answering (see
     :meth:`QueryEngine.flush` failover) — the value is still exact, but
-    it was served without the shard group's parallelism.
+    it was served without the shard group's parallelism.  ``cached`` is
+    ``True`` when the answer was served from the engine's keyed result
+    cache without touching the shard group at all.
     """
 
-    __slots__ = ("kind", "basis", "version", "degraded", "_value", "_done")
+    __slots__ = (
+        "kind",
+        "basis",
+        "version",
+        "degraded",
+        "cached",
+        "_value",
+        "_done",
+        "_fulfilled",
+    )
 
     def __init__(self, kind: str, basis: str, version: int) -> None:
         self.kind = kind
         self.basis = basis
         self.version = version
         self.degraded = False
+        self.cached = False
         self._value = None
         self._done = False
+        # Cross-thread completion signal: the serving frontend redeems
+        # tickets (result(timeout=...)) from HTTP handler threads while a
+        # dedicated engine thread flushes.
+        self._fulfilled = threading.Event()
 
     @property
     def done(self) -> bool:
         """Whether the answer has been computed."""
         return self._done
 
-    def result(self):
-        """The query answer; raises :class:`ServingError` before flush."""
-        if not self._done:
+    def result(self, timeout: Optional[float] = None):
+        """The query answer.
+
+        Without ``timeout`` (the default) the call is instant: a pending
+        ticket raises :class:`ServingError` immediately — the original
+        submit/flush/redeem contract.  With ``timeout=`` (seconds) the
+        call *blocks* until another thread's flush fulfils the ticket,
+        raising a descriptive :class:`ServingError` on expiry — what the
+        long-poll job endpoint of :mod:`repro.net` builds on.
+        """
+        if self._done:
+            return self._value
+        if timeout is None:
             raise ServingError(
                 f"{self.kind} query on {self.basis!r} is still pending — "
                 f"call QueryEngine.flush() first"
             )
+        if not self._fulfilled.wait(timeout):
+            raise ServingError(
+                f"{self.kind} query on {self.basis!r} v{self.version} was "
+                f"not fulfilled within {timeout:g}s — no flush answered it "
+                f"in time (is a deadline scheduler running, or is the "
+                f"flush_deadline_ms budget larger than the timeout?)"
+            )
         return self._value
 
-    def _fulfil(self, value, degraded: bool = False) -> None:
+    def _fulfil(self, value, degraded: bool = False, cached: bool = False) -> None:
         self._value = value
         self.degraded = degraded
+        self.cached = cached
         self._done = True
+        self._fulfilled.set()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "done" if self._done else "pending"
         if self._done and self.degraded:
             state = "done, degraded"
         return f"QueryTicket({self.kind}, {self.basis!r}, {state})"
+
+
+class _Pending(NamedTuple):
+    """One queued query: its ticket, payload, and bookkeeping for the
+    deadline scheduler (submit time) and result cache (key, or ``None``
+    when the query is uncacheable)."""
+
+    ticket: QueryTicket
+    payload: np.ndarray
+    local: bool
+    t_submit: float
+    cache_key: Optional[Tuple[str, int, str, str]]
+
+
+def payload_digest(payload: np.ndarray) -> str:
+    """Content digest of a query payload (dtype + shape + raw bytes).
+
+    The result-cache key component: two submissions with bit-identical
+    payloads collide (a *hit*), any differing byte, shape or dtype does
+    not.  SHA-1 is used as a content hash, not for security.
+    """
+    arr = np.ascontiguousarray(payload)
+    hasher = hashlib.sha1()
+    hasher.update(str(arr.dtype).encode())
+    hasher.update(repr(arr.shape).encode())
+    hasher.update(arr.tobytes())
+    return hasher.hexdigest()
 
 
 class QueryEngine:
@@ -115,6 +179,26 @@ class QueryEngine:
     flush_threshold:
         Auto-flush once this many queries are pending — bounds the batch
         latency without the caller managing flushes.
+    flush_deadline_ms:
+        Latency budget (milliseconds) of a pending query.  The engine
+        never flushes spontaneously (flushing is collective) — instead
+        :meth:`flush_due` turns ``True`` once the oldest pending ticket
+        is older than this budget, and a scheduler (e.g. the
+        :class:`repro.net.DeadlineScheduler` behind ``repro serve``)
+        polls it and drives the flush.  ``None`` (the default) disables
+        deadline accounting: only the size watermark flushes.
+    result_cache_entries:
+        Capacity of the keyed result cache: ``(basis name, version,
+        kind, payload digest) -> result``.  A repeated projection /
+        reconstruction / error query with a bit-identical payload is
+        answered instantly at submit time, without queueing — no GEMM,
+        no collective.  Version bumps miss naturally (versions resolve
+        at submit).  ``local=True`` queries are never cached (their
+        payloads are rank-dependent, so caching would desynchronise the
+        SPMD flush schedule), and degraded (failover) results are never
+        *stored* (the replica answer is exact, but a shard-group
+        recovery would serve stale provenance).  ``0`` (default)
+        disables the cache.
     replicate:
         Keep a full-copy *replica* of every registered/loaded basis on
         this rank (a :class:`ShardedBasis` over a single-rank
@@ -137,6 +221,8 @@ class QueryEngine:
         *,
         max_cached_bases: int = 8,
         flush_threshold: int = 64,
+        flush_deadline_ms: Optional[float] = None,
+        result_cache_entries: int = 0,
         replicate: bool = False,
     ) -> None:
         if max_cached_bases < 1:
@@ -147,10 +233,21 @@ class QueryEngine:
             raise ServingError(
                 f"flush_threshold must be >= 1, got {flush_threshold}"
             )
+        if flush_deadline_ms is not None and not flush_deadline_ms > 0.0:
+            raise ServingError(
+                f"flush_deadline_ms must be positive or None, got "
+                f"{flush_deadline_ms}"
+            )
+        if result_cache_entries < 0:
+            raise ServingError(
+                f"result_cache_entries must be >= 0, got {result_cache_entries}"
+            )
         self.comm = comm
         self.store = store
         self.max_cached_bases = max_cached_bases
         self.flush_threshold = flush_threshold
+        self.flush_deadline_ms = flush_deadline_ms
+        self.result_cache_entries = result_cache_entries
         self.replicate = replicate
         self._cache: "collections.OrderedDict[Tuple[str, int], ShardedBasis]" = (
             collections.OrderedDict()
@@ -164,7 +261,16 @@ class QueryEngine:
         # so every later flush goes straight to replicas (no point paying
         # another deadlock timeout per flush).
         self._shard_group_down = False
-        self._pending: List[Tuple[QueryTicket, np.ndarray, bool]] = []
+        self._pending: List[_Pending] = []
+        # Keyed result cache: (name, version, kind, digest) -> immutable
+        # answer.  Hits fulfil at submit; stores happen at flush (never
+        # for degraded answers).
+        self._result_cache: "collections.OrderedDict[Tuple[str, int, str, str], object]" = (
+            collections.OrderedDict()
+        )
+        # Age (seconds) of the oldest ticket of the last flush batch, at
+        # flush time — the observable the deadline-SLO tests/metrics read.
+        self._last_flush_oldest_age_s = 0.0
         # Reusable column-stacking buffer for flush batches: the stacked
         # payload only feeds the distributed GEMM (which snapshots/copies),
         # so steady-state flushes of a stable batch shape allocate nothing.
@@ -179,6 +285,10 @@ class QueryEngine:
             "evictions": 0,
             "failovers": 0,
             "health_reroutes": 0,
+            "result_cache_hits": 0,
+            "result_cache_misses": 0,
+            "result_cache_evictions": 0,
+            "deadline_flushes": 0,
         }
 
     # -- basis resolution --------------------------------------------------
@@ -367,11 +477,35 @@ class QueryEngine:
                 f"{payload.shape[0]}"
             )
         ticket = QueryTicket(kind, name, version)
-        self._pending.append((ticket, payload, local))
         self._stats["queries"] += 1
         st = _obs.state()
         if st is not None and st.registry is not None:
             st.registry.counter("repro.serving.queries").inc()
+        cache_key = None
+        if self.result_cache_entries > 0 and not local:
+            cache_key = (name, version, kind, payload_digest(payload))
+            hit = self._result_cache.get(cache_key)
+            if hit is not None:
+                # Answered without queueing: no GEMM, no collective.  The
+                # hit value is immutable (stored read-only); the ticket
+                # gets its own writable copy, like any flush answer.
+                self._result_cache.move_to_end(cache_key)
+                self._stats["result_cache_hits"] += 1
+                if st is not None and st.registry is not None:
+                    st.registry.counter(
+                        "repro.serving.result_cache_hits"
+                    ).inc()
+                value = hit
+                if isinstance(value, np.ndarray):
+                    value = np.array(value)
+                ticket._fulfil(value, cached=True)
+                return ticket
+            self._stats["result_cache_misses"] += 1
+            if st is not None and st.registry is not None:
+                st.registry.counter("repro.serving.result_cache_misses").inc()
+        self._pending.append(
+            _Pending(ticket, payload, local, time.monotonic(), cache_key)
+        )
         if len(self._pending) >= self.flush_threshold:
             self.flush()
         return ticket
@@ -429,6 +563,14 @@ class QueryEngine:
         pending, self._pending = self._pending, []
         if not pending:
             return 0
+        now = time.monotonic()
+        oldest_age = max(now - entry.t_submit for entry in pending)
+        self._last_flush_oldest_age_s = oldest_age
+        if (
+            self.flush_deadline_ms is not None
+            and oldest_age * 1000.0 >= self.flush_deadline_ms
+        ):
+            self._stats["deadline_flushes"] += 1
         self._stats["flushes"] += 1
         st = _obs.state()
         t0 = time.perf_counter() if st is not None else 0.0
@@ -437,7 +579,7 @@ class QueryEngine:
                 Tuple[str, int, str, bool],
                 List[Tuple[QueryTicket, np.ndarray]],
             ] = collections.OrderedDict()
-            for ticket, payload, local in pending:
+            for ticket, payload, local, _, _ in pending:
                 key = (ticket.basis, ticket.version, ticket.kind, local)
                 groups.setdefault(key, []).append((ticket, payload))
             if not self._shard_group_down and self._shard_group_unhealthy():
@@ -472,9 +614,13 @@ class QueryEngine:
                     self._flush_degraded(
                         name, version, kind, items, local, cause=exc
                     )
+            self._store_results(pending)
         if st is not None and st.registry is not None:
             st.registry.histogram("repro.serving.flush_batch").observe(
                 float(len(pending))
+            )
+            st.registry.gauge("repro.serving.last_flush_oldest_age_s").set(
+                oldest_age
             )
             st.registry.histogram("repro.serving.flush_seconds").observe(
                 time.perf_counter() - t0
@@ -613,11 +759,74 @@ class QueryEngine:
                 float(np.sqrt(residual) / np.sqrt(float(tot))), degraded
             )
 
+    # -- result cache ------------------------------------------------------
+    def _store_results(self, pending: List[_Pending]) -> None:
+        """Populate the result cache from a flushed batch.
+
+        Degraded (failover) answers are never stored — the primary shard
+        group may recover, and a stale replica-era entry would then keep
+        masking it.  Stored arrays are frozen (``writeable=False``) so a
+        ticket owner mutating *their* copy can never corrupt the cache.
+        """
+        if self.result_cache_entries < 1:
+            return
+        for entry in pending:
+            if entry.cache_key is None:
+                continue
+            ticket = entry.ticket
+            if not ticket.done or ticket.degraded:
+                continue
+            value = ticket._value
+            if isinstance(value, np.ndarray):
+                value = np.array(value)
+                value.setflags(write=False)
+            self._result_cache[entry.cache_key] = value
+            self._result_cache.move_to_end(entry.cache_key)
+        while len(self._result_cache) > self.result_cache_entries:
+            self._result_cache.popitem(last=False)
+            self._stats["result_cache_evictions"] += 1
+
+    @property
+    def cached_results(self) -> List[Tuple[str, int, str, str]]:
+        """Result-cache keys ``(name, version, kind, digest)``, least
+        recently used first."""
+        return list(self._result_cache)
+
+    # -- deadline accounting ----------------------------------------------
+    def oldest_pending_age_s(self, now: Optional[float] = None) -> float:
+        """Age (seconds) of the oldest pending ticket; ``0.0`` when the
+        queue is empty.  The queue-pressure signal the deadline scheduler
+        and ``/metrics`` poll."""
+        if not self._pending:
+            return 0.0
+        if now is None:
+            now = time.monotonic()
+        return max(now - self._pending[0].t_submit, 0.0)
+
+    def flush_due(self, now: Optional[float] = None) -> bool:
+        """Whether the oldest pending ticket has exhausted its
+        ``flush_deadline_ms`` latency budget (always ``False`` without a
+        budget, or with an empty queue)."""
+        if self.flush_deadline_ms is None or not self._pending:
+            return False
+        return (
+            self.oldest_pending_age_s(now) * 1000.0 >= self.flush_deadline_ms
+        )
+
     # -- instrumentation ---------------------------------------------------
     @property
     def pending(self) -> int:
         """Queries queued but not yet flushed."""
         return len(self._pending)
+
+    def pending_by_group(self) -> Dict[Tuple[str, str], int]:
+        """Pending-queue depth per ``(basis, kind)`` group — how many
+        GEMM groups the next flush will pay, and how deep each is."""
+        depths: Dict[Tuple[str, str], int] = {}
+        for entry in self._pending:
+            key = (entry.ticket.basis, entry.ticket.kind)
+            depths[key] = depths.get(key, 0) + 1
+        return depths
 
     @property
     def shard_group_down(self) -> bool:
@@ -625,9 +834,26 @@ class QueryEngine:
         (all flushes now serve degraded, from replicas)."""
         return self._shard_group_down
 
-    @property
     def stats(self) -> dict:
-        """Counters: queries, flushes, gemms, collectives, cache hits/
-        misses, evictions, failovers, health_reroutes (a copy; mutating
-        it does not affect the engine)."""
-        return dict(self._stats)
+        """Counters plus live queue pressure (a fresh dict; mutating it
+        does not affect the engine).
+
+        Counter keys: queries, flushes, gemms, collectives, cache_hits/
+        cache_misses/evictions (the *basis* LRU), result_cache_hits/
+        result_cache_misses/result_cache_evictions (the keyed *result*
+        cache), deadline_flushes, failovers, health_reroutes.  Queue
+        keys: ``pending`` (total), ``pending_by_group`` (per
+        ``(basis, kind)``, keyed ``"<basis>:<kind>"`` so the dict is
+        JSON-serialisable), ``oldest_pending_age_s`` and
+        ``last_flush_oldest_age_s`` — what the deadline scheduler and
+        the ``/metrics`` endpoint read.
+        """
+        snapshot = dict(self._stats)
+        snapshot["pending"] = len(self._pending)
+        snapshot["pending_by_group"] = {
+            f"{basis}:{kind}": depth
+            for (basis, kind), depth in sorted(self.pending_by_group().items())
+        }
+        snapshot["oldest_pending_age_s"] = self.oldest_pending_age_s()
+        snapshot["last_flush_oldest_age_s"] = self._last_flush_oldest_age_s
+        return snapshot

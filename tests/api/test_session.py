@@ -53,10 +53,12 @@ class TestApiSurface:
             "ObservabilityConfig",
             "RestartPolicy",
             "RunConfig",
+            "ServingConfig",
             "Session",
             "SessionResult",
             "SolverConfig",
             "StreamConfig",
+            "TenantSpec",
             "checkpoint_run_config",
             "load_run_config",
         ]

@@ -244,10 +244,22 @@ class TestConfigFileOption:
         path.write_text(cfg.to_json(indent=2))
         return path
 
-    def test_all_experiment_subcommands_accept_config(self):
-        for command in ("burgers", "era5", "serve-query"):
+    def test_all_run_subcommands_accept_config(self):
+        # Every subcommand that builds a RunConfig takes --config;
+        # `scaling` (analytic perf model, no RunConfig) is the exception.
+        for command in ("burgers", "era5", "serve-query", "profile", "chaos"):
             args = build_parser().parse_args([command, "--config", "run.json"])
             assert args.config == "run.json"
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--config", "run.json"]
+        )
+        assert args.config == "run.json"
+
+    def test_override_map_covers_registered_subparsers(self):
+        from repro.cli import _CONFIG_OVERRIDES
+
+        parser = build_parser()
+        assert set(_CONFIG_OVERRIDES) == set(parser._repro_subparsers)
 
     def test_explicit_dests_detection(self):
         from repro.cli import _explicit_dests
@@ -338,3 +350,95 @@ class TestConfigFileOption:
         assert "PASS" in out
         # The file's K=4 drove the published basis, not the --modes default.
         assert "4 modes" in out
+
+
+class TestServeSubcommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "basedir"])
+        assert args.store == "basedir"
+        assert (args.host, args.port) == ("127.0.0.1", 8080)
+        assert args.deadline_ms == 25.0
+        assert args.max_batch == 64
+        assert args.cache_entries == 256
+        assert args.tenant is None
+        assert not args.seed_demo
+
+    def test_store_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_tenant_flag_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--tenant", "a:k1", "--tenant", "b:k2"]
+        )
+        assert args.tenant == ["a:k1", "b:k2"]
+
+    def test_tenant_parse(self):
+        from repro.cli import _parse_tenants
+        from repro.config import TenantSpec
+        from repro.exceptions import ConfigurationError
+
+        assert _parse_tenants(["acme:k:with:colons"]) == (
+            TenantSpec(name="acme", key="k:with:colons"),
+        )
+        for bad in ("nameonly", ":key", "name:"):
+            with pytest.raises(ConfigurationError, match="NAME:KEY"):
+                _parse_tenants([bad])
+
+    def test_malformed_tenant_is_a_user_error(self, capsys, tmp_path):
+        code = main(
+            ["serve", "--store", str(tmp_path), "--tenant", "nocolon"]
+        )
+        assert code == 2
+        assert "NAME:KEY" in capsys.readouterr().err
+
+    def test_config_file_merge_covers_serving_section(self, tmp_path):
+        from repro.cli import _config_from_file
+        from repro.config import RunConfig, ServingConfig
+
+        cfg = RunConfig(
+            serving=ServingConfig(
+                port=9999,
+                flush_deadline_ms=7.0,
+                max_batch=5,
+                tenants=({"name": "acme", "key": "k"},),
+            )
+        )
+        path = tmp_path / "serve.json"
+        path.write_text(cfg.to_json(indent=2))
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--store", "s", "--config", str(path), "--port", "0"]
+        )
+        args._explicit = {"port"}
+        merged = _config_from_file(args, "serve")
+        # Explicit flag wins; untouched knobs keep the file's values.
+        assert merged.serving.port == 0
+        assert merged.serving.flush_deadline_ms == 7.0
+        assert merged.serving.max_batch == 5
+        assert merged.serving.tenants[0].name == "acme"
+
+
+class TestProfileConfigOption:
+    def test_profile_runs_from_config_file(self, capsys, tmp_path):
+        from repro.config import RunConfig, SolverConfig, StreamConfig
+        from repro.api import BackendConfig
+
+        cfg = RunConfig(
+            solver=SolverConfig(K=4, ff=1.0),
+            backend=BackendConfig(name="threads", size=2),
+            stream=StreamConfig(batch=16),
+        )
+        path = tmp_path / "run.json"
+        path.write_text(cfg.to_json(indent=2))
+        code = main(
+            [
+                "profile", "--config", str(path),
+                "--steps", "3", "--ndof", "128",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The file's K/ranks/batch drove the run, not the flag defaults.
+        assert "K=4, 2 ranks" in out
+        assert "128x48 synthetic stream" in out

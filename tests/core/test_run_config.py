@@ -271,3 +271,95 @@ class TestRunConfig:
         cfg = RunConfig().replace(backend=BackendConfig(size=3))
         assert cfg.backend.size == 3
         assert cfg.solver == SolverConfig()
+
+
+class TestServingConfig:
+    def test_defaults(self):
+        from repro.config import ServingConfig
+
+        cfg = ServingConfig()
+        assert (cfg.host, cfg.port) == ("127.0.0.1", 8080)
+        assert cfg.flush_deadline_ms == 25.0
+        assert cfg.max_batch == 64
+        assert cfg.result_cache_entries == 256
+        assert cfg.tenants == ()
+        assert not cfg.auth_enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"host": ""},
+            {"port": -1},
+            {"port": 70000},
+            {"flush_deadline_ms": 0.0},
+            {"flush_deadline_ms": -5.0},
+            {"max_batch": 0},
+            {"result_cache_entries": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        from repro.config import ServingConfig
+
+        with pytest.raises(ConfigurationError):
+            ServingConfig(**kwargs)
+
+    def test_tenants_coerce_from_dicts(self):
+        from repro.config import ServingConfig, TenantSpec
+
+        cfg = ServingConfig(
+            tenants=[{"name": "acme", "key": "k1"}, {"name": "zeus", "key": "k2"}]
+        )
+        assert cfg.tenants == (
+            TenantSpec(name="acme", key="k1"),
+            TenantSpec(name="zeus", key="k2"),
+        )
+        assert cfg.auth_enabled
+
+    @pytest.mark.parametrize(
+        "tenants, match",
+        [
+            (({"name": "a", "key": "k"}, {"name": "a", "key": "j"}), "name"),
+            (({"name": "a", "key": "k"}, {"name": "b", "key": "k"}), "key"),
+        ],
+    )
+    def test_duplicate_tenants_rejected(self, tenants, match):
+        from repro.config import ServingConfig
+
+        with pytest.raises(ConfigurationError, match=match):
+            ServingConfig(tenants=tenants)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"name": ""}, {"name": "bad name", "key": "k"}, {"name": "a"}]
+    )
+    def test_tenant_spec_validation(self, kwargs):
+        from repro.config import TenantSpec
+
+        with pytest.raises(ConfigurationError):
+            TenantSpec(**kwargs)
+
+    def test_serving_section_round_trips(self):
+        from repro.config import ServingConfig
+
+        cfg = RunConfig(
+            serving=ServingConfig(
+                port=0,
+                flush_deadline_ms=12.5,
+                max_batch=8,
+                result_cache_entries=4,
+                tenants=({"name": "acme", "key": "k1"},),
+            )
+        )
+        payload = cfg.to_dict()
+        assert payload["serving"]["tenants"] == [{"name": "acme", "key": "k1"}]
+        assert RunConfig.from_dict(payload) == cfg
+        assert RunConfig.from_json(cfg.to_json(indent=2)) == cfg
+
+    def test_serving_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="serving"):
+            RunConfig.from_dict({"serving": {"portt": 1}})
+
+    def test_serving_invalid_tenant_named_in_error(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig.from_dict(
+                {"serving": {"tenants": [{"name": "", "key": "k"}]}}
+            )

@@ -25,6 +25,7 @@ EXPECTED = {
     "checkpoint_restart.py": "bit-faithful",
     "spectral_analysis.py": "alignment with planted wave pair",
     "serving_queries.py": "queries served from sharded basis",
+    "http_serving.py": "HTTP answers match in-process engine",
     "pipelined_streaming.py": "pipelined result matches blocking",
 }
 

@@ -91,7 +91,7 @@ def test_engine_matches_serial_reference(backend, shards, store, queries):
             [t.result() for t in proj],
             [t.result() for t in recon],
             [t.result() for t in errs],
-            engine.stats,
+            engine.stats(),
         )
 
     results = run_backend(backend, shards, serve)

@@ -1,0 +1,323 @@
+"""End-to-end tests of the ``repro.net`` serving frontend.
+
+A live :class:`NetServer` (ephemeral port, background thread) is driven
+through :class:`ServingClient` over real sockets: submitted
+project/reconstruct/error queries must match the in-process
+``QueryEngine`` answers to 1e-10, a lone query must be flushed within
+its ``flush_deadline_ms`` budget (asserted through the
+oldest-pending-age stat), and auth/tenancy/metrics/health behave per
+the endpoint contract.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import BackendConfig, RunConfig, Session, SolverConfig, StreamConfig
+from repro.config import ServingConfig, TenantSpec
+from repro.net import ServingClient, ServingHTTPError, start_in_thread
+from repro.serving import ModeBaseStore
+
+NDOF, NT, K = 96, 48, 5
+
+RUN_CFG = RunConfig(
+    solver=SolverConfig(K=K, ff=1.0),
+    backend=BackendConfig(name="self"),
+    stream=StreamConfig(batch=12),
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A store with a published basis, plus the data it was built from."""
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal((NDOF, NT))
+    store = ModeBaseStore(tmp_path_factory.mktemp("netstore"))
+    with Session(RUN_CFG) as session:
+        version = session.fit_stream(data).export_to_store(store, "wave")
+    return store, data, version
+
+
+def serving(**kwargs) -> RunConfig:
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("flush_deadline_ms", 60.0)
+    kwargs.setdefault("result_cache_entries", 16)
+    return RUN_CFG.replace(serving=ServingConfig(**kwargs))
+
+
+@pytest.fixture
+def server(corpus):
+    store, _, _ = corpus
+    handle = start_in_thread(store, serving())
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServingClient.from_url(server.url) as client:
+        yield client
+
+
+class TestEndToEnd:
+    def test_http_answers_match_in_process_engine(self, corpus, client):
+        store, data, _ = corpus
+        rng = np.random.default_rng(11)
+        snapshots = [data[:, rng.integers(0, NT, size=3)] for _ in range(4)]
+        coeff_payloads = [rng.standard_normal((K, 2)) for _ in range(2)]
+
+        jobs = []
+        for snap in snapshots:
+            jobs.append(("project", client.submit("wave", snap, kind="project")))
+            jobs.append(
+                (
+                    "reconstruction_error",
+                    client.submit("wave", snap, kind="reconstruction_error"),
+                )
+            )
+        for coeffs in coeff_payloads:
+            jobs.append(
+                ("reconstruct", client.submit("wave", coeffs, kind="reconstruct"))
+            )
+        answers = [client.result(job, wait=10.0) for _, job in jobs]
+
+        with Session(RUN_CFG) as session:
+            engine = session.query_engine(store)
+            expected = []
+            for snap in snapshots:
+                expected.append(engine.project("wave", snap))
+                expected.append(engine.reconstruction_error("wave", snap))
+            for coeffs in coeff_payloads:
+                expected.append(engine.reconstruct("wave", coeffs))
+        # Interleave back into submit order: project+error alternate.
+        ordered = []
+        for i in range(len(snapshots)):
+            ordered.append(expected[2 * i])
+            ordered.append(expected[2 * i + 1])
+        ordered.extend(expected[2 * len(snapshots) :])
+
+        for got, want in zip(answers, ordered):
+            assert np.max(np.abs(np.asarray(got) - np.asarray(want))) < 1e-10
+
+    def test_solo_ticket_flushed_within_deadline_budget(self, corpus):
+        store, data, _ = corpus
+        deadline_ms = 100.0
+        handle = start_in_thread(
+            store, serving(flush_deadline_ms=deadline_ms, max_batch=64)
+        )
+        try:
+            with ServingClient.from_url(handle.url) as client:
+                t0 = time.monotonic()
+                job = client.submit("wave", data[:, :2], kind="project")
+                assert job["status"] == "pending"  # below the watermark
+                client.result(job, wait=10.0)
+                latency_s = time.monotonic() - t0
+                stats = client.metrics()["engine"]
+        finally:
+            handle.stop()
+        # The deadline scheduler — not the size watermark — answered it:
+        assert stats["deadline_flushes"] >= 1
+        assert stats["flushes"] == 1
+        # and the oldest-pending-age stat shows the ticket waited its
+        # budget, within scheduler-poll slack (not a watermark's instant
+        # flush, not an unbounded wait).
+        age_ms = stats["last_flush_oldest_age_s"] * 1000.0
+        assert deadline_ms * 0.9 <= age_ms <= deadline_ms * 5.0
+        assert latency_s < 5.0
+
+    def test_watermark_still_flushes_full_batches(self, corpus):
+        store, data, _ = corpus
+        handle = start_in_thread(
+            store, serving(flush_deadline_ms=10_000.0, max_batch=3)
+        )
+        try:
+            with ServingClient.from_url(handle.url) as client:
+                jobs = [
+                    client.submit("wave", data[:, i : i + 1]) for i in range(3)
+                ]
+                # Deadline is 10s away: only the watermark can have
+                # answered this quickly.
+                t0 = time.monotonic()
+                for job in jobs:
+                    client.result(job, wait=5.0)
+                assert time.monotonic() - t0 < 5.0
+                stats = client.metrics()["engine"]
+        finally:
+            handle.stop()
+        assert stats["flushes"] == 1
+        assert stats["deadline_flushes"] == 0
+
+
+class TestJobsEndpoint:
+    def test_long_poll_blocks_until_flush(self, corpus, client):
+        store, data, _ = corpus
+        job = client.submit("wave", data[:, :1])
+        payload = client.job(job["job"], wait=10.0)
+        assert payload["status"] == "done"
+        assert payload["kind"] == "project"
+        assert payload["basis"] == "wave"
+        assert payload["degraded"] is False
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServingHTTPError) as err:
+            client.job("j999999-000000")
+        assert err.value.status == 404
+
+    def test_result_cache_hit_answers_at_submit(self, corpus, client):
+        _, data, _ = corpus
+        payload = data[:, 5:8]
+        first = client.result(client.submit("wave", payload), wait=10.0)
+        again = client.submit("wave", payload)
+        assert again["status"] == "done"
+        assert again["cached"] is True
+        assert np.max(np.abs(np.asarray(again["result"]) - first)) == 0.0
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        "body, status",
+        [
+            ({"kind": "project", "payload": [[1.0]]}, 400),  # no basis
+            ({"basis": "wave", "kind": "project"}, 400),  # no payload
+            ({"basis": "wave", "payload": [["x"]]}, 400),  # non-numeric
+            ({"basis": "wave", "kind": "summon", "payload": [[1.0]]}, 400),
+            ({"basis": "nope", "payload": [[1.0]]}, 404),  # unknown basis
+            ({"basis": "wave", "payload": [[1.0, 2.0]]}, 400),  # bad rows
+            ({"basis": "wave", "payload": [[1.0]], "version": "x"}, 400),
+        ],
+    )
+    def test_bad_submissions(self, client, body, status):
+        got, _ = client.request_raw("POST", "/v1/query", body)
+        assert got == status
+
+    def test_unknown_route_and_method(self, client):
+        assert client.request_raw("GET", "/v2/query")[0] == 404
+        assert client.request_raw("GET", "/v1/query")[0] == 405
+        assert client.request_raw("POST", "/metrics")[0] == 405
+
+    def test_non_object_body_rejected(self, client):
+        assert client.request_raw("POST", "/v1/query", [1, 2, 3])[0] == 400
+
+
+class TestAuth:
+    @pytest.fixture
+    def tenanted(self, corpus):
+        store, _, _ = corpus
+        cfg = serving(
+            tenants=(
+                TenantSpec(name="acme", key="acme-key"),
+                TenantSpec(name="zeus", key="zeus-key"),
+            )
+        )
+        handle = start_in_thread(store, cfg)
+        yield handle
+        handle.stop()
+
+    def test_missing_and_wrong_keys_rejected(self, corpus, tenanted):
+        _, data, _ = corpus
+        with ServingClient.from_url(tenanted.url) as anon:
+            assert (
+                anon.request_raw(
+                    "POST",
+                    "/v1/query",
+                    {"basis": "wave", "payload": data[:, :1].tolist()},
+                )[0]
+                == 401
+            )
+        with ServingClient.from_url(tenanted.url, api_key="wrong") as bad:
+            assert bad.request_raw("GET", "/v1/jobs/j1")[0] == 401
+
+    def test_probes_stay_open(self, tenanted):
+        with ServingClient.from_url(tenanted.url) as anon:
+            assert anon.healthz()[0] == 200
+            assert "engine" in anon.metrics()
+
+    def test_jobs_are_tenant_isolated(self, corpus, tenanted):
+        _, data, _ = corpus
+        with ServingClient.from_url(tenanted.url, api_key="acme-key") as acme:
+            job = acme.submit("wave", data[:, :1])
+            acme.result(job, wait=10.0)
+            with ServingClient.from_url(
+                tenanted.url, api_key="zeus-key"
+            ) as zeus:
+                with pytest.raises(ServingHTTPError) as err:
+                    zeus.job(job["job"])
+                assert err.value.status == 404
+            # The owner still sees it.
+            assert acme.job(job["job"])["status"] == "done"
+
+    def test_per_tenant_counters(self, corpus, tenanted):
+        _, data, _ = corpus
+        with ServingClient.from_url(tenanted.url, api_key="acme-key") as acme:
+            acme.result(acme.submit("wave", data[:, :1]), wait=10.0)
+            snapshot = acme.metrics()["tenants"]
+        assert snapshot["enabled"] is True
+        assert snapshot["tenants"]["acme"]["queries"] == 1
+        assert snapshot["tenants"]["acme"]["requests"] >= 2
+        assert snapshot["tenants"]["zeus"]["queries"] == 0
+        assert snapshot["unauthorized"] == 0
+
+
+class TestOperatorEndpoints:
+    def test_metrics_shape(self, corpus, client):
+        _, data, _ = corpus
+        client.result(client.submit("wave", data[:, :2]), wait=10.0)
+        metrics = client.metrics()
+        assert metrics["engine"]["queries"] >= 1
+        assert "pending_by_group" in metrics["engine"]
+        assert metrics["scheduler"]["poll_interval_s"] > 0.0
+        assert metrics["jobs"]["created"] >= 1
+        assert metrics["server"]["requests"] >= 2
+        assert {"counters", "gauges", "histograms"} <= set(
+            metrics["registry"]
+        )
+
+    def test_healthz_ok_on_healthy_single_rank(self, client):
+        status, payload = client.healthz()
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["failed_ranks"] == []
+        assert payload["shard_group_down"] is False
+
+    def test_healthz_degraded_when_shard_group_down(self, server, client):
+        server.server._engine._shard_group_down = True
+        try:
+            status, payload = client.healthz()
+        finally:
+            server.server._engine._shard_group_down = False
+        assert status == 503
+        assert payload["status"] == "degraded"
+        assert payload["shard_group_down"] is True
+
+
+class TestServerLifecycle:
+    def test_stop_is_idempotent_and_port_real(self, corpus):
+        store, _, _ = corpus
+        handle = start_in_thread(store, serving())
+        assert handle.server.port > 0
+        assert handle.url.startswith("http://127.0.0.1:")
+        handle.stop()
+        handle.stop()  # no-op
+
+    def test_multi_rank_backend_rejected(self, corpus):
+        from repro.exceptions import ConfigurationError
+
+        store, _, _ = corpus
+        cfg = serving().replace(backend=BackendConfig(name="threads", size=2))
+        with pytest.raises(ConfigurationError, match="single-rank"):
+            start_in_thread(store, cfg)
+
+    def test_pending_jobs_answered_before_shutdown(self, corpus):
+        store, data, _ = corpus
+        # A deadline far away and a high watermark: the queue drains only
+        # because stop() flushes it.
+        handle = start_in_thread(
+            store, serving(flush_deadline_ms=60_000.0, max_batch=64)
+        )
+        with ServingClient.from_url(handle.url) as client:
+            job = client.submit("wave", data[:, :1])
+            assert job["status"] == "pending"
+        handle.stop()
+        engine = handle.server._engine
+        assert engine is None  # torn down, after a final flush

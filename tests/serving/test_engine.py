@@ -83,7 +83,7 @@ class TestMicroBatching:
         queries = [rng.standard_normal((M, 2)) for _ in range(10)]
         tickets = [engine.submit_project("alpha", q) for q in queries]
         assert engine.flush() == 10
-        assert engine.stats["gemms"] == 1
+        assert engine.stats()["gemms"] == 1
         u, _ = make_basis(0)
         for t, q in zip(tickets, queries):
             assert np.max(np.abs(t.result() - project_coefficients(u, q))) < 1e-12
@@ -94,7 +94,7 @@ class TestMicroBatching:
         engine.submit_error("alpha", rng.standard_normal((M, 2)))
         engine.submit_reconstruct("alpha", rng.standard_normal((K, 2)))
         assert engine.flush() == 4
-        assert engine.stats["gemms"] == 4  # four distinct (basis, kind) groups
+        assert engine.stats()["gemms"] == 4  # four distinct (basis, kind) groups
 
     def test_auto_flush_threshold(self, store, rng):
         engine = QueryEngine(
@@ -107,7 +107,7 @@ class TestMicroBatching:
         # The fourth submit crossed the threshold and flushed everything.
         assert all(t.done for t in tickets)
         assert engine.pending == 0
-        assert engine.stats["flushes"] == 1
+        assert engine.stats()["flushes"] == 1
 
     def test_mixed_widths_split_correctly(self, engine, rng):
         widths = [1, 3, 2, 5]
@@ -121,7 +121,7 @@ class TestMicroBatching:
 
     def test_flush_empty_is_noop(self, engine):
         assert engine.flush() == 0
-        assert engine.stats["flushes"] == 0
+        assert engine.stats()["flushes"] == 0
 
 
 class TestLRUCache:
@@ -130,8 +130,8 @@ class TestLRUCache:
         engine.project("alpha", data)
         engine.project("alpha", data)
         engine.project("alpha", data)
-        assert engine.stats["cache_misses"] == 1
-        assert engine.stats["cache_hits"] == 2
+        assert engine.stats()["cache_misses"] == 1
+        assert engine.stats()["cache_hits"] == 2
 
     def test_eviction_order_is_lru(self, store, rng):
         engine = QueryEngine(
@@ -144,10 +144,10 @@ class TestLRUCache:
         engine.project("gamma", data)  # evicts beta (the LRU entry)
         cached_names = [name for name, _ in engine.cached_bases]
         assert set(cached_names) == {"alpha", "gamma"}
-        assert engine.stats["evictions"] == 1
+        assert engine.stats()["evictions"] == 1
         # beta reloads transparently.
         engine.project("beta", data)
-        assert engine.stats["cache_misses"] == 4
+        assert engine.stats()["cache_misses"] == 4
 
     def test_in_memory_basis_pinned(self, store, rng):
         engine = QueryEngine(
@@ -233,8 +233,8 @@ class TestReviewHardening:
         engine.project("alpha", data)
         engine.project("alpha", data)
         # "alpha" stays cached despite the pinned in-memory entry.
-        assert engine.stats["cache_misses"] == 1
-        assert engine.stats["evictions"] == 0
+        assert engine.stats()["cache_misses"] == 1
+        assert engine.stats()["evictions"] == 0
 
     def test_results_are_independent_arrays(self, engine, rng):
         q1, q2 = (rng.standard_normal((M, 2)) for _ in range(2))

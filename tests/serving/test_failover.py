@@ -41,7 +41,7 @@ class TestReplicaRegistration:
         engine._shard_group_down = True
         coeffs = engine.project("mem", data)
         assert np.allclose(coeffs, project_coefficients(u, data))
-        assert engine.stats["failovers"] == 1
+        assert engine.stats()["failovers"] == 1
         assert engine.shard_group_down
 
     def test_presharded_basis_cannot_replicate(self):
@@ -89,7 +89,7 @@ class TestStoreBackedFailover:
         engine.flush()
         assert ticket.done and ticket.degraded
         assert np.allclose(ticket.result(), project_coefficients(u, data))
-        assert engine.stats["failovers"] == 1
+        assert engine.stats()["failovers"] == 1
         assert engine.shard_group_down
 
         # Later flushes route straight to the replica — the dead primary
@@ -97,7 +97,7 @@ class TestStoreBackedFailover:
         again = engine.submit_project("alpha", data)
         engine.flush()
         assert again.degraded
-        assert engine.stats["failovers"] == 2
+        assert engine.stats()["failovers"] == 2
 
     def test_failover_is_metered(self, store, rng):
         from repro.obs import runtime as obs_rt
@@ -156,7 +156,7 @@ class TestSpmdFailover:
                 return (
                     [t.result() for t in tickets],
                     [t.degraded for t in tickets],
-                    engine.stats["failovers"],
+                    engine.stats()["failovers"],
                     engine.shard_group_down,
                 )
 
